@@ -1,0 +1,234 @@
+//! The class–instance (C-I) model baseline (§II-B).
+//!
+//! A C-I model represents an object as the bundle of role–filler bindings,
+//! `H = class_1 ⊙ item_1 + class_2 ⊙ item_2 + …` — Kanerva's "what is the
+//! dollar of Mexico?" scheme. Factorization is a single unbind per class
+//! (`class_i ⊙ H = item_i + noise`), which is cheap, but the representation
+//! breaks down for multiple objects:
+//!
+//! * **Superposition catastrophe** — bundling two objects mixes their
+//!   fillers per class; the model recovers *sets* of items per class but
+//!   loses which items belonged to the same object.
+//! * **The problem of 2** — identical objects collapse into one (their
+//!   bundles merely rescale the same vector).
+//!
+//! Both failure modes are exercised by tests below and by the Fig. 4(e,f)
+//! comparison harness.
+
+use hdc::{AccumHv, BipolarHv, Codebook, HdcError, SearchHit};
+use rand::Rng;
+
+/// A class–instance model: one role vector per class and one filler
+/// codebook per class.
+///
+/// ```
+/// use factorhd_baselines::CiModel;
+///
+/// let model = CiModel::derive(3, 3, 16, 2048);
+/// let hv = model.encode_object(&[2, 9, 4]);
+/// assert_eq!(model.factorize_object(&hv), vec![2, 9, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CiModel {
+    roles: Vec<BipolarHv>,
+    fillers: Vec<Codebook>,
+}
+
+impl CiModel {
+    /// Samples a model with `f` classes of `m` fillers each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidDimension`] if `f == 0` or `dim == 0`,
+    /// and [`HdcError::EmptyCodebook`] if `m == 0`.
+    pub fn random<R: Rng + ?Sized>(
+        f: usize,
+        m: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Result<Self, HdcError> {
+        if f == 0 {
+            return Err(HdcError::InvalidDimension(0));
+        }
+        let roles = (0..f).map(|_| BipolarHv::random(dim, rng)).collect();
+        let fillers = (0..f)
+            .map(|_| Codebook::random(m, dim, rng))
+            .collect::<Result<_, _>>()?;
+        Ok(CiModel { roles, fillers })
+    }
+
+    /// Deterministically derives a model from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f`, `m` or `dim` is zero.
+    pub fn derive(seed: u64, f: usize, m: usize, dim: usize) -> Self {
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xC1_0DE1]));
+        CiModel::random(f, m, dim, &mut rng).expect("validated parameters")
+    }
+
+    /// Number of classes `F`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Fillers per class `M`.
+    #[inline]
+    pub fn items_per_class(&self) -> usize {
+        self.fillers[0].len()
+    }
+
+    /// Hypervector dimension `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.roles[0].dim()
+    }
+
+    /// The filler codebook of class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn fillers(&self, i: usize) -> &Codebook {
+        &self.fillers[i]
+    }
+
+    /// Encodes one object: `Σ_i role_i ⊙ filler_{i, items[i]}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != num_classes()` or an index is out of range.
+    pub fn encode_object(&self, items: &[usize]) -> AccumHv {
+        assert_eq!(items.len(), self.roles.len(), "one item per class required");
+        let mut acc = AccumHv::zeros(self.dim());
+        for (i, &item) in items.iter().enumerate() {
+            let bound = hdc::Bind::bind(&self.roles[i], self.fillers[i].item(item));
+            acc.add_bipolar(&bound, 1);
+        }
+        acc
+    }
+
+    /// Encodes several objects into one bundle (where the superposition
+    /// catastrophe lives).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CiModel::encode_object`].
+    pub fn encode_scene(&self, objects: &[Vec<usize>]) -> AccumHv {
+        let mut acc = AccumHv::zeros(self.dim());
+        for items in objects {
+            acc.add_accum(&self.encode_object(items));
+        }
+        acc
+    }
+
+    /// Factorizes a single-object representation: per class, unbind the
+    /// role and take the closest filler.
+    pub fn factorize_object(&self, hv: &AccumHv) -> Vec<usize> {
+        (0..self.roles.len())
+            .map(|i| self.unbind_class(hv, i).index)
+            .collect()
+    }
+
+    /// The best filler of class `i` after role unbinding, with similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn unbind_class(&self, hv: &AccumHv, i: usize) -> SearchHit {
+        let unbound = hdc::Bind::bind(hv, &self.roles[i]);
+        self.fillers[i]
+            .best_match(&unbound)
+            .expect("codebooks are non-empty")
+    }
+
+    /// Per-class candidate *sets* for a multi-object bundle: every filler
+    /// whose unbound similarity clears `threshold`. The model can list the
+    /// items present per class but cannot attribute them to objects — the
+    /// superposition catastrophe.
+    pub fn factorize_scene_items(&self, hv: &AccumHv, threshold: f64) -> Vec<Vec<SearchHit>> {
+        (0..self.roles.len())
+            .map(|i| {
+                let unbound = hdc::Bind::bind(hv, &self.roles[i]);
+                self.fillers[i].above_threshold(&unbound, threshold)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = CiModel::derive(3, 3, 8, 256);
+        let b = CiModel::derive(3, 3, 8, 256);
+        assert_eq!(a.encode_object(&[1, 2, 3]), b.encode_object(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn single_object_roundtrip() {
+        let model = CiModel::derive(7, 3, 32, 2048);
+        for items in [[0usize, 0, 0], [31, 15, 7], [5, 20, 11]] {
+            let hv = model.encode_object(&items);
+            assert_eq!(model.factorize_object(&hv), items.to_vec());
+        }
+    }
+
+    #[test]
+    fn noisy_roundtrip_survives() {
+        let model = CiModel::derive(8, 3, 16, 4096);
+        let hv = model.encode_object(&[3, 8, 12]);
+        // Perturb by bundling an unrelated random vector.
+        let mut rng = hdc::rng_from_seed(4);
+        let mut noisy = hv.clone();
+        noisy.add_bipolar(&BipolarHv::random(4096, &mut rng), 1);
+        assert_eq!(model.factorize_object(&noisy), vec![3, 8, 12]);
+    }
+
+    #[test]
+    fn scene_items_are_listed_per_class() {
+        let model = CiModel::derive(9, 3, 16, 8192);
+        let scene = model.encode_scene(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        let sets = model.factorize_scene_items(&scene, 0.15);
+        assert_eq!(sets[0].iter().map(|h| h.index).collect::<Vec<_>>().len(), 2);
+        for (class, expected) in [(0usize, [1usize, 4]), (1, [2, 5]), (2, [3, 6])] {
+            let found: Vec<usize> = sets[class].iter().map(|h| h.index).collect();
+            for e in expected {
+                assert!(found.contains(&e), "class {class} missing item {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_catastrophe_loses_object_identity() {
+        // The two scenes {(1,2),(3,4)} and {(1,4),(3,2)} produce the same
+        // per-class item sets — the C-I representation cannot tell them
+        // apart at the set level. (Their encodings are identical vectors!)
+        let model = CiModel::derive(10, 2, 8, 1024);
+        let a = model.encode_scene(&[vec![1, 2], vec![3, 4]]);
+        let b = model.encode_scene(&[vec![1, 4], vec![3, 2]]);
+        assert_eq!(a, b, "C-I bundles of swapped fillers must collide");
+    }
+
+    #[test]
+    fn problem_of_2_collapses_duplicates() {
+        // Two copies of the same object just rescale the bundle: the model
+        // cannot represent multiplicity.
+        let model = CiModel::derive(11, 3, 8, 1024);
+        let single = model.encode_object(&[1, 2, 3]);
+        let double = model.encode_scene(&[vec![1, 2, 3], vec![1, 2, 3]]);
+        let mut scaled = single.clone();
+        scaled.scale(2);
+        assert_eq!(double, scaled);
+    }
+
+    #[test]
+    fn random_rejects_degenerate() {
+        let mut rng = hdc::rng_from_seed(1);
+        assert!(CiModel::random(0, 4, 64, &mut rng).is_err());
+        assert!(CiModel::random(2, 0, 64, &mut rng).is_err());
+    }
+}

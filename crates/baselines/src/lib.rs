@@ -1,0 +1,40 @@
+//! # factorhd-baselines — comparison systems from the FactorHD evaluation
+//!
+//! Every baseline the paper benchmarks FactorHD against, implemented from
+//! the cited sources:
+//!
+//! * [`Resonator`] — the resonator network (Frady et al. 2020), the
+//!   classic iterative factorizer for class–class products.
+//! * [`ImcFactorizer`] — the in-memory stochastic factorizer (Langenegger
+//!   et al. 2023), simulated with device read noise and sparse threshold
+//!   activations (see DESIGN.md for the hardware substitution).
+//! * [`CiModel`] — the class–instance role–filler model, which factorizes
+//!   in one unbind but suffers the superposition catastrophe and the
+//!   problem of 2.
+//! * [`FactorizationProblem`] — shared class–class problem instances
+//!   (`H = a_1 ⊙ … ⊙ a_F`), plus the [`oracle`] exhaustive search that
+//!   demonstrates the `M^F` combination blow-up.
+//!
+//! # Example
+//!
+//! ```
+//! use factorhd_baselines::{FactorizationProblem, Resonator, ResonatorConfig};
+//!
+//! let problem = FactorizationProblem::derive(1, 3, 8, 1024);
+//! let outcome = Resonator::new(ResonatorConfig::default()).solve(&problem);
+//! assert!(outcome.is_correct(&problem));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ci_model;
+mod imc;
+pub mod oracle;
+mod problem;
+mod resonator;
+
+pub use ci_model::CiModel;
+pub use imc::{ImcConfig, ImcFactorizer};
+pub use problem::{FactorizationProblem, SolveOutcome};
+pub use resonator::{Resonator, ResonatorConfig};

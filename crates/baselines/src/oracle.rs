@@ -1,0 +1,90 @@
+//! Exhaustive oracle factorizer.
+//!
+//! Scans all `M^F` item combinations and returns the product most similar
+//! to the target — the brute force §II-B describes ("necessitating
+//! exploration of all item vector combinations"). Exact but exponential;
+//! used to validate the iterative solvers on small instances and to
+//! demonstrate the combination-count blow-up FactorHD avoids.
+
+use crate::{problem::product_of, FactorizationProblem, SolveOutcome};
+
+/// Runs the exhaustive search on `problem`, counting every similarity
+/// measurement as one "iteration".
+///
+/// Returns the best-matching combination; with a noiseless C-C target this
+/// is always the exact solution.
+///
+/// # Panics
+///
+/// Panics if the search space `M^F` exceeds `limit` (guards against
+/// accidentally launching a `16M`-combination scan in a test).
+pub fn exhaustive_solve(problem: &FactorizationProblem, limit: usize) -> SolveOutcome {
+    let f = problem.num_factors();
+    let m = problem.items_per_factor();
+    let total = m.checked_pow(f as u32).unwrap_or(usize::MAX);
+    assert!(
+        total <= limit,
+        "exhaustive search over {total} combinations exceeds the limit of {limit}"
+    );
+
+    let mut best: Option<(Vec<usize>, i64)> = None;
+    let mut indices = vec![0usize; f];
+    let mut checked = 0usize;
+    loop {
+        let product = product_of(problem.codebooks(), &indices);
+        let dot = problem.target().dot(&product);
+        checked += 1;
+        if best.as_ref().map_or(true, |(_, b)| dot > *b) {
+            best = Some((indices.clone(), dot));
+        }
+        // Advance mixed-radix counter.
+        let mut done = true;
+        for slot in indices.iter_mut().rev() {
+            *slot += 1;
+            if *slot < m {
+                done = false;
+                break;
+            }
+            *slot = 0;
+        }
+        if done {
+            break;
+        }
+    }
+
+    let (estimate, _) = best.expect("at least one combination");
+    SolveOutcome {
+        estimate,
+        iterations: checked,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_always_finds_the_solution() {
+        for seed in 0..5 {
+            let problem = FactorizationProblem::derive(seed, 3, 6, 512);
+            let outcome = exhaustive_solve(&problem, 1_000);
+            assert!(outcome.is_correct(&problem));
+            assert_eq!(outcome.iterations, 6usize.pow(3));
+        }
+    }
+
+    #[test]
+    fn oracle_cost_is_m_pow_f() {
+        let problem = FactorizationProblem::derive(9, 2, 7, 256);
+        let outcome = exhaustive_solve(&problem, 100);
+        assert_eq!(outcome.iterations, 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the limit")]
+    fn oracle_refuses_oversized_searches() {
+        let problem = FactorizationProblem::derive(10, 3, 64, 64);
+        let _ = exhaustive_solve(&problem, 1_000);
+    }
+}

@@ -1,0 +1,271 @@
+//! Class–class (C-C) factorization problems.
+//!
+//! A C-C model represents an object as the bare binding of one item per
+//! class, `H = a_1 ⊙ a_2 ⊙ … ⊙ a_F` (§II-B), and scenes as bundles of such
+//! products. Factorizing `H` back into its constituents is the problem the
+//! resonator network and the IMC factorizer solve, and the problem
+//! FactorHD's encoding sidesteps; this module generates the shared
+//! instances all of them are benchmarked on.
+
+use hdc::{AccumHv, BipolarHv, Codebook, HdcError};
+use rand::Rng;
+
+/// One C-C factorization instance: `F` codebooks of `M` items each, a
+/// target product vector, and the ground-truth item indices.
+///
+/// ```
+/// use factorhd_baselines::FactorizationProblem;
+///
+/// let problem = FactorizationProblem::derive(7, 3, 16, 512);
+/// assert_eq!(problem.num_factors(), 3);
+/// assert_eq!(problem.problem_size(), 16f64.powi(3));
+/// assert!(problem.verify(problem.solution()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FactorizationProblem {
+    codebooks: Vec<Codebook>,
+    target: BipolarHv,
+    solution: Vec<usize>,
+}
+
+impl FactorizationProblem {
+    /// Samples a problem with fresh random codebooks and a random solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyCodebook`] / [`HdcError::InvalidDimension`]
+    /// for degenerate `m` or `dim`, and [`HdcError::InvalidDimension`] if
+    /// `f == 0`.
+    pub fn random<R: Rng + ?Sized>(
+        f: usize,
+        m: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Result<Self, HdcError> {
+        if f == 0 {
+            return Err(HdcError::InvalidDimension(0));
+        }
+        let codebooks: Vec<Codebook> = (0..f)
+            .map(|_| Codebook::random(m, dim, rng))
+            .collect::<Result<_, _>>()?;
+        let solution: Vec<usize> = (0..f).map(|_| rng.gen_range(0..m)).collect();
+        let target = product_of(&codebooks, &solution);
+        Ok(FactorizationProblem {
+            codebooks,
+            target,
+            solution,
+        })
+    }
+
+    /// Deterministically derives a problem from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f`, `m` or `dim` is zero.
+    pub fn derive(seed: u64, f: usize, m: usize, dim: usize) -> Self {
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xCCFA_C702]));
+        FactorizationProblem::random(f, m, dim, &mut rng).expect("validated parameters")
+    }
+
+    /// Number of factors `F`.
+    #[inline]
+    pub fn num_factors(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Items per codebook `M`.
+    #[inline]
+    pub fn items_per_factor(&self) -> usize {
+        self.codebooks[0].len()
+    }
+
+    /// Hypervector dimension `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.target.dim()
+    }
+
+    /// Search-space size `M^F`, the paper's problem-size axis.
+    pub fn problem_size(&self) -> f64 {
+        (self.items_per_factor() as f64).powi(self.num_factors() as i32)
+    }
+
+    /// The factor codebooks.
+    #[inline]
+    pub fn codebooks(&self) -> &[Codebook] {
+        &self.codebooks
+    }
+
+    /// Codebook of factor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn codebook(&self, i: usize) -> &Codebook {
+        &self.codebooks[i]
+    }
+
+    /// The target product hypervector to factorize.
+    #[inline]
+    pub fn target(&self) -> &BipolarHv {
+        &self.target
+    }
+
+    /// The ground-truth item indices.
+    #[inline]
+    pub fn solution(&self) -> &[usize] {
+        &self.solution
+    }
+
+    /// Whether `candidate` reproduces the target product exactly.
+    ///
+    /// Note this is semantic verification (re-bind and compare), not index
+    /// comparison: distinct index tuples with identical products (vanishing
+    /// probability at real dimensions) would also verify.
+    pub fn verify(&self, candidate: &[usize]) -> bool {
+        if candidate.len() != self.codebooks.len() {
+            return false;
+        }
+        product_of(&self.codebooks, candidate) == self.target
+    }
+
+    /// Bundles several item-index tuples into a multi-object C-C scene
+    /// (`Σ_o ∏_i a_{i,o}`), kept in `Z^D` like the paper's scene bundles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple has the wrong arity or an out-of-range index.
+    pub fn encode_bundle(&self, objects: &[Vec<usize>]) -> AccumHv {
+        let mut acc = AccumHv::zeros(self.dim());
+        for indices in objects {
+            let product = product_of(&self.codebooks, indices);
+            acc.add_bipolar(&product, 1);
+        }
+        acc
+    }
+}
+
+/// Binds one item per codebook into a product vector.
+///
+/// # Panics
+///
+/// Panics if `indices.len() != codebooks.len()` or an index is out of range.
+pub(crate) fn product_of(codebooks: &[Codebook], indices: &[usize]) -> BipolarHv {
+    assert_eq!(
+        indices.len(),
+        codebooks.len(),
+        "need one index per codebook"
+    );
+    let mut product = codebooks[0].item(indices[0]).clone();
+    for (cb, &idx) in codebooks.iter().zip(indices).skip(1) {
+        product.bind_assign(cb.item(idx));
+    }
+    product
+}
+
+/// The outcome of an iterative factorizer run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// The estimated item index per factor.
+    pub estimate: Vec<usize>,
+    /// Iterations executed (full sweeps over all factors).
+    pub iterations: usize,
+    /// Whether the solver stopped at a self-declared solution / fixed point
+    /// (as opposed to exhausting its iteration budget).
+    pub converged: bool,
+}
+
+impl SolveOutcome {
+    /// Whether the estimate matches the problem's ground truth.
+    pub fn is_correct(&self, problem: &FactorizationProblem) -> bool {
+        problem.verify(&self.estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng_from_seed;
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = FactorizationProblem::derive(5, 3, 8, 256);
+        let b = FactorizationProblem::derive(5, 3, 8, 256);
+        assert_eq!(a.solution(), b.solution());
+        assert_eq!(a.target(), b.target());
+    }
+
+    #[test]
+    fn solution_verifies() {
+        let p = FactorizationProblem::derive(11, 4, 8, 256);
+        assert!(p.verify(p.solution()));
+    }
+
+    #[test]
+    fn wrong_candidates_fail_verification() {
+        let p = FactorizationProblem::derive(12, 3, 8, 256);
+        let mut wrong = p.solution().to_vec();
+        wrong[0] = (wrong[0] + 1) % 8;
+        assert!(!p.verify(&wrong));
+        assert!(!p.verify(&[0, 1]));
+    }
+
+    #[test]
+    fn target_is_quasi_orthogonal_to_items() {
+        let p = FactorizationProblem::derive(13, 3, 8, 4096);
+        for cb in p.codebooks() {
+            for item in cb {
+                assert!(p.target().sim(item).abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn unbinding_all_but_one_reveals_item() {
+        use hdc::Bind;
+        let p = FactorizationProblem::derive(14, 3, 8, 1024);
+        let s = p.solution();
+        let unbound = p
+            .target()
+            .bind(p.codebook(1).item(s[1]))
+            .bind(p.codebook(2).item(s[2]));
+        assert_eq!(&unbound, p.codebook(0).item(s[0]));
+    }
+
+    #[test]
+    fn random_rejects_degenerate() {
+        let mut rng = rng_from_seed(1);
+        assert!(FactorizationProblem::random(0, 4, 64, &mut rng).is_err());
+        assert!(FactorizationProblem::random(2, 0, 64, &mut rng).is_err());
+        assert!(FactorizationProblem::random(2, 4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bundle_keeps_members_recoverable() {
+        let p = FactorizationProblem::derive(15, 3, 8, 4096);
+        let objects = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let bundle = p.encode_bundle(&objects);
+        for obj in &objects {
+            let product = product_of(p.codebooks(), obj);
+            assert!(bundle.sim_bipolar(&product) > 0.3);
+        }
+    }
+
+    #[test]
+    fn outcome_correctness() {
+        let p = FactorizationProblem::derive(16, 2, 4, 256);
+        let good = SolveOutcome {
+            estimate: p.solution().to_vec(),
+            iterations: 1,
+            converged: true,
+        };
+        assert!(good.is_correct(&p));
+        let bad = SolveOutcome {
+            estimate: vec![(p.solution()[0] + 1) % 4, p.solution()[1]],
+            iterations: 1,
+            converged: true,
+        };
+        assert!(!bad.is_correct(&p));
+    }
+}

@@ -1,0 +1,215 @@
+//! The resonator network factorizer (Frady, Kent, Olshausen & Sommer,
+//! *Neural Computation* 2020) — the first C-C baseline of Fig. 4.
+//!
+//! Each factor keeps an estimate `x̂_i`, initialized to the superposition of
+//! its whole codebook. One sweep updates every factor in turn:
+//!
+//! ```text
+//! x̂_i ← sign( A_iᵀ (A_i · (target ⊙ x̂_1 ⊙ … x̂_{i-1} ⊙ x̂_{i+1} … ⊙ x̂_F)) )
+//! ```
+//!
+//! i.e. unbind the other estimates, project onto the codebook (similarity
+//! weights), clean up by weighted superposition, and re-binarize. The
+//! search dynamics resonate toward a fixed point when the problem size is
+//! within the network's operational capacity and fall into limit cycles
+//! beyond it — which is exactly the capacity cliff Fig. 4(a) shows.
+
+use crate::{FactorizationProblem, SolveOutcome};
+use hdc::BipolarHv;
+
+/// Configuration for [`Resonator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResonatorConfig {
+    /// Maximum number of full sweeps before giving up.
+    pub max_iterations: usize,
+    /// Stop as soon as the current estimates reproduce the target product
+    /// exactly (a self-detectable solution in the noiseless C-C setting).
+    pub early_exit_on_solution: bool,
+}
+
+impl Default for ResonatorConfig {
+    /// Defaults follow the evaluation protocol of the IMC-factorizer paper:
+    /// a generous iteration budget with early exit on solution.
+    fn default() -> Self {
+        ResonatorConfig {
+            max_iterations: 5_000,
+            early_exit_on_solution: true,
+        }
+    }
+}
+
+/// A resonator network bound to one factorization problem.
+///
+/// ```
+/// use factorhd_baselines::{FactorizationProblem, Resonator, ResonatorConfig};
+///
+/// let problem = FactorizationProblem::derive(3, 3, 8, 1024);
+/// let outcome = Resonator::new(ResonatorConfig::default()).solve(&problem);
+/// assert!(outcome.is_correct(&problem));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Resonator {
+    config: ResonatorConfig,
+}
+
+impl Resonator {
+    /// Creates a resonator with the given configuration.
+    pub fn new(config: ResonatorConfig) -> Self {
+        Resonator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ResonatorConfig {
+        &self.config
+    }
+
+    /// Runs the resonator dynamics on `problem`.
+    pub fn solve(&self, problem: &FactorizationProblem) -> SolveOutcome {
+        let f = problem.num_factors();
+        // Initial estimates: superposition of each codebook.
+        let mut estimates: Vec<BipolarHv> = problem
+            .codebooks()
+            .iter()
+            .map(|cb| cb.superposition().sign_bipolar())
+            .collect();
+
+        for iteration in 1..=self.config.max_iterations {
+            let mut changed = false;
+            for i in 0..f {
+                // Unbind the other factors' current estimates.
+                let mut unbound = problem.target().clone();
+                for (j, est) in estimates.iter().enumerate() {
+                    if j != i {
+                        unbound.bind_assign(est);
+                    }
+                }
+                // Project onto the codebook and clean up.
+                let weights = problem.codebook(i).dots_bipolar(&unbound);
+                let new_estimate = problem
+                    .codebook(i)
+                    .weighted_superposition(&weights)
+                    .sign_bipolar();
+                if new_estimate != estimates[i] {
+                    changed = true;
+                    estimates[i] = new_estimate;
+                }
+            }
+
+            let decoded = self.decode(problem, &estimates);
+            if self.config.early_exit_on_solution && problem.verify(&decoded) {
+                return SolveOutcome {
+                    estimate: decoded,
+                    iterations: iteration,
+                    converged: true,
+                };
+            }
+            if !changed {
+                // Fixed point (possibly a spurious one).
+                return SolveOutcome {
+                    estimate: decoded,
+                    iterations: iteration,
+                    converged: true,
+                };
+            }
+        }
+
+        SolveOutcome {
+            estimate: self.decode(problem, &estimates),
+            iterations: self.config.max_iterations,
+            converged: false,
+        }
+    }
+
+    /// Reads out the codebook item with the largest **absolute** dot
+    /// product per factor. Bipolar resonator dynamics are sign-symmetric:
+    /// `(-a_1, -a_2, a_3)` reproduces the same product as
+    /// `(a_1, a_2, a_3)`, so stable states may be item negations; decoding
+    /// by |sim| recovers the underlying item either way.
+    fn decode(&self, problem: &FactorizationProblem, estimates: &[BipolarHv]) -> Vec<usize> {
+        estimates
+            .iter()
+            .enumerate()
+            .map(|(i, est)| {
+                let dots = problem.codebook(i).dots_bipolar(est);
+                dots.iter()
+                    .enumerate()
+                    .max_by_key(|(_, &d)| d.abs())
+                    .map(|(j, _)| j)
+                    .expect("codebooks are non-empty")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_problems() {
+        for seed in 0..10 {
+            let problem = FactorizationProblem::derive(seed, 3, 8, 1024);
+            let outcome = Resonator::new(ResonatorConfig::default()).solve(&problem);
+            assert!(outcome.is_correct(&problem), "failed at seed {seed}");
+            assert!(outcome.converged);
+        }
+    }
+
+    #[test]
+    fn solves_f4() {
+        let problem = FactorizationProblem::derive(77, 4, 8, 2048);
+        let outcome = Resonator::new(ResonatorConfig::default()).solve(&problem);
+        assert!(outcome.is_correct(&problem));
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let problem = FactorizationProblem::derive(5, 3, 64, 256);
+        let outcome = Resonator::new(ResonatorConfig {
+            max_iterations: 2,
+            early_exit_on_solution: true,
+        })
+        .solve(&problem);
+        assert!(outcome.iterations <= 2);
+    }
+
+    #[test]
+    fn accuracy_collapses_beyond_capacity() {
+        // The capacity cliff: at D = 256 and M = 96 (problem size ~ 9e5)
+        // the resonator should fail on most trials — this is the Fig. 4(a)
+        // behaviour FactorHD is compared against.
+        let mut failures = 0;
+        let trials = 8;
+        for seed in 0..trials {
+            let problem = FactorizationProblem::derive(1000 + seed, 3, 96, 256);
+            let outcome = Resonator::new(ResonatorConfig {
+                max_iterations: 100,
+                early_exit_on_solution: true,
+            })
+            .solve(&problem);
+            if !outcome.is_correct(&problem) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= trials / 2, "only {failures}/{trials} failures");
+    }
+
+    #[test]
+    fn iterations_grow_with_problem_size() {
+        let avg_iters = |m: usize, dim: usize| -> f64 {
+            let mut total = 0usize;
+            let trials = 6;
+            for seed in 0..trials {
+                let problem = FactorizationProblem::derive(2000 + seed, 3, m, dim);
+                total += Resonator::new(ResonatorConfig::default()).solve(&problem).iterations;
+            }
+            total as f64 / trials as f64
+        };
+        let small = avg_iters(4, 1024);
+        let large = avg_iters(32, 1024);
+        assert!(
+            large >= small,
+            "iterations should not shrink with problem size: {small} vs {large}"
+        );
+    }
+}

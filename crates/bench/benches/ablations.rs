@@ -1,0 +1,61 @@
+//! ABL Criterion tracking bench: the *time* cost of FactorHD's design
+//! choices (the accuracy side lives in the `ablations` binary). Greedy vs
+//! refined hierarchy descent, and acceptance-test on vs off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use factorhd_core::{
+    Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder, ThresholdPolicy,
+};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let taxonomy = TaxonomyBuilder::new(1024)
+        .seed(9)
+        .uniform_classes(3, &[64, 10])
+        .build()
+        .expect("valid taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let mut rng = hdc::rng_from_seed(10);
+    let single = encoder
+        .encode_scene(&Scene::single(taxonomy.sample_object(&mut rng)))
+        .expect("encodable");
+    let multi = encoder
+        .encode_scene(&taxonomy.sample_scene(2, true, &mut rng))
+        .expect("encodable");
+
+    let mut group = c.benchmark_group("ablations");
+    for width in [1usize, 4] {
+        let factorizer = Factorizer::new(
+            &taxonomy,
+            FactorizeConfig {
+                refine_width: width,
+                ..FactorizeConfig::default()
+            },
+        );
+        group.bench_function(format!("rep2_refine_width_{width}"), |b| {
+            b.iter(|| factorizer.factorize_single(black_box(&single)).expect("decodes"))
+        });
+    }
+    for (name, accept) in [("off", 0.0f64), ("on", 0.75)] {
+        let factorizer = Factorizer::new(
+            &taxonomy,
+            FactorizeConfig {
+                accept_threshold: accept,
+                threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                max_objects: 4,
+                ..FactorizeConfig::default()
+            },
+        );
+        group.bench_function(format!("rep3_acceptance_{name}"), |b| {
+            b.iter(|| factorizer.factorize_multi(black_box(&multi)).expect("decodes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the HDC substrate operators (the kernels every
+//! experiment is built from): bind, dot, bundle, clip, codebook search and
+//! weighted superposition.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hdc::{AccumHv, Bind, BipolarHv, Codebook};
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = hdc::rng_from_seed(1);
+    let a = BipolarHv::random(DIM, &mut rng);
+    let b = BipolarHv::random(DIM, &mut rng);
+    let accum = {
+        let mut acc = AccumHv::zeros(DIM);
+        for _ in 0..4 {
+            acc.add_bipolar(&BipolarHv::random(DIM, &mut rng), 1);
+        }
+        acc
+    };
+    let ternary = accum.clip_ternary();
+    let codebook = Codebook::derive(2, 64, DIM);
+    let weights: Vec<i64> = (0..64).map(|i| (i % 7) as i64 - 3).collect();
+
+    let mut group = c.benchmark_group("ops");
+    group.bench_function("bipolar_bind", |bench| {
+        bench.iter(|| black_box(&a).bind(black_box(&b)))
+    });
+    group.bench_function("bipolar_dot", |bench| {
+        bench.iter(|| black_box(&a).dot(black_box(&b)))
+    });
+    group.bench_function("accum_add_bipolar", |bench| {
+        bench.iter_batched(
+            || accum.clone(),
+            |mut acc| acc.add_bipolar(black_box(&a), 1),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("accum_clip_ternary", |bench| {
+        bench.iter(|| black_box(&accum).clip_ternary())
+    });
+    group.bench_function("ternary_dot_bipolar", |bench| {
+        bench.iter(|| black_box(&ternary).dot_bipolar(black_box(&a)))
+    });
+    group.bench_function("codebook_sims_m64", |bench| {
+        bench.iter(|| black_box(&codebook).sims(black_box(&accum)))
+    });
+    group.bench_function("codebook_weighted_superposition_m64", |bench| {
+        bench.iter(|| black_box(&codebook).weighted_superposition(black_box(&weights)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops
+}
+criterion_main!(benches);

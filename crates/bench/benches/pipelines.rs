@@ -1,0 +1,57 @@
+//! TAB1/TAB2 Criterion tracking benches: the per-item costs of the
+//! neuro-symbolic pipelines (pipeline construction happens once in setup;
+//! the benches time encode/classify/decode only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use factorhd_neural::datasets::raven::{RavenConfig, RavenScene};
+use factorhd_neural::{
+    CifarPipeline, CifarPipelineConfig, RavenPipeline, RavenPipelineConfig,
+};
+use std::hint::black_box;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelines");
+
+    // CIFAR-10 at a reduced dimension to keep setup fast.
+    let cifar = CifarPipeline::new(CifarPipelineConfig {
+        dim: 1024,
+        samples_per_class: 8,
+        ..CifarPipelineConfig::cifar10()
+    })
+    .expect("valid pipeline");
+    let mut rng = hdc::rng_from_seed(8);
+    let image = cifar.encode_image(3, &mut rng).expect("encodes");
+    group.bench_function("cifar10_encode_image", |b| {
+        b.iter(|| cifar.encode_image(black_box(3), &mut rng).expect("encodes"))
+    });
+    group.bench_function("cifar10_classify", |b| {
+        b.iter(|| cifar.classify(black_box(&image)).expect("classifies"))
+    });
+
+    // RAVEN 2x2 grid.
+    let raven = RavenPipeline::new(
+        RavenConfig::Grid2x2,
+        RavenPipelineConfig {
+            dim: 1000,
+            ..RavenPipelineConfig::default()
+        },
+    )
+    .expect("valid pipeline");
+    let scene = RavenScene::sample_with_count(RavenConfig::Grid2x2, 2, &mut rng);
+    let panel = raven.encode_scene(&scene, &mut rng).expect("encodes");
+    group.bench_function("raven_encode_panel", |b| {
+        b.iter(|| raven.encode_scene(black_box(&scene), &mut rng).expect("encodes"))
+    });
+    group.bench_function("raven_decode_panel", |b| {
+        b.iter(|| raven.decode_scene(black_box(&panel)).expect("decodes"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipelines
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! FIG4 Criterion tracking bench: one Rep-1 factorization per method at a
+//! reduced size (F = 3, M = 16, D = 512), so regressions in any solver's
+//! inner loop show up in CI-sized runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use factorhd_baselines::{
+    CiModel, FactorizationProblem, ImcConfig, ImcFactorizer, Resonator, ResonatorConfig,
+};
+use factorhd_core::{Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder};
+use std::hint::black_box;
+
+const F: usize = 3;
+const M: usize = 16;
+const DIM: usize = 512;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rep1_methods");
+
+    // FactorHD.
+    let taxonomy = TaxonomyBuilder::new(DIM / 2)
+        .seed(1)
+        .uniform_classes(F, &[M])
+        .build()
+        .expect("valid taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+    let mut rng = hdc::rng_from_seed(2);
+    let object = taxonomy.sample_object(&mut rng);
+    let hv = encoder
+        .encode_scene(&Scene::single(object))
+        .expect("encodable");
+    group.bench_function("factorhd_single", |b| {
+        b.iter(|| factorizer.factorize_single(black_box(&hv)).expect("decodes"))
+    });
+
+    // Resonator.
+    let problem = FactorizationProblem::derive(3, F, M, DIM);
+    let resonator = Resonator::new(ResonatorConfig::default());
+    group.bench_function("resonator_solve", |b| {
+        b.iter(|| resonator.solve(black_box(&problem)))
+    });
+
+    // IMC factorizer.
+    let imc = ImcFactorizer::new(ImcConfig::default());
+    group.bench_function("imc_solve", |b| {
+        b.iter(|| imc.solve(black_box(&problem)))
+    });
+
+    // C-I model.
+    let ci = CiModel::derive(4, F, M, DIM);
+    let ci_hv = ci.encode_object(&[1, 2, 3]);
+    group.bench_function("ci_factorize", |b| {
+        b.iter(|| ci.factorize_object(black_box(&ci_hv)))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! FIG5 Criterion tracking bench: Rep-2 and Rep-3 factorizations at a
+//! reduced hierarchy (64 × 10 items) and D = 1024.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use factorhd_core::{
+    Encoder, FactorizeConfig, Factorizer, TaxonomyBuilder, ThresholdPolicy,
+};
+use std::hint::black_box;
+
+fn bench_rep23(c: &mut Criterion) {
+    let taxonomy = TaxonomyBuilder::new(1024)
+        .seed(5)
+        .uniform_classes(3, &[64, 10])
+        .build()
+        .expect("valid taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let mut rng = hdc::rng_from_seed(6);
+
+    let mut group = c.benchmark_group("rep23");
+
+    let single = encoder
+        .encode_scene(&factorhd_core::Scene::single(taxonomy.sample_object(&mut rng)))
+        .expect("encodable");
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+    group.bench_function("rep2_single_object", |b| {
+        b.iter(|| factorizer.factorize_single(black_box(&single)).expect("decodes"))
+    });
+
+    let scene = taxonomy.sample_scene(2, true, &mut rng);
+    let multi = encoder.encode_scene(&scene).expect("encodable");
+    let multi_factorizer = Factorizer::new(
+        &taxonomy,
+        FactorizeConfig {
+            threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+            max_objects: 4,
+            ..FactorizeConfig::default()
+        },
+    );
+    group.bench_function("rep3_two_objects", |b| {
+        b.iter(|| multi_factorizer.factorize_multi(black_box(&multi)).expect("decodes"))
+    });
+
+    group.bench_function("encode_scene_two_objects", |b| {
+        b.iter(|| encoder.encode_scene(black_box(&scene)).expect("encodes"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_rep23
+}
+criterion_main!(benches);

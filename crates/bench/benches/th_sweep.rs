@@ -1,0 +1,22 @@
+//! FIG3 Criterion tracking bench: one threshold-sweep grid point (the unit
+//! of work the Fig. 3 experiment repeats).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use factorhd_bench::th_sweep;
+use std::hint::black_box;
+
+fn bench_sweep_point(c: &mut Criterion) {
+    c.bench_function("th_sweep_point_n2_f3_d1024_m8", |b| {
+        b.iter(|| {
+            let grid = [0.06f64];
+            th_sweep(2, 3, 1024, 8, black_box(&grid), 8, 7)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep_point
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! # factorhd-bench — the experiment harness
+//!
+//! Shared infrastructure for regenerating every table and figure of the
+//! FactorHD paper: trial runners for each method (FactorHD Rep 1–3, the
+//! resonator network, the IMC factorizer, the C-I model), wall-clock and
+//! operation accounting, a TH-sweep driver, and plain-text table/CSV
+//! output. The `src/bin/*` binaries print the paper's series; the
+//! `benches/*` Criterion targets track the same workloads at reduced sizes.
+//!
+//! Trials run data-parallel with `rayon`, standing in for the paper's
+//! batched GPU execution (DESIGN.md, substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    run_ci_model, run_factorhd_rep1, run_factorhd_rep23, run_imc, run_resonator, th_sweep,
+    MethodResult, Rep23Setting, SweepPoint,
+};
+pub use table::Table;
+
+/// Returns `true` when the binary was invoked with `--quick` (reduced trial
+/// counts for smoke runs) and the trial count to use.
+pub fn parse_quick(default_trials: usize, quick_trials: usize) -> (bool, usize) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        (true, quick_trials)
+    } else {
+        (false, default_trials)
+    }
+}

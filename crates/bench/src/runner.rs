@@ -1,0 +1,490 @@
+//! Trial runners: one function per (method, representation) pair.
+//!
+//! Every runner takes explicit problem parameters and a trial count,
+//! executes the trials in parallel, and reports accuracy, mean wall-clock
+//! time per factorization, and mean iteration / similarity-measurement
+//! counts. The Fig. 4 protocol ("D of FactorHD reduces by half to match
+//! the storage space of other models") is the caller's responsibility —
+//! the binaries pass `d / 2` to the FactorHD runners.
+
+use factorhd_core::report::AccuracyCounter;
+use factorhd_core::{
+    Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder, ThresholdPolicy,
+};
+use factorhd_baselines::{
+    CiModel, FactorizationProblem, ImcConfig, ImcFactorizer, Resonator, ResonatorConfig,
+};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Aggregated outcome of a batch of factorization trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodResult {
+    /// Fraction of trials whose decode matched the ground truth.
+    pub accuracy: f64,
+    /// Mean wall-clock time per factorization.
+    pub avg_time: Duration,
+    /// Mean solver iterations (iterative baselines) or similarity
+    /// measurements (FactorHD / C-I) per trial.
+    pub avg_ops: f64,
+}
+
+impl MethodResult {
+    fn from_trials(outcomes: Vec<(bool, Duration, f64)>) -> Self {
+        let n = outcomes.len().max(1) as f64;
+        let mut counter = AccuracyCounter::new();
+        let mut total_time = Duration::ZERO;
+        let mut total_ops = 0.0;
+        for (ok, time, ops) in outcomes {
+            counter.record(ok);
+            total_time += time;
+            total_ops += ops;
+        }
+        MethodResult {
+            accuracy: counter.accuracy(),
+            avg_time: total_time.div_f64(n),
+            avg_ops: total_ops / n,
+        }
+    }
+}
+
+/// FactorHD on Rep 1 (single object, one subclass level, `F` classes of
+/// `M` items) at dimension `d`.
+pub fn run_factorhd_rep1(f: usize, m: usize, d: usize, trials: usize, seed: u64) -> MethodResult {
+    let taxonomy = TaxonomyBuilder::new(d)
+        .seed(hdc::derive_seed(&[seed, 0xFac7]))
+        .uniform_classes(f, &[m])
+        .build()
+        .expect("valid benchmark taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 1, trial]));
+            let object = taxonomy.sample_object(&mut rng);
+            let hv = encoder
+                .encode_scene(&Scene::single(object.clone()))
+                .expect("encodable");
+            let start = Instant::now();
+            let (decoded, stats) = factorizer
+                .factorize_single_traced(&hv)
+                .expect("well-formed query");
+            let elapsed = start.elapsed();
+            (
+                decoded.object() == &object,
+                elapsed,
+                stats.similarity_checks as f64,
+            )
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// The Rep 2 / Rep 3 experiment settings of Fig. 5 (§IV-A: "one or two
+/// objects, each with two subclass levels; the top-level classes consist
+/// of 256 subclasses, each having 10 sub-subclasses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rep23Setting {
+    /// Number of classes `F`.
+    pub f: usize,
+    /// Level-1 codebook size.
+    pub m1: usize,
+    /// Level-2 codebook size.
+    pub m2: usize,
+    /// Objects per scene (1 = Rep 2, ≥2 = Rep 3).
+    pub n_objects: usize,
+}
+
+impl Rep23Setting {
+    /// The paper's Rep 2 setting.
+    pub fn rep2() -> Self {
+        Rep23Setting {
+            f: 3,
+            m1: 256,
+            m2: 10,
+            n_objects: 1,
+        }
+    }
+
+    /// The paper's Rep 3 setting (two objects).
+    pub fn rep3() -> Self {
+        Rep23Setting {
+            n_objects: 2,
+            ..Self::rep2()
+        }
+    }
+}
+
+/// FactorHD on Rep 2/Rep 3 scenes at dimension `d`. Single-object settings
+/// use the arg-max descent; multi-object settings run the full Algorithm-1
+/// loop with the analytic threshold and no prior knowledge of the object
+/// count.
+pub fn run_factorhd_rep23(
+    setting: Rep23Setting,
+    d: usize,
+    trials: usize,
+    seed: u64,
+) -> MethodResult {
+    let taxonomy = TaxonomyBuilder::new(d)
+        .seed(hdc::derive_seed(&[seed, 0x4E23]))
+        .uniform_classes(setting.f, &[setting.m1, setting.m2])
+        .build()
+        .expect("valid benchmark taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(
+        &taxonomy,
+        FactorizeConfig {
+            threshold: ThresholdPolicy::Analytic {
+                n_objects: setting.n_objects,
+            },
+            max_objects: setting.n_objects + 2,
+            ..FactorizeConfig::default()
+        },
+    );
+
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 2, trial]));
+            let scene = taxonomy.sample_scene(setting.n_objects, true, &mut rng);
+            let hv = encoder.encode_scene(&scene).expect("encodable");
+            let start = Instant::now();
+            if setting.n_objects == 1 {
+                let (decoded, stats) = factorizer
+                    .factorize_single_traced(&hv)
+                    .expect("well-formed query");
+                (
+                    decoded.object() == &scene.objects()[0],
+                    start.elapsed(),
+                    stats.similarity_checks as f64,
+                )
+            } else {
+                let decoded = factorizer.factorize_multi(&hv).expect("well-formed query");
+                (
+                    decoded.to_scene().same_multiset(&scene),
+                    start.elapsed(),
+                    decoded.stats.similarity_checks as f64,
+                )
+            }
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// The resonator network on C-C problems (`F` codebooks × `M` items,
+/// dimension `d`), `max_iterations` sweeps per trial.
+pub fn run_resonator(
+    f: usize,
+    m: usize,
+    d: usize,
+    trials: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> MethodResult {
+    let solver = Resonator::new(ResonatorConfig {
+        max_iterations,
+        early_exit_on_solution: true,
+    });
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let problem =
+                FactorizationProblem::derive(hdc::derive_seed(&[seed, 3, trial]), f, m, d);
+            let start = Instant::now();
+            let outcome = solver.solve(&problem);
+            (
+                outcome.is_correct(&problem),
+                start.elapsed(),
+                outcome.iterations as f64,
+            )
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// The IMC stochastic factorizer on C-C problems.
+pub fn run_imc(
+    f: usize,
+    m: usize,
+    d: usize,
+    trials: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> MethodResult {
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let problem =
+                FactorizationProblem::derive(hdc::derive_seed(&[seed, 4, trial]), f, m, d);
+            let solver = ImcFactorizer::new(ImcConfig {
+                max_iterations,
+                seed: hdc::derive_seed(&[seed, 5, trial]),
+                ..ImcConfig::default()
+            });
+            let start = Instant::now();
+            let outcome = solver.solve(&problem);
+            (
+                outcome.is_correct(&problem),
+                start.elapsed(),
+                outcome.iterations as f64,
+            )
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// The class–instance model on single objects (Fig. 4(e,f) protocol).
+pub fn run_ci_model(f: usize, m: usize, d: usize, trials: usize, seed: u64) -> MethodResult {
+    let model = CiModel::derive(hdc::derive_seed(&[seed, 0xC1]), f, m, d);
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 6, trial]));
+            let items: Vec<usize> = (0..f).map(|_| rand::Rng::gen_range(&mut rng, 0..m)).collect();
+            let hv = model.encode_object(&items);
+            let start = Instant::now();
+            let decoded = model.factorize_object(&hv);
+            // One similarity scan of M items per class.
+            ((decoded == items), start.elapsed(), (f * m) as f64)
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// FactorHD on flat multi-object scenes (`n_objects` distinct objects,
+/// one subclass level) — the protocol that exposes the C-I model's
+/// superposition catastrophe in Fig. 4(e,f).
+pub fn run_factorhd_multi(
+    f: usize,
+    m: usize,
+    d: usize,
+    n_objects: usize,
+    trials: usize,
+    seed: u64,
+) -> MethodResult {
+    let taxonomy = TaxonomyBuilder::new(d)
+        .seed(hdc::derive_seed(&[seed, 0xFAC8]))
+        .uniform_classes(f, &[m])
+        .build()
+        .expect("valid benchmark taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(
+        &taxonomy,
+        FactorizeConfig {
+            threshold: ThresholdPolicy::Analytic { n_objects },
+            max_objects: n_objects + 2,
+            ..FactorizeConfig::default()
+        },
+    );
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 8, trial]));
+            let scene = taxonomy.sample_scene(n_objects, true, &mut rng);
+            let hv = encoder.encode_scene(&scene).expect("encodable");
+            let start = Instant::now();
+            let decoded = factorizer.factorize_multi(&hv).expect("well-formed query");
+            (
+                decoded.to_scene().same_multiset(&scene),
+                start.elapsed(),
+                decoded.stats.similarity_checks as f64,
+            )
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// The C-I model on multi-object scenes: per class it can only rank the
+/// present items (role unbinding mixes all objects), so objects are
+/// reconstructed by pairing equal ranks — the best the representation
+/// permits, and exactly where the superposition catastrophe bites.
+pub fn run_ci_model_scene(
+    f: usize,
+    m: usize,
+    d: usize,
+    n_objects: usize,
+    trials: usize,
+    seed: u64,
+) -> MethodResult {
+    let model = CiModel::derive(hdc::derive_seed(&[seed, 0xC1 + 1]), f, m, d);
+    let outcomes: Vec<(bool, Duration, f64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 9, trial]));
+            // Distinct objects (item tuples).
+            let mut objects: Vec<Vec<usize>> = Vec::new();
+            while objects.len() < n_objects {
+                let candidate: Vec<usize> =
+                    (0..f).map(|_| rand::Rng::gen_range(&mut rng, 0..m)).collect();
+                if !objects.contains(&candidate) {
+                    objects.push(candidate);
+                }
+            }
+            let hv = model.encode_scene(&objects);
+            let start = Instant::now();
+            // Top-n items per class (sorted by similarity), then rank
+            // pairing across classes.
+            let sets = model.factorize_scene_items(&hv, f64::NEG_INFINITY);
+            let ranked: Vec<Vec<usize>> = sets
+                .iter()
+                .map(|hits| hits.iter().take(n_objects).map(|h| h.index).collect())
+                .collect();
+            let decoded: Vec<Vec<usize>> = (0..n_objects)
+                .map(|rank| {
+                    (0..f)
+                        .map(|class| ranked[class].get(rank).copied().unwrap_or(0))
+                        .collect()
+                })
+                .collect();
+            let elapsed = start.elapsed();
+            let mut a = decoded.clone();
+            let mut b = objects.clone();
+            a.sort();
+            b.sort();
+            ((a == b), elapsed, (f * m) as f64)
+        })
+        .collect();
+    MethodResult::from_trials(outcomes)
+}
+
+/// One point of a threshold sweep: the threshold value and the measured
+/// scene-recovery accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The threshold tested.
+    pub th: f64,
+    /// Exact scene-recovery accuracy at that threshold.
+    pub accuracy: f64,
+}
+
+/// Sweeps the Rep-3 threshold over `grid` for scenes of `n` objects on a
+/// flat `F × M` taxonomy at dimension `d`, returning the measured accuracy
+/// per grid point and the arg-max threshold `TH*` (the Fig. 3 measurement).
+pub fn th_sweep(
+    n: usize,
+    f: usize,
+    d: usize,
+    m: usize,
+    grid: &[f64],
+    trials: usize,
+    seed: u64,
+) -> (f64, Vec<SweepPoint>) {
+    let taxonomy = TaxonomyBuilder::new(d)
+        .seed(hdc::derive_seed(&[seed, 0x5EEb]))
+        .uniform_classes(f, &[m])
+        .build()
+        .expect("valid benchmark taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&th| {
+            let factorizer = Factorizer::new(
+                &taxonomy,
+                FactorizeConfig {
+                    threshold: ThresholdPolicy::Fixed(th),
+                    max_objects: n + 3,
+                    ..FactorizeConfig::default()
+                },
+            );
+            let successes: usize = (0..trials as u64)
+                .into_par_iter()
+                .map(|trial| {
+                    let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 7, trial]));
+                    let scene = taxonomy.sample_scene(n, true, &mut rng);
+                    let hv = encoder.encode_scene(&scene).expect("encodable");
+                    let decoded = factorizer.factorize_multi(&hv).expect("well-formed query");
+                    usize::from(decoded.to_scene().same_multiset(&scene))
+                })
+                .sum();
+            SweepPoint {
+                th,
+                accuracy: successes as f64 / trials.max(1) as f64,
+            }
+        })
+        .collect();
+
+    // Accuracy is typically flat-topped in TH (a plateau of equally good
+    // thresholds); report the plateau midpoint as TH*, which is what a
+    // practitioner would pick and what makes the Fig. 3 trends visible.
+    let best = points.iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
+    let plateau: Vec<f64> = points
+        .iter()
+        .filter(|p| (p.accuracy - best).abs() < 1e-12)
+        .map(|p| p.th)
+        .collect();
+    let th_star = match (plateau.first(), plateau.last()) {
+        (Some(lo), Some(hi)) => 0.5 * (lo + hi),
+        _ => 0.0,
+    };
+    (th_star, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorhd_rep1_is_accurate_at_modest_dim() {
+        let result = run_factorhd_rep1(3, 16, 1024, 32, 1);
+        assert!(result.accuracy > 0.95, "accuracy {}", result.accuracy);
+        // F × (M + null) similarity checks.
+        assert_eq!(result.avg_ops, 3.0 * 17.0);
+    }
+
+    #[test]
+    fn resonator_solves_small() {
+        let result = run_resonator(3, 8, 1024, 16, 1000, 2);
+        assert!(result.accuracy > 0.9, "accuracy {}", result.accuracy);
+        assert!(result.avg_ops >= 1.0);
+    }
+
+    #[test]
+    fn imc_solves_small() {
+        let result = run_imc(3, 8, 1024, 8, 2000, 3);
+        assert!(result.accuracy > 0.9, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn ci_model_solves_single_objects() {
+        let result = run_ci_model(3, 16, 512, 32, 4);
+        assert!(result.accuracy > 0.9, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn rep23_settings_match_paper() {
+        let rep2 = Rep23Setting::rep2();
+        assert_eq!((rep2.m1, rep2.m2, rep2.n_objects), (256, 10, 1));
+        let rep3 = Rep23Setting::rep3();
+        assert_eq!(rep3.n_objects, 2);
+    }
+
+    #[test]
+    fn rep2_accuracy_rises_with_dimension() {
+        // Fig. 5(a) shape: strong by D = 1500, imperfect at low D.
+        let hi = run_factorhd_rep23(Rep23Setting::rep2(), 1500, 32, 5);
+        assert!(hi.accuracy > 0.9, "accuracy at D=1500: {}", hi.accuracy);
+        let lo = run_factorhd_rep23(Rep23Setting::rep2(), 500, 32, 5);
+        assert!(lo.accuracy < hi.accuracy, "low-D should be worse: {} vs {}", lo.accuracy, hi.accuracy);
+    }
+
+    #[test]
+    fn rep3_reaches_high_accuracy_at_d2000() {
+        // Fig. 5(b) shape: Rep 3 needs more dimensions than Rep 2.
+        let result = run_factorhd_rep23(Rep23Setting::rep3(), 2000, 24, 5);
+        assert!(result.accuracy > 0.8, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn th_sweep_finds_interior_optimum() {
+        let grid: Vec<f64> = (1..=8).map(|i| i as f64 * 0.02).collect();
+        let (th_star, points) = th_sweep(2, 3, 2048, 8, &grid, 24, 6);
+        assert_eq!(points.len(), 8);
+        // The plateau midpoint is neither the smallest nor an absurd value.
+        assert!(th_star > 0.02 && th_star < 0.17, "th_star {th_star}");
+        let best = points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+        assert!(best > 0.7, "best sweep accuracy {best}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Analytic accuracy prediction for FactorHD factorization.
+//!
+//! The clause combinatorics of [`crate::threshold`] give the expected
+//! similarity (signal) of true items and the variance of spurious ones;
+//! a Gaussian order-statistics argument then predicts the probability that
+//! an arg-max decode picks the right item — i.e. the *accuracy curves of
+//! Fig. 4 and Fig. 5 before running a single trial*. The prediction is
+//! validated against measured accuracies in the test suite and can be used
+//! to size `D` for a target accuracy ([`dimension_for_accuracy`]).
+
+use crate::threshold::{clause_density, clause_member_correlation, expected_signal};
+use crate::Taxonomy;
+
+/// Standard normal cumulative distribution function (Abramowitz–Stegun
+/// style erf approximation, |error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Predicted probability that one class-level arg-max decode over `m`
+/// items succeeds, given the expected true-item similarity `signal` at
+/// dimension `dim` with `n_objects` bundled objects whose clause-density
+/// product is `rho`.
+///
+/// Model: the true item's similarity is `signal ± σ`, each of the `m − 1`
+/// spurious items is `0 ± σ` with `σ = sqrt(N · ρ / D)` (only the non-zero
+/// components of the clipped clause product carry noise); the decode
+/// succeeds when the true item beats every spurious one. Using
+/// independence: `P = ∫ φ(t) Φ((signal + σt) / σ)^{m−1} dt`, evaluated by
+/// quadrature.
+pub fn argmax_success_probability(
+    signal: f64,
+    dim: usize,
+    m: usize,
+    n_objects: usize,
+    rho: f64,
+) -> f64 {
+    if m <= 1 {
+        return 1.0;
+    }
+    let sigma = ((n_objects.max(1) as f64) * rho.clamp(f64::MIN_POSITIVE, 1.0) / dim as f64)
+        .sqrt();
+    // Gauss–Legendre-ish fixed grid over t ∈ [-8, 8].
+    let steps = 400;
+    let lo = -8.0f64;
+    let hi = 8.0f64;
+    let dt = (hi - lo) / steps as f64;
+    let mut total = 0.0;
+    for i in 0..steps {
+        let t = lo + (i as f64 + 0.5) * dt;
+        let phi = (-0.5 * t * t).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let beat_one = normal_cdf((signal + sigma * t) / sigma);
+        total += phi * beat_one.powi((m - 1) as i32) * dt;
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Predicted exact-object accuracy of single-object (Rep 1 / Rep 2)
+/// factorization over `taxonomy`: the product of per-class, per-level
+/// arg-max success probabilities.
+///
+/// Conservative in two ways: it models the plain greedy descent
+/// (`refine_width = 1`), and it treats levels independently — the measured
+/// accuracy with the default refinement sits at or above this prediction.
+pub fn predict_single_object_accuracy(taxonomy: &Taxonomy) -> f64 {
+    let clause_sizes = taxonomy.clause_sizes();
+    let rho: f64 = clause_sizes.iter().map(|&k| clause_density(k)).product();
+    let mut acc = 1.0;
+    for class in 0..taxonomy.num_classes() {
+        // Per-level signal: the tested item is one member of this class's
+        // clause; the other classes' labels have been eliminated.
+        let mut signal = clause_member_correlation(clause_sizes[class]);
+        for (other, &k) in clause_sizes.iter().enumerate() {
+            if other != class {
+                signal *= clause_member_correlation(k);
+            }
+        }
+        for level in 0..taxonomy.levels(class) {
+            let m = taxonomy.level_size(class, level);
+            acc *= argmax_success_probability(signal, taxonomy.dim(), m, 1, rho);
+        }
+    }
+    acc
+}
+
+/// The smallest dimension (searched over powers-of-two refinement) whose
+/// predicted single-object accuracy reaches `target`.
+///
+/// # Panics
+///
+/// Panics if `target` is not within `(0, 1)`.
+pub fn dimension_for_accuracy(
+    f: usize,
+    level_sizes: &[usize],
+    target: f64,
+) -> usize {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
+    let clause_sizes = vec![level_sizes.len() + 1; f];
+    let signal = expected_signal(&clause_sizes);
+    let rho: f64 = clause_sizes.iter().map(|&k| clause_density(k)).product();
+    let predict = |dim: usize| -> f64 {
+        let mut acc: f64 = 1.0;
+        for _ in 0..f {
+            for &m in level_sizes {
+                acc *= argmax_success_probability(signal, dim, m, 1, rho);
+            }
+        }
+        acc
+    };
+    let mut lo = 16usize;
+    let mut hi = 16usize;
+    while predict(hi) < target {
+        hi *= 2;
+        assert!(hi <= 1 << 26, "no feasible dimension below 2^26");
+    }
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if predict(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder};
+    use crate::report::AccuracyCounter;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.158_655_3).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn argmax_probability_limits() {
+        // One item: always right.
+        assert_eq!(argmax_success_probability(0.1, 1000, 1, 1, 1.0), 1.0);
+        // Huge signal: certain.
+        assert!(argmax_success_probability(0.9, 4096, 64, 1, 1.0) > 0.999);
+        // Zero signal over many items: near chance (1/m).
+        let p = argmax_success_probability(0.0, 1000, 100, 1, 1.0);
+        assert!((p - 0.01).abs() < 0.01, "chance level {p}");
+    }
+
+    #[test]
+    fn argmax_probability_monotone_in_dim_and_m() {
+        let p_low_d = argmax_success_probability(0.125, 500, 64, 1, 1.0);
+        let p_high_d = argmax_success_probability(0.125, 2000, 64, 1, 1.0);
+        assert!(p_high_d > p_low_d);
+        let p_small_m = argmax_success_probability(0.125, 1000, 8, 1, 1.0);
+        let p_large_m = argmax_success_probability(0.125, 1000, 256, 1, 1.0);
+        assert!(p_small_m > p_large_m);
+        // Sparser clause products (lower ρ) mean less noise → higher success.
+        let p_dense = argmax_success_probability(0.125, 1000, 64, 1, 1.0);
+        let p_sparse = argmax_success_probability(0.125, 1000, 64, 1, 0.125);
+        assert!(p_sparse > p_dense);
+    }
+
+    #[test]
+    fn prediction_tracks_measured_rep1_accuracy() {
+        // Measure Rep-1 accuracy at a deliberately marginal dimension and
+        // compare with the analytic prediction (greedy decode, so configure
+        // refine_width = 1 to match the model).
+        let taxonomy = TaxonomyBuilder::new(160)
+            .seed(21)
+            .uniform_classes(3, &[64])
+            .build()
+            .expect("valid taxonomy");
+        let predicted = predict_single_object_accuracy(&taxonomy);
+        let encoder = Encoder::new(&taxonomy);
+        let factorizer = Factorizer::new(
+            &taxonomy,
+            FactorizeConfig {
+                refine_width: 1,
+                detect_null: false,
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut counter = AccuracyCounter::new();
+        for trial in 0..300u64 {
+            let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[22, trial]));
+            let object = taxonomy.sample_object(&mut rng);
+            let hv = encoder
+                .encode_scene(&Scene::single(object.clone()))
+                .expect("encodable");
+            let decoded = factorizer.factorize_single(&hv).expect("decodable");
+            counter.record(decoded.object() == &object);
+        }
+        let measured = counter.accuracy();
+        assert!(
+            (measured - predicted).abs() < 0.12,
+            "measured {measured} vs predicted {predicted}"
+        );
+        // The regime is genuinely marginal (neither 0 nor 1), so the test
+        // actually discriminates.
+        assert!(predicted > 0.2 && predicted < 0.98, "degenerate regime {predicted}");
+    }
+
+    #[test]
+    fn dimension_sizing_is_consistent_with_prediction() {
+        let d = dimension_for_accuracy(3, &[64], 0.99);
+        // Must actually achieve the target...
+        let taxonomy = TaxonomyBuilder::new(d)
+            .uniform_classes(3, &[64])
+            .build()
+            .expect("valid taxonomy");
+        assert!(predict_single_object_accuracy(&taxonomy) >= 0.99);
+        // ...and not be wastefully large (half of it should miss).
+        let small = TaxonomyBuilder::new(d / 2)
+            .uniform_classes(3, &[64])
+            .build()
+            .expect("valid taxonomy");
+        assert!(predict_single_object_accuracy(&small) < 0.99);
+    }
+
+    #[test]
+    fn deeper_hierarchies_need_more_dimensions() {
+        let flat = dimension_for_accuracy(3, &[64], 0.99);
+        let deep = dimension_for_accuracy(3, &[64, 8], 0.99);
+        assert!(deep > flat, "deep {deep} vs flat {flat}");
+    }
+
+    #[test]
+    fn more_factors_need_more_dimensions() {
+        let f3 = dimension_for_accuracy(3, &[16], 0.99);
+        let f5 = dimension_for_accuracy(5, &[16], 0.99);
+        assert!(f5 > f3, "f5 {f5} vs f3 {f3}");
+    }
+}

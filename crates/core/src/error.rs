@@ -1,0 +1,140 @@
+//! Error types for the FactorHD core.
+
+use hdc::HdcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by taxonomy construction, encoding and factorization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FactorHdError {
+    /// An error bubbled up from the HDC substrate.
+    Hdc(HdcError),
+    /// The taxonomy was declared without any class.
+    NoClasses,
+    /// A class was declared with no subclass levels or an empty level.
+    InvalidClassSpec {
+        /// Name of the offending class.
+        class: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An object referenced a class index outside the taxonomy.
+    ClassOutOfBounds {
+        /// The referenced class index.
+        index: usize,
+        /// Number of classes in the taxonomy.
+        len: usize,
+    },
+    /// An object's class assignment count differs from the class count.
+    ClassCountMismatch {
+        /// Number of assignments in the object.
+        object: usize,
+        /// Number of classes in the taxonomy.
+        taxonomy: usize,
+    },
+    /// An item path is invalid for its class (too deep, or an index out of
+    /// range for its level).
+    InvalidPath {
+        /// The class index.
+        class: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A scene with zero objects cannot be encoded.
+    EmptyScene,
+    /// The queried hypervector has the wrong dimension for this taxonomy.
+    DimensionMismatch {
+        /// Taxonomy dimension.
+        expected: usize,
+        /// Query dimension.
+        actual: usize,
+    },
+    /// Factorization found no object above the acceptance threshold.
+    NoObjectFound,
+    /// A configuration value was outside its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FactorHdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorHdError::Hdc(e) => write!(f, "substrate error: {e}"),
+            FactorHdError::NoClasses => write!(f, "taxonomy must declare at least one class"),
+            FactorHdError::InvalidClassSpec { class, reason } => {
+                write!(f, "invalid class `{class}`: {reason}")
+            }
+            FactorHdError::ClassOutOfBounds { index, len } => {
+                write!(f, "class index {index} out of bounds for {len} classes")
+            }
+            FactorHdError::ClassCountMismatch { object, taxonomy } => {
+                write!(
+                    f,
+                    "object assigns {object} classes but the taxonomy has {taxonomy}"
+                )
+            }
+            FactorHdError::InvalidPath { class, reason } => {
+                write!(f, "invalid item path for class {class}: {reason}")
+            }
+            FactorHdError::EmptyScene => write!(f, "cannot encode a scene with no objects"),
+            FactorHdError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: taxonomy is {expected}, query is {actual}")
+            }
+            FactorHdError::NoObjectFound => {
+                write!(f, "no object cleared the acceptance threshold")
+            }
+            FactorHdError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for FactorHdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FactorHdError::Hdc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for FactorHdError {
+    fn from(value: HdcError) -> Self {
+        FactorHdError::Hdc(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let cases: Vec<FactorHdError> = vec![
+            FactorHdError::Hdc(HdcError::EmptyCodebook),
+            FactorHdError::NoClasses,
+            FactorHdError::InvalidClassSpec {
+                class: "color".into(),
+                reason: "no levels".into(),
+            },
+            FactorHdError::ClassOutOfBounds { index: 4, len: 3 },
+            FactorHdError::ClassCountMismatch { object: 2, taxonomy: 3 },
+            FactorHdError::InvalidPath { class: 0, reason: "too deep".into() },
+            FactorHdError::EmptyScene,
+            FactorHdError::DimensionMismatch { expected: 100, actual: 50 },
+            FactorHdError::NoObjectFound,
+            FactorHdError::InvalidConfig("beam width zero".into()),
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn hdc_errors_convert_and_source() {
+        let err: FactorHdError = HdcError::EmptyCodebook.into();
+        assert!(matches!(err, FactorHdError::Hdc(_)));
+        assert!(Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,930 @@
+//! The FactorHD factorization algorithm (§III-B, Algorithm 1).
+//!
+//! Factorization works by *label elimination*: binding the scene hypervector
+//! with `LABEL_j` for every unselected class `j` collapses those clauses to
+//! near-constant masks, leaving a vector still correlated with the selected
+//! class's bundled items (Eq. 1 of the paper). From there:
+//!
+//! * **Rep 1 / Rep 2** (single object): pick the arg-max item per class,
+//!   then descend level by level, searching only the children codebook of
+//!   each chosen item — `O(Σ M_ℓ)` similarity checks per class instead of
+//!   the `M^F` combination scans class–class models need.
+//! * **Rep 3** (multiple objects, count unknown): keep every item whose
+//!   similarity clears a threshold `TH`, bind candidate items across
+//!   classes (one per class), accept combinations whose product similarity
+//!   to the scene clears `TH`, reconstruct each accepted object's full
+//!   hypervector, subtract it, and loop until nothing clears `TH`. The
+//!   subtraction step resolves both the "superposition catastrophe" and
+//!   "the problem of 2".
+
+use crate::{
+    Encoder, FactorHdError, ItemPath, ObjectSpec, Scene, Taxonomy, ThresholdPolicy,
+};
+use hdc::{AccumHv, Bind, BipolarHv, TernaryHv};
+
+/// Tuning knobs for [`Factorizer`].
+///
+/// The defaults factorize the paper's Rep-1..Rep-3 settings; construct with
+/// struct-update syntax for overrides:
+///
+/// ```
+/// use factorhd_core::{FactorizeConfig, ThresholdPolicy};
+/// let config = FactorizeConfig {
+///     threshold: ThresholdPolicy::Fixed(0.06),
+///     max_objects: 4,
+///     ..FactorizeConfig::default()
+/// };
+/// assert_eq!(config.max_objects, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorizeConfig {
+    /// Threshold-similarity policy for multi-object factorization.
+    pub threshold: ThresholdPolicy,
+    /// Upper bound on objects extracted from one scene (cycle guard).
+    pub max_objects: usize,
+    /// Beam width for the level-descent over accepted combinations.
+    pub beam_width: usize,
+    /// Cap on candidate combinations tested per level (guards pathological
+    /// threshold settings; exceeding it sets
+    /// [`FactorizeStats::truncated_combinations`]).
+    pub max_combinations: usize,
+    /// Whether to test the global NULL vector as an "absent class"
+    /// candidate.
+    pub detect_null: bool,
+    /// Factorize only this many subclass levels (`None` = all levels).
+    pub max_depth: Option<usize>,
+    /// Single-object hierarchy refinement width: the top-`refine_width`
+    /// level candidates are kept and re-scored with their children's
+    /// evidence (cumulative similarity). `1` reproduces the plain greedy
+    /// arg-max descent; the default of 4 combines evidence across levels,
+    /// which roughly halves the dimension needed for a given Rep-2
+    /// accuracy at a cost of `refine_width × M_child` extra similarity
+    /// checks per level.
+    pub refine_width: usize,
+    /// Final acceptance bar for multi-object extraction: a candidate
+    /// object is emitted only if its **full clause reconstruction**
+    /// explains at least this fraction of one object's expected
+    /// self-similarity in the residual. The reconstruction signal is `ρ`
+    /// (the clause-density product) for a true object versus at most
+    /// `ρ/2` when any single item is wrong, so the default of `0.75`
+    /// sits in the middle of a ~16σ margin at the paper's dimensions.
+    pub accept_threshold: f64,
+}
+
+impl Default for FactorizeConfig {
+    fn default() -> Self {
+        FactorizeConfig {
+            threshold: ThresholdPolicy::default(),
+            max_objects: 16,
+            beam_width: 8,
+            max_combinations: 4096,
+            detect_null: true,
+            max_depth: None,
+            refine_width: 4,
+            accept_threshold: 0.75,
+        }
+    }
+}
+
+/// Operation counters collected during factorization; the efficiency
+/// comparisons of Fig. 4 report these alongside wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorizeStats {
+    /// Item-similarity measurements performed.
+    pub similarity_checks: u64,
+    /// Candidate combinations bound and tested against the scene.
+    pub combination_tests: u64,
+    /// Label-unbinding operations on the scene vector.
+    pub unbind_ops: u64,
+    /// Objects extracted (multi-object factorization only).
+    pub objects_found: usize,
+    /// Set when the per-level combination cap was hit.
+    pub truncated_combinations: bool,
+}
+
+/// The factorization of one class: the recovered path (or `None` for an
+/// absent class) and the similarity that selected it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecode {
+    /// The class index.
+    pub class: usize,
+    /// Recovered subclass path, `None` when the NULL vector won.
+    pub path: Option<ItemPath>,
+    /// The winning similarity at the deepest decoded level.
+    pub sim: f64,
+}
+
+/// A fully factorized object plus its acceptance confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedObject {
+    object: ObjectSpec,
+    confidence: f64,
+}
+
+impl DecodedObject {
+    /// The recovered object.
+    pub fn object(&self) -> &ObjectSpec {
+        &self.object
+    }
+
+    /// Consumes the decode, returning the recovered object.
+    pub fn into_object(self) -> ObjectSpec {
+        self.object
+    }
+
+    /// The similarity that accepted this object (combination similarity for
+    /// Rep 3, minimum per-class winning similarity for Rep 1/2).
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+}
+
+/// The result of multi-object factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedScene {
+    /// Objects in extraction order (strongest first).
+    pub objects: Vec<DecodedObject>,
+    /// Operation counters.
+    pub stats: FactorizeStats,
+    /// Euclidean norm of the residual after all subtractions (≈ 0 when the
+    /// scene was fully explained).
+    pub residual_norm: f64,
+}
+
+impl DecodedScene {
+    /// The recovered objects as a [`Scene`].
+    pub fn to_scene(&self) -> Scene {
+        self.objects.iter().map(|d| d.object.clone()).collect()
+    }
+}
+
+/// Per-class candidate during Rep-3 combination search.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// `None` = the NULL vector (class absent).
+    path: Option<ItemPath>,
+    /// The candidate's current deepest item vector (NULL for absent).
+    item: BipolarHv,
+    sim: f64,
+    /// Whether this candidate can still descend further levels.
+    exhausted: bool,
+}
+
+/// One beam entry: a partial object (per-class candidates) and its latest
+/// combination similarity.
+#[derive(Debug, Clone)]
+struct Combo {
+    slots: Vec<Candidate>,
+    sim: f64,
+}
+
+/// Factorizes FactorHD scene hypervectors back into objects.
+///
+/// Borrowes the [`Taxonomy`]; cheap to construct (precomputes one label
+/// unbind key per class).
+pub struct Factorizer<'a> {
+    taxonomy: &'a Taxonomy,
+    encoder: Encoder<'a>,
+    config: FactorizeConfig,
+    /// `unbind_keys[i] = ⊙_{j≠i} LABEL_j`.
+    unbind_keys: Vec<BipolarHv>,
+}
+
+impl<'a> Factorizer<'a> {
+    /// Creates a factorizer over `taxonomy` with the given configuration.
+    pub fn new(taxonomy: &'a Taxonomy, config: FactorizeConfig) -> Self {
+        let f = taxonomy.num_classes();
+        let mut all = BipolarHv::ones(taxonomy.dim());
+        for i in 0..f {
+            all.bind_assign(taxonomy.label(i));
+        }
+        let unbind_keys = (0..f)
+            .map(|i| {
+                // ⊙_{j≠i} L_j = (⊙_j L_j) ⊙ L_i  (labels are self-inverse).
+                all.bind(taxonomy.label(i))
+            })
+            .collect();
+        Factorizer {
+            taxonomy,
+            encoder: Encoder::new(taxonomy),
+            config,
+            unbind_keys,
+        }
+    }
+
+    /// The taxonomy this factorizer decodes against.
+    pub fn taxonomy(&self) -> &'a Taxonomy {
+        self.taxonomy
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FactorizeConfig {
+        &self.config
+    }
+
+    /// The threshold the configured policy resolves to for this taxonomy.
+    pub fn resolved_threshold(&self) -> f64 {
+        self.config.threshold.resolve(self.taxonomy)
+    }
+
+    fn check_dim(&self, dim: usize) -> Result<(), FactorHdError> {
+        if dim != self.taxonomy.dim() {
+            return Err(FactorHdError::DimensionMismatch {
+                expected: self.taxonomy.dim(),
+                actual: dim,
+            });
+        }
+        Ok(())
+    }
+
+    fn depth_limit(&self, class: usize) -> usize {
+        let levels = self.taxonomy.levels(class);
+        self.config.max_depth.map_or(levels, |d| d.min(levels))
+    }
+
+    // ------------------------------------------------------------------
+    // Single-object factorization (Rep 1 / Rep 2)
+    // ------------------------------------------------------------------
+
+    /// Factorizes a single-object hypervector: arg-max item per class, then
+    /// hierarchical descent through the subclass levels.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] on a wrong-size query.
+    pub fn factorize_single(&self, hv: &AccumHv) -> Result<DecodedObject, FactorHdError> {
+        self.factorize_single_traced(hv).map(|(obj, _)| obj)
+    }
+
+    /// [`Factorizer::factorize_single`] plus operation counters.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] on a wrong-size query.
+    pub fn factorize_single_traced(
+        &self,
+        hv: &AccumHv,
+    ) -> Result<(DecodedObject, FactorizeStats), FactorHdError> {
+        self.check_dim(hv.dim())?;
+        let mut stats = FactorizeStats::default();
+        let classes: Vec<usize> = (0..self.taxonomy.num_classes()).collect();
+        let decodes = self.decode_classes(hv, &classes, &mut stats)?;
+        let mut confidence = f64::INFINITY;
+        let assignments = decodes
+            .into_iter()
+            .map(|d| {
+                confidence = confidence.min(d.sim);
+                d.path
+            })
+            .collect();
+        Ok((
+            DecodedObject {
+                object: ObjectSpec::new(assignments),
+                confidence,
+            },
+            stats,
+        ))
+    }
+
+    /// Convenience wrapper factorizing a clipped single-object vector.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] on a wrong-size query.
+    pub fn factorize_ternary(&self, hv: &TernaryHv) -> Result<DecodedObject, FactorHdError> {
+        self.factorize_single(&hv.to_accum())
+    }
+
+    /// **Partial factorization**: decodes only `classes`, skipping all
+    /// similarity work for the rest — the capability the paper contrasts
+    /// with C-C models' mandatory full factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] or
+    /// [`FactorHdError::ClassOutOfBounds`].
+    pub fn factorize_classes(
+        &self,
+        hv: &AccumHv,
+        classes: &[usize],
+    ) -> Result<Vec<ClassDecode>, FactorHdError> {
+        self.check_dim(hv.dim())?;
+        for &c in classes {
+            if c >= self.taxonomy.num_classes() {
+                return Err(FactorHdError::ClassOutOfBounds {
+                    index: c,
+                    len: self.taxonomy.num_classes(),
+                });
+            }
+        }
+        let mut stats = FactorizeStats::default();
+        self.decode_classes(hv, classes, &mut stats)
+    }
+
+    /// Per-class decode: top-`refine_width` candidates at each level,
+    /// re-scored by cumulative similarity down the hierarchy (a width-1
+    /// beam is the paper's plain greedy arg-max descent; wider beams
+    /// combine evidence across levels).
+    fn decode_classes(
+        &self,
+        hv: &AccumHv,
+        classes: &[usize],
+        stats: &mut FactorizeStats,
+    ) -> Result<Vec<ClassDecode>, FactorHdError> {
+        let width = self.config.refine_width.max(1);
+        let mut result = Vec::with_capacity(classes.len());
+        for &class in classes {
+            let unbound = hv.bind(&self.unbind_keys[class]);
+            stats.unbind_ops += 1;
+
+            let top = self.taxonomy.codebook(class, &[])?;
+            let sims = top.sims(&unbound);
+            stats.similarity_checks += sims.len() as u64;
+            let (_, best_sim) = argmax(&sims);
+
+            if self.config.detect_null {
+                let null_sim = unbound.sim_bipolar(self.taxonomy.null_hv());
+                stats.similarity_checks += 1;
+                if null_sim > best_sim {
+                    result.push(ClassDecode {
+                        class,
+                        path: None,
+                        sim: null_sim,
+                    });
+                    continue;
+                }
+            }
+
+            // Beam over (path, cumulative sim, levels visited).
+            let mut beam: Vec<(ItemPath, f64)> = top_indices(&sims, width)
+                .into_iter()
+                .map(|(idx, sim)| (ItemPath::top(idx as u16), sim))
+                .collect();
+            for _level in 1..self.depth_limit(class) {
+                let mut next: Vec<(ItemPath, f64)> = Vec::new();
+                for (path, cum) in &beam {
+                    let children = self.taxonomy.codebook(class, path.indices())?;
+                    let child_sims = children.sims(&unbound);
+                    stats.similarity_checks += child_sims.len() as u64;
+                    for (idx, sim) in top_indices(&child_sims, width) {
+                        next.push((path.child(idx as u16), cum + sim));
+                    }
+                }
+                next.sort_by(|a, b| b.1.total_cmp(&a.1));
+                next.truncate(width);
+                beam = next;
+            }
+            let (path, cum) = beam.into_iter().next().expect("non-empty codebooks");
+            let depth = path.depth() as f64;
+            result.push(ClassDecode {
+                class,
+                sim: cum / depth,
+                path: Some(path),
+            });
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-object factorization (Rep 3)
+    // ------------------------------------------------------------------
+
+    /// Factorizes a scene with an unknown number of objects: threshold
+    /// candidate selection, combination testing, level descent, and the
+    /// reconstruct-and-exclude loop of Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] on a wrong-size query. An empty
+    /// result (no object cleared `TH`) is returned as a [`DecodedScene`]
+    /// with no objects, not as an error.
+    pub fn factorize_multi(&self, hv: &AccumHv) -> Result<DecodedScene, FactorHdError> {
+        self.check_dim(hv.dim())?;
+        let th = self.resolved_threshold();
+        let mut stats = FactorizeStats::default();
+        let mut residual = hv.clone();
+        let mut objects = Vec::new();
+
+        while objects.len() < self.config.max_objects {
+            match self.find_one_object(&residual, th, &mut stats)? {
+                None => break,
+                Some(decoded) => {
+                    let reconstruction = self.encoder.encode_object(&decoded.object)?;
+                    residual.sub_ternary(&reconstruction);
+                    objects.push(decoded);
+                    stats.objects_found += 1;
+                }
+            }
+        }
+
+        Ok(DecodedScene {
+            objects,
+            stats,
+            residual_norm: residual.norm(),
+        })
+    }
+
+    /// One iteration of the Algorithm-1 loop: find the strongest object in
+    /// `residual`, or `None` when nothing clears `th`.
+    fn find_one_object(
+        &self,
+        residual: &AccumHv,
+        th: f64,
+        stats: &mut FactorizeStats,
+    ) -> Result<Option<DecodedObject>, FactorHdError> {
+        let f = self.taxonomy.num_classes();
+
+        // Per-class label elimination (computed once per loop iteration).
+        let unbound: Vec<AccumHv> = (0..f)
+            .map(|i| {
+                stats.unbind_ops += 1;
+                residual.bind(&self.unbind_keys[i])
+            })
+            .collect();
+
+        // Level-1 candidate selection per class.
+        let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(f);
+        for class in 0..f {
+            let top = self.taxonomy.codebook(class, &[])?;
+            let hits = top.above_threshold(&unbound[class], th);
+            stats.similarity_checks += top.len() as u64;
+            let mut cands: Vec<Candidate> = hits
+                .into_iter()
+                .map(|hit| Candidate {
+                    path: Some(ItemPath::top(hit.index as u16)),
+                    item: top.item(hit.index).clone(),
+                    sim: hit.sim,
+                    exhausted: self.depth_limit(class) <= 1,
+                })
+                .collect();
+            if self.config.detect_null {
+                let null_sim = unbound[class].sim_bipolar(self.taxonomy.null_hv());
+                stats.similarity_checks += 1;
+                if null_sim > th {
+                    cands.push(Candidate {
+                        path: None,
+                        item: self.taxonomy.null_hv().clone(),
+                        sim: null_sim,
+                        exhausted: true,
+                    });
+                }
+            }
+            if cands.is_empty() {
+                return Ok(None);
+            }
+            cands.sort_by(|a, b| b.sim.total_cmp(&a.sim));
+            per_class.push(cands);
+        }
+
+        // Level-1 combination tests.
+        let mut beam = self.test_combinations(residual, &per_class, th, stats);
+        if beam.is_empty() {
+            return Ok(None);
+        }
+        beam.truncate(self.config.beam_width);
+
+        // Level descent: refine every non-exhausted class of every beam
+        // entry, re-testing combinations at each level.
+        let max_depth = (0..f).map(|c| self.depth_limit(c)).max().unwrap_or(1);
+        for level in 1..max_depth {
+            let mut next_beam: Vec<Combo> = Vec::new();
+            for combo in &beam {
+                let refined = self.descend_combo(residual, &unbound, combo, level, th, stats)?;
+                next_beam.extend(refined);
+            }
+            if next_beam.is_empty() {
+                return Ok(None);
+            }
+            next_beam.sort_by(|a, b| b.sim.total_cmp(&a.sim));
+            next_beam.truncate(self.config.beam_width);
+            beam = next_beam;
+        }
+
+        // Final acceptance: the candidate's full clause reconstruction must
+        // explain one object's worth of the residual. A true object scores
+        // ~ρ (its density product); any single-item miss scores ≤ ρ/2.
+        for combo in beam {
+            let assignments: Vec<Option<ItemPath>> =
+                combo.slots.iter().map(|c| c.path.clone()).collect();
+            let object = ObjectSpec::new(assignments);
+            let reconstruction = self.encoder.encode_object(&object)?;
+            let rho = reconstruction.density().max(f64::MIN_POSITIVE);
+            let accept_sim = residual.sim_ternary(&reconstruction) / rho;
+            stats.combination_tests += 1;
+            if accept_sim >= self.config.accept_threshold {
+                return Ok(Some(DecodedObject {
+                    object,
+                    confidence: accept_sim,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Expands one beam entry one level deeper: candidate children per
+    /// refinable class (similarity > `th` against that class's unbound
+    /// vector), then combination re-testing.
+    fn descend_combo(
+        &self,
+        residual: &AccumHv,
+        unbound: &[AccumHv],
+        combo: &Combo,
+        level: usize,
+        th: f64,
+        stats: &mut FactorizeStats,
+    ) -> Result<Vec<Combo>, FactorHdError> {
+        let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(combo.slots.len());
+        for (class, slot) in combo.slots.iter().enumerate() {
+            if slot.exhausted || slot.path.is_none() {
+                per_class.push(vec![slot.clone()]);
+                continue;
+            }
+            let path = slot.path.as_ref().expect("checked above");
+            if path.depth() != level || level >= self.depth_limit(class) {
+                // Already at its final level for this class.
+                let mut done = slot.clone();
+                done.exhausted = true;
+                per_class.push(vec![done]);
+                continue;
+            }
+            let children = self.taxonomy.codebook(class, path.indices())?;
+            let hits = children.above_threshold(&unbound[class], th);
+            stats.similarity_checks += children.len() as u64;
+            if hits.is_empty() {
+                return Ok(Vec::new());
+            }
+            let cands = hits
+                .into_iter()
+                .map(|hit| {
+                    let child_path = path.child(hit.index as u16);
+                    let exhausted = child_path.depth() >= self.depth_limit(class);
+                    Candidate {
+                        path: Some(child_path),
+                        item: children.item(hit.index).clone(),
+                        sim: hit.sim,
+                        exhausted,
+                    }
+                })
+                .collect();
+            per_class.push(cands);
+        }
+        Ok(self.test_combinations(residual, &per_class, th, stats))
+    }
+
+    /// Binds one candidate per class and keeps combinations whose product
+    /// similarity to `residual` clears `th`, sorted by similarity.
+    fn test_combinations(
+        &self,
+        residual: &AccumHv,
+        per_class: &[Vec<Candidate>],
+        th: f64,
+        stats: &mut FactorizeStats,
+    ) -> Vec<Combo> {
+        let total: usize = per_class.iter().map(|c| c.len().max(1)).product();
+        if total > self.config.max_combinations {
+            stats.truncated_combinations = true;
+        }
+
+        let mut accepted = Vec::new();
+        let mut indices = vec![0usize; per_class.len()];
+        let mut tested = 0usize;
+        'outer: loop {
+            // Build the combination product for the current index vector.
+            let mut product = per_class[0][indices[0]].item.clone();
+            for (class, &idx) in indices.iter().enumerate().skip(1) {
+                product.bind_assign(&per_class[class][idx].item);
+            }
+            let sim = residual.sim_bipolar(&product);
+            stats.combination_tests += 1;
+            tested += 1;
+            if sim > th {
+                let slots = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(class, &idx)| per_class[class][idx].clone())
+                    .collect();
+                accepted.push(Combo { slots, sim });
+            }
+            if tested >= self.config.max_combinations {
+                break;
+            }
+            // Advance the mixed-radix index vector.
+            for class in (0..indices.len()).rev() {
+                indices[class] += 1;
+                if indices[class] < per_class[class].len() {
+                    continue 'outer;
+                }
+                indices[class] = 0;
+                if class == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        accepted.sort_by(|a, b| b.sim.total_cmp(&a.sim));
+        accepted
+    }
+}
+
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &v) in values.iter().enumerate() {
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    best
+}
+
+/// The `k` largest values with their indices, sorted descending.
+fn top_indices(values: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    indexed.truncate(k);
+    indexed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+    use hdc::rng_from_seed;
+
+    fn flat_taxonomy(f: usize, m: usize, dim: usize) -> Taxonomy {
+        TaxonomyBuilder::new(dim)
+            .seed(99)
+            .uniform_classes(f, &[m])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    fn deep_taxonomy(dim: usize) -> Taxonomy {
+        TaxonomyBuilder::new(dim)
+            .seed(101)
+            .class("a", &[16, 8])
+            .class("b", &[16, 8])
+            .class("c", &[16])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    #[test]
+    fn rep1_recovers_single_object() {
+        let t = flat_taxonomy(3, 32, 1024);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(1);
+        for _ in 0..20 {
+            let obj = t.sample_object(&mut rng);
+            let hv = enc.encode_scene(&Scene::single(obj.clone())).unwrap();
+            let decoded = fac.factorize_single(&hv).unwrap();
+            assert_eq!(decoded.object(), &obj);
+            assert!(decoded.confidence() > 0.05);
+        }
+    }
+
+    #[test]
+    fn rep2_recovers_multi_level_object() {
+        let t = deep_taxonomy(2048);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(2);
+        for _ in 0..20 {
+            let obj = t.sample_object(&mut rng);
+            let hv = enc.encode_scene(&Scene::single(obj.clone())).unwrap();
+            let decoded = fac.factorize_single(&hv).unwrap();
+            assert_eq!(decoded.object(), &obj);
+        }
+    }
+
+    #[test]
+    fn single_detects_null_class() {
+        let t = deep_taxonomy(2048);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let obj = ObjectSpec::new(vec![
+            Some(ItemPath::new(vec![3, 4])),
+            None,
+            Some(ItemPath::top(9)),
+        ]);
+        let hv = enc.encode_scene(&Scene::single(obj.clone())).unwrap();
+        let decoded = fac.factorize_single(&hv).unwrap();
+        assert_eq!(decoded.object(), &obj);
+    }
+
+    #[test]
+    fn partial_factorization_touches_only_selected_classes() {
+        let t = deep_taxonomy(2048);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let obj = ObjectSpec::present(vec![
+            ItemPath::new(vec![5, 2]),
+            ItemPath::new(vec![1, 7]),
+            ItemPath::top(11),
+        ]);
+        let hv = enc.encode_scene(&Scene::single(obj.clone())).unwrap();
+        let decodes = fac.factorize_classes(&hv, &[2]).unwrap();
+        assert_eq!(decodes.len(), 1);
+        assert_eq!(decodes[0].class, 2);
+        assert_eq!(decodes[0].path, Some(ItemPath::top(11)));
+        // Partial factorization must cost far fewer similarity checks than
+        // the full decode.
+        let (_, full_stats) = fac.factorize_single_traced(&hv).unwrap();
+        let partial = {
+            let mut stats = FactorizeStats::default();
+            fac.decode_classes(&hv, &[2], &mut stats).unwrap();
+            stats
+        };
+        assert!(partial.similarity_checks < full_stats.similarity_checks);
+    }
+
+    #[test]
+    fn factorize_classes_rejects_bad_class() {
+        let t = flat_taxonomy(2, 4, 256);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let hv = AccumHv::zeros(256);
+        assert!(matches!(
+            fac.factorize_classes(&hv, &[5]),
+            Err(FactorHdError::ClassOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let t = flat_taxonomy(2, 4, 256);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let hv = AccumHv::zeros(128);
+        assert!(matches!(
+            fac.factorize_single(&hv),
+            Err(FactorHdError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            fac.factorize_multi(&hv),
+            Err(FactorHdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rep3_recovers_two_objects() {
+        let t = flat_taxonomy(3, 16, 4096);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(
+            &t,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(3);
+        let mut successes = 0;
+        for _ in 0..10 {
+            let scene = t.sample_scene(2, true, &mut rng);
+            let hv = enc.encode_scene(&scene).unwrap();
+            let decoded = fac.factorize_multi(&hv).unwrap();
+            if decoded.to_scene().same_multiset(&scene) {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 9, "only {successes}/10 scenes recovered");
+    }
+
+    #[test]
+    fn rep3_handles_multi_level_scene() {
+        let t = deep_taxonomy(8192);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(
+            &t,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(4);
+        let mut successes = 0;
+        for _ in 0..10 {
+            let scene = t.sample_scene(2, true, &mut rng);
+            let hv = enc.encode_scene(&scene).unwrap();
+            let decoded = fac.factorize_multi(&hv).unwrap();
+            if decoded.to_scene().same_multiset(&scene) {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 8, "only {successes}/10 scenes recovered");
+    }
+
+    #[test]
+    fn rep3_solves_the_problem_of_2() {
+        // Two identical objects in one scene must be recovered twice.
+        let t = flat_taxonomy(3, 16, 4096);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(
+            &t,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(5);
+        let obj = t.sample_object(&mut rng);
+        let scene = Scene::new(vec![obj.clone(), obj.clone()]);
+        let hv = enc.encode_scene(&scene).unwrap();
+        let decoded = fac.factorize_multi(&hv).unwrap();
+        assert_eq!(decoded.objects.len(), 2, "duplicate object lost");
+        assert_eq!(decoded.objects[0].object(), &obj);
+        assert_eq!(decoded.objects[1].object(), &obj);
+        assert!(decoded.residual_norm < 1.0, "residual {}", decoded.residual_norm);
+    }
+
+    #[test]
+    fn rep3_residual_shrinks_to_zero_on_success() {
+        let t = flat_taxonomy(3, 8, 4096);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(6);
+        let scene = t.sample_scene(2, true, &mut rng);
+        let hv = enc.encode_scene(&scene).unwrap();
+        let decoded = fac.factorize_multi(&hv).unwrap();
+        assert!(decoded.to_scene().same_multiset(&scene));
+        assert_eq!(decoded.residual_norm, 0.0);
+    }
+
+    #[test]
+    fn rep3_empty_scene_vector_finds_nothing() {
+        let t = flat_taxonomy(3, 8, 2048);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let decoded = fac.factorize_multi(&AccumHv::zeros(2048)).unwrap();
+        assert!(decoded.objects.is_empty());
+        assert_eq!(decoded.stats.objects_found, 0);
+    }
+
+    #[test]
+    fn rep3_respects_max_objects() {
+        let t = flat_taxonomy(3, 8, 4096);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(
+            &t,
+            FactorizeConfig {
+                max_objects: 1,
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(7);
+        let scene = t.sample_scene(3, true, &mut rng);
+        let hv = enc.encode_scene(&scene).unwrap();
+        let decoded = fac.factorize_multi(&hv).unwrap();
+        assert_eq!(decoded.objects.len(), 1);
+    }
+
+    #[test]
+    fn rep3_detects_null_classes() {
+        let t = flat_taxonomy(3, 16, 8192);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(8);
+        let with_null = t.sample_object(&mut rng).with_assignment(1, None);
+        let other = t.sample_object(&mut rng);
+        let scene = Scene::new(vec![with_null.clone(), other.clone()]);
+        let hv = enc.encode_scene(&scene).unwrap();
+        let decoded = fac.factorize_multi(&hv).unwrap();
+        assert!(
+            decoded.to_scene().same_multiset(&scene),
+            "got {:?}",
+            decoded.to_scene()
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let t = flat_taxonomy(3, 32, 1024);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(9);
+        let obj = t.sample_object(&mut rng);
+        let hv = enc.encode_scene(&Scene::single(obj)).unwrap();
+        let (_, stats) = fac.factorize_single_traced(&hv).unwrap();
+        // 3 classes × (32 items + 1 null check).
+        assert_eq!(stats.similarity_checks, 3 * 33);
+        assert_eq!(stats.unbind_ops, 3);
+    }
+
+    #[test]
+    fn rep1_similarity_cost_is_linear_in_m_not_m_pow_f() {
+        let t = flat_taxonomy(3, 64, 1024);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(10);
+        let obj = t.sample_object(&mut rng);
+        let hv = enc.encode_scene(&Scene::single(obj)).unwrap();
+        let (_, stats) = fac.factorize_single_traced(&hv).unwrap();
+        // F·(M + 1) ≪ M^F: the core efficiency claim.
+        assert!(stats.similarity_checks < 64 * 64);
+    }
+
+    #[test]
+    fn resolved_threshold_is_positive_and_below_signal() {
+        let t = flat_taxonomy(4, 10, 2000);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let th = fac.resolved_threshold();
+        let signal = crate::threshold::expected_signal(&t.clause_sizes());
+        assert!(th > 0.0 && th < signal, "th {th} vs signal {signal}");
+    }
+}

@@ -1,0 +1,82 @@
+//! # factorhd-core — the FactorHD model
+//!
+//! Reproduction of the core contribution of *FactorHD: A Hyperdimensional
+//! Computing Model for Multi-Object Multi-Class Representation and
+//! Factorization* (DAC 2025): a symbolic encoding for multiple objects
+//! carrying class–subclass hierarchies, and a factorization algorithm that
+//! recovers the constituent items with `O(N_M)` similarity measurements
+//! instead of the `M^F` combination search of class–class models.
+//!
+//! ## The model in one paragraph
+//!
+//! A [`Taxonomy`] declares `F` classes, each with a label hypervector and a
+//! hierarchy of subclass codebooks. The [`Encoder`] turns an [`ObjectSpec`]
+//! into the *bundling-binding-bundling* representation
+//! `⊙_i clip(LABEL_i + Σ path items)` and bundles objects of a [`Scene`]
+//! in `Z^D`. The [`Factorizer`] inverts this: binding with the unselected
+//! labels eliminates their clauses, a similarity scan over the selected
+//! class's codebook recovers its items, a threshold rule
+//! ([`ThresholdPolicy`]) handles multiple objects, and a reconstruct-and-
+//! exclude loop peels objects off one by one.
+//!
+//! ## Example
+//!
+//! ```
+//! use factorhd_core::{
+//!     Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder, ThresholdPolicy,
+//! };
+//! use hdc::rng_from_seed;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let taxonomy = TaxonomyBuilder::new(4096)
+//!     .uniform_classes(3, &[16])
+//!     .build()?;
+//! let encoder = Encoder::new(&taxonomy);
+//! let factorizer = Factorizer::new(
+//!     &taxonomy,
+//!     FactorizeConfig {
+//!         threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+//!         ..FactorizeConfig::default()
+//!     },
+//! );
+//!
+//! let mut rng = rng_from_seed(1);
+//! let scene = taxonomy.sample_scene(2, true, &mut rng);
+//! let hv = encoder.encode_scene(&scene)?;
+//! let decoded = factorizer.factorize_multi(&hv)?;
+//! assert!(decoded.to_scene().same_multiset(&scene));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+mod encoder;
+mod error;
+mod factorizer;
+mod object;
+mod query;
+pub mod report;
+mod taxonomy;
+pub mod threshold;
+
+pub use encoder::Encoder;
+pub use error::FactorHdError;
+pub use factorizer::{
+    ClassDecode, DecodedObject, DecodedScene, FactorizeConfig, FactorizeStats, Factorizer,
+};
+pub use object::{ItemPath, ObjectSpec, Scene};
+pub use query::{QueryAnswer, SceneQuery};
+pub use taxonomy::{Taxonomy, TaxonomyBuilder};
+pub use threshold::{LinearThresholdModel, ThObservation, ThresholdPolicy};
+
+/// Convenient glob import of the FactorHD types.
+pub mod prelude {
+    pub use crate::{
+        ClassDecode, DecodedObject, DecodedScene, Encoder, FactorHdError, FactorizeConfig,
+        FactorizeStats, Factorizer, ItemPath, ObjectSpec, Scene, SceneQuery, Taxonomy,
+        TaxonomyBuilder, ThresholdPolicy,
+    };
+}

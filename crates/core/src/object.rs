@@ -1,0 +1,350 @@
+//! Objects and scenes over a class–subclass taxonomy.
+//!
+//! An [`ObjectSpec`] assigns, for every class of the taxonomy, either an
+//! [`ItemPath`] down that class's subclass hierarchy or `None` (the class is
+//! not associated with the object — FactorHD still reserves its label and
+//! bundles it with the global NULL vector, §III-A). A [`Scene`] is the
+//! multiset of objects bundled into one target hypervector.
+
+use std::fmt;
+
+/// A path down one class's subclass hierarchy.
+///
+/// `path[0]` selects the level-1 subclass item, `path[1]` the sub-subclass
+/// under it, and so on. Paths are never empty: a class with no item is
+/// represented by `None` in the [`ObjectSpec`], not by an empty path.
+///
+/// ```
+/// use factorhd_core::ItemPath;
+/// let p = ItemPath::new(vec![3, 1]);
+/// assert_eq!(p.depth(), 2);
+/// assert_eq!(p.parent(), Some(ItemPath::new(vec![3])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemPath(Vec<u16>);
+
+impl ItemPath {
+    /// Creates a path from level indices (level 1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn new(indices: Vec<u16>) -> Self {
+        assert!(!indices.is_empty(), "item paths must have at least one level");
+        ItemPath(indices)
+    }
+
+    /// A depth-1 path selecting `index` at the top subclass level.
+    pub fn top(index: u16) -> Self {
+        ItemPath(vec![index])
+    }
+
+    /// Number of levels in the path.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The level indices, level 1 first.
+    #[inline]
+    pub fn indices(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// The prefix of this path up to `depth` levels (`None` if `depth == 0`).
+    pub fn prefix(&self, depth: usize) -> Option<ItemPath> {
+        if depth == 0 || depth > self.0.len() {
+            None
+        } else {
+            Some(ItemPath(self.0[..depth].to_vec()))
+        }
+    }
+
+    /// The parent path (one level shallower), or `None` at the top level.
+    pub fn parent(&self) -> Option<ItemPath> {
+        self.prefix(self.0.len().saturating_sub(1))
+    }
+
+    /// Extends the path one level deeper.
+    pub fn child(&self, index: u16) -> ItemPath {
+        let mut v = self.0.clone();
+        v.push(index);
+        ItemPath(v)
+    }
+
+    /// The index selected at the final level.
+    #[inline]
+    pub fn leaf(&self) -> u16 {
+        *self.0.last().expect("paths are non-empty")
+    }
+}
+
+impl fmt::Display for ItemPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+impl From<u16> for ItemPath {
+    fn from(value: u16) -> Self {
+        ItemPath::top(value)
+    }
+}
+
+/// One object's class assignments: for each taxonomy class, an optional
+/// subclass path.
+///
+/// ```
+/// use factorhd_core::{ItemPath, ObjectSpec};
+/// // Class 0 → item 2, class 1 absent, class 2 → item 0 then child 4.
+/// let obj = ObjectSpec::new(vec![
+///     Some(ItemPath::top(2)),
+///     None,
+///     Some(ItemPath::new(vec![0, 4])),
+/// ]);
+/// assert_eq!(obj.num_classes(), 3);
+/// assert!(obj.assignment(1).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectSpec {
+    assignments: Vec<Option<ItemPath>>,
+}
+
+impl ObjectSpec {
+    /// Creates an object from per-class assignments.
+    pub fn new(assignments: Vec<Option<ItemPath>>) -> Self {
+        ObjectSpec { assignments }
+    }
+
+    /// An object whose every class is present, with the given paths.
+    pub fn present(paths: Vec<ItemPath>) -> Self {
+        ObjectSpec {
+            assignments: paths.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// An object with every class absent (all NULL clauses).
+    pub fn empty(num_classes: usize) -> Self {
+        ObjectSpec {
+            assignments: vec![None; num_classes],
+        }
+    }
+
+    /// Number of class assignments.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The assignment for class `class` (`None` if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of bounds.
+    #[inline]
+    pub fn assignment(&self, class: usize) -> Option<&ItemPath> {
+        self.assignments[class].as_ref()
+    }
+
+    /// All assignments, indexed by class.
+    #[inline]
+    pub fn assignments(&self) -> &[Option<ItemPath>] {
+        &self.assignments
+    }
+
+    /// Replaces the assignment of one class, returning the new object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of bounds.
+    pub fn with_assignment(mut self, class: usize, path: Option<ItemPath>) -> Self {
+        self.assignments[class] = path;
+        self
+    }
+
+    /// Truncates every path to at most `depth` levels (used when scoring
+    /// partial-depth factorizations).
+    pub fn truncated(&self, depth: usize) -> ObjectSpec {
+        ObjectSpec {
+            assignments: self
+                .assignments
+                .iter()
+                .map(|a| a.as_ref().and_then(|p| p.prefix(depth.min(p.depth()))))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ObjectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Some(p) => format!("c{i}={p}"),
+                None => format!("c{i}=∅"),
+            })
+            .collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+/// A multiset of objects bundled into one scene hypervector.
+///
+/// Scenes may contain *identical* objects; FactorHD's integer bundling keeps
+/// their multiplicity ("the problem of 2", §I), and the factorization loop
+/// recovers each copy by reconstruct-and-exclude.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scene {
+    objects: Vec<ObjectSpec>,
+}
+
+impl Scene {
+    /// Creates a scene from a list of objects (duplicates allowed).
+    pub fn new(objects: Vec<ObjectSpec>) -> Self {
+        Scene { objects }
+    }
+
+    /// A scene holding a single object.
+    pub fn single(object: ObjectSpec) -> Self {
+        Scene {
+            objects: vec![object],
+        }
+    }
+
+    /// Number of objects (with multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if the scene has no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The objects, in insertion order.
+    #[inline]
+    pub fn objects(&self) -> &[ObjectSpec] {
+        &self.objects
+    }
+
+    /// Adds an object to the scene.
+    pub fn push(&mut self, object: ObjectSpec) {
+        self.objects.push(object);
+    }
+
+    /// Compares two scenes as multisets (order-insensitive, multiplicity-
+    /// sensitive).
+    pub fn same_multiset(&self, other: &Scene) -> bool {
+        let mut a = self.objects.clone();
+        let mut b = other.objects.clone();
+        let key = |o: &ObjectSpec| format!("{o}");
+        a.sort_by_key(&key);
+        b.sort_by_key(&key);
+        a == b
+    }
+}
+
+impl FromIterator<ObjectSpec> for Scene {
+    fn from_iter<T: IntoIterator<Item = ObjectSpec>>(iter: T) -> Self {
+        Scene {
+            objects: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ObjectSpec> for Scene {
+    fn extend<T: IntoIterator<Item = ObjectSpec>>(&mut self, iter: T) {
+        self.objects.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_prefix_and_parent() {
+        let p = ItemPath::new(vec![5, 2, 7]);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.leaf(), 7);
+        assert_eq!(p.prefix(2), Some(ItemPath::new(vec![5, 2])));
+        assert_eq!(p.prefix(0), None);
+        assert_eq!(p.prefix(4), None);
+        assert_eq!(p.parent(), Some(ItemPath::new(vec![5, 2])));
+        assert_eq!(ItemPath::top(5).parent(), None);
+    }
+
+    #[test]
+    fn path_child_extends() {
+        let p = ItemPath::top(1).child(2).child(3);
+        assert_eq!(p.indices(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_path_panics() {
+        let _ = ItemPath::new(vec![]);
+    }
+
+    #[test]
+    fn path_display() {
+        assert_eq!(ItemPath::new(vec![3, 1]).to_string(), "3.1");
+    }
+
+    #[test]
+    fn object_accessors() {
+        let obj = ObjectSpec::new(vec![Some(ItemPath::top(1)), None]);
+        assert_eq!(obj.num_classes(), 2);
+        assert_eq!(obj.assignment(0), Some(&ItemPath::top(1)));
+        assert!(obj.assignment(1).is_none());
+    }
+
+    #[test]
+    fn object_with_assignment_replaces() {
+        let obj = ObjectSpec::empty(2).with_assignment(1, Some(ItemPath::top(4)));
+        assert!(obj.assignment(0).is_none());
+        assert_eq!(obj.assignment(1), Some(&ItemPath::top(4)));
+    }
+
+    #[test]
+    fn object_truncated_cuts_paths() {
+        let obj = ObjectSpec::present(vec![ItemPath::new(vec![1, 2, 3]), ItemPath::top(9)]);
+        let t = obj.truncated(2);
+        assert_eq!(t.assignment(0), Some(&ItemPath::new(vec![1, 2])));
+        assert_eq!(t.assignment(1), Some(&ItemPath::top(9)));
+    }
+
+    #[test]
+    fn object_display_marks_absent() {
+        let obj = ObjectSpec::new(vec![Some(ItemPath::top(2)), None]);
+        let s = obj.to_string();
+        assert!(s.contains("c0=2"));
+        assert!(s.contains("c1=∅"));
+    }
+
+    #[test]
+    fn scene_multiset_comparison() {
+        let a = ObjectSpec::present(vec![ItemPath::top(1)]);
+        let b = ObjectSpec::present(vec![ItemPath::top(2)]);
+        let s1 = Scene::new(vec![a.clone(), b.clone()]);
+        let s2 = Scene::new(vec![b.clone(), a.clone()]);
+        assert!(s1.same_multiset(&s2));
+        // Multiplicity matters.
+        let s3 = Scene::new(vec![a.clone(), a.clone()]);
+        let s4 = Scene::new(vec![a.clone()]);
+        assert!(!s3.same_multiset(&s4));
+    }
+
+    #[test]
+    fn scene_collects_from_iterator() {
+        let objs = vec![ObjectSpec::empty(1), ObjectSpec::empty(1)];
+        let scene: Scene = objs.into_iter().collect();
+        assert_eq!(scene.len(), 2);
+        assert!(!scene.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Scene-membership queries: answer "does this scene contain …?" without
+//! full factorization.
+//!
+//! The paper motivates partial factorization with scenarios where "only a
+//! subset of class and subclass items are of interest" (§I). This module
+//! takes that one step further: a [`SceneQuery`] checks for the presence of
+//! a *specific* item combination by direct similarity probes — no codebook
+//! scans, no combination enumeration — at a handful of dot products per
+//! query.
+
+use crate::threshold::{clause_member_correlation, expected_signal};
+use crate::{FactorHdError, ItemPath, Taxonomy};
+use hdc::{AccumHv, BipolarHv};
+
+/// The outcome of a membership probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAnswer {
+    /// Whether the probe cleared its decision threshold.
+    pub present: bool,
+    /// The measured similarity evidence, normalized so `1.0` is the
+    /// expected value for a scene that contains the queried combination
+    /// exactly once (values near `2.0` indicate two copies, etc.).
+    pub evidence: f64,
+    /// The decision threshold applied (on the normalized scale).
+    pub threshold: f64,
+}
+
+/// A membership query over a FactorHD scene vector.
+///
+/// ```
+/// use factorhd_core::{Encoder, ItemPath, ObjectSpec, Scene, SceneQuery, TaxonomyBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let taxonomy = TaxonomyBuilder::new(4096)
+///     .uniform_classes(3, &[16])
+///     .build()?;
+/// let object = ObjectSpec::present(vec![
+///     ItemPath::top(3),
+///     ItemPath::top(8),
+///     ItemPath::top(1),
+/// ]);
+/// let hv = Encoder::new(&taxonomy).encode_scene(&Scene::single(object))?;
+///
+/// // Is there an object whose class 0 is item 3 and class 1 is item 8?
+/// let query = SceneQuery::new(&taxonomy)
+///     .with_item(0, ItemPath::top(3))?
+///     .with_item(1, ItemPath::top(8))?;
+/// assert!(query.evaluate(&hv)?.present);
+///
+/// // And with class 1 = item 9? No.
+/// let absent = SceneQuery::new(&taxonomy)
+///     .with_item(0, ItemPath::top(3))?
+///     .with_item(1, ItemPath::top(9))?;
+/// assert!(!absent.evaluate(&hv)?.present);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneQuery<'a> {
+    taxonomy: &'a Taxonomy,
+    /// Per queried class: (class index, queried item vector, clause size).
+    probes: Vec<(usize, BipolarHv, usize)>,
+    /// Decision threshold on the normalized evidence scale.
+    decision: f64,
+}
+
+impl<'a> SceneQuery<'a> {
+    /// Starts an empty query (matches any object until constrained).
+    pub fn new(taxonomy: &'a Taxonomy) -> Self {
+        SceneQuery {
+            taxonomy,
+            probes: Vec::new(),
+            decision: 0.5,
+        }
+    }
+
+    /// Requires the queried object to carry `path` in `class`.
+    ///
+    /// # Errors
+    ///
+    /// Path validation errors from the taxonomy.
+    pub fn with_item(mut self, class: usize, path: ItemPath) -> Result<Self, FactorHdError> {
+        self.taxonomy.validate_path(class, &path)?;
+        let item = self.taxonomy.item_hv(class, &path)?;
+        // The queried item is one member of a clause of (levels + 1)
+        // bundled vectors.
+        let k = self.taxonomy.levels(class) + 1;
+        self.probes.push((class, item, k));
+        Ok(self)
+    }
+
+    /// Requires `class` to be absent (NULL) on the queried object.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::ClassOutOfBounds`] for an invalid class.
+    pub fn with_absent(mut self, class: usize) -> Result<Self, FactorHdError> {
+        if class >= self.taxonomy.num_classes() {
+            return Err(FactorHdError::ClassOutOfBounds {
+                index: class,
+                len: self.taxonomy.num_classes(),
+            });
+        }
+        let k = 2; // label + NULL
+        self.probes.push((class, self.taxonomy.null_hv().clone(), k));
+        Ok(self)
+    }
+
+    /// Overrides the decision threshold (normalized evidence scale;
+    /// default `0.5` — halfway between "absent" and "present once").
+    pub fn with_decision_threshold(mut self, threshold: f64) -> Self {
+        self.decision = threshold;
+        self
+    }
+
+    /// Number of constrained classes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` when no class has been constrained yet.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Evaluates the query against a scene vector with **one** similarity
+    /// measurement: bind the queried items together with the unqueried
+    /// classes' labels, and compare the product's similarity to the
+    /// expected single-occurrence signal.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::DimensionMismatch`] on a wrong-size scene vector,
+    /// [`FactorHdError::InvalidConfig`] for an empty query.
+    pub fn evaluate(&self, scene: &AccumHv) -> Result<QueryAnswer, FactorHdError> {
+        if scene.dim() != self.taxonomy.dim() {
+            return Err(FactorHdError::DimensionMismatch {
+                expected: self.taxonomy.dim(),
+                actual: scene.dim(),
+            });
+        }
+        if self.probes.is_empty() {
+            return Err(FactorHdError::InvalidConfig(
+                "scene query constrains no class".into(),
+            ));
+        }
+
+        // Probe = ⊙ queried items ⊙ labels of unqueried classes. Each
+        // queried clause contributes its member correlation c_k; each
+        // unqueried clause contributes c_k via its label.
+        let mut probe = BipolarHv::ones(self.taxonomy.dim());
+        let mut queried = vec![false; self.taxonomy.num_classes()];
+        let mut expected = 1.0f64;
+        for (class, item, k) in &self.probes {
+            probe.bind_assign(item);
+            queried[*class] = true;
+            expected *= clause_member_correlation(*k);
+        }
+        let clause_sizes = self.taxonomy.clause_sizes();
+        for (class, &was_queried) in queried.iter().enumerate() {
+            if !was_queried {
+                probe.bind_assign(self.taxonomy.label(class));
+                expected *= clause_member_correlation(clause_sizes[class]);
+            }
+        }
+
+        let evidence = scene.sim_bipolar(&probe) / expected;
+        Ok(QueryAnswer {
+            present: evidence > self.decision,
+            evidence,
+            threshold: self.decision,
+        })
+    }
+
+    /// The expected normalized-evidence noise floor for scenes of
+    /// `n_objects` objects (useful for picking a custom decision
+    /// threshold).
+    pub fn noise_floor(&self, n_objects: usize) -> f64 {
+        let sigma = ((n_objects.max(1) as f64) / self.taxonomy.dim() as f64).sqrt();
+        sigma / expected_signal(&self.taxonomy.clause_sizes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Encoder, ObjectSpec, Scene, TaxonomyBuilder};
+
+    fn taxonomy() -> Taxonomy {
+        TaxonomyBuilder::new(8192)
+            .seed(31)
+            .class("animal", &[16, 4])
+            .class("color", &[10])
+            .class("size", &[6])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    fn scene_hv(taxonomy: &Taxonomy, objects: Vec<ObjectSpec>) -> AccumHv {
+        Encoder::new(taxonomy)
+            .encode_scene(&Scene::new(objects))
+            .expect("encodable")
+    }
+
+    fn object(animal: &[u16], color: u16, size: u16) -> ObjectSpec {
+        ObjectSpec::new(vec![
+            Some(ItemPath::new(animal.to_vec())),
+            Some(ItemPath::top(color)),
+            Some(ItemPath::top(size)),
+        ])
+    }
+
+    #[test]
+    fn present_combination_is_found() {
+        let t = taxonomy();
+        let hv = scene_hv(&t, vec![object(&[3, 1], 7, 2), object(&[5, 0], 1, 4)]);
+        let q = SceneQuery::new(&t)
+            .with_item(0, ItemPath::new(vec![3, 1]))
+            .unwrap()
+            .with_item(1, ItemPath::top(7))
+            .unwrap();
+        let ans = q.evaluate(&hv).unwrap();
+        assert!(ans.present, "evidence {}", ans.evidence);
+        assert!((ans.evidence - 1.0).abs() < 0.35, "evidence {}", ans.evidence);
+    }
+
+    #[test]
+    fn cross_object_combination_is_rejected() {
+        // Animal from object 1 + color from object 2: NOT one object.
+        let t = taxonomy();
+        let hv = scene_hv(&t, vec![object(&[3, 1], 7, 2), object(&[5, 0], 1, 4)]);
+        let q = SceneQuery::new(&t)
+            .with_item(0, ItemPath::new(vec![3, 1]))
+            .unwrap()
+            .with_item(1, ItemPath::top(1))
+            .unwrap();
+        let ans = q.evaluate(&hv).unwrap();
+        assert!(!ans.present, "evidence {}", ans.evidence);
+    }
+
+    #[test]
+    fn duplicate_objects_double_the_evidence() {
+        let t = taxonomy();
+        let o = object(&[3, 1], 7, 2);
+        let hv = scene_hv(&t, vec![o.clone(), o]);
+        let q = SceneQuery::new(&t)
+            .with_item(1, ItemPath::top(7))
+            .unwrap();
+        let ans = q.evaluate(&hv).unwrap();
+        assert!(ans.present);
+        assert!((ans.evidence - 2.0).abs() < 0.5, "evidence {}", ans.evidence);
+    }
+
+    #[test]
+    fn absent_class_query_works() {
+        let t = taxonomy();
+        let with_null = ObjectSpec::new(vec![
+            Some(ItemPath::new(vec![2, 2])),
+            None,
+            Some(ItemPath::top(5)),
+        ]);
+        let hv = scene_hv(&t, vec![with_null]);
+        let q = SceneQuery::new(&t).with_absent(1).unwrap();
+        assert!(q.evaluate(&hv).unwrap().present);
+        let q2 = SceneQuery::new(&t)
+            .with_item(1, ItemPath::top(3))
+            .unwrap();
+        assert!(!q2.evaluate(&hv).unwrap().present);
+    }
+
+    #[test]
+    fn intermediate_level_items_can_be_queried() {
+        // Query only the level-1 subclass, not the full path.
+        let t = taxonomy();
+        let hv = scene_hv(&t, vec![object(&[9, 3], 0, 0)]);
+        let q = SceneQuery::new(&t)
+            .with_item(0, ItemPath::top(9))
+            .unwrap();
+        assert!(q.evaluate(&hv).unwrap().present);
+        let wrong = SceneQuery::new(&t)
+            .with_item(0, ItemPath::top(8))
+            .unwrap();
+        assert!(!wrong.evaluate(&hv).unwrap().present);
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let t = taxonomy();
+        assert!(SceneQuery::new(&t).with_item(0, ItemPath::top(99)).is_err());
+        assert!(SceneQuery::new(&t).with_absent(9).is_err());
+        let q = SceneQuery::new(&t);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        let hv = AccumHv::zeros(8192);
+        assert!(matches!(
+            q.evaluate(&hv),
+            Err(FactorHdError::InvalidConfig(_))
+        ));
+        let q = SceneQuery::new(&t).with_item(1, ItemPath::top(0)).unwrap();
+        assert!(matches!(
+            q.evaluate(&AccumHv::zeros(64)),
+            Err(FactorHdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_floor_is_small_at_high_dim() {
+        let t = taxonomy();
+        let q = SceneQuery::new(&t).with_item(1, ItemPath::top(0)).unwrap();
+        assert!(q.noise_floor(2) < 0.25, "floor {}", q.noise_floor(2));
+    }
+}

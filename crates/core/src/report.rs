@@ -1,0 +1,148 @@
+//! Accuracy scoring helpers shared by the tests and the benchmark harness.
+
+use crate::{DecodedScene, ObjectSpec, Scene};
+
+/// Whether a decoded object matches the ground truth exactly (all classes,
+/// all levels, including absent classes).
+pub fn object_matches(decoded: &ObjectSpec, truth: &ObjectSpec) -> bool {
+    decoded == truth
+}
+
+/// Whether a decoded object matches the ground truth down to `depth`
+/// subclass levels (deeper levels ignored).
+pub fn object_matches_to_depth(decoded: &ObjectSpec, truth: &ObjectSpec, depth: usize) -> bool {
+    decoded.truncated(depth) == truth.truncated(depth)
+}
+
+/// Whether a decoded scene recovers the ground-truth multiset of objects.
+pub fn scene_matches(decoded: &DecodedScene, truth: &Scene) -> bool {
+    decoded.to_scene().same_multiset(truth)
+}
+
+/// Fraction of per-class assignments the decode got right (partial credit;
+/// used by the RAVEN attribute-level accuracy).
+pub fn classwise_accuracy(decoded: &ObjectSpec, truth: &ObjectSpec) -> f64 {
+    if truth.num_classes() == 0 {
+        return 1.0;
+    }
+    let correct = decoded
+        .assignments()
+        .iter()
+        .zip(truth.assignments())
+        .filter(|(d, t)| d == t)
+        .count();
+    correct as f64 / truth.num_classes() as f64
+}
+
+/// Aggregates trial outcomes into an accuracy estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccuracyCounter {
+    successes: u64,
+    trials: u64,
+}
+
+impl AccuracyCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial outcome.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: AccuracyCounter) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Success rate in `[0, 1]` (`1.0` for an empty counter, matching the
+    /// "vacuously accurate" convention of the sweep harness).
+    pub fn accuracy(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FactorizeStats, ItemPath};
+
+    fn obj(indices: &[u16]) -> ObjectSpec {
+        ObjectSpec::present(indices.iter().map(|&i| ItemPath::top(i)).collect())
+    }
+
+    #[test]
+    fn object_match_is_exact() {
+        assert!(object_matches(&obj(&[1, 2]), &obj(&[1, 2])));
+        assert!(!object_matches(&obj(&[1, 2]), &obj(&[1, 3])));
+    }
+
+    #[test]
+    fn depth_truncated_match() {
+        let deep_a = ObjectSpec::present(vec![ItemPath::new(vec![1, 2])]);
+        let deep_b = ObjectSpec::present(vec![ItemPath::new(vec![1, 3])]);
+        assert!(object_matches_to_depth(&deep_a, &deep_b, 1));
+        assert!(!object_matches_to_depth(&deep_a, &deep_b, 2));
+    }
+
+    #[test]
+    fn classwise_partial_credit() {
+        let a = obj(&[1, 2, 3]);
+        let b = obj(&[1, 9, 3]);
+        assert!((classwise_accuracy(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((classwise_accuracy(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = AccuracyCounter::new();
+        c.record(true);
+        c.record(false);
+        c.record(true);
+        assert_eq!(c.trials(), 3);
+        assert_eq!(c.successes(), 2);
+        assert!((c.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut d = AccuracyCounter::new();
+        d.record(true);
+        c.merge(d);
+        assert_eq!(c.trials(), 4);
+        assert_eq!(c.successes(), 3);
+    }
+
+    #[test]
+    fn empty_counter_is_vacuously_accurate() {
+        assert_eq!(AccuracyCounter::new().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn scene_match_uses_multiset() {
+        let truth = Scene::new(vec![obj(&[1]), obj(&[2])]);
+        let decoded = DecodedScene {
+            objects: vec![],
+            stats: FactorizeStats::default(),
+            residual_norm: 0.0,
+        };
+        assert!(!scene_matches(&decoded, &truth));
+    }
+}

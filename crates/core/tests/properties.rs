@@ -1,0 +1,155 @@
+//! Property-based tests for FactorHD encoding/factorization invariants.
+
+use factorhd_core::prelude::*;
+use factorhd_core::threshold::{clause_density, expected_signal};
+use hdc::rng_from_seed;
+use proptest::prelude::*;
+
+/// A random small-but-meaningful taxonomy description.
+fn arb_taxonomy_spec() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, u64)> {
+    let class = prop_oneof![
+        proptest::collection::vec(2usize..10, 1..=1),
+        proptest::collection::vec(2usize..6, 2..=2),
+    ];
+    (
+        // High enough that argmax decode is essentially deterministic even
+        // for 4 deep classes (signal 0.5^4 ≫ noise ~ 1/√D).
+        prop_oneof![Just(4096usize), Just(8192usize)],
+        proptest::collection::vec(class, 2..=4),
+        any::<u64>(),
+    )
+}
+
+fn build(dim: usize, classes: &[Vec<usize>], seed: u64) -> Taxonomy {
+    let mut b = TaxonomyBuilder::new(dim).seed(seed);
+    for (i, levels) in classes.iter().enumerate() {
+        b = b.class(&format!("class{i}"), levels);
+    }
+    b.build().expect("valid generated taxonomy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encoding then single-object factorization is the identity for any
+    /// taxonomy shape at sufficient dimension.
+    #[test]
+    fn encode_factorize_roundtrip((dim, classes, seed) in arb_taxonomy_spec()) {
+        let taxonomy = build(dim, &classes, seed);
+        let encoder = Encoder::new(&taxonomy);
+        let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+        let mut rng = rng_from_seed(seed ^ 0xF00D);
+        let object = taxonomy.sample_object(&mut rng);
+        let hv = encoder.encode_scene(&Scene::single(object.clone())).expect("encodable");
+        let decoded = factorizer.factorize_single(&hv).expect("decodable");
+        prop_assert_eq!(decoded.object(), &object);
+    }
+
+    /// Objects with absent classes round-trip too (NULL detection).
+    #[test]
+    fn null_classes_roundtrip((dim, classes, seed) in arb_taxonomy_spec()) {
+        let taxonomy = build(dim.max(2048), &classes, seed);
+        let encoder = Encoder::new(&taxonomy);
+        let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+        let mut rng = rng_from_seed(seed ^ 0xBEEF);
+        let object = taxonomy.sample_object_with_nulls(0.4, &mut rng);
+        let hv = encoder.encode_scene(&Scene::single(object.clone())).expect("encodable");
+        let decoded = factorizer.factorize_single(&hv).expect("decodable");
+        prop_assert_eq!(decoded.object(), &object);
+    }
+
+    /// Clause density matches the analytic model for every clause width.
+    #[test]
+    fn clause_density_matches_model(levels in 1usize..5, seed in any::<u64>()) {
+        let sizes = vec![4usize; levels];
+        let taxonomy = build(16_384, &[sizes], seed);
+        let encoder = Encoder::new(&taxonomy);
+        let mut rng = rng_from_seed(seed);
+        let object = taxonomy.sample_object(&mut rng);
+        let clause = encoder
+            .encode_clause(0, object.assignment(0))
+            .expect("encodable clause");
+        let k = levels + 1;
+        let predicted = clause_density(k);
+        prop_assert!(
+            (clause.density() - predicted).abs() < 0.02,
+            "k={} measured={} predicted={}", k, clause.density(), predicted
+        );
+    }
+
+    /// The measured item similarity after label elimination matches the
+    /// analytic expected signal within sampling noise.
+    #[test]
+    fn unbound_signal_matches_model((dim, classes, seed) in arb_taxonomy_spec()) {
+        let taxonomy = build(dim.max(2048), &classes, seed);
+        let encoder = Encoder::new(&taxonomy);
+        let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+        let mut rng = rng_from_seed(seed ^ 0xCAFE);
+        let object = taxonomy.sample_object(&mut rng);
+        let hv = encoder.encode_scene(&Scene::single(object.clone())).expect("encodable");
+        let decodes = factorizer.factorize_classes(&hv, &[0]).expect("decodable");
+        let signal = expected_signal(&taxonomy.clause_sizes());
+        // Winning similarity should be within 5 sigma of the prediction.
+        let sigma = 5.0 / (taxonomy.dim() as f64).sqrt();
+        prop_assert!(
+            (decodes[0].sim - signal).abs() < sigma + 0.05,
+            "sim={} signal={}", decodes[0].sim, signal
+        );
+    }
+
+    /// Scene encoding is permutation-invariant (bundling commutes).
+    #[test]
+    fn scene_encoding_is_order_invariant((dim, classes, seed) in arb_taxonomy_spec()) {
+        let taxonomy = build(dim, &classes, seed);
+        let encoder = Encoder::new(&taxonomy);
+        let mut rng = rng_from_seed(seed ^ 0xD00D);
+        let a = taxonomy.sample_object(&mut rng);
+        let b = taxonomy.sample_object(&mut rng);
+        let ab = encoder.encode_scene(&Scene::new(vec![a.clone(), b.clone()])).expect("encodable");
+        let ba = encoder.encode_scene(&Scene::new(vec![b, a])).expect("encodable");
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Reconstruct-and-exclude is exact: re-encoding an object and
+    /// subtracting it from the scene removes its contribution entirely
+    /// (encoding is deterministic, so the residual of a single-object scene
+    /// is the zero vector).
+    #[test]
+    fn exclusion_is_exact((dim, classes, seed) in arb_taxonomy_spec()) {
+        let taxonomy = build(dim, &classes, seed);
+        let encoder = Encoder::new(&taxonomy);
+        let mut rng = rng_from_seed(seed ^ 0xAAAA);
+        let object = taxonomy.sample_object(&mut rng);
+        let mut hv = encoder.encode_scene(&Scene::single(object.clone())).expect("encodable");
+        let reconstruction = encoder.encode_object(&object).expect("encodable");
+        hv.sub_ternary(&reconstruction);
+        prop_assert!(hv.is_zero());
+    }
+
+    /// Multi-object factorization of two distinct objects succeeds at high
+    /// dimension for flat taxonomies.
+    #[test]
+    fn two_object_scenes_factorize(f in 2usize..5, m in 4usize..12, seed in any::<u64>()) {
+        let taxonomy = TaxonomyBuilder::new(8192)
+            .seed(seed)
+            .uniform_classes(f, &[m])
+            .build()
+            .expect("valid taxonomy");
+        let encoder = Encoder::new(&taxonomy);
+        let factorizer = Factorizer::new(
+            &taxonomy,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(seed ^ 0x2222);
+        let scene = taxonomy.sample_scene(2, true, &mut rng);
+        let hv = encoder.encode_scene(&scene).expect("encodable");
+        let decoded = factorizer.factorize_multi(&hv).expect("decodable");
+        prop_assert!(
+            decoded.to_scene().same_multiset(&scene),
+            "decoded {:?} vs truth {:?}", decoded.to_scene(), scene
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the HDC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible substrate operations.
+///
+/// Low-level arithmetic (binding, dot products) panics on dimension
+/// mismatch instead — mixing dimensions is a programming error, not a
+/// runtime condition — while constructors and search entry points return
+/// this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A hypervector dimension of zero (or otherwise unusable) was requested.
+    InvalidDimension(usize),
+    /// Two operands had different dimensions.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+    /// A codebook with zero items was supplied where items are required.
+    EmptyCodebook,
+    /// A requested item index was out of bounds for the codebook.
+    ItemOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of items actually present.
+        len: usize,
+    },
+    /// A named symbol was not present in an [`crate::ItemMemory`].
+    UnknownSymbol(String),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::InvalidDimension(d) => write!(f, "invalid hypervector dimension {d}"),
+            HdcError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            HdcError::EmptyCodebook => write!(f, "codebook contains no items"),
+            HdcError::ItemOutOfBounds { index, len } => {
+                write!(f, "item index {index} out of bounds for codebook of {len} items")
+            }
+            HdcError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}` in item memory"),
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            HdcError::InvalidDimension(0),
+            HdcError::DimensionMismatch { left: 3, right: 5 },
+            HdcError::EmptyCodebook,
+            HdcError::ItemOutOfBounds { index: 9, len: 2 },
+            HdcError::UnknownSymbol("dog".into()),
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! The VSA operator traits: binding, bundling and permutation.
+//!
+//! These traits let the FactorHD layers stay generic over which hypervector
+//! representation they combine (bipolar codebook items, clipped ternary
+//! clauses, or integer scene bundles).
+
+/// Binding (`⊙`): component-wise multiplication.
+///
+/// The bound vector is quasi-orthogonal to both inputs, and binding with a
+/// bipolar vector is self-inverse (`v ⊙ v = 1`), which is how FactorHD
+/// *unbinds* class labels during factorization.
+pub trait Bind<Rhs = Self> {
+    /// The representation of the bound result.
+    type Output;
+
+    /// Component-wise product of `self` and `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    fn bind(&self, rhs: &Rhs) -> Self::Output;
+}
+
+/// Bundling (`+`): component-wise addition acting as memorization.
+///
+/// Bundled vectors remain similar to each of their components, so they can
+/// be recovered by similarity search against a codebook.
+pub trait Bundle<Rhs = Self> {
+    /// The representation of the accumulated result (integer-valued).
+    type Output;
+
+    /// Component-wise sum of `self` and `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    fn bundle(&self, rhs: &Rhs) -> Self::Output;
+}
+
+/// Cyclic permutation (`ρ`): preserves position/sequence information.
+pub trait Permute {
+    /// Rotates the vector left by `shift` positions (cyclically).
+    ///
+    /// `permute(0)` is the identity; `permute(dim)` is also the identity.
+    fn permute(&self, shift: usize) -> Self;
+}

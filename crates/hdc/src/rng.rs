@@ -1,0 +1,95 @@
+//! Deterministic random-number utilities.
+//!
+//! Every random structure in the reproduction (codebooks, labels, noise) is
+//! derived from explicit seeds so that experiments are exactly repeatable.
+//! [`derive_seed`] mixes a parent seed with path components (class index,
+//! taxonomy path, trial number) to generate independent child streams, which
+//! is how per-parent child codebooks are derived lazily without storing an
+//! exponential tree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default seed used by convenience constructors throughout the workspace.
+pub const DEFAULT_SEED: u64 = 0x1ACF_0D25_DAC2_0255;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// `StdRng` (ChaCha-based) produces an identical stream on every platform,
+/// which keeps experiment outputs stable across machines.
+///
+/// ```
+/// use rand::RngCore;
+/// let mut a = hdc::rng_from_seed(42);
+/// let mut b = hdc::rng_from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Mixes a sequence of 64-bit values into a single derived seed.
+///
+/// Uses the SplitMix64 finalizer on each component so nearby inputs
+/// (`[seed, 0]` vs `[seed, 1]`) yield statistically independent outputs.
+///
+/// ```
+/// let root = 99;
+/// let a = hdc::derive_seed(&[root, 0]);
+/// let b = hdc::derive_seed(&[root, 1]);
+/// assert_ne!(a, b);
+/// // Deterministic: same inputs, same output.
+/// assert_eq!(a, hdc::derive_seed(&[root, 0]));
+/// ```
+pub fn derive_seed(parts: &[u64]) -> u64 {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &part in parts {
+        state = splitmix64(state ^ splitmix64(part));
+    }
+    state
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let xs: Vec<u64> = (0..8).map(|_| rng_from_seed(7).next_u64()).collect();
+        assert!(xs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(rng_from_seed(1).next_u64(), rng_from_seed(2).next_u64());
+    }
+
+    #[test]
+    fn derive_seed_component_order_matters() {
+        assert_ne!(derive_seed(&[1, 2]), derive_seed(&[2, 1]));
+    }
+
+    #[test]
+    fn derive_seed_length_matters() {
+        assert_ne!(derive_seed(&[1]), derive_seed(&[1, 0]));
+        assert_ne!(derive_seed(&[]), derive_seed(&[0]));
+    }
+
+    #[test]
+    fn derive_seed_avalanche() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = derive_seed(&[0x1234]);
+        let b = derive_seed(&[0x1235]);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+    }
+}

@@ -1,0 +1,112 @@
+//! Similarity metrics between hypervectors.
+//!
+//! The paper standardizes on the normalized dot product
+//! `sim(V1, V2) = V1 · V2 / D` (§II-A); cosine and Hamming are provided for
+//! completeness and used by some baseline diagnostics.
+
+use crate::{AccumHv, BipolarHv, TernaryHv};
+
+/// Normalized dot-product similarity between two bipolar vectors.
+///
+/// Equivalent to [`BipolarHv::sim`]; provided as a free function for use in
+/// generic harness code.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let v = hdc::BipolarHv::random(512, &mut rng);
+/// assert!((hdc::normalized_dot(&v, &v) - 1.0).abs() < 1e-12);
+/// ```
+pub fn normalized_dot(a: &BipolarHv, b: &BipolarHv) -> f64 {
+    a.sim(b)
+}
+
+/// Cosine similarity between two integer accumulators.
+///
+/// Returns `0.0` when either vector has zero norm.
+pub fn cosine(a: &AccumHv, b: &AccumHv) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    a.dot(b) as f64 / (na * nb)
+}
+
+/// Hamming distance between two bipolar vectors (disagreeing positions).
+pub fn hamming_distance(a: &BipolarHv, b: &BipolarHv) -> usize {
+    a.hamming(b)
+}
+
+/// Unified similarity measurement against a bipolar reference.
+///
+/// Implemented by every hypervector representation so codebook search and
+/// the factorizers can be generic over the query type.
+pub trait Similarity {
+    /// Normalized dot similarity `self · reference / D`.
+    fn sim_to(&self, reference: &BipolarHv) -> f64;
+}
+
+impl Similarity for BipolarHv {
+    fn sim_to(&self, reference: &BipolarHv) -> f64 {
+        self.sim(reference)
+    }
+}
+
+impl Similarity for TernaryHv {
+    fn sim_to(&self, reference: &BipolarHv) -> f64 {
+        self.sim_bipolar(reference)
+    }
+}
+
+impl Similarity for AccumHv {
+    fn sim_to(&self, reference: &BipolarHv) -> f64 {
+        self.sim_bipolar(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn cosine_of_self_is_one() {
+        let a = AccumHv::from_components(vec![1, 2, -3]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_is_zero() {
+        let a = AccumHv::from_components(vec![1, 2, -3]);
+        let z = AccumHv::zeros(3);
+        assert_eq!(cosine(&a, &z), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        let a = AccumHv::from_components(vec![1, 2, -3]);
+        let mut b = a.clone();
+        b.scale(-2);
+        assert!((cosine(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_trait_agrees_across_representations() {
+        let mut rng = rng_from_seed(40);
+        let reference = BipolarHv::random(512, &mut rng);
+        let q = BipolarHv::random(512, &mut rng);
+        let direct = q.sim(&reference);
+        assert!((q.sim_to(&reference) - direct).abs() < 1e-12);
+        assert!((q.to_ternary().sim_to(&reference) - direct).abs() < 1e-12);
+        assert!((q.to_accum().sim_to(&reference) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_distance_free_fn() {
+        let mut rng = rng_from_seed(41);
+        let a = BipolarHv::random(64, &mut rng);
+        assert_eq!(hamming_distance(&a, &a), 0);
+        assert_eq!(hamming_distance(&a, &a.negated()), 64);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the VSA algebra invariants.
+
+use hdc::prelude::*;
+use hdc::rng_from_seed;
+use proptest::prelude::*;
+
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=8,        // tiny, exercises tail masking
+        60usize..=70,      // around one word boundary
+        120usize..=200,    // multi-word
+        Just(1024usize),
+    ]
+}
+
+fn arb_bipolar(dim: usize) -> impl Strategy<Value = BipolarHv> {
+    any::<u64>().prop_map(move |seed| BipolarHv::random(dim, &mut rng_from_seed(seed)))
+}
+
+fn arb_ternary(dim: usize) -> impl Strategy<Value = TernaryHv> {
+    proptest::collection::vec(-1i8..=1, dim)
+        .prop_map(|c| TernaryHv::from_components(&c).expect("valid ternary components"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bipolar_bind_self_inverse((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        prop_assert_eq!(a.bind(&b).bind(&b), a);
+    }
+
+    #[test]
+    fn bipolar_bind_commutative((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        prop_assert_eq!(a.bind(&b), b.bind(&a));
+    }
+
+    #[test]
+    fn bipolar_dot_symmetric((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn bipolar_dot_bounds((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        let dot = a.dot(&b);
+        prop_assert!(dot.abs() <= dim as i64);
+        // dot and dim always share parity for bipolar vectors.
+        prop_assert_eq!((dot.rem_euclid(2)) as usize, dim % 2);
+    }
+
+    #[test]
+    fn binding_distributes_over_dot((dim, s1, s2, s3) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>(), any::<u64>()))) {
+        // <a ⊙ c, b ⊙ c> = <a, b>: binding by a common key preserves similarity.
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        let c = BipolarHv::random(dim, &mut rng_from_seed(s3));
+        prop_assert_eq!(a.bind(&c).dot(&b.bind(&c)), a.dot(&b));
+    }
+
+    #[test]
+    fn ternary_bind_associative(dim in 1usize..100) {
+        let run = |s: u64| {
+            let comps: Vec<i8> = (0..dim).map(|i| ((hdc::derive_seed(&[s, i as u64]) % 3) as i8) - 1).collect();
+            TernaryHv::from_components(&comps).expect("valid components")
+        };
+        let (a, b, c) = (run(1), run(2), run(3));
+        prop_assert_eq!(a.bind(&b).bind(&c), a.bind(&b.bind(&c)));
+    }
+
+    #[test]
+    fn ternary_density_in_unit_interval(dim in 1usize..300, seed in any::<u64>()) {
+        let comps: Vec<i8> = (0..dim).map(|i| ((hdc::derive_seed(&[seed, i as u64]) % 3) as i8) - 1).collect();
+        let t = TernaryHv::from_components(&comps).expect("valid components");
+        prop_assert!(t.density() >= 0.0 && t.density() <= 1.0);
+        prop_assert_eq!(t.nonzero_count(), comps.iter().filter(|&&c| c != 0).count());
+    }
+
+    #[test]
+    fn accum_bundle_commutes((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        prop_assert_eq!(a.bundle(&b), b.bundle(&a));
+    }
+
+    #[test]
+    fn accum_unbind_recovers_dot((dim, s1, s2, s3) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>(), any::<u64>()))) {
+        // (acc ⊙ k) · (v ⊙ k) == acc · v for any bipolar key k.
+        let v = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let w = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        let k = BipolarHv::random(dim, &mut rng_from_seed(s3));
+        let acc = v.bundle(&w);
+        let unbound = acc.bind(&k);
+        prop_assert_eq!(unbound.dot_bipolar(&v.bind(&k)), acc.dot_bipolar(&v));
+    }
+
+    #[test]
+    fn clip_ternary_then_dot_consistent(dim in 1usize..200, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        let clause = a.bundle(&b).clip_ternary();
+        let naive: i64 = (0..dim).map(|i| clause.component(i) as i64 * a.component(i) as i64).sum();
+        prop_assert_eq!(clause.dot_bipolar(&a), naive);
+    }
+
+    #[test]
+    fn permute_composes(dim in 2usize..150, s in any::<u64>(), k1 in 0usize..300, k2 in 0usize..300) {
+        let v = BipolarHv::random(dim, &mut rng_from_seed(s));
+        prop_assert_eq!(v.permute(k1).permute(k2), v.permute((k1 + k2) % dim));
+    }
+
+    #[test]
+    fn codebook_best_match_is_argmax(seed in any::<u64>(), m in 2usize..32) {
+        let cb = Codebook::derive(seed, m, 256);
+        let q = BipolarHv::random(256, &mut rng_from_seed(seed ^ 0xABCD));
+        let sims = cb.sims(&q);
+        let best = cb.best_match(&q).expect("non-empty codebook");
+        let max = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((best.sim - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codebook_threshold_consistent(seed in any::<u64>(), m in 2usize..32, th in -0.5f64..0.9) {
+        let cb = Codebook::derive(seed, m, 256);
+        let q = BipolarHv::random(256, &mut rng_from_seed(seed ^ 0x1234));
+        let hits = cb.above_threshold(&q, th);
+        let sims = cb.sims(&q);
+        let expected = sims.iter().filter(|&&s| s > th).count();
+        prop_assert_eq!(hits.len(), expected);
+        for hit in hits {
+            prop_assert!(hit.sim > th);
+            prop_assert!((sims[hit.index] - hit.sim).abs() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arb_ternary_produces_valid_vectors(t in arb_ternary(32)) {
+        prop_assert_eq!(t.dim(), 32);
+        for i in 0..32 {
+            prop_assert!((-1..=1).contains(&t.component(i)));
+        }
+    }
+
+    #[test]
+    fn arb_bipolar_produces_valid_vectors(v in arb_bipolar(65)) {
+        prop_assert_eq!(v.dim(), 65);
+        prop_assert_eq!(v.dot(&v), 65);
+    }
+}

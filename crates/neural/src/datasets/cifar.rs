@@ -1,0 +1,149 @@
+//! CIFAR-10 and CIFAR-100 label spaces.
+//!
+//! Images are simulated by the feature model (see DESIGN.md), but the
+//! *label structure* is the real one: CIFAR-10's ten classes, and
+//! CIFAR-100's two-level taxonomy of 20 coarse superclasses × 5 fine
+//! classes each — the natural class-subclass hierarchy the paper factorizes
+//! ("Cifar-100 datasets naturally have two class levels", §IV-A).
+
+/// The ten CIFAR-10 class names.
+pub const CIFAR10_CLASSES: [&str; 10] = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+];
+
+/// The 20 CIFAR-100 coarse superclass names, in canonical order.
+pub const CIFAR100_COARSE: [&str; 20] = [
+    "aquatic mammals",
+    "fish",
+    "flowers",
+    "food containers",
+    "fruit and vegetables",
+    "household electrical devices",
+    "household furniture",
+    "insects",
+    "large carnivores",
+    "large man-made outdoor things",
+    "large natural outdoor scenes",
+    "large omnivores and herbivores",
+    "medium-sized mammals",
+    "non-insect invertebrates",
+    "people",
+    "reptiles",
+    "small mammals",
+    "trees",
+    "vehicles 1",
+    "vehicles 2",
+];
+
+/// The 100 CIFAR-100 fine class names grouped by coarse superclass
+/// (5 per row, rows in [`CIFAR100_COARSE`] order).
+pub const CIFAR100_FINE: [[&str; 5]; 20] = [
+    ["beaver", "dolphin", "otter", "seal", "whale"],
+    ["aquarium fish", "flatfish", "ray", "shark", "trout"],
+    ["orchids", "poppies", "roses", "sunflowers", "tulips"],
+    ["bottles", "bowls", "cans", "cups", "plates"],
+    ["apples", "mushrooms", "oranges", "pears", "sweet peppers"],
+    ["clock", "computer keyboard", "lamp", "telephone", "television"],
+    ["bed", "chair", "couch", "table", "wardrobe"],
+    ["bee", "beetle", "butterfly", "caterpillar", "cockroach"],
+    ["bear", "leopard", "lion", "tiger", "wolf"],
+    ["bridge", "castle", "house", "road", "skyscraper"],
+    ["cloud", "forest", "mountain", "plain", "sea"],
+    ["camel", "cattle", "chimpanzee", "elephant", "kangaroo"],
+    ["fox", "porcupine", "possum", "raccoon", "skunk"],
+    ["crab", "lobster", "snail", "spider", "worm"],
+    ["baby", "boy", "girl", "man", "woman"],
+    ["crocodile", "dinosaur", "lizard", "snake", "turtle"],
+    ["hamster", "mouse", "rabbit", "shrew", "squirrel"],
+    ["maple", "oak", "palm", "pine", "willow"],
+    ["bicycle", "bus", "motorcycle", "pickup truck", "train"],
+    ["lawn mower", "rocket", "streetcar", "tank", "tractor"],
+];
+
+/// Number of CIFAR-100 fine classes.
+pub const CIFAR100_NUM_FINE: usize = 100;
+/// Number of CIFAR-100 coarse superclasses.
+pub const CIFAR100_NUM_COARSE: usize = 20;
+/// Fine classes per coarse superclass.
+pub const CIFAR100_FINE_PER_COARSE: usize = 5;
+
+/// The coarse superclass index of a fine class index (fine classes are
+/// numbered row-major through [`CIFAR100_FINE`]).
+///
+/// # Panics
+///
+/// Panics if `fine >= 100`.
+pub fn coarse_of(fine: usize) -> usize {
+    assert!(fine < CIFAR100_NUM_FINE, "fine class {fine} out of range");
+    fine / CIFAR100_FINE_PER_COARSE
+}
+
+/// The within-superclass position (0..5) of a fine class.
+///
+/// # Panics
+///
+/// Panics if `fine >= 100`.
+pub fn fine_within_coarse(fine: usize) -> usize {
+    assert!(fine < CIFAR100_NUM_FINE, "fine class {fine} out of range");
+    fine % CIFAR100_FINE_PER_COARSE
+}
+
+/// The name of a fine class index.
+///
+/// # Panics
+///
+/// Panics if `fine >= 100`.
+pub fn fine_name(fine: usize) -> &'static str {
+    CIFAR100_FINE[coarse_of(fine)][fine_within_coarse(fine)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_space_shapes() {
+        assert_eq!(CIFAR10_CLASSES.len(), 10);
+        assert_eq!(CIFAR100_COARSE.len(), 20);
+        assert_eq!(CIFAR100_FINE.len(), 20);
+        assert_eq!(CIFAR100_FINE.iter().map(|row| row.len()).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn coarse_mapping_is_block_structured() {
+        assert_eq!(coarse_of(0), 0);
+        assert_eq!(coarse_of(4), 0);
+        assert_eq!(coarse_of(5), 1);
+        assert_eq!(coarse_of(99), 19);
+    }
+
+    #[test]
+    fn fine_names_resolve() {
+        assert_eq!(fine_name(0), "beaver");
+        assert_eq!(fine_name(7), "ray");
+        assert_eq!(fine_name(99), "tractor");
+    }
+
+    #[test]
+    fn all_fine_names_unique() {
+        let mut names: Vec<&str> = (0..100).map(fine_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coarse_of_bounds() {
+        let _ = coarse_of(100);
+    }
+}

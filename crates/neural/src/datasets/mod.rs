@@ -1,0 +1,4 @@
+//! Synthetic dataset substrates: CIFAR label taxonomies and RAVEN panels.
+
+pub mod cifar;
+pub mod raven;

@@ -1,0 +1,220 @@
+//! Synthetic RAVEN-style scenes.
+//!
+//! RAVEN (Zhang et al., CVPR 2019) panels contain 1–9 objects described by
+//! position, color, size and type attributes, arranged in seven
+//! configurations. The paper encodes each object with three codebooks —
+//! position, color, and the 30 size×type combinations — and factorizes
+//! whole panels (Table I). We do not have the rendered dataset, so this
+//! module samples ground-truth attribute tuples with the same distributions
+//! (object counts and attribute arities per configuration); the symbolic
+//! encode→factorize path is identical to what rendered panels would feed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Number of color values in RAVEN.
+pub const NUM_COLORS: usize = 10;
+/// Number of sizes in RAVEN.
+pub const NUM_SIZES: usize = 6;
+/// Number of object types in RAVEN.
+pub const NUM_TYPES: usize = 5;
+/// Size×type combinations ("the third [codebook] combines size and type
+/// attributes, resulting in 30 size-type combinations", §IV-A).
+pub const NUM_SIZE_TYPES: usize = NUM_SIZES * NUM_TYPES;
+
+/// The seven RAVEN panel configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RavenConfig {
+    /// A single centered object.
+    Center,
+    /// Up to 4 objects on a 2×2 grid.
+    Grid2x2,
+    /// Up to 9 objects on a 3×3 grid.
+    Grid3x3,
+    /// Two side-by-side components.
+    LeftRight,
+    /// Two stacked components.
+    UpDown,
+    /// An outer object containing an inner one.
+    OutInCenter,
+    /// An outer object with an inner 2×2 grid.
+    OutInGrid,
+}
+
+impl RavenConfig {
+    /// All seven configurations, in Table I order.
+    pub const ALL: [RavenConfig; 7] = [
+        RavenConfig::Center,
+        RavenConfig::Grid2x2,
+        RavenConfig::Grid3x3,
+        RavenConfig::LeftRight,
+        RavenConfig::UpDown,
+        RavenConfig::OutInCenter,
+        RavenConfig::OutInGrid,
+    ];
+
+    /// Human-readable configuration name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RavenConfig::Center => "Center",
+            RavenConfig::Grid2x2 => "2x2Grid",
+            RavenConfig::Grid3x3 => "3x3Grid",
+            RavenConfig::LeftRight => "L-R",
+            RavenConfig::UpDown => "U-D",
+            RavenConfig::OutInCenter => "O-IC",
+            RavenConfig::OutInGrid => "O-IG",
+        }
+    }
+
+    /// Number of distinct positions the configuration offers.
+    pub fn num_positions(&self) -> usize {
+        match self {
+            RavenConfig::Center => 1,
+            RavenConfig::Grid2x2 => 4,
+            RavenConfig::Grid3x3 => 9,
+            RavenConfig::LeftRight | RavenConfig::UpDown | RavenConfig::OutInCenter => 2,
+            RavenConfig::OutInGrid => 5,
+        }
+    }
+
+    /// Minimum number of objects a panel of this configuration contains.
+    pub fn min_objects(&self) -> usize {
+        match self {
+            RavenConfig::Center => 1,
+            RavenConfig::LeftRight | RavenConfig::UpDown | RavenConfig::OutInCenter => 2,
+            RavenConfig::OutInGrid => 2,
+            _ => 1,
+        }
+    }
+
+    /// Maximum number of objects (= positions; one object per slot).
+    pub fn max_objects(&self) -> usize {
+        self.num_positions()
+    }
+}
+
+/// One object of a RAVEN panel: its attribute value per codebook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RavenObject {
+    /// Position slot (0-based, configuration-dependent arity).
+    pub position: u16,
+    /// Color index (0..10).
+    pub color: u16,
+    /// Size×type combination index (0..30).
+    pub size_type: u16,
+}
+
+/// A sampled panel: configuration plus its objects (distinct positions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RavenScene {
+    /// The panel configuration.
+    pub config: RavenConfig,
+    /// Objects, each at a distinct position.
+    pub objects: Vec<RavenObject>,
+}
+
+impl RavenScene {
+    /// Samples a panel: a uniform object count in
+    /// `[min_objects, max_objects]`, distinct positions, and independent
+    /// color / size-type draws.
+    pub fn sample<R: Rng + ?Sized>(config: RavenConfig, rng: &mut R) -> Self {
+        let n = rng.gen_range(config.min_objects()..=config.max_objects());
+        Self::sample_with_count(config, n, rng)
+    }
+
+    /// Samples a panel with exactly `n` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the configuration's position count.
+    pub fn sample_with_count<R: Rng + ?Sized>(config: RavenConfig, n: usize, rng: &mut R) -> Self {
+        assert!(n >= 1, "panels contain at least one object");
+        assert!(
+            n <= config.max_objects(),
+            "{n} objects exceed {} positions of {}",
+            config.max_objects(),
+            config.name()
+        );
+        let mut positions: Vec<u16> = (0..config.num_positions() as u16).collect();
+        positions.shuffle(rng);
+        let objects = positions[..n]
+            .iter()
+            .map(|&position| RavenObject {
+                position,
+                color: rng.gen_range(0..NUM_COLORS as u16),
+                size_type: rng.gen_range(0..NUM_SIZE_TYPES as u16),
+            })
+            .collect();
+        RavenScene { config, objects }
+    }
+
+    /// Number of objects in the panel.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if the panel has no objects (never produced by sampling).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng_from_seed;
+
+    #[test]
+    fn configuration_arities() {
+        assert_eq!(RavenConfig::Center.num_positions(), 1);
+        assert_eq!(RavenConfig::Grid3x3.num_positions(), 9);
+        assert_eq!(RavenConfig::ALL.len(), 7);
+        assert_eq!(NUM_SIZE_TYPES, 30);
+    }
+
+    #[test]
+    fn sampled_positions_are_distinct() {
+        let mut rng = rng_from_seed(1);
+        for config in RavenConfig::ALL {
+            for _ in 0..20 {
+                let scene = RavenScene::sample(config, &mut rng);
+                let mut positions: Vec<u16> = scene.objects.iter().map(|o| o.position).collect();
+                positions.sort_unstable();
+                let before = positions.len();
+                positions.dedup();
+                assert_eq!(positions.len(), before, "duplicate position in {config:?}");
+                assert!(scene.len() >= config.min_objects());
+                assert!(scene.len() <= config.max_objects());
+            }
+        }
+    }
+
+    #[test]
+    fn attributes_in_range() {
+        let mut rng = rng_from_seed(2);
+        let scene = RavenScene::sample_with_count(RavenConfig::Grid3x3, 9, &mut rng);
+        assert_eq!(scene.len(), 9);
+        assert!(!scene.is_empty());
+        for obj in &scene.objects {
+            assert!((obj.position as usize) < 9);
+            assert!((obj.color as usize) < NUM_COLORS);
+            assert!((obj.size_type as usize) < NUM_SIZE_TYPES);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_count_panics() {
+        let mut rng = rng_from_seed(3);
+        let _ = RavenScene::sample_with_count(RavenConfig::Center, 2, &mut rng);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = RavenConfig::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Center", "2x2Grid", "3x3Grid", "L-R", "U-D", "O-IC", "O-IG"]
+        );
+    }
+}

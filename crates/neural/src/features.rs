@@ -1,0 +1,304 @@
+//! Simulated convolutional feature extractor.
+//!
+//! The paper trains a ResNet-18 as the "neuro" half of the neuro-symbolic
+//! model and feeds its penultimate-layer features into the HDC encoder.
+//! We have neither the datasets nor a CNN training stack, so this module
+//! substitutes a **class-conditional Gaussian feature model**: each class
+//! owns a random unit-norm mean vector, and sampling an "image" of that
+//! class draws `mean + σ·N(0, I)`.
+//!
+//! What matters to the downstream symbolic layer is only the *error
+//! statistics* of the front-end, and those are fully controlled by `σ`:
+//! [`FeatureModel::calibrate`] binary-searches `σ` until the model's own
+//! nearest-mean accuracy matches a published CNN accuracy (≈95.4% for
+//! ResNet-18 on CIFAR-10, ≈78% top-1 fine on CIFAR-100). See DESIGN.md,
+//! substitution table.
+
+use rand::Rng;
+
+/// One standard-normal draw (Box–Muller; avoids a distributions
+/// dependency).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// A class-conditional Gaussian feature model standing in for a trained
+/// CNN feature extractor.
+///
+/// ```
+/// use factorhd_neural::FeatureModel;
+/// use hdc::rng_from_seed;
+///
+/// let model = FeatureModel::derive(7, 10, 64, 0.2);
+/// let mut rng = rng_from_seed(1);
+/// let features = model.sample(3, &mut rng);
+/// assert_eq!(features.len(), 64);
+/// assert_eq!(model.classify(&features), 3); // low noise: easy call
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureModel {
+    means: Vec<Vec<f64>>,
+    feat_dim: usize,
+    noise: f64,
+}
+
+impl FeatureModel {
+    /// Derives a model with `n_classes` random unit-norm class means in
+    /// `R^feat_dim` and within-class noise `σ = noise` per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`, `feat_dim == 0`, or `noise < 0`.
+    pub fn derive(seed: u64, n_classes: usize, feat_dim: usize, noise: f64) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        assert!(feat_dim > 0, "feature dimension must be positive");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xFEA7]));
+        let means = (0..n_classes)
+            .map(|_| {
+                let mut v: Vec<f64> = (0..feat_dim).map(|_| standard_normal(&mut rng)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+                v.iter_mut().for_each(|x| *x /= norm);
+                v
+            })
+            .collect();
+        FeatureModel {
+            means,
+            feat_dim,
+            noise,
+        }
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn n_classes(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn feat_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// The within-class noise `σ`.
+    #[inline]
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The mean feature vector of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of bounds.
+    pub fn mean(&self, class: usize) -> &[f64] {
+        &self.means[class]
+    }
+
+    /// Samples the features of one "image" of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of bounds.
+    pub fn sample<R: Rng + ?Sized>(&self, class: usize, rng: &mut R) -> Vec<f64> {
+        self.means[class]
+            .iter()
+            .map(|&m| m + self.noise * standard_normal(rng))
+            .collect()
+    }
+
+    /// Nearest-mean classification of a feature vector — the model's own
+    /// "CNN accuracy" reference classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != feat_dim`.
+    pub fn classify(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.feat_dim, "feature length mismatch");
+        let mut best = (0usize, f64::INFINITY);
+        for (c, mean) in self.means.iter().enumerate() {
+            let dist: f64 = mean
+                .iter()
+                .zip(features)
+                .map(|(m, x)| (m - x) * (m - x))
+                .sum();
+            if dist < best.1 {
+                best = (c, dist);
+            }
+        }
+        best.0
+    }
+
+    /// Monte-Carlo estimate of the nearest-mean top-1 accuracy.
+    pub fn reference_accuracy(&self, trials_per_class: usize, seed: u64) -> f64 {
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xACC0]));
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for class in 0..self.n_classes() {
+            for _ in 0..trials_per_class {
+                let x = self.sample(class, &mut rng);
+                if self.classify(&x) == class {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    /// Binary-searches the noise level so the model's reference accuracy
+    /// matches `target_accuracy` — the calibration step that ties this
+    /// simulator to a published CNN's error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_accuracy` is not in `(1/n_classes, 1]`.
+    pub fn calibrate(
+        seed: u64,
+        n_classes: usize,
+        feat_dim: usize,
+        target_accuracy: f64,
+        trials_per_class: usize,
+    ) -> Self {
+        assert!(
+            target_accuracy > 1.0 / n_classes as f64 && target_accuracy <= 1.0,
+            "target accuracy {target_accuracy} unreachable for {n_classes} classes"
+        );
+        let (mut lo, mut hi) = (0.0f64, 4.0f64);
+        let mut model = FeatureModel::derive(seed, n_classes, feat_dim, 0.0);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            model.noise = mid;
+            let acc = model.reference_accuracy(trials_per_class, seed ^ 0x5EED);
+            if acc > target_accuracy {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        model.noise = 0.5 * (lo + hi);
+        model
+    }
+}
+
+/// Preset feature models calibrated to published ResNet-18 accuracies.
+///
+/// The targets are the reference points Table II compares against:
+/// ResNet-18 reaches ≈95.4% on CIFAR-10 and ≈78% top-1 (fine labels) on
+/// CIFAR-100.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedResNet18;
+
+impl SimulatedResNet18 {
+    /// Published reference accuracy on CIFAR-10.
+    pub const CIFAR10_ACCURACY: f64 = 0.954;
+    /// Published reference top-1 fine-label accuracy on CIFAR-100.
+    pub const CIFAR100_ACCURACY: f64 = 0.78;
+    /// Published reference coarse-label (20 superclasses) accuracy on
+    /// CIFAR-100.
+    pub const CIFAR100_COARSE_ACCURACY: f64 = 0.86;
+
+    /// A feature model calibrated to ResNet-18's CIFAR-10 accuracy.
+    pub fn cifar10(seed: u64) -> FeatureModel {
+        FeatureModel::calibrate(seed, 10, 64, Self::CIFAR10_ACCURACY, 400)
+    }
+
+    /// A feature model calibrated to ResNet-18's CIFAR-100 fine-label
+    /// accuracy.
+    pub fn cifar100(seed: u64) -> FeatureModel {
+        FeatureModel::calibrate(seed, 100, 64, Self::CIFAR100_ACCURACY, 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng_from_seed;
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = FeatureModel::derive(1, 4, 16, 0.3);
+        let b = FeatureModel::derive(1, 4, 16, 0.3);
+        assert_eq!(a.mean(2), b.mean(2));
+    }
+
+    #[test]
+    fn means_are_unit_norm() {
+        let m = FeatureModel::derive(2, 6, 32, 0.1);
+        for c in 0..6 {
+            let norm: f64 = m.mean(c).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_noise_classifies_perfectly() {
+        let m = FeatureModel::derive(3, 10, 32, 0.0);
+        assert_eq!(m.reference_accuracy(20, 1), 1.0);
+    }
+
+    #[test]
+    fn huge_noise_classifies_near_chance() {
+        let m = FeatureModel::derive(4, 10, 32, 10.0);
+        let acc = m.reference_accuracy(100, 2);
+        assert!(acc < 0.35, "accuracy {acc} too high for huge noise");
+    }
+
+    #[test]
+    fn accuracy_decreases_with_noise() {
+        let lo = FeatureModel::derive(5, 10, 32, 0.1).reference_accuracy(100, 3);
+        let hi = FeatureModel::derive(5, 10, 32, 0.8).reference_accuracy(100, 3);
+        assert!(lo > hi, "accuracy should fall with noise: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let target = 0.95;
+        let m = FeatureModel::calibrate(6, 10, 64, target, 300);
+        let acc = m.reference_accuracy(400, 99);
+        assert!(
+            (acc - target).abs() < 0.03,
+            "calibrated accuracy {acc} misses target {target}"
+        );
+    }
+
+    #[test]
+    fn simulated_resnet_cifar10_is_calibrated() {
+        let m = SimulatedResNet18::cifar10(7);
+        let acc = m.reference_accuracy(300, 11);
+        assert!(
+            (acc - SimulatedResNet18::CIFAR10_ACCURACY).abs() < 0.04,
+            "accuracy {acc}"
+        );
+    }
+
+    #[test]
+    fn sample_has_expected_spread() {
+        let m = FeatureModel::derive(8, 3, 1000, 0.25);
+        let mut rng = rng_from_seed(12);
+        let x = m.sample(0, &mut rng);
+        let dist: f64 = m
+            .mean(0)
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // Expected distance ≈ σ √d = 0.25 · √1000 ≈ 7.9.
+        assert!((dist - 7.9).abs() < 1.0, "distance {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn calibrate_rejects_impossible_targets() {
+        let _ = FeatureModel::calibrate(9, 10, 16, 0.05, 10);
+    }
+}

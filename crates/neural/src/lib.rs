@@ -1,0 +1,44 @@
+//! # factorhd-neural — the "neuro" half of the neuro-symbolic model
+//!
+//! The paper integrates FactorHD with a ResNet-18 feature extractor and
+//! evaluates on RAVEN, CIFAR-10 and CIFAR-100 (§IV). This crate provides
+//! the simulated equivalents (see DESIGN.md for the substitution rationale):
+//!
+//! * [`FeatureModel`] / [`SimulatedResNet18`] — a class-conditional
+//!   Gaussian feature generator calibrated to published CNN accuracies.
+//! * [`RandomProjection`] — the feature→hypervector encoder.
+//! * [`train_prototypes`] — centroid training in HV space, including
+//!   superposed-image training bundles.
+//! * [`datasets`] — the real CIFAR-10/100 label taxonomies and a RAVEN
+//!   panel sampler with the paper's attribute codebooks.
+//! * [`CifarPipeline`] / [`RavenPipeline`] — end-to-end train → encode →
+//!   factorize → score, regenerating Tables I and II.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use factorhd_neural::{CifarPipeline, CifarPipelineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipeline = CifarPipeline::new(CifarPipelineConfig::cifar10())?;
+//! let accuracy = pipeline.evaluate(1000, 42)?;
+//! println!("CIFAR-10 factorization accuracy: {:.2}%", accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+mod features;
+mod pipeline;
+mod projection;
+mod prototypes;
+
+pub use features::{FeatureModel, SimulatedResNet18};
+pub use pipeline::{
+    CifarPipeline, CifarPipelineConfig, CifarVariant, RavenPipeline, RavenPipelineConfig,
+};
+pub use projection::RandomProjection;
+pub use prototypes::{train_prototypes, TrainConfig};

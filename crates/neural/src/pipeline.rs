@@ -1,0 +1,694 @@
+//! End-to-end neuro-symbolic pipelines (Fig. 1(b,c)).
+//!
+//! These glue the simulated CNN front-end to the FactorHD symbolic layer:
+//! sample image features → random-projection encode → build FactorHD
+//! clauses around the *query* vector → factorize against trained prototype
+//! codebooks installed in the taxonomy.
+//!
+//! * [`CifarPipeline`] — CIFAR-10 ("image label bound with a dummy label")
+//!   and CIFAR-100 (coarse ⊙ fine two-level labels, supporting *partial*
+//!   factorization of either level), including superposed-image bundles.
+//! * [`RavenPipeline`] — RAVEN panels of 1–9 objects with position / color
+//!   / size-type attribute codebooks, factorized as Rep-3 scenes.
+//!
+//! Because neural queries are *noisy* versions of their prototypes, the
+//! expected factorization signal shrinks by the measured query↔prototype
+//! alignment; the pipelines estimate that alignment after training and
+//! scale their thresholds with it.
+
+use crate::datasets::cifar;
+use crate::datasets::raven::{RavenConfig, RavenScene, NUM_COLORS, NUM_SIZE_TYPES};
+use crate::{train_prototypes, FeatureModel, RandomProjection, SimulatedResNet18, TrainConfig};
+use factorhd_core::threshold::{expected_signal, noise_sigma};
+use factorhd_core::{
+    Encoder, FactorHdError, FactorizeConfig, Factorizer, ItemPath, Taxonomy, TaxonomyBuilder,
+    ThresholdPolicy,
+};
+use hdc::{AccumHv, BipolarHv, Codebook};
+use rand::Rng;
+
+/// Which CIFAR dataset the pipeline models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CifarVariant {
+    /// 10 flat classes; encoding binds the image clause with a dummy-label
+    /// clause.
+    Cifar10,
+    /// 100 fine classes under 20 coarse superclasses; the network extracts
+    /// coarse and fine aspects separately and both clauses bind together.
+    Cifar100,
+}
+
+/// Configuration for [`CifarPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CifarPipelineConfig {
+    /// Which dataset to model.
+    pub variant: CifarVariant,
+    /// Hypervector dimension.
+    pub dim: usize,
+    /// CNN feature dimension.
+    pub feat_dim: usize,
+    /// Front-end accuracy the (fine-label) feature model is calibrated to.
+    pub frontend_accuracy: f64,
+    /// Front-end accuracy of the coarse head (CIFAR-100 only).
+    pub coarse_accuracy: f64,
+    /// Training presentations per class.
+    pub samples_per_class: usize,
+    /// Images superposed per training presentation.
+    pub train_superposition: usize,
+    /// Derivation seed.
+    pub seed: u64,
+}
+
+impl CifarPipelineConfig {
+    /// Defaults matching the Table II CIFAR-10 setting.
+    pub fn cifar10() -> Self {
+        CifarPipelineConfig {
+            variant: CifarVariant::Cifar10,
+            dim: 4096,
+            feat_dim: 64,
+            frontend_accuracy: SimulatedResNet18::CIFAR10_ACCURACY,
+            coarse_accuracy: SimulatedResNet18::CIFAR100_COARSE_ACCURACY,
+            samples_per_class: 32,
+            train_superposition: 1,
+            seed: 0xC1FA_0010,
+        }
+    }
+
+    /// Defaults matching the Table II CIFAR-100 setting.
+    pub fn cifar100() -> Self {
+        CifarPipelineConfig {
+            variant: CifarVariant::Cifar100,
+            dim: 4096,
+            feat_dim: 64,
+            frontend_accuracy: SimulatedResNet18::CIFAR100_ACCURACY,
+            coarse_accuracy: SimulatedResNet18::CIFAR100_COARSE_ACCURACY,
+            samples_per_class: 32,
+            train_superposition: 1,
+            seed: 0xC1FA_0100,
+        }
+    }
+}
+
+/// A trained CIFAR classification pipeline.
+pub struct CifarPipeline {
+    config: CifarPipelineConfig,
+    taxonomy: Taxonomy,
+    /// Fine-label feature head (10 or 100 classes).
+    features: FeatureModel,
+    /// Coarse-label feature head (CIFAR-100 only).
+    coarse_features: Option<FeatureModel>,
+    projection: RandomProjection,
+    dummy_item: Option<BipolarHv>,
+    /// Measured mean similarity of a fresh query to its own prototype.
+    alignment: f64,
+}
+
+impl CifarPipeline {
+    /// Builds (trains) the pipeline: calibrates the feature model(s),
+    /// trains prototypes, installs them into a FactorHD taxonomy, and
+    /// measures the query↔prototype alignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates taxonomy construction errors.
+    pub fn new(config: CifarPipelineConfig) -> Result<Self, FactorHdError> {
+        let n_classes = match config.variant {
+            CifarVariant::Cifar10 => 10,
+            CifarVariant::Cifar100 => cifar::CIFAR100_NUM_FINE,
+        };
+        let features = FeatureModel::calibrate(
+            config.seed,
+            n_classes,
+            config.feat_dim,
+            config.frontend_accuracy,
+            200,
+        );
+        let projection = RandomProjection::derive(config.seed, config.feat_dim, config.dim);
+        let prototypes = train_prototypes(
+            &features,
+            &projection,
+            TrainConfig {
+                samples_per_class: config.samples_per_class,
+                superposition: config.train_superposition,
+                seed: config.seed,
+            },
+        );
+        let alignment = measure_alignment(&features, &projection, &prototypes, config.seed);
+
+        let (taxonomy, coarse_features, dummy_item) = match config.variant {
+            CifarVariant::Cifar10 => {
+                let taxonomy = TaxonomyBuilder::new(config.dim)
+                    .seed(config.seed)
+                    .class("image", &[10])
+                    .class("dummy", &[1])
+                    .build()?;
+                taxonomy.set_codebook(0, &[], prototypes)?;
+                let dummy = taxonomy.item_hv(1, &ItemPath::top(0))?;
+                (taxonomy, None, Some(dummy))
+            }
+            CifarVariant::Cifar100 => {
+                let taxonomy = TaxonomyBuilder::new(config.dim)
+                    .seed(config.seed)
+                    .class("coarse", &[cifar::CIFAR100_NUM_COARSE])
+                    .class("fine", &[cifar::CIFAR100_NUM_FINE])
+                    .build()?;
+                // The coarse head is its own (simulated) network output,
+                // calibrated to the published coarse accuracy.
+                let coarse = FeatureModel::calibrate(
+                    config.seed ^ 0xC0A5,
+                    cifar::CIFAR100_NUM_COARSE,
+                    config.feat_dim,
+                    config.coarse_accuracy,
+                    200,
+                );
+                let coarse_prototypes = train_prototypes(
+                    &coarse,
+                    &projection,
+                    TrainConfig {
+                        samples_per_class: config.samples_per_class,
+                        superposition: config.train_superposition,
+                        seed: config.seed ^ 0xC0A5,
+                    },
+                );
+                taxonomy.set_codebook(0, &[], coarse_prototypes)?;
+                taxonomy.set_codebook(1, &[], prototypes)?;
+                (taxonomy, Some(coarse), None)
+            }
+        };
+
+        Ok(CifarPipeline {
+            config,
+            taxonomy,
+            features,
+            coarse_features,
+            projection,
+            dummy_item,
+            alignment,
+        })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &CifarPipelineConfig {
+        &self.config
+    }
+
+    /// The underlying taxonomy (prototypes installed).
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The calibrated fine-label feature model.
+    pub fn features(&self) -> &FeatureModel {
+        &self.features
+    }
+
+    /// The measured mean similarity of a fresh query vector to its class
+    /// prototype (scales every factorization signal in this pipeline).
+    pub fn alignment(&self) -> f64 {
+        self.alignment
+    }
+
+    /// Samples one image of `class` (a fine label for CIFAR-100) and
+    /// encodes it into a FactorHD scene vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn encode_image<R: Rng + ?Sized>(
+        &self,
+        class: usize,
+        rng: &mut R,
+    ) -> Result<AccumHv, FactorHdError> {
+        let encoder = Encoder::new(&self.taxonomy);
+        let query = self.projection.encode(&self.features.sample(class, rng));
+        let object = match self.config.variant {
+            CifarVariant::Cifar10 => encoder.encode_object_with_items(&[
+                Some(&query),
+                Some(self.dummy_item.as_ref().expect("cifar10 has a dummy item")),
+            ])?,
+            CifarVariant::Cifar100 => {
+                let coarse_model = self
+                    .coarse_features
+                    .as_ref()
+                    .expect("cifar100 has a coarse head");
+                let coarse_query = self
+                    .projection
+                    .encode(&coarse_model.sample(cifar::coarse_of(class), rng));
+                encoder.encode_object_with_items(&[Some(&coarse_query), Some(&query)])?
+            }
+        };
+        Ok(object.to_accum())
+    }
+
+    /// Factorizes out the image class (CIFAR-10) or the fine class
+    /// (CIFAR-100).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors.
+    pub fn classify(&self, hv: &AccumHv) -> Result<usize, FactorHdError> {
+        let class_idx = match self.config.variant {
+            CifarVariant::Cifar10 => 0,
+            CifarVariant::Cifar100 => 1,
+        };
+        let factorizer = Factorizer::new(&self.taxonomy, FactorizeConfig::default());
+        let decodes = factorizer.factorize_classes(hv, &[class_idx])?;
+        Ok(decodes[0]
+            .path
+            .as_ref()
+            .map(|p| p.indices()[0] as usize)
+            .unwrap_or(usize::MAX))
+    }
+
+    /// Partially factorizes only the coarse label (CIFAR-100; the use case
+    /// the paper highlights for partial factorization).
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::InvalidConfig`] for CIFAR-10, else factorization
+    /// errors.
+    pub fn classify_coarse(&self, hv: &AccumHv) -> Result<usize, FactorHdError> {
+        if self.config.variant != CifarVariant::Cifar100 {
+            return Err(FactorHdError::InvalidConfig(
+                "coarse classification requires the CIFAR-100 variant".into(),
+            ));
+        }
+        let factorizer = Factorizer::new(&self.taxonomy, FactorizeConfig::default());
+        let decodes = factorizer.factorize_classes(hv, &[0])?;
+        Ok(decodes[0]
+            .path
+            .as_ref()
+            .map(|p| p.indices()[0] as usize)
+            .unwrap_or(usize::MAX))
+    }
+
+    /// Test-set accuracy over `n_test` fresh images (fine labels for
+    /// CIFAR-100).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/factorization errors.
+    pub fn evaluate(&self, n_test: usize, seed: u64) -> Result<f64, FactorHdError> {
+        let n_classes = self.features.n_classes();
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xE7A1]));
+        let mut correct = 0usize;
+        for t in 0..n_test {
+            let class = t % n_classes;
+            let hv = self.encode_image(class, &mut rng)?;
+            if self.classify(&hv)? == class {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / n_test.max(1) as f64)
+    }
+
+    /// Coarse-label accuracy (CIFAR-100 partial factorization).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CifarPipeline::classify_coarse`].
+    pub fn evaluate_coarse(&self, n_test: usize, seed: u64) -> Result<f64, FactorHdError> {
+        let n_classes = self.features.n_classes();
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xE7A2]));
+        let mut correct = 0usize;
+        for t in 0..n_test {
+            let fine = t % n_classes;
+            let hv = self.encode_image(fine, &mut rng)?;
+            if self.classify_coarse(&hv)? == cifar::coarse_of(fine) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / n_test.max(1) as f64)
+    }
+
+    /// The multi-object threshold for a `k`-image bundle: half the expected
+    /// signal, which is the analytic clause signal shrunk by the measured
+    /// query↔prototype alignment.
+    pub fn superposed_threshold(&self, k: usize) -> f64 {
+        let clause_sizes = self.taxonomy.clause_sizes();
+        let signal = expected_signal(&clause_sizes) * self.alignment;
+        // Density-aware read noise: objects are ternary clause products, so
+        // cross-object interference scales with their density, not 1.
+        let sigma = noise_sigma(&clause_sizes, self.config.dim, k);
+        (signal / 2.0).max(2.0 * sigma)
+    }
+
+    /// Accuracy on **superposed inference**: `k` images of distinct classes
+    /// bundled into one vector, factorized as a multi-object scene; a trial
+    /// succeeds when every class in the bundle is recovered (set match).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/factorization errors.
+    pub fn evaluate_superposed(
+        &self,
+        k: usize,
+        n_trials: usize,
+        seed: u64,
+    ) -> Result<f64, FactorHdError> {
+        let n_classes = self.features.n_classes();
+        assert!(k >= 1 && k <= n_classes, "bundle size {k} out of range");
+        let class_idx = match self.config.variant {
+            CifarVariant::Cifar10 => 0,
+            CifarVariant::Cifar100 => 1,
+        };
+        // A prototype-based reconstruction of a query-based object only
+        // overlaps by (1 + alignment)/2 per image clause, so the acceptance
+        // bar scales accordingly.
+        let recon_overlap = 0.5 * (1.0 + self.alignment);
+        let factorizer = Factorizer::new(
+            &self.taxonomy,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Fixed(self.superposed_threshold(k)),
+                max_objects: k + 2,
+                detect_null: false,
+                accept_threshold: 0.75 * recon_overlap,
+                ..FactorizeConfig::default()
+            },
+        );
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xE7A3]));
+        let mut correct = 0usize;
+        for _ in 0..n_trials {
+            let mut classes: Vec<usize> = (0..n_classes).collect();
+            rand::seq::SliceRandom::shuffle(&mut classes[..], &mut rng);
+            classes.truncate(k);
+
+            let mut bundle = AccumHv::zeros(self.config.dim);
+            for &c in &classes {
+                bundle.add_accum(&self.encode_image(c, &mut rng)?);
+            }
+            let decoded = factorizer.factorize_multi(&bundle)?;
+            let mut found: Vec<usize> = decoded
+                .objects
+                .iter()
+                .filter_map(|o| {
+                    o.object()
+                        .assignment(class_idx)
+                        .map(|p| p.indices()[0] as usize)
+                })
+                .collect();
+            found.sort_unstable();
+            found.dedup();
+            let mut expected = classes.clone();
+            expected.sort_unstable();
+            if found == expected {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / n_trials.max(1) as f64)
+    }
+}
+
+/// Mean similarity of fresh queries to their own class prototype.
+fn measure_alignment(
+    model: &FeatureModel,
+    projection: &RandomProjection,
+    prototypes: &Codebook,
+    seed: u64,
+) -> f64 {
+    let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0xA119]));
+    let trials = 4 * model.n_classes();
+    let mut total = 0.0;
+    for t in 0..trials {
+        let class = t % model.n_classes();
+        let q = projection.encode(&model.sample(class, &mut rng));
+        total += q.sim(prototypes.item(class));
+    }
+    total / trials as f64
+}
+
+/// Configuration for [`RavenPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RavenPipelineConfig {
+    /// Hypervector dimension.
+    pub dim: usize,
+    /// Per-attribute extraction noise of the neural front-end, as a
+    /// bit-flip probability on attribute item vectors.
+    pub attr_flip_prob: f64,
+    /// Derivation seed.
+    pub seed: u64,
+}
+
+impl Default for RavenPipelineConfig {
+    /// The Table I setting: `D = 1000` and a small front-end error.
+    fn default() -> Self {
+        RavenPipelineConfig {
+            dim: 1000,
+            attr_flip_prob: 0.02,
+            seed: 0x4AE1,
+        }
+    }
+}
+
+/// The RAVEN factorization pipeline: three attribute codebooks (position,
+/// color, size-type), noisy attribute extraction, Rep-3 factorization.
+pub struct RavenPipeline {
+    config: RavenPipelineConfig,
+    raven_config: RavenConfig,
+    taxonomy: Taxonomy,
+}
+
+impl RavenPipeline {
+    /// Builds the taxonomy for one RAVEN configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates taxonomy construction errors.
+    pub fn new(
+        raven_config: RavenConfig,
+        config: RavenPipelineConfig,
+    ) -> Result<Self, FactorHdError> {
+        let taxonomy = TaxonomyBuilder::new(config.dim)
+            .seed(hdc::derive_seed(&[config.seed, raven_config.num_positions() as u64]))
+            .class("position", &[raven_config.num_positions()])
+            .class("color", &[NUM_COLORS])
+            .class("size-type", &[NUM_SIZE_TYPES])
+            .build()?;
+        Ok(RavenPipeline {
+            config,
+            raven_config,
+            taxonomy,
+        })
+    }
+
+    /// The underlying taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The RAVEN configuration this pipeline decodes.
+    pub fn raven_config(&self) -> RavenConfig {
+        self.raven_config
+    }
+
+    /// Encodes a panel: per object, the three attribute item vectors pass
+    /// through the noisy front-end (bit flips), clauses are built around
+    /// the noisy items, and objects bundle into the scene vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene's configuration differs from the pipeline's.
+    pub fn encode_scene<R: Rng + ?Sized>(
+        &self,
+        scene: &RavenScene,
+        rng: &mut R,
+    ) -> Result<AccumHv, FactorHdError> {
+        assert_eq!(
+            scene.config, self.raven_config,
+            "scene configuration mismatch"
+        );
+        let encoder = Encoder::new(&self.taxonomy);
+        let mut acc = AccumHv::zeros(self.config.dim);
+        for obj in &scene.objects {
+            let attrs = [obj.position, obj.color, obj.size_type];
+            let noisy: Vec<BipolarHv> = attrs
+                .iter()
+                .enumerate()
+                .map(|(class, &idx)| {
+                    let item = self
+                        .taxonomy
+                        .item_hv(class, &ItemPath::top(idx))
+                        .expect("attributes are in range by construction");
+                    item.flip_noise(self.config.attr_flip_prob, rng)
+                })
+                .collect();
+            let refs: Vec<Option<&BipolarHv>> = noisy.iter().map(Some).collect();
+            let object_hv = encoder.encode_object_with_items(&refs)?;
+            acc.add_ternary(&object_hv, 1);
+        }
+        Ok(acc)
+    }
+
+    /// Factorizes a panel vector back into `(position, color, size_type)`
+    /// tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors.
+    pub fn decode_scene(&self, hv: &AccumHv) -> Result<Vec<(u16, u16, u16)>, FactorHdError> {
+        let factorizer = Factorizer::new(
+            &self.taxonomy,
+            FactorizeConfig {
+                threshold: ThresholdPolicy::Analytic {
+                    n_objects: self.raven_config.max_objects().min(4),
+                },
+                max_objects: self.raven_config.max_objects() + 2,
+                detect_null: false,
+                ..FactorizeConfig::default()
+            },
+        );
+        let decoded = factorizer.factorize_multi(hv)?;
+        Ok(decoded
+            .objects
+            .iter()
+            .filter_map(|o| {
+                let spec = o.object();
+                match (spec.assignment(0), spec.assignment(1), spec.assignment(2)) {
+                    (Some(p), Some(c), Some(s)) => {
+                        Some((p.indices()[0], c.indices()[0], s.indices()[0]))
+                    }
+                    _ => None,
+                }
+            })
+            .collect())
+    }
+
+    /// Exact-panel accuracy over `n_scenes` sampled panels: a trial
+    /// succeeds when the decoded object multiset equals the ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding/factorization errors.
+    pub fn evaluate(&self, n_scenes: usize, seed: u64) -> Result<f64, FactorHdError> {
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0x4AE2]));
+        let mut correct = 0usize;
+        for _ in 0..n_scenes {
+            let scene = RavenScene::sample(self.raven_config, &mut rng);
+            let hv = self.encode_scene(&scene, &mut rng)?;
+            let mut decoded = self.decode_scene(&hv)?;
+            let mut truth: Vec<(u16, u16, u16)> = scene
+                .objects
+                .iter()
+                .map(|o| (o.position, o.color, o.size_type))
+                .collect();
+            decoded.sort_unstable();
+            truth.sort_unstable();
+            if decoded == truth {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / n_scenes.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cifar10_config() -> CifarPipelineConfig {
+        CifarPipelineConfig {
+            samples_per_class: 24,
+            ..CifarPipelineConfig::cifar10()
+        }
+    }
+
+    #[test]
+    fn cifar10_pipeline_classifies_well() {
+        let pipeline = CifarPipeline::new(small_cifar10_config()).unwrap();
+        let acc = pipeline.evaluate(200, 1).unwrap();
+        assert!(acc > 0.85, "CIFAR-10 pipeline accuracy {acc}");
+    }
+
+    #[test]
+    fn cifar10_accuracy_tracks_frontend() {
+        // The symbolic layer should lose only a few points relative to the
+        // simulated CNN front-end (paper: < 3% on CIFAR-10 at high D).
+        let pipeline = CifarPipeline::new(small_cifar10_config()).unwrap();
+        let frontend = pipeline.features().reference_accuracy(100, 5);
+        let symbolic = pipeline.evaluate(300, 2).unwrap();
+        assert!(
+            frontend - symbolic < 0.1,
+            "symbolic loss too large: frontend {frontend}, symbolic {symbolic}"
+        );
+    }
+
+    #[test]
+    fn alignment_is_meaningful() {
+        let pipeline = CifarPipeline::new(small_cifar10_config()).unwrap();
+        let a = pipeline.alignment();
+        assert!(a > 0.1 && a < 0.9, "alignment {a}");
+        // Threshold scales below the alignment-shrunk signal.
+        let th = pipeline.superposed_threshold(2);
+        assert!(th > 0.0 && th < 0.25 * a + 1e-9, "threshold {th}");
+    }
+
+    #[test]
+    fn cifar10_superposed_inference_recovers_classes() {
+        let pipeline = CifarPipeline::new(small_cifar10_config()).unwrap();
+        let acc = pipeline.evaluate_superposed(2, 40, 3).unwrap();
+        assert!(acc > 0.5, "superposed (k=2) accuracy {acc}");
+    }
+
+    #[test]
+    fn cifar100_fine_and_coarse_accuracy() {
+        let config = CifarPipelineConfig {
+            samples_per_class: 24,
+            ..CifarPipelineConfig::cifar100()
+        };
+        let pipeline = CifarPipeline::new(config).unwrap();
+        let fine = pipeline.evaluate(200, 4).unwrap();
+        let coarse = pipeline.evaluate_coarse(200, 4).unwrap();
+        assert!(fine > 0.45, "fine accuracy {fine}");
+        assert!(coarse > 0.6, "coarse accuracy {coarse}");
+    }
+
+    #[test]
+    fn cifar10_rejects_coarse_queries() {
+        let pipeline = CifarPipeline::new(small_cifar10_config()).unwrap();
+        let mut rng = hdc::rng_from_seed(1);
+        let hv = pipeline.encode_image(0, &mut rng).unwrap();
+        assert!(pipeline.classify_coarse(&hv).is_err());
+    }
+
+    #[test]
+    fn raven_center_panels_decode() {
+        let pipeline =
+            RavenPipeline::new(RavenConfig::Center, RavenPipelineConfig::default()).unwrap();
+        let acc = pipeline.evaluate(40, 5).unwrap();
+        assert!(acc > 0.85, "RAVEN Center accuracy {acc}");
+    }
+
+    #[test]
+    fn raven_two_object_configs_decode() {
+        let pipeline =
+            RavenPipeline::new(RavenConfig::LeftRight, RavenPipelineConfig::default()).unwrap();
+        let acc = pipeline.evaluate(30, 6).unwrap();
+        assert!(acc > 0.6, "RAVEN L-R accuracy {acc}");
+    }
+
+    #[test]
+    fn raven_scene_roundtrip_without_noise() {
+        let config = RavenPipelineConfig {
+            attr_flip_prob: 0.0,
+            dim: 2048,
+            ..RavenPipelineConfig::default()
+        };
+        let pipeline = RavenPipeline::new(RavenConfig::Grid2x2, config).unwrap();
+        let mut rng = hdc::rng_from_seed(7);
+        let scene = RavenScene::sample_with_count(RavenConfig::Grid2x2, 2, &mut rng);
+        let hv = pipeline.encode_scene(&scene, &mut rng).unwrap();
+        let mut decoded = pipeline.decode_scene(&hv).unwrap();
+        let mut truth: Vec<(u16, u16, u16)> = scene
+            .objects
+            .iter()
+            .map(|o| (o.position, o.color, o.size_type))
+            .collect();
+        decoded.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(decoded, truth);
+    }
+}

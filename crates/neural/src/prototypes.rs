@@ -1,0 +1,224 @@
+//! Prototype (centroid) training in hypervector space.
+//!
+//! Training mirrors Fig. 1(b): sample images per class through the feature
+//! model, encode each with the random projection, bundle per class, and
+//! binarize the centroid. The resulting prototype codebook is what gets
+//! installed into the FactorHD taxonomy via `Taxonomy::set_codebook`.
+//!
+//! The `superposition` knob reproduces the paper's bundled-image training
+//! (Table II, "number of bundled image inputs"): each training presentation
+//! superposes the features of `k` images of *different* classes before
+//! encoding, and the shared (interfered) code is credited to every class in
+//! the bundle. Larger `k` trains faster but yields noisier prototypes.
+
+use crate::{FeatureModel, RandomProjection};
+use hdc::{AccumHv, BipolarHv, Codebook};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`train_prototypes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainConfig {
+    /// Training presentations accumulated per class.
+    pub samples_per_class: usize,
+    /// Number of images superposed per presentation (1 = standard).
+    pub superposition: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            samples_per_class: 32,
+            superposition: 1,
+            seed: 0x7EA1,
+        }
+    }
+}
+
+/// Trains one prototype hypervector per class and returns them as a
+/// codebook (class index = item index).
+///
+/// # Panics
+///
+/// Panics if `samples_per_class == 0`, `superposition == 0`, or
+/// `superposition > model.n_classes()` (bundled images are drawn from
+/// distinct classes).
+pub fn train_prototypes(
+    model: &FeatureModel,
+    projection: &RandomProjection,
+    config: TrainConfig,
+) -> Codebook {
+    assert!(config.samples_per_class > 0, "need at least one sample per class");
+    assert!(config.superposition > 0, "superposition must be at least 1");
+    assert!(
+        config.superposition <= model.n_classes(),
+        "cannot superpose {} distinct classes out of {}",
+        config.superposition,
+        model.n_classes()
+    );
+    assert_eq!(
+        model.feat_dim(),
+        projection.feat_dim(),
+        "feature model and projection disagree on feature dim"
+    );
+
+    let n = model.n_classes();
+    let dim = projection.dim();
+    let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[config.seed, 0x7137]));
+    let mut accumulators: Vec<AccumHv> = (0..n).map(|_| AccumHv::zeros(dim)).collect();
+    let mut presentations = vec![0usize; n];
+    let mut class_order: Vec<usize> = (0..n).collect();
+
+    // Round-robin over anchor classes until every class has its quota.
+    while presentations.iter().any(|&p| p < config.samples_per_class) {
+        for anchor in 0..n {
+            if presentations[anchor] >= config.samples_per_class {
+                continue;
+            }
+            let classes = bundle_classes(anchor, &mut class_order, config.superposition, &mut rng);
+            let code = encode_bundle(model, projection, &classes, &mut rng);
+            for &c in &classes {
+                accumulators[c].add_bipolar(&code, 1);
+                presentations[c] = presentations[c].saturating_add(1);
+            }
+        }
+    }
+
+    let items: Vec<BipolarHv> = accumulators.iter().map(AccumHv::sign_bipolar).collect();
+    Codebook::from_items(items).expect("n > 0 prototypes of equal dim")
+}
+
+/// Picks `k` distinct classes including `anchor`.
+fn bundle_classes<R: Rng + ?Sized>(
+    anchor: usize,
+    class_order: &mut [usize],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    if k == 1 {
+        return vec![anchor];
+    }
+    class_order.shuffle(rng);
+    let mut picked = vec![anchor];
+    for &c in class_order.iter() {
+        if picked.len() == k {
+            break;
+        }
+        if c != anchor {
+            picked.push(c);
+        }
+    }
+    picked
+}
+
+/// Superposes the features of one image per class in `classes` and encodes
+/// the sum.
+pub(crate) fn encode_bundle<R: Rng + ?Sized>(
+    model: &FeatureModel,
+    projection: &RandomProjection,
+    classes: &[usize],
+    rng: &mut R,
+) -> BipolarHv {
+    let mut sum = vec![0.0f64; model.feat_dim()];
+    for &c in classes {
+        for (s, x) in sum.iter_mut().zip(model.sample(c, rng)) {
+            *s += x;
+        }
+    }
+    projection.encode(&sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng_from_seed;
+
+    fn setup() -> (FeatureModel, RandomProjection) {
+        let model = FeatureModel::derive(11, 10, 64, 0.2);
+        let projection = RandomProjection::derive(11, 64, 2048);
+        (model, projection)
+    }
+
+    #[test]
+    fn prototypes_classify_fresh_samples() {
+        let (model, projection) = setup();
+        let prototypes = train_prototypes(&model, &projection, TrainConfig::default());
+        let mut rng = rng_from_seed(1);
+        let mut correct = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let class = t % 10;
+            let query = projection.encode(&model.sample(class, &mut rng));
+            if prototypes.best_match(&query).unwrap().index == class {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / trials as f64 > 0.9, "accuracy {correct}/{trials}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (model, projection) = setup();
+        let a = train_prototypes(&model, &projection, TrainConfig::default());
+        let b = train_prototypes(&model, &projection, TrainConfig::default());
+        assert_eq!(a.item(3), b.item(3));
+    }
+
+    #[test]
+    fn prototypes_are_class_distinct() {
+        let (model, projection) = setup();
+        let prototypes = train_prototypes(&model, &projection, TrainConfig::default());
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let sim = prototypes.item(i).sim(prototypes.item(j));
+                assert!(sim < 0.6, "prototypes {i},{j} too similar: {sim}");
+            }
+        }
+    }
+
+    #[test]
+    fn superposed_training_still_learns_but_noisier() {
+        let (model, projection) = setup();
+        let clean = train_prototypes(&model, &projection, TrainConfig::default());
+        let superposed = train_prototypes(
+            &model,
+            &projection,
+            TrainConfig {
+                superposition: 3,
+                ..TrainConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(2);
+        let eval = |cb: &hdc::Codebook, rng: &mut rand::rngs::StdRng| {
+            let mut correct = 0;
+            for t in 0..200 {
+                let class = t % 10;
+                let q = projection.encode(&model.sample(class, rng));
+                if cb.best_match(&q).unwrap().index == class {
+                    correct += 1;
+                }
+            }
+            correct as f64 / 200.0
+        };
+        let acc_clean = eval(&clean, &mut rng);
+        let acc_super = eval(&superposed, &mut rng);
+        assert!(acc_super > 0.5, "superposed training collapsed: {acc_super}");
+        assert!(acc_clean >= acc_super, "{acc_clean} vs {acc_super}");
+    }
+
+    #[test]
+    #[should_panic(expected = "superpose")]
+    fn rejects_oversized_bundles() {
+        let (model, projection) = setup();
+        let _ = train_prototypes(
+            &model,
+            &projection,
+            TrainConfig {
+                superposition: 11,
+                ..TrainConfig::default()
+            },
+        );
+    }
+}

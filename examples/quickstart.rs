@@ -1,0 +1,44 @@
+//! Quickstart: encode one object with class–subclass structure and
+//! factorize it back.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use factorhd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A taxonomy with three classes. "animal" has two subclass levels
+    // (e.g. dog -> spaniel), the others one.
+    let taxonomy = TaxonomyBuilder::new(2048)
+        .seed(42)
+        .class("animal", &[16, 8])
+        .class("color", &[10])
+        .class("size", &[6])
+        .build()?;
+
+    // The object: animal 3 -> sub-animal 5, color 7, size 2.
+    let object = ObjectSpec::new(vec![
+        Some(ItemPath::new(vec![3, 5])),
+        Some(ItemPath::top(7)),
+        Some(ItemPath::top(2)),
+    ]);
+
+    // Encode: clip(LABEL_animal + a3 + a3.5) ⊙ clip(LABEL_color + c7) ⊙ …
+    let encoder = Encoder::new(&taxonomy);
+    let hv = encoder.encode_scene(&Scene::single(object.clone()))?;
+    println!("encoded {} into a {}-dimensional hypervector", object, hv.dim());
+
+    // Factorize: unbind the other labels per class, similarity-scan the
+    // codebooks, descend the hierarchy.
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+    let decoded = factorizer.factorize_single(&hv)?;
+    println!(
+        "decoded  {} (confidence {:.3})",
+        decoded.object(),
+        decoded.confidence()
+    );
+    assert_eq!(decoded.object(), &object);
+    println!("round trip exact ✓");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! RAVEN-style visual reasoning: encode a multi-object panel (position /
+//! color / size-type attributes, extracted by the simulated neural
+//! front-end) and factorize the full object list back out of one
+//! hypervector.
+//!
+//! ```sh
+//! cargo run --release --example raven_reasoning
+//! ```
+
+use factorhd::neural::datasets::raven::{RavenConfig, RavenScene};
+use factorhd::neural::{RavenPipeline, RavenPipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = RavenConfig::Grid2x2;
+    let pipeline = RavenPipeline::new(config, RavenPipelineConfig::default())?;
+    let mut rng = hdc::rng_from_seed(2024);
+
+    // Sample a ground-truth panel with 3 objects on the 2×2 grid.
+    let scene = RavenScene::sample_with_count(config, 3, &mut rng);
+    println!("panel ({}):", config.name());
+    for obj in &scene.objects {
+        println!(
+            "  - position {} | color {} | size-type {}",
+            obj.position, obj.color, obj.size_type
+        );
+    }
+
+    // Encode through the noisy neural front-end, then factorize.
+    let hv = pipeline.encode_scene(&scene, &mut rng)?;
+    let mut decoded = pipeline.decode_scene(&hv)?;
+    decoded.sort_unstable();
+    println!("\nfactorized:");
+    for (p, c, s) in &decoded {
+        println!("  - position {p} | color {c} | size-type {s}");
+    }
+
+    let mut truth: Vec<(u16, u16, u16)> = scene
+        .objects
+        .iter()
+        .map(|o| (o.position, o.color, o.size_type))
+        .collect();
+    truth.sort_unstable();
+    assert_eq!(decoded, truth);
+    println!("\npanel recovered exactly ✓");
+
+    // Accuracy across all seven configurations (small sample).
+    println!("\nper-configuration accuracy (60 panels each, D = 1000):");
+    for config in RavenConfig::ALL {
+        let pipeline = RavenPipeline::new(config, RavenPipelineConfig::default())?;
+        let acc = pipeline.evaluate(60, 77)?;
+        println!("  {:<8} {:.2}", config.name(), acc);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # factorhd — facade crate for the FactorHD reproduction
+//!
+//! This crate re-exports the whole public API of the workspace so that
+//! downstream users (and the `examples/` binaries) can depend on a single
+//! crate:
+//!
+//! * [`hdc`] — the hyperdimensional-computing substrate (hypervectors,
+//!   operators, codebooks).
+//! * [`core`] — the paper's contribution: the FactorHD taxonomy encoder and
+//!   factorization algorithm.
+//! * [`baselines`] — the comparison systems from the paper's evaluation
+//!   (resonator network, IMC stochastic factorizer, class-instance model).
+//! * [`neural`] — the simulated ResNet-18 front-end, synthetic RAVEN /
+//!   CIFAR datasets, and the end-to-end neuro-symbolic pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use factorhd::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A taxonomy with 3 classes, each with 8 top-level items.
+//! let taxonomy = TaxonomyBuilder::new(2048)
+//!     .class("animal", &[8])
+//!     .class("color", &[8])
+//!     .class("size", &[8])
+//!     .build()?;
+//!
+//! // Encode one object: animal #3, color #1, size #5.
+//! let object = ObjectSpec::new(vec![
+//!     Some(ItemPath::new(vec![3])),
+//!     Some(ItemPath::new(vec![1])),
+//!     Some(ItemPath::new(vec![5])),
+//! ]);
+//! let encoder = Encoder::new(&taxonomy);
+//! let scene = encoder.encode_scene(&Scene::single(object.clone()))?;
+//!
+//! // Factorize it back.
+//! let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+//! let decoded = factorizer.factorize_single(&scene)?;
+//! assert_eq!(decoded.object(), &object);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use factorhd_baselines as baselines;
+pub use factorhd_core as core;
+pub use factorhd_neural as neural;
+pub use hdc;
+
+/// One-stop import for the types used in typical FactorHD workflows.
+pub mod prelude {
+    pub use factorhd_core::{
+        DecodedObject, DecodedScene, Encoder, FactorizeConfig, Factorizer, ItemPath, ObjectSpec,
+        Scene, SceneQuery, Taxonomy, TaxonomyBuilder, ThresholdPolicy,
+    };
+    pub use hdc::prelude::*;
+}

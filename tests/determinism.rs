@@ -1,0 +1,98 @@
+//! Determinism guarantees: identical seeds must reproduce identical
+//! structures, encodings, and factorizations across the whole stack —
+//! the property every experiment in EXPERIMENTS.md relies on.
+
+use factorhd::baselines::{FactorizationProblem, ImcConfig, ImcFactorizer};
+use factorhd::prelude::*;
+
+fn build_taxonomy(seed: u64) -> Taxonomy {
+    TaxonomyBuilder::new(1024)
+        .seed(seed)
+        .class("animal", &[8, 4])
+        .class("color", &[8])
+        .build()
+        .expect("valid taxonomy")
+}
+
+#[test]
+fn taxonomies_reproduce_bit_identically() {
+    let a = build_taxonomy(55);
+    let b = build_taxonomy(55);
+    assert_eq!(a.label(0), b.label(0));
+    assert_eq!(a.label(1), b.label(1));
+    assert_eq!(a.null_hv(), b.null_hv());
+    assert_eq!(
+        a.codebook(0, &[3]).expect("valid").as_ref(),
+        b.codebook(0, &[3]).expect("valid").as_ref()
+    );
+}
+
+#[test]
+fn different_seeds_give_different_taxonomies() {
+    let a = build_taxonomy(55);
+    let b = build_taxonomy(56);
+    assert_ne!(a.label(0), b.label(0));
+}
+
+#[test]
+fn scene_encoding_reproduces() {
+    let taxonomy = build_taxonomy(57);
+    let encoder = Encoder::new(&taxonomy);
+    let mut rng1 = hdc::rng_from_seed(1);
+    let mut rng2 = hdc::rng_from_seed(1);
+    let s1 = taxonomy.sample_scene(3, true, &mut rng1);
+    let s2 = taxonomy.sample_scene(3, true, &mut rng2);
+    assert_eq!(s1, s2);
+    assert_eq!(
+        encoder.encode_scene(&s1).expect("encodable"),
+        encoder.encode_scene(&s2).expect("encodable")
+    );
+}
+
+#[test]
+fn factorization_reproduces() {
+    let taxonomy = build_taxonomy(58);
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(
+        &taxonomy,
+        FactorizeConfig {
+            threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+            ..FactorizeConfig::default()
+        },
+    );
+    let mut rng = hdc::rng_from_seed(2);
+    let scene = taxonomy.sample_scene(2, true, &mut rng);
+    let hv = encoder.encode_scene(&scene).expect("encodable");
+    let a = factorizer.factorize_multi(&hv).expect("decodable");
+    let b = factorizer.factorize_multi(&hv).expect("decodable");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stochastic_baseline_reproduces_with_fixed_seed() {
+    let problem = FactorizationProblem::derive(59, 3, 16, 512);
+    let config = ImcConfig {
+        seed: 999,
+        ..ImcConfig::default()
+    };
+    let a = ImcFactorizer::new(config).solve(&problem);
+    let b = ImcFactorizer::new(config).solve(&problem);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn neural_pipeline_reproduces() {
+    use factorhd::neural::{CifarPipeline, CifarPipelineConfig};
+    let config = CifarPipelineConfig {
+        dim: 1024,
+        samples_per_class: 8,
+        ..CifarPipelineConfig::cifar10()
+    };
+    let p1 = CifarPipeline::new(config).expect("valid pipeline");
+    let p2 = CifarPipeline::new(config).expect("valid pipeline");
+    assert_eq!(p1.alignment(), p2.alignment());
+    assert_eq!(
+        p1.evaluate(50, 3).expect("runs"),
+        p2.evaluate(50, 3).expect("runs")
+    );
+}

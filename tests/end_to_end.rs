@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: FactorHD, the baselines, and the neural
+//! pipeline exercised together through the facade crate's public API.
+
+use factorhd::baselines::{
+    oracle, FactorizationProblem, ImcConfig, ImcFactorizer, Resonator, ResonatorConfig,
+};
+use factorhd::prelude::*;
+
+#[test]
+fn all_factorizers_solve_the_same_cc_problem() {
+    // One shared class–class instance; every solver must crack it.
+    let problem = FactorizationProblem::derive(404, 3, 8, 1024);
+    let resonator = Resonator::new(ResonatorConfig::default()).solve(&problem);
+    assert!(resonator.is_correct(&problem), "resonator failed");
+    let imc = ImcFactorizer::new(ImcConfig::default()).solve(&problem);
+    assert!(imc.is_correct(&problem), "IMC factorizer failed");
+    let brute = oracle::exhaustive_solve(&problem, 1024);
+    assert!(brute.is_correct(&problem), "oracle failed");
+    // The oracle pays the full M^F cost; the iterative solvers do not.
+    assert_eq!(brute.iterations, 512);
+    assert!(resonator.iterations < 512);
+}
+
+#[test]
+fn factorhd_matches_oracle_semantics_on_flat_taxonomies() {
+    // On Rep-1 problems, FactorHD's label-elimination decode must find the
+    // same assignment the exhaustive search would (the unique true one).
+    let taxonomy = TaxonomyBuilder::new(2048)
+        .seed(405)
+        .uniform_classes(3, &[8])
+        .build()
+        .expect("valid taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+    let mut rng = hdc::rng_from_seed(406);
+    for _ in 0..20 {
+        let object = taxonomy.sample_object(&mut rng);
+        let hv = encoder
+            .encode_scene(&Scene::single(object.clone()))
+            .expect("encodable");
+        let decoded = factorizer.factorize_single(&hv).expect("decodable");
+        assert_eq!(decoded.object(), &object);
+    }
+}
+
+#[test]
+fn factorhd_handles_what_breaks_the_ci_model() {
+    use factorhd::baselines::CiModel;
+
+    // Two scenes that are indistinguishable to the C-I model (superposition
+    // catastrophe) are distinguishable to FactorHD.
+    let ci = CiModel::derive(407, 2, 8, 2048);
+    let ci_a = ci.encode_scene(&[vec![1, 2], vec![3, 4]]);
+    let ci_b = ci.encode_scene(&[vec![1, 4], vec![3, 2]]);
+    assert_eq!(ci_a, ci_b, "C-I collision expected");
+
+    let taxonomy = TaxonomyBuilder::new(4096)
+        .seed(408)
+        .uniform_classes(2, &[8])
+        .build()
+        .expect("valid taxonomy");
+    let encoder = Encoder::new(&taxonomy);
+    let make_scene = |pairs: &[(u16, u16)]| -> Scene {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                ObjectSpec::present(vec![ItemPath::top(a), ItemPath::top(b)])
+            })
+            .collect()
+    };
+    let scene_a = make_scene(&[(1, 2), (3, 4)]);
+    let scene_b = make_scene(&[(1, 4), (3, 2)]);
+    let hv_a = encoder.encode_scene(&scene_a).expect("encodable");
+    let hv_b = encoder.encode_scene(&scene_b).expect("encodable");
+    assert_ne!(hv_a, hv_b, "FactorHD encodings must differ");
+
+    let factorizer = Factorizer::new(
+        &taxonomy,
+        FactorizeConfig {
+            threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+            ..FactorizeConfig::default()
+        },
+    );
+    let decoded_a = factorizer.factorize_multi(&hv_a).expect("decodable");
+    let decoded_b = factorizer.factorize_multi(&hv_b).expect("decodable");
+    assert!(decoded_a.to_scene().same_multiset(&scene_a));
+    assert!(decoded_b.to_scene().same_multiset(&scene_b));
+    assert!(!decoded_a.to_scene().same_multiset(&scene_b));
+}
+
+#[test]
+fn facade_prelude_covers_the_main_workflow() {
+    // The quickstart path compiles and runs purely from the prelude.
+    let taxonomy = TaxonomyBuilder::new(1024)
+        .class("a", &[4])
+        .class("b", &[4])
+        .build()
+        .expect("valid taxonomy");
+    let object = ObjectSpec::present(vec![ItemPath::top(1), ItemPath::top(2)]);
+    let encoder = Encoder::new(&taxonomy);
+    let hv = encoder
+        .encode_scene(&Scene::single(object.clone()))
+        .expect("encodable");
+    let decoded = Factorizer::new(&taxonomy, FactorizeConfig::default())
+        .factorize_single(&hv)
+        .expect("decodable");
+    assert_eq!(decoded.object(), &object);
+}
+
+#[test]
+fn neural_pipeline_runs_through_the_facade() {
+    use factorhd::neural::{CifarPipeline, CifarPipelineConfig};
+
+    let pipeline = CifarPipeline::new(CifarPipelineConfig {
+        dim: 2048,
+        samples_per_class: 16,
+        ..CifarPipelineConfig::cifar10()
+    })
+    .expect("valid pipeline");
+    let accuracy = pipeline.evaluate(100, 9).expect("evaluation runs");
+    assert!(accuracy > 0.75, "pipeline accuracy {accuracy}");
+}
+
+#[test]
+fn raven_pipeline_runs_through_the_facade() {
+    use factorhd::neural::datasets::raven::RavenConfig;
+    use factorhd::neural::{RavenPipeline, RavenPipelineConfig};
+
+    let pipeline = RavenPipeline::new(RavenConfig::Center, RavenPipelineConfig::default())
+        .expect("valid pipeline");
+    let accuracy = pipeline.evaluate(30, 10).expect("evaluation runs");
+    assert!(accuracy > 0.8, "RAVEN Center accuracy {accuracy}");
+}
