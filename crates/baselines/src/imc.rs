@@ -122,8 +122,7 @@ impl ImcFactorizer {
                 let mut any_active = false;
                 let mut best = (0usize, f64::NEG_INFINITY);
                 for (j, &dot) in dots.iter().enumerate() {
-                    let noisy =
-                        dot as f64 / dim + read_noise * sample_standard_normal(rng);
+                    let noisy = dot as f64 / dim + read_noise * sample_standard_normal(rng);
                     if noisy > best.1 {
                         best = (j, noisy);
                     }
@@ -226,6 +225,46 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_sampler_shape_and_tails() {
+        // Pin the Box–Muller sampler beyond its first two moments: a
+        // standard normal has zero skew, zero excess kurtosis, and puts
+        // 5% of its mass outside ±1.96.
+        let mut rng = hdc::rng_from_seed(10);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| rand_distr_normal::sample_standard_normal(&mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let moment = |p: i32| samples.iter().map(|x| (x - mean).powi(p)).sum::<f64>() / n as f64;
+        let sd = moment(2).sqrt();
+        let skew = moment(3) / sd.powi(3);
+        let excess_kurtosis = moment(4) / sd.powi(4) - 3.0;
+        assert!(skew.abs() < 0.05, "skew {skew}");
+        assert!(
+            excess_kurtosis.abs() < 0.1,
+            "excess kurtosis {excess_kurtosis}"
+        );
+        let outside = samples.iter().filter(|x| x.abs() > 1.96).count() as f64 / n as f64;
+        assert!(
+            (outside - 0.05).abs() < 0.01,
+            "two-sided tail mass {outside}"
+        );
+        assert!(samples.iter().all(|x| x.is_finite()), "all draws finite");
+    }
+
+    #[test]
+    fn normal_sampler_is_deterministic() {
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut rng = hdc::rng_from_seed(seed);
+            (0..64)
+                .map(|_| rand_distr_normal::sample_standard_normal(&mut rng))
+                .collect()
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
     }
 
     #[test]

@@ -201,7 +201,9 @@ mod tests {
             let trials = 6;
             for seed in 0..trials {
                 let problem = FactorizationProblem::derive(2000 + seed, 3, m, dim);
-                total += Resonator::new(ResonatorConfig::default()).solve(&problem).iterations;
+                total += Resonator::new(ResonatorConfig::default())
+                    .solve(&problem)
+                    .iterations;
             }
             total as f64 / trials as f64
         };

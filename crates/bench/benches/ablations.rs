@@ -33,7 +33,11 @@ fn bench_ablations(c: &mut Criterion) {
             },
         );
         group.bench_function(format!("rep2_refine_width_{width}"), |b| {
-            b.iter(|| factorizer.factorize_single(black_box(&single)).expect("decodes"))
+            b.iter(|| {
+                factorizer
+                    .factorize_single(black_box(&single))
+                    .expect("decodes")
+            })
         });
     }
     for (name, accept) in [("off", 0.0f64), ("on", 0.75)] {
@@ -47,7 +51,11 @@ fn bench_ablations(c: &mut Criterion) {
             },
         );
         group.bench_function(format!("rep3_acceptance_{name}"), |b| {
-            b.iter(|| factorizer.factorize_multi(black_box(&multi)).expect("decodes"))
+            b.iter(|| {
+                factorizer
+                    .factorize_multi(black_box(&multi))
+                    .expect("decodes")
+            })
         });
     }
     group.finish();

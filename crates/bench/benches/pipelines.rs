@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use factorhd_neural::datasets::raven::{RavenConfig, RavenScene};
-use factorhd_neural::{
-    CifarPipeline, CifarPipelineConfig, RavenPipeline, RavenPipelineConfig,
-};
+use factorhd_neural::{CifarPipeline, CifarPipelineConfig, RavenPipeline, RavenPipelineConfig};
 use std::hint::black_box;
 
 fn bench_pipelines(c: &mut Criterion) {
@@ -40,7 +38,11 @@ fn bench_pipelines(c: &mut Criterion) {
     let scene = RavenScene::sample_with_count(RavenConfig::Grid2x2, 2, &mut rng);
     let panel = raven.encode_scene(&scene, &mut rng).expect("encodes");
     group.bench_function("raven_encode_panel", |b| {
-        b.iter(|| raven.encode_scene(black_box(&scene), &mut rng).expect("encodes"))
+        b.iter(|| {
+            raven
+                .encode_scene(black_box(&scene), &mut rng)
+                .expect("encodes")
+        })
     });
     group.bench_function("raven_decode_panel", |b| {
         b.iter(|| raven.decode_scene(black_box(&panel)).expect("decodes"))

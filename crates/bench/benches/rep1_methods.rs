@@ -30,7 +30,11 @@ fn bench_methods(c: &mut Criterion) {
         .encode_scene(&Scene::single(object))
         .expect("encodable");
     group.bench_function("factorhd_single", |b| {
-        b.iter(|| factorizer.factorize_single(black_box(&hv)).expect("decodes"))
+        b.iter(|| {
+            factorizer
+                .factorize_single(black_box(&hv))
+                .expect("decodes")
+        })
     });
 
     // Resonator.
@@ -42,9 +46,7 @@ fn bench_methods(c: &mut Criterion) {
 
     // IMC factorizer.
     let imc = ImcFactorizer::new(ImcConfig::default());
-    group.bench_function("imc_solve", |b| {
-        b.iter(|| imc.solve(black_box(&problem)))
-    });
+    group.bench_function("imc_solve", |b| b.iter(|| imc.solve(black_box(&problem))));
 
     // C-I model.
     let ci = CiModel::derive(4, F, M, DIM);

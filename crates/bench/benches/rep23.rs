@@ -2,9 +2,7 @@
 //! reduced hierarchy (64 × 10 items) and D = 1024.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use factorhd_core::{
-    Encoder, FactorizeConfig, Factorizer, TaxonomyBuilder, ThresholdPolicy,
-};
+use factorhd_core::{Encoder, FactorizeConfig, Factorizer, TaxonomyBuilder, ThresholdPolicy};
 use std::hint::black_box;
 
 fn bench_rep23(c: &mut Criterion) {
@@ -19,11 +17,17 @@ fn bench_rep23(c: &mut Criterion) {
     let mut group = c.benchmark_group("rep23");
 
     let single = encoder
-        .encode_scene(&factorhd_core::Scene::single(taxonomy.sample_object(&mut rng)))
+        .encode_scene(&factorhd_core::Scene::single(
+            taxonomy.sample_object(&mut rng),
+        ))
         .expect("encodable");
     let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
     group.bench_function("rep2_single_object", |b| {
-        b.iter(|| factorizer.factorize_single(black_box(&single)).expect("decodes"))
+        b.iter(|| {
+            factorizer
+                .factorize_single(black_box(&single))
+                .expect("decodes")
+        })
     });
 
     let scene = taxonomy.sample_scene(2, true, &mut rng);
@@ -37,7 +41,11 @@ fn bench_rep23(c: &mut Criterion) {
         },
     );
     group.bench_function("rep3_two_objects", |b| {
-        b.iter(|| multi_factorizer.factorize_multi(black_box(&multi)).expect("decodes"))
+        b.iter(|| {
+            multi_factorizer
+                .factorize_multi(black_box(&multi))
+                .expect("decodes")
+        })
     });
 
     group.bench_function("encode_scene_two_objects", |b| {

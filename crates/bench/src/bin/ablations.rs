@@ -14,9 +14,7 @@
 
 use factorhd_bench::{parse_quick, Table};
 use factorhd_core::report::AccuracyCounter;
-use factorhd_core::{
-    Encoder, FactorizeConfig, Factorizer, TaxonomyBuilder, ThresholdPolicy,
-};
+use factorhd_core::{Encoder, FactorizeConfig, Factorizer, TaxonomyBuilder, ThresholdPolicy};
 
 fn rep2_accuracy(d: usize, trials: usize, config: FactorizeConfig) -> f64 {
     let taxonomy = TaxonomyBuilder::new(d)
@@ -148,7 +146,9 @@ fn main() {
         labelled.record(decoded.object() == &object);
 
         // Bare C-C product: direct per-item similarity is pure noise.
-        let cc = encoder.encode_object_unlabelled(&object).expect("encodable");
+        let cc = encoder
+            .encode_object_unlabelled(&object)
+            .expect("encodable");
         let item = taxonomy
             .item_hv(0, object.assignment(0).expect("present"))
             .expect("valid path");

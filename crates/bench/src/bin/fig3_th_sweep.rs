@@ -18,16 +18,15 @@ fn grid() -> Vec<f64> {
 fn main() {
     let (_, trials) = parse_quick(96, 24);
     let mut observations: Vec<ThObservation> = Vec::new();
-    let record =
-        |obs: &mut Vec<ThObservation>, n: usize, f: usize, d: usize, m: usize, th: f64| {
-            obs.push(ThObservation {
-                n_objects: n,
-                f_classes: f,
-                dim: d,
-                m_items: m,
-                th_star: th,
-            });
-        };
+    let record = |obs: &mut Vec<ThObservation>, n: usize, f: usize, d: usize, m: usize, th: f64| {
+        obs.push(ThObservation {
+            n_objects: n,
+            f_classes: f,
+            dim: d,
+            m_items: m,
+            th_star: th,
+        });
+    };
 
     // (a) TH* vs D and N at M = 10, F = 4.
     let mut ta = Table::new(
@@ -58,11 +57,7 @@ fn main() {
     for m in [5usize, 10, 20, 50] {
         let (th_star, points) = th_sweep(3, 4, 2000, m, &grid(), trials, 72);
         let best = points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
-        tb.row(&[
-            m.to_string(),
-            format!("{th_star:.3}"),
-            format!("{best:.3}"),
-        ]);
+        tb.row(&[m.to_string(), format!("{th_star:.3}"), format!("{best:.3}")]);
         record(&mut observations, 3, 4, 2000, m, th_star);
     }
     tb.print();
@@ -76,11 +71,7 @@ fn main() {
     for f in [2usize, 3, 4, 5] {
         let (th_star, points) = th_sweep(3, f, 2000, 10, &grid(), trials, 73);
         let best = points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
-        tc.row(&[
-            f.to_string(),
-            format!("{th_star:.3}"),
-            format!("{best:.3}"),
-        ]);
+        tc.row(&[f.to_string(), format!("{th_star:.3}"), format!("{best:.3}")]);
         record(&mut observations, 3, f, 2000, 10, th_star);
     }
     tc.print();

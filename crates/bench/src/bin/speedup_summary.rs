@@ -14,8 +14,16 @@ fn main() {
     let mut table = Table::new(
         "Headline speedup: FactorHD vs C-C factorizers (F = 3, D = 1500; FactorHD D = 750)",
         &[
-            "size", "M", "FHD us", "FHD acc", "IMC ms", "IMC acc", "Res ms", "Res acc",
-            "speedup vs IMC", "speedup vs Res",
+            "size",
+            "M",
+            "FHD us",
+            "FHD acc",
+            "IMC ms",
+            "IMC acc",
+            "Res ms",
+            "Res acc",
+            "speedup vs IMC",
+            "speedup vs Res",
         ],
     );
 

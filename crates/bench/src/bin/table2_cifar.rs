@@ -18,7 +18,13 @@ fn main() {
     // CIFAR-10: accuracy vs D and training superposition.
     let mut t10 = Table::new(
         "Table II (CIFAR-10): factorization accuracy vs D and superposed training",
-        &["D", "train k", "accuracy", "ref ResNet-18", "superposed k=2"],
+        &[
+            "D",
+            "train k",
+            "accuracy",
+            "ref ResNet-18",
+            "superposed k=2",
+        ],
     );
     for dim in [1024usize, 2048, 4096] {
         for train_k in [1usize, 2, 4] {
@@ -56,7 +62,9 @@ fn main() {
         })
         .expect("valid pipeline");
         let fine = pipeline.evaluate(n_test, 93).expect("evaluation runs");
-        let coarse = pipeline.evaluate_coarse(n_test, 94).expect("evaluation runs");
+        let coarse = pipeline
+            .evaluate_coarse(n_test, 94)
+            .expect("evaluation runs");
         t100.row(&[
             dim.to_string(),
             format!("{fine:.4}"),

@@ -7,12 +7,12 @@
 //! the storage space of other models") is the caller's responsibility —
 //! the binaries pass `d / 2` to the FactorHD runners.
 
+use factorhd_baselines::{
+    CiModel, FactorizationProblem, ImcConfig, ImcFactorizer, Resonator, ResonatorConfig,
+};
 use factorhd_core::report::AccuracyCounter;
 use factorhd_core::{
     Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder, ThresholdPolicy,
-};
-use factorhd_baselines::{
-    CiModel, FactorizationProblem, ImcConfig, ImcFactorizer, Resonator, ResonatorConfig,
 };
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -52,7 +52,7 @@ impl MethodResult {
 /// `M` items) at dimension `d`.
 pub fn run_factorhd_rep1(f: usize, m: usize, d: usize, trials: usize, seed: u64) -> MethodResult {
     let taxonomy = TaxonomyBuilder::new(d)
-        .seed(hdc::derive_seed(&[seed, 0xFac7]))
+        .seed(hdc::derive_seed(&[seed, 0xFAC7]))
         .uniform_classes(f, &[m])
         .build()
         .expect("valid benchmark taxonomy");
@@ -242,7 +242,9 @@ pub fn run_ci_model(f: usize, m: usize, d: usize, trials: usize, seed: u64) -> M
         .into_par_iter()
         .map(|trial| {
             let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 6, trial]));
-            let items: Vec<usize> = (0..f).map(|_| rand::Rng::gen_range(&mut rng, 0..m)).collect();
+            let items: Vec<usize> = (0..f)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..m))
+                .collect();
             let hv = model.encode_object(&items);
             let start = Instant::now();
             let decoded = model.factorize_object(&hv);
@@ -316,8 +318,9 @@ pub fn run_ci_model_scene(
             // Distinct objects (item tuples).
             let mut objects: Vec<Vec<usize>> = Vec::new();
             while objects.len() < n_objects {
-                let candidate: Vec<usize> =
-                    (0..f).map(|_| rand::Rng::gen_range(&mut rng, 0..m)).collect();
+                let candidate: Vec<usize> = (0..f)
+                    .map(|_| rand::Rng::gen_range(&mut rng, 0..m))
+                    .collect();
                 if !objects.contains(&candidate) {
                     objects.push(candidate);
                 }
@@ -372,7 +375,7 @@ pub fn th_sweep(
     seed: u64,
 ) -> (f64, Vec<SweepPoint>) {
     let taxonomy = TaxonomyBuilder::new(d)
-        .seed(hdc::derive_seed(&[seed, 0x5EEb]))
+        .seed(hdc::derive_seed(&[seed, 0x5EEB]))
         .uniform_classes(f, &[m])
         .build()
         .expect("valid benchmark taxonomy");
@@ -409,7 +412,10 @@ pub fn th_sweep(
     // Accuracy is typically flat-topped in TH (a plateau of equally good
     // thresholds); report the plateau midpoint as TH*, which is what a
     // practitioner would pick and what makes the Fig. 3 trends visible.
-    let best = points.iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
+    let best = points
+        .iter()
+        .map(|p| p.accuracy)
+        .fold(f64::NEG_INFINITY, f64::max);
     let plateau: Vec<f64> = points
         .iter()
         .filter(|p| (p.accuracy - best).abs() < 1e-12)
@@ -467,7 +473,12 @@ mod tests {
         let hi = run_factorhd_rep23(Rep23Setting::rep2(), 1500, 32, 5);
         assert!(hi.accuracy > 0.9, "accuracy at D=1500: {}", hi.accuracy);
         let lo = run_factorhd_rep23(Rep23Setting::rep2(), 500, 32, 5);
-        assert!(lo.accuracy < hi.accuracy, "low-D should be worse: {} vs {}", lo.accuracy, hi.accuracy);
+        assert!(
+            lo.accuracy < hi.accuracy,
+            "low-D should be worse: {} vs {}",
+            lo.accuracy,
+            hi.accuracy
+        );
     }
 
     #[test]

@@ -22,8 +22,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -51,8 +50,7 @@ pub fn argmax_success_probability(
     if m <= 1 {
         return 1.0;
     }
-    let sigma = ((n_objects.max(1) as f64) * rho.clamp(f64::MIN_POSITIVE, 1.0) / dim as f64)
-        .sqrt();
+    let sigma = ((n_objects.max(1) as f64) * rho.clamp(f64::MIN_POSITIVE, 1.0) / dim as f64).sqrt();
     // Gauss–Legendre-ish fixed grid over t ∈ [-8, 8].
     let steps = 400;
     let lo = -8.0f64;
@@ -102,11 +100,7 @@ pub fn predict_single_object_accuracy(taxonomy: &Taxonomy) -> f64 {
 /// # Panics
 ///
 /// Panics if `target` is not within `(0, 1)`.
-pub fn dimension_for_accuracy(
-    f: usize,
-    level_sizes: &[usize],
-    target: f64,
-) -> usize {
+pub fn dimension_for_accuracy(f: usize, level_sizes: &[usize], target: f64) -> usize {
     assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
     let clause_sizes = vec![level_sizes.len() + 1; f];
     let signal = expected_signal(&clause_sizes);
@@ -140,8 +134,8 @@ pub fn dimension_for_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder};
     use crate::report::AccuracyCounter;
+    use crate::{Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder};
 
     #[test]
     fn normal_cdf_reference_values() {
@@ -213,7 +207,10 @@ mod tests {
         );
         // The regime is genuinely marginal (neither 0 nor 1), so the test
         // actually discriminates.
-        assert!(predicted > 0.2 && predicted < 0.98, "degenerate regime {predicted}");
+        assert!(
+            predicted > 0.2 && predicted < 0.98,
+            "degenerate regime {predicted}"
+        );
     }
 
     #[test]

@@ -255,7 +255,11 @@ mod tests {
         let t = taxonomy();
         let enc = Encoder::new(&t);
         let clause = enc.encode_clause(1, Some(&ItemPath::top(0))).unwrap();
-        assert!((clause.density() - 0.5).abs() < 0.05, "density {}", clause.density());
+        assert!(
+            (clause.density() - 0.5).abs() < 0.05,
+            "density {}",
+            clause.density()
+        );
     }
 
     #[test]
@@ -263,7 +267,9 @@ mod tests {
         let t = taxonomy();
         let enc = Encoder::new(&t);
         // label + 2 path items = 3 members: no zeros.
-        let clause = enc.encode_clause(0, Some(&ItemPath::new(vec![1, 1]))).unwrap();
+        let clause = enc
+            .encode_clause(0, Some(&ItemPath::new(vec![1, 1])))
+            .unwrap();
         assert_eq!(clause.density(), 1.0);
     }
 
@@ -276,7 +282,10 @@ mod tests {
             Some(ItemPath::top(1)),
             None,
         ]);
-        assert_eq!(enc.encode_object(&obj).unwrap(), enc.encode_object(&obj).unwrap());
+        assert_eq!(
+            enc.encode_object(&obj).unwrap(),
+            enc.encode_object(&obj).unwrap()
+        );
     }
 
     #[test]
@@ -384,11 +393,7 @@ mod tests {
         let t = taxonomy();
         let enc = Encoder::new(&t);
         // Single-level paths so raw items cover the whole clause.
-        let obj = ObjectSpec::new(vec![
-            None,
-            Some(ItemPath::top(2)),
-            Some(ItemPath::top(6)),
-        ]);
+        let obj = ObjectSpec::new(vec![None, Some(ItemPath::top(2)), Some(ItemPath::top(6))]);
         let i1 = t.item_hv(1, &ItemPath::top(2)).unwrap();
         let i2 = t.item_hv(2, &ItemPath::top(6)).unwrap();
         let via_items = enc
@@ -413,11 +418,7 @@ mod tests {
     fn invalid_object_rejected() {
         let t = taxonomy();
         let enc = Encoder::new(&t);
-        let bad = ObjectSpec::present(vec![
-            ItemPath::top(99),
-            ItemPath::top(0),
-            ItemPath::top(0),
-        ]);
+        let bad = ObjectSpec::present(vec![ItemPath::top(99), ItemPath::top(0), ItemPath::top(0)]);
         assert!(enc.encode_object(&bad).is_err());
     }
 }

@@ -78,7 +78,10 @@ impl fmt::Display for FactorHdError {
             }
             FactorHdError::EmptyScene => write!(f, "cannot encode a scene with no objects"),
             FactorHdError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: taxonomy is {expected}, query is {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: taxonomy is {expected}, query is {actual}"
+                )
             }
             FactorHdError::NoObjectFound => {
                 write!(f, "no object cleared the acceptance threshold")
@@ -117,10 +120,19 @@ mod tests {
                 reason: "no levels".into(),
             },
             FactorHdError::ClassOutOfBounds { index: 4, len: 3 },
-            FactorHdError::ClassCountMismatch { object: 2, taxonomy: 3 },
-            FactorHdError::InvalidPath { class: 0, reason: "too deep".into() },
+            FactorHdError::ClassCountMismatch {
+                object: 2,
+                taxonomy: 3,
+            },
+            FactorHdError::InvalidPath {
+                class: 0,
+                reason: "too deep".into(),
+            },
             FactorHdError::EmptyScene,
-            FactorHdError::DimensionMismatch { expected: 100, actual: 50 },
+            FactorHdError::DimensionMismatch {
+                expected: 100,
+                actual: 50,
+            },
             FactorHdError::NoObjectFound,
             FactorHdError::InvalidConfig("beam width zero".into()),
         ];

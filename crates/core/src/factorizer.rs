@@ -17,9 +17,7 @@
 //!   subtraction step resolves both the "superposition catastrophe" and
 //!   "the problem of 2".
 
-use crate::{
-    Encoder, FactorHdError, ItemPath, ObjectSpec, Scene, Taxonomy, ThresholdPolicy,
-};
+use crate::{Encoder, FactorHdError, ItemPath, ObjectSpec, Scene, Taxonomy, ThresholdPolicy};
 use hdc::{AccumHv, Bind, BipolarHv, TernaryHv};
 
 /// Tuning knobs for [`Factorizer`].
@@ -444,9 +442,9 @@ impl<'a> Factorizer<'a> {
 
         // Level-1 candidate selection per class.
         let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(f);
-        for class in 0..f {
+        for (class, unbound_class) in unbound.iter().enumerate() {
             let top = self.taxonomy.codebook(class, &[])?;
-            let hits = top.above_threshold(&unbound[class], th);
+            let hits = top.above_threshold(unbound_class, th);
             stats.similarity_checks += top.len() as u64;
             let mut cands: Vec<Candidate> = hits
                 .into_iter()
@@ -458,7 +456,7 @@ impl<'a> Factorizer<'a> {
                 })
                 .collect();
             if self.config.detect_null {
-                let null_sim = unbound[class].sim_bipolar(self.taxonomy.null_hv());
+                let null_sim = unbound_class.sim_bipolar(self.taxonomy.null_hv());
                 stats.similarity_checks += 1;
                 if null_sim > th {
                     cands.push(Candidate {
@@ -831,7 +829,11 @@ mod tests {
         assert_eq!(decoded.objects.len(), 2, "duplicate object lost");
         assert_eq!(decoded.objects[0].object(), &obj);
         assert_eq!(decoded.objects[1].object(), &obj);
-        assert!(decoded.residual_norm < 1.0, "residual {}", decoded.residual_norm);
+        assert!(
+            decoded.residual_norm < 1.0,
+            "residual {}",
+            decoded.residual_norm
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl ItemPath {
     ///
     /// Panics if `indices` is empty.
     pub fn new(indices: Vec<u16>) -> Self {
-        assert!(!indices.is_empty(), "item paths must have at least one level");
+        assert!(
+            !indices.is_empty(),
+            "item paths must have at least one level"
+        );
         ItemPath(indices)
     }
 

@@ -102,7 +102,8 @@ impl<'a> SceneQuery<'a> {
             });
         }
         let k = 2; // label + NULL
-        self.probes.push((class, self.taxonomy.null_hv().clone(), k));
+        self.probes
+            .push((class, self.taxonomy.null_hv().clone(), k));
         Ok(self)
     }
 
@@ -221,7 +222,11 @@ mod tests {
             .unwrap();
         let ans = q.evaluate(&hv).unwrap();
         assert!(ans.present, "evidence {}", ans.evidence);
-        assert!((ans.evidence - 1.0).abs() < 0.35, "evidence {}", ans.evidence);
+        assert!(
+            (ans.evidence - 1.0).abs() < 0.35,
+            "evidence {}",
+            ans.evidence
+        );
     }
 
     #[test]
@@ -243,12 +248,14 @@ mod tests {
         let t = taxonomy();
         let o = object(&[3, 1], 7, 2);
         let hv = scene_hv(&t, vec![o.clone(), o]);
-        let q = SceneQuery::new(&t)
-            .with_item(1, ItemPath::top(7))
-            .unwrap();
+        let q = SceneQuery::new(&t).with_item(1, ItemPath::top(7)).unwrap();
         let ans = q.evaluate(&hv).unwrap();
         assert!(ans.present);
-        assert!((ans.evidence - 2.0).abs() < 0.5, "evidence {}", ans.evidence);
+        assert!(
+            (ans.evidence - 2.0).abs() < 0.5,
+            "evidence {}",
+            ans.evidence
+        );
     }
 
     #[test]
@@ -262,9 +269,7 @@ mod tests {
         let hv = scene_hv(&t, vec![with_null]);
         let q = SceneQuery::new(&t).with_absent(1).unwrap();
         assert!(q.evaluate(&hv).unwrap().present);
-        let q2 = SceneQuery::new(&t)
-            .with_item(1, ItemPath::top(3))
-            .unwrap();
+        let q2 = SceneQuery::new(&t).with_item(1, ItemPath::top(3)).unwrap();
         assert!(!q2.evaluate(&hv).unwrap().present);
     }
 
@@ -273,13 +278,9 @@ mod tests {
         // Query only the level-1 subclass, not the full path.
         let t = taxonomy();
         let hv = scene_hv(&t, vec![object(&[9, 3], 0, 0)]);
-        let q = SceneQuery::new(&t)
-            .with_item(0, ItemPath::top(9))
-            .unwrap();
+        let q = SceneQuery::new(&t).with_item(0, ItemPath::top(9)).unwrap();
         assert!(q.evaluate(&hv).unwrap().present);
-        let wrong = SceneQuery::new(&t)
-            .with_item(0, ItemPath::top(8))
-            .unwrap();
+        let wrong = SceneQuery::new(&t).with_item(0, ItemPath::top(8)).unwrap();
         assert!(!wrong.evaluate(&hv).unwrap().present);
     }
 

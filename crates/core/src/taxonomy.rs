@@ -115,9 +115,10 @@ impl TaxonomyBuilder {
             }
         }
 
-        let null = BipolarHv::random(self.dim, &mut hdc::rng_from_seed(derive_seed(&[
-            self.seed, TAG_NULL,
-        ])));
+        let null = BipolarHv::random(
+            self.dim,
+            &mut hdc::rng_from_seed(derive_seed(&[self.seed, TAG_NULL])),
+        );
         let classes = self
             .classes
             .into_iter()
@@ -149,6 +150,9 @@ struct ClassInfo {
     level_sizes: Vec<usize>,
 }
 
+/// Cache of lazily derived codebooks, keyed by `(class, path)`.
+type CodebookCache = RwLock<HashMap<(usize, Vec<u16>), Arc<Codebook>>>;
+
 /// The class–subclass symbol space: labels, NULL, and lazily derived item
 /// codebooks for every hierarchy level.
 ///
@@ -159,7 +163,7 @@ pub struct Taxonomy {
     seed: u64,
     null: BipolarHv,
     classes: Vec<ClassInfo>,
-    cache: RwLock<HashMap<(usize, Vec<u16>), Arc<Codebook>>>,
+    cache: CodebookCache,
 }
 
 impl Taxonomy {
@@ -470,7 +474,10 @@ impl Taxonomy {
     /// Per-class clause sizes `k_i` = 1 label + `levels` items, the bundle
     /// widths the threshold model needs.
     pub fn clause_sizes(&self) -> Vec<usize> {
-        self.classes.iter().map(|c| c.level_sizes.len() + 1).collect()
+        self.classes
+            .iter()
+            .map(|c| c.level_sizes.len() + 1)
+            .collect()
     }
 }
 
@@ -529,7 +536,10 @@ mod tests {
 
     #[test]
     fn uniform_classes_builds_f_copies() {
-        let t = TaxonomyBuilder::new(256).uniform_classes(4, &[16]).build().unwrap();
+        let t = TaxonomyBuilder::new(256)
+            .uniform_classes(4, &[16])
+            .build()
+            .unwrap();
         assert_eq!(t.num_classes(), 4);
         for i in 0..4 {
             assert_eq!(t.levels(i), 1);
@@ -601,7 +611,11 @@ mod tests {
     #[test]
     fn validate_object_checks_count_and_paths() {
         let t = small_taxonomy();
-        let ok = ObjectSpec::new(vec![Some(ItemPath::new(vec![1, 2])), None, Some(ItemPath::top(5))]);
+        let ok = ObjectSpec::new(vec![
+            Some(ItemPath::new(vec![1, 2])),
+            None,
+            Some(ItemPath::top(5)),
+        ]);
         assert!(t.validate_object(&ok).is_ok());
         let short = ObjectSpec::empty(2);
         assert!(matches!(

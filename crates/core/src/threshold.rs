@@ -263,10 +263,11 @@ fn solve_linear<const P: usize>(mut a: [[f64; P]; P], mut b: [f64; P]) -> Option
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
+        let pivot_row = a[col];
         for row in (col + 1)..P {
-            let factor = a[row][col] / a[col][col];
-            for k in col..P {
-                a[row][k] -= factor * a[col][k];
+            let factor = a[row][col] / pivot_row[col];
+            for (entry, &pivot_entry) in a[row].iter_mut().zip(pivot_row.iter()).skip(col) {
+                *entry -= factor * pivot_entry;
             }
             b[row] -= factor * b[col];
         }
@@ -362,8 +363,14 @@ mod tests {
     fn analytic_policy_tracks_paper_trends() {
         // TH* decreases with F (paper: "decreases with the number of
         // factors F").
-        let t3 = TaxonomyBuilder::new(2000).uniform_classes(3, &[10]).build().unwrap();
-        let t6 = TaxonomyBuilder::new(2000).uniform_classes(6, &[10]).build().unwrap();
+        let t3 = TaxonomyBuilder::new(2000)
+            .uniform_classes(3, &[10])
+            .build()
+            .unwrap();
+        let t6 = TaxonomyBuilder::new(2000)
+            .uniform_classes(6, &[10])
+            .build()
+            .unwrap();
         let th3 = ThresholdPolicy::Analytic { n_objects: 3 }.resolve(&t3);
         let th6 = ThresholdPolicy::Analytic { n_objects: 3 }.resolve(&t6);
         assert!(th6 < th3, "th6={th6} th3={th3}");
@@ -371,7 +378,10 @@ mod tests {
 
     #[test]
     fn fixed_policy_passes_through() {
-        let t = TaxonomyBuilder::new(100).uniform_classes(2, &[4]).build().unwrap();
+        let t = TaxonomyBuilder::new(100)
+            .uniform_classes(2, &[4])
+            .build()
+            .unwrap();
         assert_eq!(ThresholdPolicy::Fixed(0.07).resolve(&t), 0.07);
     }
 
@@ -416,7 +426,13 @@ mod tests {
     #[test]
     fn linear_fit_needs_enough_observations() {
         let obs = vec![
-            ThObservation { n_objects: 1, f_classes: 2, dim: 100, m_items: 4, th_star: 0.1 };
+            ThObservation {
+                n_objects: 1,
+                f_classes: 2,
+                dim: 100,
+                m_items: 4,
+                th_star: 0.1
+            };
             3
         ];
         assert!(LinearThresholdModel::fit(&obs).is_err());

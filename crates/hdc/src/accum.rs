@@ -51,9 +51,15 @@ impl AccumHv {
     ///
     /// Panics if `components` is empty.
     pub fn from_components(components: Vec<i32>) -> Self {
-        assert!(!components.is_empty(), "hypervector dimension must be positive");
+        assert!(
+            !components.is_empty(),
+            "hypervector dimension must be positive"
+        );
         let dim = components.len();
-        AccumHv { data: components, dim }
+        AccumHv {
+            data: components,
+            dim,
+        }
     }
 
     /// The dimensionality `D`.
@@ -84,7 +90,13 @@ impl AccumHv {
     ///
     /// Panics if the dimensions differ.
     pub fn add_bipolar(&mut self, rhs: &BipolarHv, weight: i32) {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         for (w_idx, &word) in rhs.words().iter().enumerate() {
             let base = w_idx * WORD_BITS;
             let end = (base + WORD_BITS).min(self.dim);
@@ -104,7 +116,13 @@ impl AccumHv {
     ///
     /// Panics if the dimensions differ.
     pub fn add_ternary(&mut self, rhs: &TernaryHv, weight: i32) {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         for i in 0..self.dim {
             self.data[i] += weight * rhs.component(i) as i32;
         }
@@ -116,7 +134,11 @@ impl AccumHv {
     ///
     /// Panics if the dimensions differ.
     pub fn add_accum(&mut self, rhs: &AccumHv) {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -129,7 +151,11 @@ impl AccumHv {
     ///
     /// Panics if the dimensions differ.
     pub fn sub_accum(&mut self, rhs: &AccumHv) {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a -= b;
         }
@@ -158,7 +184,13 @@ impl AccumHv {
     ///
     /// Panics if the dimensions differ.
     pub fn bind_bipolar_assign(&mut self, rhs: &BipolarHv) {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         for (w_idx, &word) in rhs.words().iter().enumerate() {
             if word == 0 {
                 continue;
@@ -182,7 +214,11 @@ impl AccumHv {
     /// Collapses to bipolar by sign; zero components resolve to `+1`
     /// (deterministic tie-breaking, documented behaviour).
     pub fn sign_bipolar(&self) -> BipolarHv {
-        let comps: Vec<i8> = self.data.iter().map(|&v| if v < 0 { -1 } else { 1 }).collect();
+        let comps: Vec<i8> = self
+            .data
+            .iter()
+            .map(|&v| if v < 0 { -1 } else { 1 })
+            .collect();
         BipolarHv::from_components(&comps).expect("dim > 0 by construction")
     }
 
@@ -193,7 +229,13 @@ impl AccumHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot_bipolar(&self, rhs: &BipolarHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         let mut total: i64 = 0;
         for (w_idx, &word) in rhs.words().iter().enumerate() {
             let base = w_idx * WORD_BITS;
@@ -217,7 +259,13 @@ impl AccumHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot_ternary(&self, rhs: &TernaryHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         let mut total: i64 = 0;
         for i in 0..self.dim {
             total += self.data[i] as i64 * rhs.component(i) as i64;
@@ -232,7 +280,11 @@ impl AccumHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot(&self, rhs: &AccumHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         self.data
             .iter()
             .zip(&rhs.data)
@@ -294,7 +346,10 @@ impl Permute for AccumHv {
         for i in 0..self.dim {
             data[(i + shift) % self.dim] = self.data[i];
         }
-        AccumHv { data, dim: self.dim }
+        AccumHv {
+            data,
+            dim: self.dim,
+        }
     }
 }
 
@@ -404,7 +459,11 @@ mod tests {
         }
         let outsider = BipolarHv::random(2048, &mut rng);
         for m in &members {
-            assert!(scene.sim_bipolar(m) > 0.2, "member lost: {}", scene.sim_bipolar(m));
+            assert!(
+                scene.sim_bipolar(m) > 0.2,
+                "member lost: {}",
+                scene.sim_bipolar(m)
+            );
         }
         assert!(scene.sim_bipolar(&outsider).abs() < 0.15);
     }

@@ -92,7 +92,11 @@ impl BipolarHv {
     /// Panics if `index >= dim`.
     #[inline]
     pub fn component(&self, index: usize) -> i8 {
-        assert!(index < self.dim, "component {index} out of bounds (dim {})", self.dim);
+        assert!(
+            index < self.dim,
+            "component {index} out of bounds (dim {})",
+            self.dim
+        );
         if self.words[index / WORD_BITS] >> (index % WORD_BITS) & 1 == 1 {
             -1
         } else {
@@ -113,7 +117,10 @@ impl BipolarHv {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn flip_noise<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0,1]"
+        );
         let mut out = self.clone();
         for i in 0..self.dim {
             if rng.gen_bool(p) {
@@ -127,7 +134,10 @@ impl BipolarHv {
     pub fn negated(&self) -> Self {
         let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
         clear_padding(&mut words, self.dim);
-        BipolarHv { words, dim: self.dim }
+        BipolarHv {
+            words,
+            dim: self.dim,
+        }
     }
 
     /// Dot product `Σ_i self_i · rhs_i` as an integer in `[-D, D]`.
@@ -137,7 +147,11 @@ impl BipolarHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot(&self, rhs: &BipolarHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         let disagreements: u32 = self
             .words
             .iter()
@@ -161,7 +175,11 @@ impl BipolarHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn hamming(&self, rhs: &BipolarHv) -> usize {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         self.words
             .iter()
             .zip(&rhs.words)
@@ -176,7 +194,11 @@ impl BipolarHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn bind_assign(&mut self, rhs: &BipolarHv) {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         for (a, b) in self.words.iter_mut().zip(&rhs.words) {
             *a ^= b;
         }
@@ -184,7 +206,11 @@ impl BipolarHv {
 
     /// Views this vector as a ternary vector with no zero components.
     pub fn to_ternary(&self) -> TernaryHv {
-        TernaryHv::from_planes(vec![u64::MAX; self.words.len()], self.words.clone(), self.dim)
+        TernaryHv::from_planes(
+            vec![u64::MAX; self.words.len()],
+            self.words.clone(),
+            self.dim,
+        )
     }
 
     /// Expands into an integer accumulator (each component `±1`).
@@ -205,9 +231,21 @@ impl Bind for BipolarHv {
 
     #[inline]
     fn bind(&self, rhs: &BipolarHv) -> BipolarHv {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
-        let words = self.words.iter().zip(&rhs.words).map(|(a, b)| a ^ b).collect();
-        BipolarHv { words, dim: self.dim }
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
+        let words = self
+            .words
+            .iter()
+            .zip(&rhs.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        BipolarHv {
+            words,
+            dim: self.dim,
+        }
     }
 }
 

@@ -306,7 +306,10 @@ mod tests {
     #[test]
     fn random_rejects_degenerate() {
         let mut rng = rng_from_seed(50);
-        assert_eq!(Codebook::random(0, 64, &mut rng).unwrap_err(), HdcError::EmptyCodebook);
+        assert_eq!(
+            Codebook::random(0, 64, &mut rng).unwrap_err(),
+            HdcError::EmptyCodebook
+        );
         assert_eq!(
             Codebook::random(4, 0, &mut rng).unwrap_err(),
             HdcError::InvalidDimension(0)

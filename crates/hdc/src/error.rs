@@ -43,7 +43,10 @@ impl fmt::Display for HdcError {
             }
             HdcError::EmptyCodebook => write!(f, "codebook contains no items"),
             HdcError::ItemOutOfBounds { index, len } => {
-                write!(f, "item index {index} out of bounds for codebook of {len} items")
+                write!(
+                    f,
+                    "item index {index} out of bounds for codebook of {len} items"
+                )
             }
             HdcError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}` in item memory"),
         }

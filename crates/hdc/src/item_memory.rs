@@ -116,7 +116,10 @@ impl ItemMemory {
     /// The stored vector for `name`, if present.
     pub fn get(&self, name: &str) -> Option<BipolarHv> {
         let store = self.store.read();
-        store.by_name.get(name).map(|&idx| store.vectors[idx].clone())
+        store
+            .by_name
+            .get(name)
+            .map(|&idx| store.vectors[idx].clone())
     }
 
     /// The stored vector for `name`.
@@ -125,7 +128,8 @@ impl ItemMemory {
     ///
     /// Returns [`HdcError::UnknownSymbol`] if absent.
     pub fn require(&self, name: &str) -> Result<BipolarHv, HdcError> {
-        self.get(name).ok_or_else(|| HdcError::UnknownSymbol(name.to_owned()))
+        self.get(name)
+            .ok_or_else(|| HdcError::UnknownSymbol(name.to_owned()))
     }
 
     /// Cleanup: the stored symbol most similar to `query`.

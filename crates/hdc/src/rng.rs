@@ -90,6 +90,9 @@ mod tests {
         let a = derive_seed(&[0x1234]);
         let b = derive_seed(&[0x1235]);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 }

@@ -105,7 +105,11 @@ impl TernaryHv {
     /// Panics if `index >= dim`.
     #[inline]
     pub fn component(&self, index: usize) -> i8 {
-        assert!(index < self.dim, "component {index} out of bounds (dim {})", self.dim);
+        assert!(
+            index < self.dim,
+            "component {index} out of bounds (dim {})",
+            self.dim
+        );
         let (w, b) = (index / WORD_BITS, index % WORD_BITS);
         if self.mask[w] >> b & 1 == 0 {
             0
@@ -135,7 +139,13 @@ impl TernaryHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot_bipolar(&self, rhs: &BipolarHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         let mut nonzero = 0u32;
         let mut neg = 0u32;
         for ((m, s), r) in self.mask.iter().zip(&self.sign).zip(rhs.words()) {
@@ -152,7 +162,11 @@ impl TernaryHv {
     /// Panics if the dimensions differ.
     #[inline]
     pub fn dot(&self, rhs: &TernaryHv) -> i64 {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         let mut common = 0u32;
         let mut neg = 0u32;
         for i in 0..self.mask.len() {
@@ -196,7 +210,11 @@ impl Bind for TernaryHv {
     /// an object hypervector.
     #[inline]
     fn bind(&self, rhs: &TernaryHv) -> TernaryHv {
-        assert_eq!(self.dim, rhs.dim, "dimension mismatch: {} vs {}", self.dim, rhs.dim);
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
         let n = self.mask.len();
         let mut mask = Vec::with_capacity(n);
         let mut sign = Vec::with_capacity(n);
@@ -205,7 +223,11 @@ impl Bind for TernaryHv {
             mask.push(m);
             sign.push((self.sign[i] ^ rhs.sign[i]) & m);
         }
-        TernaryHv { mask, sign, dim: self.dim }
+        TernaryHv {
+            mask,
+            sign,
+            dim: self.dim,
+        }
     }
 }
 
@@ -216,7 +238,13 @@ impl Bind<BipolarHv> for TernaryHv {
     /// FactorHD uses this to unbind class labels from clipped clauses.
     #[inline]
     fn bind(&self, rhs: &BipolarHv) -> TernaryHv {
-        assert_eq!(self.dim, rhs.dim(), "dimension mismatch: {} vs {}", self.dim, rhs.dim());
+        assert_eq!(
+            self.dim,
+            rhs.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            rhs.dim()
+        );
         let mut sign = Vec::with_capacity(self.sign.len());
         for (i, s) in self.sign.iter().enumerate() {
             sign.push((s ^ rhs.words()[i]) & self.mask[i]);
@@ -370,7 +398,11 @@ mod tests {
         let clause = label.bundle(&item).clip_ternary();
         let unbound: TernaryHv = clause.bind(&label);
         for i in 0..1024 {
-            let expected = if label.component(i) == item.component(i) { 1 } else { 0 };
+            let expected = if label.component(i) == item.component(i) {
+                1
+            } else {
+                0
+            };
             assert_eq!(unbound.component(i), expected);
         }
     }

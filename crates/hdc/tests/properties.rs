@@ -6,9 +6,9 @@ use proptest::prelude::*;
 
 fn arb_dim() -> impl Strategy<Value = usize> {
     prop_oneof![
-        1usize..=8,        // tiny, exercises tail masking
-        60usize..=70,      // around one word boundary
-        120usize..=200,    // multi-word
+        1usize..=8,     // tiny, exercises tail masking
+        60usize..=70,   // around one word boundary
+        120usize..=200, // multi-word
         Just(1024usize),
     ]
 }

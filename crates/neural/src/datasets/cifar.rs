@@ -52,7 +52,13 @@ pub const CIFAR100_FINE: [[&str; 5]; 20] = [
     ["orchids", "poppies", "roses", "sunflowers", "tulips"],
     ["bottles", "bowls", "cans", "cups", "plates"],
     ["apples", "mushrooms", "oranges", "pears", "sweet peppers"],
-    ["clock", "computer keyboard", "lamp", "telephone", "television"],
+    [
+        "clock",
+        "computer keyboard",
+        "lamp",
+        "telephone",
+        "television",
+    ],
     ["bed", "chair", "couch", "table", "wardrobe"],
     ["bee", "beetle", "butterfly", "caterpillar", "cockroach"],
     ["bear", "leopard", "lion", "tiger", "wolf"],
@@ -115,7 +121,10 @@ mod tests {
         assert_eq!(CIFAR10_CLASSES.len(), 10);
         assert_eq!(CIFAR100_COARSE.len(), 20);
         assert_eq!(CIFAR100_FINE.len(), 20);
-        assert_eq!(CIFAR100_FINE.iter().map(|row| row.len()).sum::<usize>(), 100);
+        assert_eq!(
+            CIFAR100_FINE.iter().map(|row| row.len()).sum::<usize>(),
+            100
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl RandomProjection {
         assert!(feat_dim > 0, "feature dimension must be positive");
         assert!(dim > 0, "hypervector dimension must be positive");
         let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[seed, 0x9407]));
-        let weights = (0..dim * feat_dim).map(|_| standard_normal(&mut rng)).collect();
+        let weights = (0..dim * feat_dim)
+            .map(|_| standard_normal(&mut rng))
+            .collect();
         RandomProjection {
             weights,
             feat_dim,
@@ -95,7 +97,7 @@ mod tests {
     fn derive_is_deterministic() {
         let a = RandomProjection::derive(1, 8, 256);
         let b = RandomProjection::derive(1, 8, 256);
-        assert_eq!(a.encode(&vec![1.0; 8]), b.encode(&vec![1.0; 8]));
+        assert_eq!(a.encode(&[1.0; 8]), b.encode(&[1.0; 8]));
     }
 
     #[test]
@@ -131,7 +133,10 @@ mod tests {
         let a = proj.encode(&[1.0, 0.0]);
         let b = proj.encode(&[0.5, 3f64.sqrt() / 2.0]);
         let flip_rate = a.hamming(&b) as f64 / 16_384.0;
-        assert!((flip_rate - 1.0 / 3.0).abs() < 0.02, "flip rate {flip_rate}");
+        assert!(
+            (flip_rate - 1.0 / 3.0).abs() < 0.02,
+            "flip rate {flip_rate}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn train_prototypes(
     projection: &RandomProjection,
     config: TrainConfig,
 ) -> Codebook {
-    assert!(config.samples_per_class > 0, "need at least one sample per class");
+    assert!(
+        config.samples_per_class > 0,
+        "need at least one sample per class"
+    );
     assert!(config.superposition > 0, "superposition must be at least 1");
     assert!(
         config.superposition <= model.n_classes(),
@@ -155,7 +158,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / trials as f64 > 0.9, "accuracy {correct}/{trials}");
+        assert!(
+            correct as f64 / trials as f64 > 0.9,
+            "accuracy {correct}/{trials}"
+        );
     }
 
     #[test]
@@ -204,7 +210,10 @@ mod tests {
         };
         let acc_clean = eval(&clean, &mut rng);
         let acc_super = eval(&superposed, &mut rng);
-        assert!(acc_super > 0.5, "superposed training collapsed: {acc_super}");
+        assert!(
+            acc_super > 0.5,
+            "superposed training collapsed: {acc_super}"
+        );
         assert!(acc_clean >= acc_super, "{acc_clean} vs {acc_super}");
     }
 

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Encode: clip(LABEL_animal + a3 + a3.5) ⊙ clip(LABEL_color + c7) ⊙ …
     let encoder = Encoder::new(&taxonomy);
     let hv = encoder.encode_scene(&Scene::single(object.clone()))?;
-    println!("encoded {} into a {}-dimensional hypervector", object, hv.dim());
+    println!(
+        "encoded {} into a {}-dimensional hypervector",
+        object,
+        hv.dim()
+    );
 
     // Factorize: unbind the other labels per class, similarity-scan the
     // codebooks, descend the hierarchy.

@@ -81,6 +81,51 @@ fn stochastic_baseline_reproduces_with_fixed_seed() {
 }
 
 #[test]
+fn parallel_trial_runners_reproduce() {
+    // The bench runners fan trials out across threads; accuracy and
+    // operation counts must not depend on scheduling (wall-clock does and
+    // is deliberately excluded here).
+    use factorhd_bench::{run_factorhd_rep1, th_sweep};
+    let a = run_factorhd_rep1(3, 8, 1024, 16, 77);
+    let b = run_factorhd_rep1(3, 8, 1024, 16, 77);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.avg_ops, b.avg_ops);
+
+    let grid = [0.05, 0.10, 0.15];
+    let (th_a, points_a) = th_sweep(2, 3, 1024, 8, &grid, 8, 78);
+    let (th_b, points_b) = th_sweep(2, 3, 1024, 8, &grid, 8, 78);
+    assert_eq!(th_a, th_b);
+    assert_eq!(points_a, points_b);
+}
+
+#[test]
+fn parallel_encoding_preserves_trial_order() {
+    // Regression guard for parallel-reduction nondeterminism: a parallel
+    // map over per-trial scene encodings must return bit-identical vectors
+    // in input order, or any accumulator bundled from them would drift
+    // between runs.
+    use rayon::prelude::*;
+    let taxonomy = build_taxonomy(60);
+    let encoder = Encoder::new(&taxonomy);
+    let encode_trial = |trial: u64| {
+        let mut rng = hdc::rng_from_seed(hdc::derive_seed(&[61, trial]));
+        let scene = taxonomy.sample_scene(2, true, &mut rng);
+        encoder.encode_scene(&scene).expect("encodable")
+    };
+    let sequential: Vec<_> = (0..16u64).map(encode_trial).collect();
+    let parallel: Vec<_> = (0..16u64).into_par_iter().map(encode_trial).collect();
+    assert_eq!(sequential, parallel);
+
+    let mut bundle_seq = sequential[0].clone();
+    let mut bundle_par = parallel[0].clone();
+    for (s, p) in sequential.iter().zip(&parallel).skip(1) {
+        bundle_seq.add_accum(s);
+        bundle_par.add_accum(p);
+    }
+    assert_eq!(bundle_seq, bundle_par);
+}
+
+#[test]
 fn neural_pipeline_reproduces() {
     use factorhd::neural::{CifarPipeline, CifarPipelineConfig};
     let config = CifarPipelineConfig {

@@ -63,9 +63,7 @@ fn factorhd_handles_what_breaks_the_ci_model() {
     let make_scene = |pairs: &[(u16, u16)]| -> Scene {
         pairs
             .iter()
-            .map(|&(a, b)| {
-                ObjectSpec::present(vec![ItemPath::top(a), ItemPath::top(b)])
-            })
+            .map(|&(a, b)| ObjectSpec::present(vec![ItemPath::top(a), ItemPath::top(b)]))
             .collect()
     };
     let scene_a = make_scene(&[(1, 2), (3, 4)]);

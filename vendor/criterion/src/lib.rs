@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` harness shape and
+//! the `Bencher::iter` / `iter_batched` measurement API, with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Benchmarks print one line per function:
+//!
+//! ```text
+//! ops/bipolar_bind            median   612 ns   (20 samples, 1024 iters each)
+//! ```
+//!
+//! When cargo invokes a bench target in *test* mode (`cargo test --benches`
+//! passes `--test`), every `iter` routine runs exactly once (no calibration)
+//! and every `iter_batched` routine runs one setup/run pair, so suites stay
+//! fast while still exercising the code.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the shim only uses it to
+/// pick how many setup/run pairs form one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The measurement context handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Test mode (`--test`): run each routine exactly once, no calibration.
+    one_shot: bool,
+    /// Set to the collected per-iteration times by the iter methods.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize, one_shot: bool) -> Self {
+        Bencher {
+            samples,
+            one_shot,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.one_shot {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+            return;
+        }
+        // Calibrate an iteration count so one sample takes ≥ ~1 ms, capped
+        // to keep total time bounded for slow routines.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.recorded.is_empty() {
+            return;
+        }
+        self.recorded.sort_unstable();
+        let median = self.recorded[self.recorded.len() / 2];
+        println!(
+            "{label:<44} median {:>12?}   ({} samples)",
+            median,
+            self.recorded.len()
+        );
+        self.recorded.clear();
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores target times.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Applies harness command-line flags (`--test` switches to one-shot
+    /// mode). Called by `criterion_group!`-generated code.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.effective_samples(), self.test_mode);
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(label, f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores sample overrides
+    /// at group level.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("direct", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("group");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut criterion = Criterion::default().sample_size(3);
+        trivial_bench(&mut criterion);
+    }
+
+    criterion_group! {
+        name = shim_benches;
+        config = Criterion::default().sample_size(2);
+        targets = trivial_bench
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        shim_benches();
+    }
+}

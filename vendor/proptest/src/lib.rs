@@ -1,0 +1,153 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! suites use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`], `prop_oneof!`, and the [`proptest!`] test macro
+//! with `#![proptest_config(..)]` support.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the values baked into
+//!   the assertion message; it is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so failures reproduce exactly across runs and
+//!   machines (the real crate records failures in a regressions file
+//!   instead).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the standard forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop(a in 0usize..10, (b, c) in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&$strategy, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1i8..=1, z in -0.5f64..0.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1..=1).contains(&y));
+            prop_assert!((-0.5..0.5).contains(&z));
+        }
+
+        #[test]
+        fn flat_map_threads_values((n, xs) in (1usize..5).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0u64..100, n))
+        })) {
+            prop_assert_eq!(xs.len(), n);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1u32), Just(2u32), 10u32..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Astronomically unlikely to collide under a working sampler.
+            let _ = (a, b);
+        }
+    }
+
+    #[test]
+    fn generated_tests_run() {
+        ranges_stay_in_bounds();
+        flat_map_threads_values();
+        oneof_hits_every_arm();
+        any_u64_varies();
+    }
+
+    #[test]
+    fn config_cases_respected() {
+        let config = ProptestConfig::with_cases(7);
+        assert_eq!(config.cases, 7);
+        assert!(ProptestConfig::default().cases > 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the `into_par_iter().map(..).collect()/.sum()` shape the
+//! workspace's trial runners use, with real data parallelism via
+//! `std::thread::scope` and a shared work queue. Results are written back
+//! by item index, so `collect()` preserves input order exactly like rayon's
+//! indexed parallel iterators — parallel scheduling can never reorder
+//! (or otherwise perturb) deterministic outputs.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `&collection` counterpart of [`IntoParallelIterator`].
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Borrowing parallel iterator over `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialized parallel iterator (work list awaiting an operation).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<U: Send, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of work items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the work list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParMap::collect`] or
+/// [`ParMap::sum`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<U, S>(self) -> S
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+        S: std::iter::Sum<U>,
+    {
+        run_ordered(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Executes `f` over `items` on a scoped thread pool, returning results in
+/// the items' original order.
+fn run_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                match next {
+                    Some((index, item)) => {
+                        let value = f(item);
+                        *results[index].lock().expect("result lock") = Some(value);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every index computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: usize = (0..10_000usize).into_par_iter().map(|x| x % 7).sum();
+        assert_eq!(total, (0..10_000usize).map(|x| x % 7).sum::<usize>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
