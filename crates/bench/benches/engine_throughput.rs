@@ -1,0 +1,9 @@
+//! Bench-harness entry for the serving-engine throughput sweep; compiles
+//! under `cargo bench --no-run` and runs the quick sweep under
+//! `cargo bench -p factorhd-bench --bench engine_throughput`.
+
+fn main() {
+    let compared = factorhd_bench::verify_artifact_round_trip();
+    println!("artifact save→load→factorize: bit-identical across {compared} responses");
+    factorhd_bench::engine_throughput_table(true).print();
+}

@@ -1,0 +1,13 @@
+//! Serving-engine throughput: batched warm-cache requests/sec at batch
+//! sizes 1/8/64/512 against the naive rebuild-per-request baseline, plus
+//! the artifact round-trip bit-identity check.
+//!
+//! Run with `--quick` for a single repetition per point.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let compared = factorhd_bench::verify_artifact_round_trip();
+    println!("artifact save→load→factorize: bit-identical across {compared} responses");
+    let table = factorhd_bench::engine_throughput_table(quick);
+    table.print();
+}

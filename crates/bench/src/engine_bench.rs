@@ -1,0 +1,253 @@
+//! Serving-engine throughput: batched warm-cache execution vs the naive
+//! per-request rebuild the engine replaces.
+//!
+//! Three modes run the *same* deterministic request stream:
+//!
+//! * **naive/s** — the pre-engine calling pattern: every request rebuilds
+//!   the taxonomy (labels, codebooks, clauses re-derived from the seed)
+//!   and a fresh [`factorhd_core::Factorizer`] (label-elimination masks
+//!   re-bound), then runs sequentially.
+//! * **cold/s** — a freshly constructed [`FactorEngine`] executing the
+//!   batch once (masks pre-built; codebook/clause/reconstruction caches
+//!   filling as it goes).
+//! * **warm/s** — the same engine executing the batch again with every
+//!   cache hot.
+//!
+//! All three produce bit-identical responses; the table reports requests
+//! per second and the warm÷naive speedup.
+
+use crate::Table;
+use factorhd_core::{Encoder, FactorizeConfig, Scene, Taxonomy, TaxonomyBuilder, ThresholdPolicy};
+use factorhd_engine::{EngineConfig, FactorEngine, Request, Response};
+use hdc::derive_seed;
+use std::time::Instant;
+
+const DIM: usize = 2048;
+const MODEL_SEED: u64 = 0x5E21_D0DE;
+const WORKLOAD_SEED: u64 = 0xBA7C_4ED5;
+/// Distinct objects in the simulated catalog; requests draw from this
+/// pool the way production traffic revisits a finite item population.
+const CATALOG: usize = 32;
+
+/// The benchmark's model: one hierarchical class plus two flat ones.
+pub fn bench_taxonomy() -> Taxonomy {
+    TaxonomyBuilder::new(DIM)
+        .seed(MODEL_SEED)
+        .class("animal", &[16, 8])
+        .class("color", &[16])
+        .class("size", &[16])
+        .build()
+        .expect("valid taxonomy")
+}
+
+fn bench_factorize_config() -> FactorizeConfig {
+    FactorizeConfig {
+        threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+        ..FactorizeConfig::default()
+    }
+}
+
+/// The benchmark's engine configuration.
+pub fn bench_engine_config() -> EngineConfig {
+    EngineConfig {
+        factorize: bench_factorize_config(),
+        ..EngineConfig::default()
+    }
+}
+
+/// Builds the deterministic mixed request stream for one batch size:
+/// single-object factorizations (the bulk), multi-object Rep-3 scenes,
+/// partial factorizations, membership probes, and scene encodes.
+pub fn build_requests(taxonomy: &Taxonomy, batch: usize) -> Vec<Request> {
+    let encoder = Encoder::new(taxonomy);
+    let mut rng = hdc::rng_from_seed(derive_seed(&[WORKLOAD_SEED, 1]));
+    let catalog: Vec<_> = (0..CATALOG)
+        .map(|_| taxonomy.sample_object(&mut rng))
+        .collect();
+    let mut rng = hdc::rng_from_seed(derive_seed(&[WORKLOAD_SEED, batch as u64]));
+    (0..batch)
+        .map(|i| {
+            let object = catalog[(i * 7 + i / 3) % CATALOG].clone();
+            match i % 8 {
+                0 => {
+                    let other = catalog[(i * 5 + 1) % CATALOG].clone();
+                    let scene = Scene::new(vec![object, other]);
+                    Request::FactorizeMulti(encoder.encode_scene(&scene).expect("encodable"))
+                }
+                5 => Request::FactorizeClasses {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                    classes: vec![1],
+                },
+                6 => Request::Membership {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object.clone()))
+                        .expect("encodable"),
+                    items: vec![(1, object.assignment(1).expect("present").clone())],
+                    absent: vec![],
+                },
+                7 => {
+                    let fresh = taxonomy.sample_object(&mut rng);
+                    Request::EncodeScene(Scene::new(vec![object, fresh]))
+                }
+                _ => Request::FactorizeSingle(
+                    encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Executes one request the pre-engine way: rebuild the taxonomy (labels,
+/// codebooks, clauses all re-derived) and the label-elimination masks
+/// from scratch, then serve the single request and throw everything away.
+/// A throwaway one-request engine *is* that calling pattern — and routing
+/// through [`FactorEngine::execute`] keeps the dispatch semantics defined
+/// in exactly one place.
+fn execute_naive(request: &Request) -> Response {
+    FactorEngine::new(bench_taxonomy(), bench_engine_config())
+        .execute(request)
+        .expect("request succeeds")
+}
+
+fn unwrap_all(results: Vec<Result<Response, factorhd_engine::EngineError>>) -> Vec<Response> {
+    results
+        .into_iter()
+        .map(|r| r.expect("request succeeds"))
+        .collect()
+}
+
+/// One measured row of the throughput table.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Requests per batch.
+    pub batch: usize,
+    /// Naive sequential cold-path requests/second.
+    pub naive_per_sec: f64,
+    /// Cold-engine batched requests/second.
+    pub cold_per_sec: f64,
+    /// Warm-engine batched requests/second.
+    pub warm_per_sec: f64,
+}
+
+impl ThroughputPoint {
+    /// Warm-cache speedup over the naive baseline.
+    pub fn speedup(&self) -> f64 {
+        self.warm_per_sec / self.naive_per_sec
+    }
+}
+
+/// Measures one batch size, verifying that all three execution modes
+/// return bit-identical responses before timing them.
+pub fn measure_batch(batch: usize, reps: usize) -> ThroughputPoint {
+    let taxonomy = bench_taxonomy();
+    let requests = build_requests(&taxonomy, batch);
+
+    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config());
+    // Correctness first: naive, cold-batched, and warm-batched agree.
+    let naive: Vec<Response> = requests.iter().map(execute_naive).collect();
+    let cold = unwrap_all(engine.execute_batch(&requests));
+    assert_eq!(naive, cold, "engine must be bit-identical to naive path");
+
+    // Timed naive baseline (sequential, rebuild per request).
+    let reps = reps.max(1);
+    let start = Instant::now();
+    for _ in 0..reps {
+        for request in &requests {
+            std::hint::black_box(execute_naive(request));
+        }
+    }
+    let naive_secs = start.elapsed().as_secs_f64() / reps as f64;
+
+    // Timed cold engine: construction + first batch, fresh each rep.
+    let start = Instant::now();
+    for _ in 0..reps {
+        let fresh = FactorEngine::new(bench_taxonomy(), bench_engine_config());
+        std::hint::black_box(fresh.execute_batch(&requests));
+    }
+    let cold_secs = start.elapsed().as_secs_f64() / reps as f64;
+
+    // Timed warm engine: every cache already hot.
+    let warm_reference = unwrap_all(engine.execute_batch(&requests));
+    assert_eq!(cold, warm_reference, "warm cache changed results");
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.execute_batch(&requests));
+    }
+    let warm_secs = start.elapsed().as_secs_f64() / reps as f64;
+
+    let per_sec = |secs: f64| batch as f64 / secs.max(f64::MIN_POSITIVE);
+    ThroughputPoint {
+        batch,
+        naive_per_sec: per_sec(naive_secs),
+        cold_per_sec: per_sec(cold_secs),
+        warm_per_sec: per_sec(warm_secs),
+    }
+}
+
+/// Runs the full sweep (batch sizes 1 / 8 / 64 / 512) and renders the
+/// table. `quick` runs one repetition per point instead of three.
+pub fn engine_throughput_table(quick: bool) -> Table {
+    let reps = if quick { 1 } else { 3 };
+    let mut table = Table::new(
+        "engine_throughput: requests/sec, cold vs warm cache (1 rebuild-per-request naive baseline)",
+        &["batch", "naive/s", "cold/s", "warm/s", "warm÷naive"],
+    );
+    for batch in [1usize, 8, 64, 512] {
+        let point = measure_batch(batch, reps);
+        table.row(&[
+            point.batch.to_string(),
+            format!("{:.0}", point.naive_per_sec),
+            format!("{:.0}", point.cold_per_sec),
+            format!("{:.0}", point.warm_per_sec),
+            format!("{:.2}x", point.speedup()),
+        ]);
+    }
+    table
+}
+
+/// Verifies the artifact acceptance criterion: save → load → factorize is
+/// bit-identical to serving from the in-memory model. Returns the number
+/// of compared responses.
+pub fn verify_artifact_round_trip() -> usize {
+    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config());
+    let requests = build_requests(engine.taxonomy(), 64);
+    let mut bytes = Vec::new();
+    engine.save_to(&mut bytes).expect("artifact serializes");
+    let restored = FactorEngine::load_from(&mut &bytes[..], bench_engine_config())
+        .expect("artifact deserializes");
+    let original = unwrap_all(engine.execute_batch(&requests));
+    let roundtripped = unwrap_all(restored.execute_batch(&requests));
+    assert_eq!(
+        original, roundtripped,
+        "artifact round trip must serve bit-identically"
+    );
+    original.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let taxonomy = bench_taxonomy();
+        assert_eq!(build_requests(&taxonomy, 16), build_requests(&taxonomy, 16));
+    }
+
+    #[test]
+    fn small_batch_modes_agree_and_speed_up() {
+        let point = measure_batch(8, 1);
+        assert_eq!(point.batch, 8);
+        assert!(point.naive_per_sec > 0.0);
+        assert!(point.warm_per_sec > 0.0);
+    }
+
+    #[test]
+    fn artifact_round_trip_is_bit_identical() {
+        assert_eq!(verify_artifact_round_trip(), 64);
+    }
+}

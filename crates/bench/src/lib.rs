@@ -13,9 +13,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod runner;
 pub mod table;
 
+pub use engine_bench::{
+    engine_throughput_table, measure_batch, verify_artifact_round_trip, ThroughputPoint,
+};
 pub use runner::{
     run_ci_model, run_factorhd_rep1, run_factorhd_rep23, run_imc, run_resonator, th_sweep,
     MethodResult, Rep23Setting, SweepPoint,

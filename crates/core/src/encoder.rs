@@ -55,6 +55,10 @@ impl<'a> Encoder<'a> {
     /// Encodes one class clause: `clip(LABEL + Σ path items)` for a present
     /// class, `clip(LABEL + NULL)` for an absent one.
     ///
+    /// Clauses are served from the taxonomy's clause cache
+    /// ([`Taxonomy::clause`]), so repeated encodes over a shared taxonomy
+    /// never re-derive item vectors or re-accumulate the bundle.
+    ///
     /// # Errors
     ///
     /// Propagates path validation errors from the taxonomy.
@@ -63,20 +67,7 @@ impl<'a> Encoder<'a> {
         class: usize,
         assignment: Option<&ItemPath>,
     ) -> Result<TernaryHv, FactorHdError> {
-        let mut acc = AccumHv::zeros(self.taxonomy.dim());
-        acc.add_bipolar(self.taxonomy.label(class), 1);
-        match assignment {
-            None => acc.add_bipolar(self.taxonomy.null_hv(), 1),
-            Some(path) => {
-                self.taxonomy.validate_path(class, path)?;
-                for depth in 1..=path.depth() {
-                    let prefix = path.prefix(depth).expect("depth within path");
-                    let item = self.taxonomy.item_hv(class, &prefix)?;
-                    acc.add_bipolar(&item, 1);
-                }
-            }
-        }
-        Ok(acc.clip_ternary())
+        Ok(self.taxonomy.clause(class, assignment)?.as_ref().clone())
     }
 
     /// Encodes a clause from a **raw item vector** instead of a taxonomy
@@ -145,20 +136,34 @@ impl<'a> Encoder<'a> {
 
     /// Encodes a full object: the binding of all class clauses.
     ///
+    /// Clauses come from the taxonomy's clause cache, so a warm encode is
+    /// one lookup plus one word-level bind per class.
+    ///
     /// # Errors
     ///
     /// [`FactorHdError::ClassCountMismatch`] or path validation errors.
     pub fn encode_object(&self, object: &ObjectSpec) -> Result<TernaryHv, FactorHdError> {
         self.taxonomy.validate_object(object)?;
+        let mut first: Option<std::sync::Arc<TernaryHv>> = None;
         let mut product: Option<TernaryHv> = None;
         for (class, assignment) in object.assignments().iter().enumerate() {
-            let clause = self.encode_clause(class, assignment.as_ref())?;
-            product = Some(match product {
-                None => clause,
-                Some(p) => p.bind(&clause),
-            });
+            let clause = self.taxonomy.clause(class, assignment.as_ref())?;
+            match product.take() {
+                Some(p) => product = Some(p.bind(clause.as_ref())),
+                None => match first.take() {
+                    Some(f) => product = Some(f.bind(clause.as_ref())),
+                    None => first = Some(clause),
+                },
+            }
         }
-        Ok(product.expect("taxonomy has at least one class"))
+        Ok(match product {
+            Some(p) => p,
+            // Single-class taxonomy: the object is its only clause.
+            None => first
+                .expect("taxonomy has at least one class")
+                .as_ref()
+                .clone(),
+        })
     }
 
     /// Encodes a scene: the integer bundle of its object hypervectors.

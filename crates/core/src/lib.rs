@@ -65,7 +65,8 @@ pub mod threshold;
 pub use encoder::Encoder;
 pub use error::FactorHdError;
 pub use factorizer::{
-    ClassDecode, DecodedObject, DecodedScene, FactorizeConfig, FactorizeStats, Factorizer,
+    build_unbind_keys, ClassDecode, DecodedObject, DecodedScene, FactorizeConfig, FactorizeStats,
+    Factorizer, ReconstructionCache,
 };
 pub use object::{ItemPath, ObjectSpec, Scene};
 pub use query::{QueryAnswer, SceneQuery};
@@ -75,8 +76,8 @@ pub use threshold::{LinearThresholdModel, ThObservation, ThresholdPolicy};
 /// Convenient glob import of the FactorHD types.
 pub mod prelude {
     pub use crate::{
-        ClassDecode, DecodedObject, DecodedScene, Encoder, FactorHdError, FactorizeConfig,
-        FactorizeStats, Factorizer, ItemPath, ObjectSpec, Scene, SceneQuery, Taxonomy,
-        TaxonomyBuilder, ThresholdPolicy,
+        build_unbind_keys, ClassDecode, DecodedObject, DecodedScene, Encoder, FactorHdError,
+        FactorizeConfig, FactorizeStats, Factorizer, ItemPath, ObjectSpec, ReconstructionCache,
+        Scene, SceneQuery, Taxonomy, TaxonomyBuilder, ThresholdPolicy,
     };
 }

@@ -12,10 +12,10 @@
 //! than the codebooks actually touched.
 
 use crate::{FactorHdError, ItemPath, ObjectSpec, Scene};
-use hdc::{derive_seed, BipolarHv, Codebook, DEFAULT_SEED};
+use hdc::{derive_seed, AccumHv, BipolarHv, Codebook, TernaryHv, DEFAULT_SEED};
 use parking_lot::RwLock;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -119,7 +119,7 @@ impl TaxonomyBuilder {
             self.dim,
             &mut hdc::rng_from_seed(derive_seed(&[self.seed, TAG_NULL])),
         );
-        let classes = self
+        let classes: Vec<ClassInfo> = self
             .classes
             .into_iter()
             .enumerate()
@@ -133,12 +133,19 @@ impl TaxonomyBuilder {
             })
             .collect();
 
+        let num_classes = classes.len();
         Ok(Taxonomy {
             dim: self.dim,
             seed: self.seed,
             null,
             classes,
             cache: RwLock::new(HashMap::new()),
+            clause_cache: RwLock::new(ClauseCacheInner {
+                map: HashMap::new(),
+                generations: vec![0; num_classes],
+                total_generation: 0,
+            }),
+            overrides: RwLock::new(BTreeMap::new()),
         })
     }
 }
@@ -153,6 +160,31 @@ struct ClassInfo {
 /// Cache of lazily derived codebooks, keyed by `(class, path)`.
 type CodebookCache = RwLock<HashMap<(usize, Vec<u16>), Arc<Codebook>>>;
 
+/// Upper bound on cached clauses. Real taxonomies have far fewer distinct
+/// items than this; the cap only exists so a path-sweeping client of a
+/// long-lived server cannot grow the cache without limit (past it,
+/// clauses are computed but not retained).
+const CLAUSE_CACHE_CAP: usize = 1 << 16;
+
+/// Cache of clipped class clauses, keyed by `(class, path)`; the `None`
+/// path is the absent-class (NULL) clause. `generations[class]` is bumped
+/// by [`Taxonomy::set_codebook`] under the same write lock that purges the
+/// class's entries, so a concurrently computed stale clause can detect the
+/// replacement and refuse to insert itself.
+#[derive(Debug, Default)]
+struct ClauseCacheInner {
+    map: HashMap<(usize, Option<Vec<u16>>), Arc<TernaryHv>>,
+    generations: Vec<u64>,
+    total_generation: u64,
+}
+
+type ClauseCache = RwLock<ClauseCacheInner>;
+
+/// Explicitly installed codebooks (trained prototypes), keyed by
+/// `(class, parent path)`. Kept sorted so model artifacts serialize in a
+/// deterministic order.
+type OverrideMap = RwLock<BTreeMap<(usize, Vec<u16>), Arc<Codebook>>>;
+
 /// The class–subclass symbol space: labels, NULL, and lazily derived item
 /// codebooks for every hierarchy level.
 ///
@@ -164,6 +196,8 @@ pub struct Taxonomy {
     null: BipolarHv,
     classes: Vec<ClassInfo>,
     cache: CodebookCache,
+    clause_cache: ClauseCache,
+    overrides: OverrideMap,
 }
 
 impl Taxonomy {
@@ -302,18 +336,9 @@ impl Taxonomy {
         Ok(())
     }
 
-    /// The codebook of items at the level *below* `parent` in class `class`
-    /// (`parent = &[]` gives the level-1 codebook).
-    ///
-    /// Codebooks are derived deterministically from the seed and cached; the
-    /// same `(class, parent)` always yields the same `Arc`.
-    ///
-    /// # Errors
-    ///
-    /// [`FactorHdError::ClassOutOfBounds`] if `class` is invalid, or
-    /// [`FactorHdError::InvalidPath`] if `parent` is not a valid item path
-    /// or the class has no level below it.
-    pub fn codebook(&self, class: usize, parent: &[u16]) -> Result<Arc<Codebook>, FactorHdError> {
+    /// Validates `parent` as a path with a level below it in `class`,
+    /// returning that level's declared codebook size.
+    fn check_parent(&self, class: usize, parent: &[u16]) -> Result<usize, FactorHdError> {
         self.check_class(class)?;
         let info = &self.classes[class];
         if parent.len() >= info.level_sizes.len() {
@@ -337,14 +362,28 @@ impl Taxonomy {
                 });
             }
         }
+        Ok(info.level_sizes[parent.len()])
+    }
 
+    /// The codebook of items at the level *below* `parent` in class `class`
+    /// (`parent = &[]` gives the level-1 codebook).
+    ///
+    /// Codebooks are derived deterministically from the seed and cached; the
+    /// same `(class, parent)` always yields the same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::ClassOutOfBounds`] if `class` is invalid, or
+    /// [`FactorHdError::InvalidPath`] if `parent` is not a valid item path
+    /// or the class has no level below it.
+    pub fn codebook(&self, class: usize, parent: &[u16]) -> Result<Arc<Codebook>, FactorHdError> {
+        let m = self.check_parent(class, parent)?;
         let key = (class, parent.to_vec());
         if let Some(cb) = self.cache.read().get(&key) {
             return Ok(Arc::clone(cb));
         }
         let mut parts = vec![self.seed, TAG_CODEBOOK, class as u64, parent.len() as u64];
         parts.extend(parent.iter().map(|&i| i as u64 + 1));
-        let m = info.level_sizes[parent.len()];
         let cb = Arc::new(Codebook::derive(derive_seed(&parts), m, self.dim));
         let mut cache = self.cache.write();
         let entry = cache.entry(key).or_insert_with(|| Arc::clone(&cb));
@@ -354,6 +393,10 @@ impl Taxonomy {
     /// Replaces the codebook below `parent` in class `class` with an
     /// explicit one — the hook the neuro-symbolic pipeline uses to install
     /// *trained prototype* vectors in place of random items.
+    ///
+    /// Installed codebooks are tracked separately from the lazily derived
+    /// ones so model artifacts can persist exactly the state that cannot
+    /// be re-derived from the seed ([`Taxonomy::codebook_overrides`]).
     ///
     /// # Errors
     ///
@@ -366,8 +409,10 @@ impl Taxonomy {
         parent: &[u16],
         codebook: Codebook,
     ) -> Result<(), FactorHdError> {
-        // Reuse the validation of `codebook()` for class/parent bounds.
-        let expected = self.codebook(class, parent)?;
+        // Validate against the *declared* level size — deriving the default
+        // codebook just to read its length would waste O(m·D) RNG work per
+        // installed override.
+        let expected_len = self.check_parent(class, parent)?;
         if codebook.dim() != self.dim {
             return Err(hdc::HdcError::DimensionMismatch {
                 left: self.dim,
@@ -375,20 +420,112 @@ impl Taxonomy {
             }
             .into());
         }
-        if codebook.len() != expected.len() {
+        if codebook.len() != expected_len {
             return Err(FactorHdError::InvalidClassSpec {
                 class: self.classes[class].name.clone(),
                 reason: format!(
-                    "replacement codebook has {} items, level declares {}",
-                    codebook.len(),
-                    expected.len()
+                    "replacement codebook has {} items, level declares {expected_len}",
+                    codebook.len()
                 ),
             });
         }
+        let replacement = Arc::new(codebook);
         self.cache
             .write()
-            .insert((class, parent.to_vec()), Arc::new(codebook));
+            .insert((class, parent.to_vec()), Arc::clone(&replacement));
+        self.overrides
+            .write()
+            .insert((class, parent.to_vec()), replacement);
+        // Cached clauses of this class may bundle replaced items. The
+        // generation bump happens under the same write lock as the purge,
+        // so an in-flight `clause()` computed from the old codebook sees
+        // the change and refuses to cache itself.
+        let mut clauses = self.clause_cache.write();
+        clauses.generations[class] = clauses.generations[class].wrapping_add(1);
+        clauses.total_generation = clauses.total_generation.wrapping_add(1);
+        clauses.map.retain(|(c, _), _| *c != class);
         Ok(())
+    }
+
+    /// A counter incremented by every [`Taxonomy::set_codebook`] call.
+    /// External caches keyed on taxonomy-derived values (e.g. the serving
+    /// engine's reconstruction memo) compare this against the generation
+    /// they were populated at and flush when it moves.
+    pub fn codebook_generation(&self) -> u64 {
+        self.clause_cache.read().total_generation
+    }
+
+    /// The explicitly installed codebooks ([`Taxonomy::set_codebook`]),
+    /// sorted by `(class, parent path)` — the part of the taxonomy state
+    /// that cannot be re-derived from the seed and therefore must be
+    /// persisted by model artifacts.
+    pub fn codebook_overrides(&self) -> Vec<(usize, Vec<u16>, Arc<Codebook>)> {
+        self.overrides
+            .read()
+            .iter()
+            .map(|((class, parent), cb)| (*class, parent.clone(), Arc::clone(cb)))
+            .collect()
+    }
+
+    /// The clipped clause hypervector of one class:
+    /// `clip(LABEL + Σ path items)` for a present assignment,
+    /// `clip(LABEL + NULL)` for an absent one (`assignment = None`).
+    ///
+    /// Clauses are deterministic given the taxonomy state, so they are
+    /// built once and cached — encoding a scene over a shared taxonomy is
+    /// a per-class lookup plus word-level binds instead of re-deriving
+    /// item vectors and re-accumulating on every call.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorHdError::ClassOutOfBounds`] or the path errors of
+    /// [`Taxonomy::validate_path`].
+    pub fn clause(
+        &self,
+        class: usize,
+        assignment: Option<&ItemPath>,
+    ) -> Result<Arc<TernaryHv>, FactorHdError> {
+        self.check_class(class)?;
+        if let Some(path) = assignment {
+            self.validate_path(class, path)?;
+        }
+        let key = (class, assignment.map(|p| p.indices().to_vec()));
+        loop {
+            let generation = {
+                let cache = self.clause_cache.read();
+                if let Some(clause) = cache.map.get(&key) {
+                    return Ok(Arc::clone(clause));
+                }
+                cache.generations[class]
+            };
+
+            let mut acc = AccumHv::zeros(self.dim);
+            acc.add_bipolar(self.label(class), 1);
+            match assignment {
+                None => acc.add_bipolar(&self.null, 1),
+                Some(path) => {
+                    for depth in 1..=path.depth() {
+                        let parent = &path.indices()[..depth - 1];
+                        let cb = self.codebook(class, parent)?;
+                        acc.add_bipolar(cb.item(path.indices()[depth - 1] as usize), 1);
+                    }
+                }
+            }
+            let clause = Arc::new(acc.clip_ternary());
+
+            let mut cache = self.clause_cache.write();
+            if cache.generations[class] != generation {
+                // `set_codebook` replaced this class's items while we were
+                // computing: the clause may be stale, so recompute.
+                continue;
+            }
+            if cache.map.len() >= CLAUSE_CACHE_CAP && !cache.map.contains_key(&key) {
+                // Bounded: serve the computed clause without retaining it.
+                return Ok(clause);
+            }
+            let entry = cache.map.entry(key).or_insert_with(|| Arc::clone(&clause));
+            return Ok(Arc::clone(entry));
+        }
     }
 
     /// The item hypervector addressed by `path` in class `class`.
@@ -669,6 +806,95 @@ mod tests {
         // item_hv now resolves into the replacement.
         let hv = t.item_hv(1, &ItemPath::top(3)).unwrap();
         assert_eq!(&hv, replacement.item(3));
+    }
+
+    #[test]
+    fn overrides_track_only_installed_codebooks() {
+        let t = small_taxonomy();
+        // Lazily derived codebooks are not overrides.
+        let _ = t.codebook(0, &[]).unwrap();
+        assert!(t.codebook_overrides().is_empty());
+        let replacement = Codebook::derive(0xFEED, 8, 512);
+        t.set_codebook(1, &[], replacement.clone()).unwrap();
+        t.set_codebook(0, &[2], Codebook::derive(0xBEEF, 4, 512))
+            .unwrap();
+        let overrides = t.codebook_overrides();
+        assert_eq!(overrides.len(), 2);
+        // BTreeMap ordering: (0, [2]) before (1, []).
+        assert_eq!((overrides[0].0, overrides[0].1.as_slice()), (0, &[2][..]));
+        assert_eq!((overrides[1].0, overrides[1].1.as_slice()), (1, &[][..]));
+        assert_eq!(overrides[1].2.as_ref(), &replacement);
+    }
+
+    #[test]
+    fn clause_cached_and_correct() {
+        let t = small_taxonomy();
+        let path = ItemPath::new(vec![3, 1]);
+        let a = t.clause(0, Some(&path)).unwrap();
+        let b = t.clause(0, Some(&path)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Matches the from-scratch construction.
+        let mut acc = AccumHv::zeros(512);
+        let l1 = t.item_hv(0, &ItemPath::top(3)).unwrap();
+        let l2 = t.item_hv(0, &path).unwrap();
+        acc.add_bipolar(t.label(0), 1);
+        acc.add_bipolar(&l1, 1);
+        acc.add_bipolar(&l2, 1);
+        assert_eq!(a.as_ref(), &acc.clip_ternary());
+        // Absent clause bundles NULL.
+        let absent = t.clause(1, None).unwrap();
+        assert!(absent.sim_bipolar(t.null_hv()) > 0.4);
+        // Validation still applies.
+        assert!(t.clause(9, None).is_err());
+        assert!(t.clause(0, Some(&ItemPath::top(99))).is_err());
+    }
+
+    #[test]
+    fn set_codebook_invalidates_cached_clauses() {
+        let t = small_taxonomy();
+        let before = t.clause(1, Some(&ItemPath::top(3))).unwrap();
+        let untouched = t.clause(2, Some(&ItemPath::top(0))).unwrap();
+        t.set_codebook(1, &[], Codebook::derive(0xFEED, 8, 512))
+            .unwrap();
+        let after = t.clause(1, Some(&ItemPath::top(3))).unwrap();
+        assert_ne!(before.as_ref(), after.as_ref(), "stale clause served");
+        // Other classes keep their cached clauses.
+        let untouched_after = t.clause(2, Some(&ItemPath::top(0))).unwrap();
+        assert!(Arc::ptr_eq(&untouched, &untouched_after));
+    }
+
+    #[test]
+    fn concurrent_set_codebook_never_leaves_stale_clause() {
+        // Threads hammer `clause()` while the main thread swaps the
+        // class's codebook; once the swap is done, the cached clause must
+        // reflect the replacement (an in-flight pre-swap computation must
+        // not resurrect itself into the cache).
+        let t = small_taxonomy();
+        let path = ItemPath::top(3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let _ = t.clause(1, Some(&path)).unwrap();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for round in 0..50u64 {
+                    t.set_codebook(1, &[], Codebook::derive(round, 8, 512))
+                        .unwrap();
+                }
+            });
+        });
+        // Reference: a fresh taxonomy with the same final override.
+        let reference = small_taxonomy();
+        reference
+            .set_codebook(1, &[], Codebook::derive(49, 8, 512))
+            .unwrap();
+        assert_eq!(
+            t.clause(1, Some(&path)).unwrap().as_ref(),
+            reference.clause(1, Some(&path)).unwrap().as_ref()
+        );
     }
 
     #[test]

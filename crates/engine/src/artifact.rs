@@ -1,0 +1,550 @@
+//! The `.fhd` model-artifact codec: a hand-rolled, versioned, checksummed
+//! binary format persisting a [`Taxonomy`] and its codebooks.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  = 89 46 48 44 0D 0A 1A 0A  ("\x89FHD\r\n\x1a\n")
+//! 8       2     version (u16) = 1
+//! 10      2     flags   (u16) = 0 (reserved)
+//! 12      8     dim     (u64)
+//! 20      8     seed    (u64)
+//! 28      4     class count F (u32)
+//!         —     F × class record:
+//!                 name length (u32) + UTF-8 name bytes
+//!                 level count (u32) + level sizes (u32 each)
+//!         4     override count (u32)
+//!         —     per override (sorted by class, then parent path):
+//!                 class (u32)
+//!                 parent depth (u32) + parent indices (u16 each)
+//!                 item count m (u32)
+//!                 m × ⌈dim/64⌉ packed sign words (u64 each)
+//! end-8   8     FNV-1a 64 checksum over every preceding byte
+//! ```
+//!
+//! Codebooks that were lazily *derived* from the seed are not stored —
+//! they are bit-identically re-derived on demand after loading. Only
+//! explicit overrides (e.g. trained prototypes installed with
+//! [`Taxonomy::set_codebook`]) carry payload, which keeps artifacts small
+//! and guarantees save → load → factorize equals the in-memory model.
+
+use crate::EngineError;
+use factorhd_core::{Taxonomy, TaxonomyBuilder};
+use hdc::Codebook;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The `.fhd` magic bytes (PNG-style: high bit, name, CR LF, EOF, LF —
+/// catches text-mode mangling and truncation of the very first read).
+pub const MAGIC: [u8; 8] = *b"\x89FHD\r\n\x1a\n";
+
+/// The artifact format version this build writes and reads.
+pub const VERSION: u16 = 1;
+
+/// Sanity caps rejecting absurd allocations from corrupt headers.
+const MAX_DIM: u64 = 1 << 26;
+const MAX_CLASSES: u32 = 1 << 16;
+const MAX_NAME_LEN: u32 = 1 << 16;
+const MAX_LEVELS: u32 = 64;
+const MAX_OVERRIDES: u32 = 1 << 20;
+/// Cap on the *eager* allocation a header can demand: one label per class
+/// plus NULL, `dim` bits each. The per-field caps alone still admit a
+/// `dim × classes` product in the hundreds of GiB; this bounds the
+/// product (2^28 bits = 32 MiB of packed labels) so a crafted artifact
+/// with a valid checksum cannot OOM the loader.
+const MAX_MODEL_BITS: u64 = 1 << 28;
+
+/// FNV-1a 64-bit checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Checks that `taxonomy` fits inside the format's reader-side caps, so
+/// that write-success guarantees load-success.
+fn check_serializable(taxonomy: &Taxonomy) -> Result<(), EngineError> {
+    let reject = |what: String| Err(EngineError::Corrupt(what));
+    let dim = taxonomy.dim() as u64;
+    if dim > MAX_DIM {
+        return reject(format!("dimension {dim} exceeds the format cap {MAX_DIM}"));
+    }
+    let num_classes = taxonomy.num_classes();
+    if num_classes > MAX_CLASSES as usize {
+        return reject(format!(
+            "{num_classes} classes exceed the format cap {MAX_CLASSES}"
+        ));
+    }
+    if (num_classes as u64 + 1) * dim > MAX_MODEL_BITS {
+        return reject(format!(
+            "{num_classes} classes × {dim} dimensions exceed the loader's allocation bound"
+        ));
+    }
+    for class in 0..num_classes {
+        if taxonomy.class_name(class).len() > MAX_NAME_LEN as usize {
+            return reject(format!("class {class} name exceeds {MAX_NAME_LEN} bytes"));
+        }
+        if taxonomy.levels(class) > MAX_LEVELS as usize {
+            return reject(format!(
+                "class {class} has {} levels, format cap is {MAX_LEVELS}",
+                taxonomy.levels(class)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `taxonomy` into the `.fhd` wire format.
+///
+/// # Errors
+///
+/// [`EngineError::Io`] on write failure, or [`EngineError::Corrupt`] when
+/// the taxonomy exceeds a format cap (a model that would save but then
+/// refuse to load is rejected up front — write-success guarantees
+/// load-success).
+pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(), EngineError> {
+    check_serializable(taxonomy)?;
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes()); // flags
+    buf.extend_from_slice(&(taxonomy.dim() as u64).to_le_bytes());
+    buf.extend_from_slice(&taxonomy.seed().to_le_bytes());
+
+    buf.extend_from_slice(&(taxonomy.num_classes() as u32).to_le_bytes());
+    for class in 0..taxonomy.num_classes() {
+        let name = taxonomy.class_name(class).as_bytes();
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        let levels = taxonomy.levels(class);
+        buf.extend_from_slice(&(levels as u32).to_le_bytes());
+        for level in 0..levels {
+            buf.extend_from_slice(&(taxonomy.level_size(class, level) as u32).to_le_bytes());
+        }
+    }
+
+    let overrides = taxonomy.codebook_overrides();
+    buf.extend_from_slice(&(overrides.len() as u32).to_le_bytes());
+    for (class, parent, codebook) in overrides {
+        buf.extend_from_slice(&(class as u32).to_le_bytes());
+        buf.extend_from_slice(&(parent.len() as u32).to_le_bytes());
+        for idx in &parent {
+            buf.extend_from_slice(&idx.to_le_bytes());
+        }
+        buf.extend_from_slice(&(codebook.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&codebook.to_le_bytes());
+    }
+
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Saves `taxonomy` to a `.fhd` file at `path`.
+///
+/// # Errors
+///
+/// [`EngineError::Io`] on filesystem failure.
+pub fn save_taxonomy<P: AsRef<Path>>(path: P, taxonomy: &Taxonomy) -> Result<(), EngineError> {
+    let mut file = std::fs::File::create(path)?;
+    write_taxonomy(&mut file, taxonomy)
+}
+
+/// Deserializes a taxonomy from `.fhd` bytes produced by
+/// [`write_taxonomy`], verifying magic, version, and checksum before
+/// touching the payload.
+///
+/// # Errors
+///
+/// Every corruption mode maps to a typed [`EngineError`]: wrong magic →
+/// [`EngineError::BadMagic`], unknown version →
+/// [`EngineError::UnsupportedVersion`], flipped or missing bytes →
+/// [`EngineError::ChecksumMismatch`] / [`EngineError::Truncated`],
+/// structurally invalid contents → [`EngineError::Corrupt`] or
+/// [`EngineError::Core`].
+pub fn read_taxonomy<R: Read>(reader: &mut R) -> Result<Taxonomy, EngineError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_taxonomy(&bytes)
+}
+
+/// Loads a taxonomy from a `.fhd` file at `path`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_taxonomy`], plus [`EngineError::Io`] on
+/// filesystem failure.
+pub fn load_taxonomy<P: AsRef<Path>>(path: P) -> Result<Taxonomy, EngineError> {
+    let mut file = std::fs::File::open(path)?;
+    read_taxonomy(&mut file)
+}
+
+/// Parses an in-memory `.fhd` byte buffer.
+///
+/// # Errors
+///
+/// Same conditions as [`read_taxonomy`].
+pub fn parse_taxonomy(bytes: &[u8]) -> Result<Taxonomy, EngineError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(EngineError::Truncated {
+            needed: MAGIC.len() - bytes.len(),
+            remaining: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(EngineError::BadMagic { found });
+    }
+    // Minimum frame: magic + version + flags + checksum.
+    if bytes.len() < 8 + 2 + 2 + 8 {
+        return Err(EngineError::Truncated {
+            needed: (8 + 2 + 2 + 8) - bytes.len(),
+            remaining: bytes.len() - MAGIC.len(),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != VERSION {
+        return Err(EngineError::UnsupportedVersion(version));
+    }
+    // The flags field is reserved: rejecting non-zero values now is what
+    // lets a future writer use it for compatibility signaling.
+    let flags = u16::from_le_bytes([bytes[10], bytes[11]]);
+    if flags != 0 {
+        return Err(EngineError::Corrupt(format!(
+            "unknown flags {flags:#06x} (reserved field must be zero)"
+        )));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(EngineError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut cursor = Cursor {
+        buf: body,
+        pos: 12, // past magic + version + flags
+    };
+    let dim = cursor.u64()?;
+    if dim == 0 || dim > MAX_DIM {
+        return Err(EngineError::Corrupt(format!(
+            "dimension {dim} out of range"
+        )));
+    }
+    let seed = cursor.u64()?;
+
+    let num_classes = cursor.u32()?;
+    if num_classes == 0 || num_classes > MAX_CLASSES {
+        return Err(EngineError::Corrupt(format!(
+            "class count {num_classes} out of range"
+        )));
+    }
+    if (num_classes as u64 + 1) * dim > MAX_MODEL_BITS {
+        return Err(EngineError::Corrupt(format!(
+            "declared model of {num_classes} classes × {dim} dimensions \
+             exceeds the loader's allocation bound"
+        )));
+    }
+    let mut builder = TaxonomyBuilder::new(dim as usize).seed(seed);
+    for _ in 0..num_classes {
+        let name_len = cursor.u32()?;
+        if name_len > MAX_NAME_LEN {
+            return Err(EngineError::Corrupt(format!(
+                "class name of {name_len} bytes out of range"
+            )));
+        }
+        let name_bytes = cursor.take(name_len as usize)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| EngineError::Corrupt("class name is not valid UTF-8".into()))?
+            .to_owned();
+        let num_levels = cursor.u32()?;
+        if num_levels == 0 || num_levels > MAX_LEVELS {
+            return Err(EngineError::Corrupt(format!(
+                "level count {num_levels} out of range"
+            )));
+        }
+        let mut level_sizes = Vec::with_capacity(num_levels as usize);
+        for _ in 0..num_levels {
+            level_sizes.push(cursor.u32()? as usize);
+        }
+        builder = builder.class(&name, &level_sizes);
+    }
+    let taxonomy = builder.build()?;
+
+    let num_overrides = cursor.u32()?;
+    if num_overrides > MAX_OVERRIDES {
+        return Err(EngineError::Corrupt(format!(
+            "override count {num_overrides} out of range"
+        )));
+    }
+    for _ in 0..num_overrides {
+        let class = cursor.u32()? as usize;
+        let depth = cursor.u32()?;
+        if depth > MAX_LEVELS {
+            return Err(EngineError::Corrupt(format!(
+                "override parent depth {depth} out of range"
+            )));
+        }
+        let mut parent = Vec::with_capacity(depth as usize);
+        for _ in 0..depth {
+            parent.push(cursor.u16()?);
+        }
+        let m = cursor.u32()? as usize;
+        let payload = cursor.take(Codebook::byte_len(m, dim as usize))?;
+        let codebook = Codebook::from_le_bytes(m, dim as usize, payload)?;
+        taxonomy.set_codebook(class, &parent, codebook)?;
+    }
+
+    if cursor.pos != body.len() {
+        return Err(EngineError::Corrupt(format!(
+            "{} trailing bytes after the last override",
+            body.len() - cursor.pos
+        )));
+    }
+    Ok(taxonomy)
+}
+
+/// Bounds-checked little-endian reader over the artifact body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        let remaining = self.buf.len() - self.pos;
+        if n > remaining {
+            return Err(EngineError::Truncated {
+                needed: n - remaining,
+                remaining,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, EngineError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorhd_core::ItemPath;
+
+    fn sample_taxonomy() -> Taxonomy {
+        let t = TaxonomyBuilder::new(512)
+            .seed(1234)
+            .class("animal", &[8, 4])
+            .class("color", &[8])
+            .build()
+            .expect("valid taxonomy");
+        t.set_codebook(1, &[], Codebook::derive(0xFACE, 8, 512))
+            .expect("valid override");
+        t
+    }
+
+    fn to_bytes(taxonomy: &Taxonomy) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_taxonomy(&mut buf, taxonomy).expect("write to vec");
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_model_state() {
+        let original = sample_taxonomy();
+        let bytes = to_bytes(&original);
+        let loaded = parse_taxonomy(&bytes).expect("parses");
+        assert_eq!(loaded.dim(), original.dim());
+        assert_eq!(loaded.seed(), original.seed());
+        assert_eq!(loaded.num_classes(), original.num_classes());
+        for class in 0..original.num_classes() {
+            assert_eq!(loaded.class_name(class), original.class_name(class));
+            assert_eq!(loaded.levels(class), original.levels(class));
+            assert_eq!(loaded.label(class), original.label(class));
+        }
+        assert_eq!(loaded.null_hv(), original.null_hv());
+        // Derived codebooks re-derive identically; overrides are restored.
+        assert_eq!(
+            loaded.codebook(0, &[3]).unwrap().as_ref(),
+            original.codebook(0, &[3]).unwrap().as_ref()
+        );
+        assert_eq!(
+            loaded.codebook(1, &[]).unwrap().as_ref(),
+            original.codebook(1, &[]).unwrap().as_ref()
+        );
+        assert_eq!(
+            loaded.item_hv(1, &ItemPath::top(3)).unwrap(),
+            original.item_hv(1, &ItemPath::top(3)).unwrap()
+        );
+        // Serializing the loaded model reproduces the bytes exactly.
+        assert_eq!(to_bytes(&loaded), bytes);
+    }
+
+    #[test]
+    fn reader_round_trip_matches_parse() {
+        let original = sample_taxonomy();
+        let bytes = to_bytes(&original);
+        let from_reader = read_taxonomy(&mut &bytes[..]).expect("reads");
+        assert_eq!(from_reader.label(0), original.label(0));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = to_bytes(&sample_taxonomy());
+        bytes[0] = b'X';
+        assert!(matches!(
+            parse_taxonomy(&bytes),
+            Err(EngineError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = to_bytes(&sample_taxonomy());
+        bytes[8] = 99;
+        assert!(matches!(
+            parse_taxonomy(&bytes),
+            Err(EngineError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn nonzero_reserved_flags_rejected() {
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        body[10] = 0x01;
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_taxonomy(&body),
+            Err(EngineError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let mut bytes = to_bytes(&sample_taxonomy());
+        let middle = bytes.len() / 2;
+        bytes[middle] ^= 0x40;
+        assert!(matches!(
+            parse_taxonomy(&bytes),
+            Err(EngineError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_checksum_fails_checksum() {
+        let mut bytes = to_bytes(&sample_taxonomy());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            parse_taxonomy(&bytes),
+            Err(EngineError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = to_bytes(&sample_taxonomy());
+        for cut in 0..bytes.len() {
+            let err = parse_taxonomy(&bytes[..cut]).expect_err("truncated artifact must fail");
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Truncated { .. } | EngineError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        // Append a byte inside the checksummed region by rebuilding the
+        // frame: body + junk + recomputed checksum.
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        body.push(0xAB);
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_taxonomy(&body),
+            Err(EngineError::Truncated { .. }) | Err(EngineError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_counts_rejected_without_allocation_blowup() {
+        // Rewrite the class count to an absurd value and fix the checksum.
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        body[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_taxonomy(&body),
+            Err(EngineError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_dim_times_classes_rejected_before_allocation() {
+        // dim and class count each pass their per-field caps, but their
+        // product would demand gigabytes of eager label allocation; the
+        // loader must refuse with a typed error instead of OOMing.
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        body[12..20].copy_from_slice(&((1u64 << 26) - 64).to_le_bytes()); // dim
+        body[28..32].copy_from_slice(&60_000u32.to_le_bytes()); // classes
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_taxonomy(&body),
+            Err(EngineError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unserializable_model_rejected_at_write_time() {
+        // 65 levels is buildable in memory but beyond the format's
+        // MAX_LEVELS read cap; writing must fail up front instead of
+        // producing an artifact that refuses to load.
+        let deep = TaxonomyBuilder::new(64)
+            .class("deep", &vec![2; 65])
+            .build()
+            .expect("builder permits deep hierarchies");
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_taxonomy(&mut buf, &deep),
+            Err(EngineError::Corrupt(_))
+        ));
+        assert!(buf.is_empty(), "nothing may be written on rejection");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let original = sample_taxonomy();
+        let path = std::env::temp_dir().join("factorhd_artifact_test.fhd");
+        save_taxonomy(&path, &original).expect("saves");
+        let loaded = load_taxonomy(&path).expect("loads");
+        assert_eq!(loaded.label(0), original.label(0));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,425 @@
+//! The batched factorization serving engine.
+
+use crate::cache::{CacheStats, ReconCache};
+use crate::{artifact, EngineError};
+use factorhd_core::{
+    build_unbind_keys, ClassDecode, DecodedObject, DecodedScene, Encoder, FactorizeConfig,
+    Factorizer, ItemPath, QueryAnswer, Scene, SceneQuery, Taxonomy,
+};
+use hdc::{AccumHv, BipolarHv};
+use rayon::prelude::*;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Tuning knobs for [`FactorEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Factorization configuration applied to every request.
+    pub factorize: FactorizeConfig,
+    /// Capacity (in objects) of the Rep-3 reconstruction memo; 0 disables
+    /// it.
+    pub reconstruction_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            factorize: FactorizeConfig::default(),
+            reconstruction_capacity: 1024,
+        }
+    }
+}
+
+/// One unit of work submitted to the engine.
+///
+/// Scene hypervectors arrive pre-encoded (the wire format a remote client
+/// would ship); [`Request::EncodeScene`] covers the encoding direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Rep-1/Rep-2 factorization of a single-object scene vector.
+    FactorizeSingle(AccumHv),
+    /// Rep-3 factorization of a multi-object scene vector.
+    FactorizeMulti(AccumHv),
+    /// Partial factorization of only the listed classes.
+    FactorizeClasses {
+        /// The scene hypervector to decode.
+        scene: AccumHv,
+        /// Class indices to decode (others are skipped entirely).
+        classes: Vec<usize>,
+    },
+    /// Membership probe: "does the scene contain an object with these
+    /// items (and with these classes absent)?"
+    Membership {
+        /// The scene hypervector to probe.
+        scene: AccumHv,
+        /// Required `(class, item path)` constraints.
+        items: Vec<(usize, ItemPath)>,
+        /// Classes required to be absent (NULL) on the queried object.
+        absent: Vec<usize>,
+    },
+    /// Symbolic-to-hypervector encoding of a scene.
+    EncodeScene(Scene),
+}
+
+/// The engine's answer to one [`Request`], variant-matched to it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::FactorizeSingle`].
+    Single(DecodedObject),
+    /// Answer to [`Request::FactorizeMulti`].
+    Multi(DecodedScene),
+    /// Answer to [`Request::FactorizeClasses`].
+    Classes(Vec<ClassDecode>),
+    /// Answer to [`Request::Membership`].
+    Membership(QueryAnswer),
+    /// Answer to [`Request::EncodeScene`].
+    Encoded(AccumHv),
+}
+
+/// A factorization server over one [`Taxonomy`].
+///
+/// The engine pays per-taxonomy setup exactly once — label-elimination
+/// masks ([`build_unbind_keys`]), lazily shared codebooks and clauses,
+/// and the Rep-3 reconstruction memo — then serves every request as
+/// lookups plus the irreducible similarity arithmetic. Batches run on the
+/// rayon pool; results are returned in request order and are bit-identical
+/// to a sequential loop because every kernel is a pure function of the
+/// (request, taxonomy) pair.
+pub struct FactorEngine {
+    taxonomy: Arc<Taxonomy>,
+    config: EngineConfig,
+    unbind_keys: Arc<Vec<BipolarHv>>,
+    reconstruction: Arc<ReconCache>,
+}
+
+impl FactorEngine {
+    /// Creates an engine serving `taxonomy`.
+    pub fn new(taxonomy: Taxonomy, config: EngineConfig) -> Self {
+        FactorEngine::from_arc(Arc::new(taxonomy), config)
+    }
+
+    /// Creates an engine over an already-shared taxonomy.
+    pub fn from_arc(taxonomy: Arc<Taxonomy>, config: EngineConfig) -> Self {
+        let unbind_keys = Arc::new(build_unbind_keys(&taxonomy));
+        let reconstruction = Arc::new(ReconCache::new(config.reconstruction_capacity));
+        FactorEngine {
+            taxonomy,
+            config,
+            unbind_keys,
+            reconstruction,
+        }
+    }
+
+    /// Loads an engine from a `.fhd` model artifact at `path`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`artifact::load_taxonomy`].
+    pub fn load<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<Self, EngineError> {
+        Ok(FactorEngine::new(artifact::load_taxonomy(path)?, config))
+    }
+
+    /// Loads an engine from `.fhd` bytes supplied by `reader`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`artifact::read_taxonomy`].
+    pub fn load_from<R: Read>(reader: &mut R, config: EngineConfig) -> Result<Self, EngineError> {
+        Ok(FactorEngine::new(artifact::read_taxonomy(reader)?, config))
+    }
+
+    /// Saves the engine's model as a `.fhd` artifact at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
+        artifact::save_taxonomy(path, &self.taxonomy)
+    }
+
+    /// Writes the engine's model as `.fhd` bytes to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] on write failure.
+    pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), EngineError> {
+        artifact::write_taxonomy(writer, &self.taxonomy)
+    }
+
+    /// The taxonomy this engine serves.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Usage counters of the reconstruction memo (hits grow as the cache
+    /// warms; compare cold vs warm runs).
+    pub fn reconstruction_stats(&self) -> CacheStats {
+        self.reconstruction.stats()
+    }
+
+    /// A factorizer assembled from the engine's memoized parts — no
+    /// per-request mask rebuild.
+    fn factorizer(&self) -> Factorizer<'_> {
+        let cache: Arc<dyn factorhd_core::ReconstructionCache> =
+            Arc::clone(&self.reconstruction) as _;
+        Factorizer::with_parts(
+            &self.taxonomy,
+            self.config.factorize,
+            Arc::clone(&self.unbind_keys),
+            Some(cache),
+        )
+        .expect("engine-built keys match the taxonomy")
+    }
+
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Core`] wrapping the underlying validation or
+    /// dimension error.
+    pub fn execute(&self, request: &Request) -> Result<Response, EngineError> {
+        match request {
+            Request::FactorizeSingle(scene) => {
+                Ok(Response::Single(self.factorizer().factorize_single(scene)?))
+            }
+            Request::FactorizeMulti(scene) => {
+                Ok(Response::Multi(self.factorizer().factorize_multi(scene)?))
+            }
+            Request::FactorizeClasses { scene, classes } => Ok(Response::Classes(
+                self.factorizer().factorize_classes(scene, classes)?,
+            )),
+            Request::Membership {
+                scene,
+                items,
+                absent,
+            } => {
+                let mut query = SceneQuery::new(&self.taxonomy);
+                for (class, path) in items {
+                    query = query.with_item(*class, path.clone())?;
+                }
+                for &class in absent {
+                    query = query.with_absent(class)?;
+                }
+                Ok(Response::Membership(query.evaluate(scene)?))
+            }
+            Request::EncodeScene(scene) => Ok(Response::Encoded(
+                Encoder::new(&self.taxonomy).encode_scene(scene)?,
+            )),
+        }
+    }
+
+    /// Executes a batch across the worker pool, returning results in
+    /// request order, bit-identical to [`FactorEngine::execute_sequential`].
+    pub fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
+        requests.par_iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Executes a batch one request at a time on the calling thread (the
+    /// determinism reference for [`FactorEngine::execute_batch`]).
+    pub fn execute_sequential(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorhd_core::{FactorHdError, ObjectSpec, TaxonomyBuilder, ThresholdPolicy};
+
+    fn taxonomy(seed: u64) -> Taxonomy {
+        TaxonomyBuilder::new(2048)
+            .seed(seed)
+            .class("animal", &[8, 4])
+            .class("color", &[8])
+            .class("size", &[8])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    fn engine(seed: u64) -> FactorEngine {
+        FactorEngine::new(
+            taxonomy(seed),
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    threshold: ThresholdPolicy::Analytic { n_objects: 2 },
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    fn mixed_requests(engine: &FactorEngine, n: usize, seed: u64) -> Vec<Request> {
+        let encoder = Encoder::new(engine.taxonomy());
+        let mut rng = hdc::rng_from_seed(seed);
+        (0..n)
+            .map(|i| {
+                let object = engine.taxonomy().sample_object(&mut rng);
+                match i % 5 {
+                    0 => Request::FactorizeSingle(
+                        encoder.encode_scene(&Scene::single(object)).unwrap(),
+                    ),
+                    1 => {
+                        let scene = engine.taxonomy().sample_scene(2, true, &mut rng);
+                        Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap())
+                    }
+                    2 => Request::FactorizeClasses {
+                        scene: encoder.encode_scene(&Scene::single(object)).unwrap(),
+                        classes: vec![1],
+                    },
+                    3 => Request::Membership {
+                        scene: encoder
+                            .encode_scene(&Scene::single(object.clone()))
+                            .unwrap(),
+                        items: vec![(1, object.assignment(1).unwrap().clone())],
+                        absent: vec![],
+                    },
+                    _ => Request::EncodeScene(Scene::single(object)),
+                }
+            })
+            .collect()
+    }
+
+    fn unwrap_all(results: Vec<Result<Response, EngineError>>) -> Vec<Response> {
+        results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential() {
+        let eng = engine(77);
+        let requests = mixed_requests(&eng, 15, 1);
+        let batched = unwrap_all(eng.execute_batch(&requests));
+        let sequential = unwrap_all(eng.execute_sequential(&requests));
+        assert_eq!(batched, sequential);
+        // And a second (warm-cache) pass does not change anything.
+        let warm = unwrap_all(eng.execute_batch(&requests));
+        assert_eq!(warm, batched);
+    }
+
+    #[test]
+    fn responses_recover_the_encoded_objects() {
+        let eng = engine(78);
+        let encoder = Encoder::new(eng.taxonomy());
+        let mut rng = hdc::rng_from_seed(2);
+        let object = eng.taxonomy().sample_object(&mut rng);
+        let hv = encoder
+            .encode_scene(&Scene::single(object.clone()))
+            .unwrap();
+        match eng.execute(&Request::FactorizeSingle(hv.clone())).unwrap() {
+            Response::Single(decoded) => assert_eq!(decoded.object(), &object),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match eng
+            .execute(&Request::EncodeScene(Scene::single(object)))
+            .unwrap()
+        {
+            Response::Encoded(encoded) => assert_eq!(encoded, hv),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_cache_registers_hits() {
+        let eng = engine(79);
+        let encoder = Encoder::new(eng.taxonomy());
+        let mut rng = hdc::rng_from_seed(3);
+        let scene = eng.taxonomy().sample_scene(2, true, &mut rng);
+        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
+        let cold = eng.execute(&request).unwrap();
+        let after_cold = eng.reconstruction_stats();
+        let warm = eng.execute(&request).unwrap();
+        let after_warm = eng.reconstruction_stats();
+        assert_eq!(cold, warm);
+        assert!(after_cold.misses > 0, "cold run must populate the memo");
+        assert!(
+            after_warm.hits > after_cold.hits,
+            "warm run must hit the memo: {after_warm:?}"
+        );
+    }
+
+    #[test]
+    fn set_codebook_after_serving_flushes_reconstructions() {
+        // Installing trained prototypes through the engine's own taxonomy
+        // accessor must invalidate memoized reconstructions: post-mutation
+        // serving must match a freshly built engine over the same model.
+        let eng = engine(83);
+        let encoder = Encoder::new(eng.taxonomy());
+        let mut rng = hdc::rng_from_seed(6);
+        let scene = eng.taxonomy().sample_scene(2, true, &mut rng);
+        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
+        let _ = eng.execute(&request).unwrap(); // populate the memo
+
+        let trained = hdc::Codebook::derive(0xAB, 8, 2048);
+        eng.taxonomy()
+            .set_codebook(1, &[], trained.clone())
+            .unwrap();
+
+        let fresh_taxonomy = taxonomy(83);
+        fresh_taxonomy.set_codebook(1, &[], trained).unwrap();
+        let fresh = FactorEngine::from_arc(Arc::new(fresh_taxonomy), *eng.config());
+        // Re-encode the request against the mutated model so both engines
+        // answer the same question.
+        let encoder = Encoder::new(eng.taxonomy());
+        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
+        assert_eq!(
+            eng.execute(&request).unwrap(),
+            fresh.execute(&request).unwrap(),
+            "stale reconstruction served after set_codebook"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_surfaces_as_core_error() {
+        let eng = engine(80);
+        let result = eng.execute(&Request::FactorizeSingle(AccumHv::zeros(64)));
+        assert!(matches!(
+            result,
+            Err(EngineError::Core(FactorHdError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn membership_detects_absent_classes() {
+        let eng = engine(81);
+        let encoder = Encoder::new(eng.taxonomy());
+        let object = ObjectSpec::new(vec![
+            Some(ItemPath::new(vec![3, 1])),
+            None,
+            Some(ItemPath::top(5)),
+        ]);
+        let hv = encoder.encode_scene(&Scene::single(object)).unwrap();
+        match eng
+            .execute(&Request::Membership {
+                scene: hv,
+                items: vec![(0, ItemPath::new(vec![3, 1]))],
+                absent: vec![1],
+            })
+            .unwrap()
+        {
+            Response::Membership(answer) => assert!(answer.present),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifact_round_trip_serves_identically() {
+        let eng = engine(82);
+        let requests = mixed_requests(&eng, 10, 4);
+        let mut bytes = Vec::new();
+        eng.save_to(&mut bytes).expect("serializes");
+        let loaded = FactorEngine::load_from(&mut &bytes[..], *eng.config()).expect("deserializes");
+        assert_eq!(
+            unwrap_all(eng.execute_batch(&requests)),
+            unwrap_all(loaded.execute_batch(&requests)),
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for the serving engine and the `.fhd` artifact codec.
+
+use factorhd_core::FactorHdError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by artifact encoding/decoding and request execution.
+///
+/// Every corruption mode of the `.fhd` codec maps to a typed variant —
+/// malformed bytes never panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An I/O error while reading or writing an artifact.
+    Io(io::Error),
+    /// The artifact does not start with the `.fhd` magic bytes.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The artifact declares a format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// The trailing checksum does not match the artifact contents.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// The artifact ended before a complete structure could be read.
+    Truncated {
+        /// Bytes needed to finish the current field.
+        needed: usize,
+        /// Bytes remaining in the artifact.
+        remaining: usize,
+    },
+    /// The artifact is structurally invalid (an out-of-range count, a
+    /// non-UTF-8 class name, trailing garbage, …).
+    Corrupt(String),
+    /// An error bubbled up from the FactorHD core while rebuilding or
+    /// querying the model.
+    Core(FactorHdError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            EngineError::BadMagic { found } => {
+                write!(f, "bad artifact magic {found:02x?}")
+            }
+            EngineError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v}")
+            }
+            EngineError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            EngineError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated artifact: needed {needed} more bytes, {remaining} remaining"
+                )
+            }
+            EngineError::Corrupt(reason) => write!(f, "corrupt artifact: {reason}"),
+            EngineError::Core(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EngineError {
+    fn from(value: io::Error) -> Self {
+        EngineError::Io(value)
+    }
+}
+
+impl From<FactorHdError> for EngineError {
+    fn from(value: FactorHdError) -> Self {
+        EngineError::Core(value)
+    }
+}
+
+impl From<hdc::HdcError> for EngineError {
+    fn from(value: hdc::HdcError) -> Self {
+        EngineError::Core(FactorHdError::from(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let cases: Vec<EngineError> = vec![
+            EngineError::Io(io::Error::other("boom")),
+            EngineError::BadMagic { found: [0; 8] },
+            EngineError::UnsupportedVersion(9),
+            EngineError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            EngineError::Truncated {
+                needed: 8,
+                remaining: 3,
+            },
+            EngineError::Corrupt("trailing garbage".into()),
+            EngineError::Core(FactorHdError::NoClasses),
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let io_err: EngineError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(Error::source(&io_err).is_some());
+        let core_err: EngineError = FactorHdError::EmptyScene.into();
+        assert!(matches!(core_err, EngineError::Core(_)));
+        let hdc_err: EngineError = hdc::HdcError::EmptyCodebook.into();
+        assert!(matches!(hdc_err, EngineError::Core(FactorHdError::Hdc(_))));
+    }
+}

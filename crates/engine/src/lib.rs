@@ -1,0 +1,69 @@
+//! # factorhd-engine — batched, cache-aware factorization serving
+//!
+//! The FactorHD reproduction's serving layer: instead of rebuilding
+//! taxonomies, codebooks, and label-elimination masks per call and running
+//! factorizations one scene at a time, a [`FactorEngine`] pays the
+//! per-taxonomy setup once and serves batches of requests against it:
+//!
+//! * **Model artifacts** ([`artifact`]): a versioned, checksummed binary
+//!   format (`.fhd`) persisting a `Taxonomy` and its codebooks, with
+//!   round-trip equality guaranteed — save → load → factorize is
+//!   bit-identical to the in-memory model. Hand-rolled over
+//!   `std::io::{Read, Write}`; no serde.
+//! * **Batched requests** ([`Request`] / [`Response`]): full factorization
+//!   (Rep 1/2/3), partial (per-class) factorization, membership probes,
+//!   and scene encoding, executed across a rayon worker pool with results
+//!   in request order, bit-identical to a sequential loop.
+//! * **Shared caches** ([`cache`]): the label-elimination masks
+//!   `⊙_{j≠i} LABEL_j` are built once per engine, clauses and codebooks
+//!   are shared through the taxonomy, and Rep-3 object reconstructions
+//!   are memoized behind a `parking_lot`-guarded LRU — turning the
+//!   per-request `O(C·D)` rebuilds into lookups.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use factorhd_core::{Encoder, Scene, TaxonomyBuilder};
+//! use factorhd_engine::{EngineConfig, FactorEngine, Request, Response};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let taxonomy = TaxonomyBuilder::new(2048)
+//!     .class("animal", &[8])
+//!     .class("color", &[8])
+//!     .build()?;
+//! let engine = FactorEngine::new(taxonomy, EngineConfig::default());
+//!
+//! // Persist the model and load it back — bit-identical serving.
+//! let mut artifact = Vec::new();
+//! engine.save_to(&mut artifact)?;
+//! let restored = FactorEngine::load_from(&mut &artifact[..], EngineConfig::default())?;
+//!
+//! // Serve a batch: encode a scene, then factorize it.
+//! let mut rng = hdc::rng_from_seed(7);
+//! let object = engine.taxonomy().sample_object(&mut rng);
+//! let hv = Encoder::new(engine.taxonomy()).encode_scene(&Scene::single(object.clone()))?;
+//! let responses = restored.execute_batch(&[Request::FactorizeSingle(hv)]);
+//! match responses.into_iter().next().expect("one response")? {
+//!     Response::Single(decoded) => assert_eq!(decoded.object(), &object),
+//!     other => panic!("unexpected response {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+mod engine;
+mod error;
+
+pub use cache::{CacheStats, LruCache, ReconCache};
+pub use engine::{EngineConfig, FactorEngine, Request, Response};
+pub use error::EngineError;
+
+/// Convenient glob import of the serving-engine types.
+pub mod prelude {
+    pub use crate::{CacheStats, EngineConfig, EngineError, FactorEngine, Request, Response};
+}

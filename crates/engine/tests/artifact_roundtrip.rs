@@ -1,0 +1,145 @@
+//! Property coverage for the `.fhd` artifact codec: encode → decode is
+//! identity for random taxonomies and dimensions, and corrupted bytes
+//! (truncation, bad magic, flipped checksum/payload bits) fail with a
+//! typed [`EngineError`] instead of a panic.
+
+use factorhd_core::{Encoder, FactorizeConfig, Factorizer, Scene, Taxonomy, TaxonomyBuilder};
+use factorhd_engine::{artifact, EngineError};
+use hdc::Codebook;
+use proptest::prelude::*;
+
+/// The generated model description: dimension, seed, per-class level
+/// sizes, and which class (if any) gets an override codebook.
+type ModelSpec = (usize, u64, Vec<Vec<usize>>, Option<(usize, u64)>);
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    (
+        50usize..400,
+        any::<u64>(),
+        proptest::collection::vec(proptest::collection::vec(1usize..9, 1..3), 1..4),
+        prop_oneof![Just(None), (0usize..4, any::<u64>()).prop_map(Some),],
+    )
+}
+
+fn build_model(spec: &ModelSpec) -> Taxonomy {
+    let (dim, seed, classes, override_spec) = spec;
+    let mut builder = TaxonomyBuilder::new(*dim).seed(*seed);
+    for (i, levels) in classes.iter().enumerate() {
+        builder = builder.class(&format!("class-{i}"), levels);
+    }
+    let taxonomy = builder.build().expect("generated spec is valid");
+    if let Some((class_pick, cb_seed)) = override_spec {
+        let class = class_pick % classes.len();
+        let m = classes[class][0];
+        taxonomy
+            .set_codebook(class, &[], Codebook::derive(*cb_seed, m, *dim))
+            .expect("override matches declared level");
+    }
+    taxonomy
+}
+
+fn to_bytes(taxonomy: &Taxonomy) -> Vec<u8> {
+    let mut buf = Vec::new();
+    artifact::write_taxonomy(&mut buf, taxonomy).expect("writing to a Vec cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_decode_is_identity(spec in model_strategy()) {
+        let original = build_model(&spec);
+        let bytes = to_bytes(&original);
+        let loaded = artifact::parse_taxonomy(&bytes).expect("valid artifact parses");
+
+        prop_assert_eq!(loaded.dim(), original.dim());
+        prop_assert_eq!(loaded.seed(), original.seed());
+        prop_assert_eq!(loaded.num_classes(), original.num_classes());
+        for class in 0..original.num_classes() {
+            prop_assert_eq!(loaded.class_name(class), original.class_name(class));
+            prop_assert_eq!(loaded.levels(class), original.levels(class));
+            for level in 0..original.levels(class) {
+                prop_assert_eq!(
+                    loaded.level_size(class, level),
+                    original.level_size(class, level)
+                );
+            }
+            prop_assert_eq!(loaded.label(class), original.label(class));
+            prop_assert_eq!(
+                loaded.codebook(class, &[]).expect("valid").as_ref(),
+                original.codebook(class, &[]).expect("valid").as_ref()
+            );
+        }
+        prop_assert_eq!(loaded.null_hv(), original.null_hv());
+        // Re-serializing reproduces the artifact byte-for-byte.
+        prop_assert_eq!(to_bytes(&loaded), bytes);
+    }
+
+    #[test]
+    fn loaded_model_factorizes_identically(spec in model_strategy(), scene_seed in any::<u64>()) {
+        let original = build_model(&spec);
+        let bytes = to_bytes(&original);
+        let loaded = artifact::parse_taxonomy(&bytes).expect("valid artifact parses");
+
+        let mut rng = hdc::rng_from_seed(scene_seed);
+        let object = original.sample_object(&mut rng);
+        let hv = Encoder::new(&original)
+            .encode_scene(&Scene::single(object))
+            .expect("encodable");
+        let a = Factorizer::new(&original, FactorizeConfig::default())
+            .factorize_single(&hv)
+            .expect("decodes");
+        let b = Factorizer::new(&loaded, FactorizeConfig::default())
+            .factorize_single(&hv)
+            .expect("decodes");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_never_panics(spec in model_strategy(), cut_fraction in 0.0f64..1.0) {
+        let bytes = to_bytes(&build_model(&spec));
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let err = artifact::parse_taxonomy(&bytes[..cut])
+            .expect_err("truncated artifact must fail");
+        prop_assert!(matches!(
+            err,
+            EngineError::Truncated { .. } | EngineError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn flipped_bit_never_panics(spec in model_strategy(), pos_pick in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = to_bytes(&build_model(&spec));
+        let pos = (pos_pick as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Any single-bit flip must surface as a typed error, never a
+        // panic or a silently different model.
+        match artifact::parse_taxonomy(&bytes) {
+            Err(
+                EngineError::BadMagic { .. }
+                | EngineError::UnsupportedVersion(_)
+                | EngineError::ChecksumMismatch { .. }
+                | EngineError::Truncated { .. }
+                | EngineError::Corrupt(_)
+                | EngineError::Core(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "untyped error: {other:?}"),
+            Ok(_) => prop_assert!(false, "corrupted artifact parsed successfully"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected(spec in model_strategy(), junk in any::<u8>()) {
+        let mut bytes = to_bytes(&build_model(&spec));
+        if bytes[0] == junk {
+            bytes[0] = junk.wrapping_add(1);
+        } else {
+            bytes[0] = junk;
+        }
+        prop_assert!(matches!(
+            artifact::parse_taxonomy(&bytes),
+            Err(EngineError::BadMagic { .. })
+        ));
+    }
+}

@@ -204,6 +204,50 @@ impl BipolarHv {
         }
     }
 
+    /// Serialized length of [`BipolarHv::to_le_bytes`] for dimension `dim`:
+    /// one little-endian `u64` per 64 components.
+    #[inline]
+    pub fn byte_len(dim: usize) -> usize {
+        words_for(dim) * 8
+    }
+
+    /// Serializes the packed sign words as little-endian bytes — the
+    /// word-level wire form used by the `.fhd` model-artifact codec.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a vector from [`BipolarHv::to_le_bytes`] output.
+    /// Padding bits beyond `dim` are cleared, so the result is canonical.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidDimension`] if `dim == 0`, or
+    /// [`HdcError::InvalidEncoding`] if `bytes` is not exactly
+    /// [`BipolarHv::byte_len`] long.
+    pub fn from_le_bytes(dim: usize, bytes: &[u8]) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::InvalidDimension(0));
+        }
+        let expected = Self::byte_len(dim);
+        if bytes.len() != expected {
+            return Err(HdcError::InvalidEncoding {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let mut words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        clear_padding(&mut words, dim);
+        Ok(BipolarHv { words, dim })
+    }
+
     /// Views this vector as a ternary vector with no zero components.
     pub fn to_ternary(&self) -> TernaryHv {
         TernaryHv::from_planes(
@@ -403,6 +447,40 @@ mod tests {
         let a = BipolarHv::random(64, &mut rng);
         let b = BipolarHv::random(65, &mut rng);
         let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let mut rng = rng_from_seed(24);
+        for dim in [1, 63, 64, 65, 200, 1024] {
+            let v = BipolarHv::random(dim, &mut rng);
+            let bytes = v.to_le_bytes();
+            assert_eq!(bytes.len(), BipolarHv::byte_len(dim));
+            assert_eq!(BipolarHv::from_le_bytes(dim, &bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn from_le_bytes_canonicalizes_padding() {
+        // Garbage in the padding bits must not leak into the vector.
+        let bytes = vec![0xFFu8; 8];
+        let v = BipolarHv::from_le_bytes(3, &bytes).unwrap();
+        assert_eq!(v, BipolarHv::from_components(&[-1, -1, -1]).unwrap());
+    }
+
+    #[test]
+    fn from_le_bytes_validates() {
+        assert!(matches!(
+            BipolarHv::from_le_bytes(0, &[]),
+            Err(crate::HdcError::InvalidDimension(0))
+        ));
+        assert!(matches!(
+            BipolarHv::from_le_bytes(64, &[0u8; 7]),
+            Err(crate::HdcError::InvalidEncoding {
+                expected: 8,
+                actual: 7
+            })
+        ));
     }
 
     #[test]

@@ -100,6 +100,54 @@ impl Codebook {
         })
     }
 
+    /// Serialized length of [`Codebook::to_le_bytes`] for `m` items of
+    /// dimension `dim`.
+    #[inline]
+    pub fn byte_len(m: usize, dim: usize) -> usize {
+        m * BipolarHv::byte_len(dim)
+    }
+
+    /// Serializes all items, concatenated in index order, each in the
+    /// [`BipolarHv::to_le_bytes`] wire form.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::byte_len(self.items.len(), self.dim));
+        for item in &self.items {
+            out.extend_from_slice(&item.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a codebook of `m` items of dimension `dim` from
+    /// [`Codebook::to_le_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::EmptyCodebook`] if `m == 0`,
+    /// [`HdcError::InvalidDimension`] if `dim == 0`, or
+    /// [`HdcError::InvalidEncoding`] if `bytes` is not exactly
+    /// [`Codebook::byte_len`] long.
+    pub fn from_le_bytes(m: usize, dim: usize, bytes: &[u8]) -> Result<Self, HdcError> {
+        if m == 0 {
+            return Err(HdcError::EmptyCodebook);
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidDimension(0));
+        }
+        let expected = Self::byte_len(m, dim);
+        if bytes.len() != expected {
+            return Err(HdcError::InvalidEncoding {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let stride = BipolarHv::byte_len(dim);
+        let items = bytes
+            .chunks_exact(stride)
+            .map(|chunk| BipolarHv::from_le_bytes(dim, chunk))
+            .collect::<Result<Vec<_>, _>>()?;
+        Codebook::from_items(items)
+    }
+
     /// Number of items `M`.
     #[inline]
     pub fn len(&self) -> usize {
@@ -391,6 +439,17 @@ mod tests {
         assert!(Codebook::from_items(vec![]).is_err());
         assert!(Codebook::from_items(vec![a.clone(), b]).is_err());
         assert!(Codebook::from_items(vec![a.clone(), a]).is_ok());
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let cb = Codebook::derive(61, 7, 130);
+        let bytes = cb.to_le_bytes();
+        assert_eq!(bytes.len(), Codebook::byte_len(7, 130));
+        assert_eq!(Codebook::from_le_bytes(7, 130, &bytes).unwrap(), cb);
+        assert!(Codebook::from_le_bytes(0, 130, &[]).is_err());
+        assert!(Codebook::from_le_bytes(7, 0, &bytes).is_err());
+        assert!(Codebook::from_le_bytes(6, 130, &bytes).is_err());
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub enum HdcError {
     },
     /// A named symbol was not present in an [`crate::ItemMemory`].
     UnknownSymbol(String),
+    /// A serialized byte payload had the wrong length for the declared
+    /// shape (dimension / item count).
+    InvalidEncoding {
+        /// Expected payload length in bytes.
+        expected: usize,
+        /// Actual payload length in bytes.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -49,6 +57,12 @@ impl fmt::Display for HdcError {
                 )
             }
             HdcError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}` in item memory"),
+            HdcError::InvalidEncoding { expected, actual } => {
+                write!(
+                    f,
+                    "invalid encoding: expected {expected} payload bytes, got {actual}"
+                )
+            }
         }
     }
 }
@@ -67,6 +81,10 @@ mod tests {
             HdcError::EmptyCodebook,
             HdcError::ItemOutOfBounds { index: 9, len: 2 },
             HdcError::UnknownSymbol("dog".into()),
+            HdcError::InvalidEncoding {
+                expected: 16,
+                actual: 7,
+            },
         ];
         for err in cases {
             let msg = err.to_string();

@@ -189,6 +189,54 @@ impl TernaryHv {
         self.dot(rhs) as f64 / self.dim as f64
     }
 
+    /// Serialized length of [`TernaryHv::to_le_bytes`] for dimension `dim`:
+    /// two bit planes of one little-endian `u64` per 64 components each.
+    #[inline]
+    pub fn byte_len(dim: usize) -> usize {
+        2 * words_for(dim) * 8
+    }
+
+    /// Serializes the mask plane followed by the sign plane as
+    /// little-endian words — the word-level wire form used by the `.fhd`
+    /// model-artifact codec.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::byte_len(self.dim));
+        for w in self.mask.iter().chain(&self.sign) {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a vector from [`TernaryHv::to_le_bytes`] output.
+    /// Padding bits and sign bits under a zero mask are cleared, so the
+    /// result is canonical.
+    ///
+    /// # Errors
+    ///
+    /// [`HdcError::InvalidDimension`] if `dim == 0`, or
+    /// [`HdcError::InvalidEncoding`] if `bytes` is not exactly
+    /// [`TernaryHv::byte_len`] long.
+    pub fn from_le_bytes(dim: usize, bytes: &[u8]) -> Result<Self, HdcError> {
+        if dim == 0 {
+            return Err(HdcError::InvalidDimension(0));
+        }
+        let expected = Self::byte_len(dim);
+        if bytes.len() != expected {
+            return Err(HdcError::InvalidEncoding {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let n = words_for(dim);
+        let word_at = |plane: usize, i: usize| {
+            let start = (plane * n + i) * 8;
+            u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8-byte chunk"))
+        };
+        let mask: Vec<u64> = (0..n).map(|i| word_at(0, i)).collect();
+        let sign: Vec<u64> = (0..n).map(|i| word_at(1, i)).collect();
+        Ok(TernaryHv::from_planes(mask, sign, dim))
+    }
+
     /// Expands into an integer accumulator.
     pub fn to_accum(&self) -> AccumHv {
         let mut acc = AccumHv::zeros(self.dim);
@@ -405,6 +453,38 @@ mod tests {
             };
             assert_eq!(unbound.component(i), expected);
         }
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        for (dim, seed) in [(1usize, 20u64), (63, 21), (64, 22), (130, 23), (1024, 24)] {
+            let t = random_ternary(dim, seed);
+            let bytes = t.to_le_bytes();
+            assert_eq!(bytes.len(), TernaryHv::byte_len(dim));
+            assert_eq!(TernaryHv::from_le_bytes(dim, &bytes).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn from_le_bytes_canonicalizes() {
+        // Sign bits under a zero mask and padding bits must be cleared.
+        let mut bytes = vec![0u8; TernaryHv::byte_len(3)];
+        bytes[0] = 0b101; // mask
+        bytes[8] = 0b111; // sign (bit 1 is under a zero mask)
+        let t = TernaryHv::from_le_bytes(3, &bytes).unwrap();
+        assert_eq!(t, TernaryHv::from_components(&[-1, 0, -1]).unwrap());
+    }
+
+    #[test]
+    fn from_le_bytes_validates() {
+        assert!(TernaryHv::from_le_bytes(0, &[]).is_err());
+        assert!(matches!(
+            TernaryHv::from_le_bytes(64, &[0u8; 8]),
+            Err(HdcError::InvalidEncoding {
+                expected: 16,
+                actual: 8
+            })
+        ));
     }
 
     #[test]

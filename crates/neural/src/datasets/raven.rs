@@ -18,7 +18,7 @@ pub const NUM_COLORS: usize = 10;
 pub const NUM_SIZES: usize = 6;
 /// Number of object types in RAVEN.
 pub const NUM_TYPES: usize = 5;
-/// Size×type combinations ("the third [codebook] combines size and type
+/// Size×type combinations ("the third \[codebook\] combines size and type
 /// attributes, resulting in 30 size-type combinations", §IV-A).
 pub const NUM_SIZE_TYPES: usize = NUM_SIZES * NUM_TYPES;
 

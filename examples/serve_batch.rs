@@ -1,0 +1,83 @@
+//! Batched serving with a persisted model artifact: build a taxonomy,
+//! save it as `.fhd`, load it back into a `FactorEngine`, and serve a
+//! mixed batch of factorization / membership / encode requests.
+//!
+//! ```sh
+//! cargo run --release --example serve_batch
+//! ```
+
+use factorhd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the model: 3 classes, one with a subclass hierarchy.
+    let taxonomy = TaxonomyBuilder::new(4096)
+        .seed(2025)
+        .class("animal", &[16, 4])
+        .class("color", &[16])
+        .class("size", &[16])
+        .build()?;
+    let encoder = Encoder::new(&taxonomy);
+
+    // 2. Prepare a mixed request batch before handing the model over.
+    let mut rng = hdc::rng_from_seed(7);
+    let mut requests = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..12 {
+        let object = taxonomy.sample_object(&mut rng);
+        if i % 4 == 3 {
+            let scene = taxonomy.sample_scene(2, true, &mut rng);
+            requests.push(Request::FactorizeMulti(encoder.encode_scene(&scene)?));
+            expected.push(format!("scene with {} objects", scene.len()));
+        } else {
+            let hv = encoder.encode_scene(&Scene::single(object.clone()))?;
+            requests.push(Request::FactorizeSingle(hv));
+            expected.push(object.to_string());
+        }
+    }
+
+    // 3. Persist the model as a `.fhd` artifact and load it back — the
+    //    restored engine serves bit-identically to the in-memory one.
+    let engine = FactorEngine::new(taxonomy, EngineConfig::default());
+    let path = std::env::temp_dir().join("serve_batch_example.fhd");
+    engine.save(&path)?;
+    let restored = FactorEngine::load(&path, EngineConfig::default())?;
+    println!(
+        "saved + loaded model artifact: {} ({} bytes)\n",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 4. Serve the batch across the worker pool.
+    let responses = restored.execute_batch(&requests);
+    for (i, (response, expectation)) in responses.into_iter().zip(&expected).enumerate() {
+        match response? {
+            Response::Single(decoded) => {
+                let ok = decoded.object().to_string() == *expectation;
+                println!(
+                    "req {i:>2}: single  {} (confidence {:.3}){}",
+                    decoded.object(),
+                    decoded.confidence(),
+                    if ok { "" } else { "  [MISMATCH]" }
+                );
+            }
+            Response::Multi(decoded) => {
+                println!(
+                    "req {i:>2}: multi   {} objects recovered from {expectation} \
+                     (residual {:.1})",
+                    decoded.objects.len(),
+                    decoded.residual_norm
+                );
+            }
+            other => println!("req {i:>2}: {other:?}"),
+        }
+    }
+
+    // 5. Caches are shared across the whole batch.
+    let stats = restored.reconstruction_stats();
+    println!(
+        "\nreconstruction memo: {} hits / {} misses ({} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -8,6 +8,9 @@
 //!   operators, codebooks).
 //! * [`core`] — the paper's contribution: the FactorHD taxonomy encoder and
 //!   factorization algorithm.
+//! * [`engine`] — the serving layer: batched request execution over a
+//!   shared taxonomy, memoized label-elimination masks and
+//!   reconstructions, and the persisted `.fhd` model-artifact format.
 //! * [`baselines`] — the comparison systems from the paper's evaluation
 //!   (resonator network, IMC stochastic factorizer, class-instance model).
 //! * [`neural`] — the simulated ResNet-18 front-end, synthetic RAVEN /
@@ -45,6 +48,7 @@
 
 pub use factorhd_baselines as baselines;
 pub use factorhd_core as core;
+pub use factorhd_engine as engine;
 pub use factorhd_neural as neural;
 pub use hdc;
 
@@ -54,5 +58,6 @@ pub mod prelude {
         DecodedObject, DecodedScene, Encoder, FactorizeConfig, Factorizer, ItemPath, ObjectSpec,
         Scene, SceneQuery, Taxonomy, TaxonomyBuilder, ThresholdPolicy,
     };
+    pub use factorhd_engine::{EngineConfig, EngineError, FactorEngine, Request, Response};
     pub use hdc::prelude::*;
 }

@@ -125,6 +125,124 @@ fn parallel_encoding_preserves_trial_order() {
     assert_eq!(bundle_seq, bundle_par);
 }
 
+/// A deterministic mixed request stream over `taxonomy`: Rep-1 singles,
+/// Rep-3 multis, partial factorizations, membership probes, and encodes.
+fn mixed_requests(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<Request> {
+    let encoder = Encoder::new(taxonomy);
+    let mut rng = hdc::rng_from_seed(seed);
+    (0..n)
+        .map(|i| {
+            let object = taxonomy.sample_object(&mut rng);
+            match i % 5 {
+                0 => {
+                    let scene = taxonomy.sample_scene(2, true, &mut rng);
+                    Request::FactorizeMulti(encoder.encode_scene(&scene).expect("encodable"))
+                }
+                1 => Request::FactorizeClasses {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                    classes: vec![0],
+                },
+                2 => Request::Membership {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object.clone()))
+                        .expect("encodable"),
+                    items: vec![(1, object.assignment(1).expect("present").clone())],
+                    absent: vec![],
+                },
+                3 => Request::EncodeScene(Scene::single(object)),
+                _ => Request::FactorizeSingle(
+                    encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn engine_batch_is_bit_identical_to_sequential_loop() {
+    // The serving engine's batched execution must be indistinguishable —
+    // bit for bit — from a sequential loop over the same requests,
+    // whether its caches are cold or warm, and across construction paths
+    // (in-memory vs artifact round trip).
+    let requests = mixed_requests(&build_taxonomy(62), 20, 63);
+    let unwrap = |results: Vec<Result<Response, EngineError>>| -> Vec<Response> {
+        results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+
+    // Cold engine, batched.
+    let cold_engine = FactorEngine::new(build_taxonomy(62), EngineConfig::default());
+    let cold_batched = unwrap(cold_engine.execute_batch(&requests));
+    // Cold engine, sequential (fresh instance so no cache is shared).
+    let seq_engine = FactorEngine::new(build_taxonomy(62), EngineConfig::default());
+    let cold_sequential = unwrap(seq_engine.execute_sequential(&requests));
+    assert_eq!(cold_batched, cold_sequential);
+
+    // Warm caches (both engines served one pass already).
+    let warm_batched = unwrap(cold_engine.execute_batch(&requests));
+    let warm_sequential = unwrap(seq_engine.execute_sequential(&requests));
+    assert_eq!(warm_batched, cold_batched);
+    assert_eq!(warm_sequential, cold_sequential);
+
+    // The plain core loop (no engine, no caches) agrees response by
+    // response.
+    let taxonomy = build_taxonomy(62);
+    let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+    let encoder = Encoder::new(&taxonomy);
+    for (request, response) in requests.iter().zip(&cold_batched) {
+        match (request, response) {
+            (Request::FactorizeSingle(hv), Response::Single(decoded)) => {
+                assert_eq!(&factorizer.factorize_single(hv).expect("decodes"), decoded);
+            }
+            (Request::FactorizeMulti(hv), Response::Multi(decoded)) => {
+                assert_eq!(&factorizer.factorize_multi(hv).expect("decodes"), decoded);
+            }
+            (Request::FactorizeClasses { scene, classes }, Response::Classes(decoded)) => {
+                assert_eq!(
+                    &factorizer
+                        .factorize_classes(scene, classes)
+                        .expect("decodes"),
+                    decoded
+                );
+            }
+            (Request::EncodeScene(scene), Response::Encoded(hv)) => {
+                assert_eq!(&encoder.encode_scene(scene).expect("encodable"), hv);
+            }
+            (
+                Request::Membership {
+                    scene,
+                    items,
+                    absent,
+                },
+                Response::Membership(answer),
+            ) => {
+                let mut query = SceneQuery::new(&taxonomy);
+                for (class, path) in items {
+                    query = query.with_item(*class, path.clone()).expect("valid item");
+                }
+                for &class in absent {
+                    query = query.with_absent(class).expect("valid class");
+                }
+                assert_eq!(&query.evaluate(scene).expect("evaluates"), answer);
+            }
+            (request, response) => panic!("mismatched variants: {request:?} → {response:?}"),
+        }
+    }
+
+    // An artifact round trip serves the same stream identically.
+    let mut bytes = Vec::new();
+    cold_engine.save_to(&mut bytes).expect("serializes");
+    let restored =
+        FactorEngine::load_from(&mut &bytes[..], EngineConfig::default()).expect("deserializes");
+    assert_eq!(unwrap(restored.execute_batch(&requests)), cold_batched);
+}
+
 #[test]
 fn neural_pipeline_reproduces() {
     use factorhd::neural::{CifarPipeline, CifarPipelineConfig};
