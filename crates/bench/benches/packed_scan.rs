@@ -1,0 +1,9 @@
+//! Bench-harness entry for the packed-scan throughput sweep; compiles
+//! under `cargo bench --no-run` and runs the quick sweep under
+//! `cargo bench -p factorhd-bench --bench packed_scan`.
+
+fn main() {
+    let compared = factorhd_bench::verify_packed_equivalence();
+    println!("packed vs reference top-1/top-k: bit-identical across {compared} scans");
+    factorhd_bench::packed_scan_table(true).print();
+}

@@ -1,0 +1,13 @@
+//! Packed-scan throughput: sharded word-table codebook search vs the
+//! per-item ternary popcount path, at D ∈ {1k, 8k, 32k}, after asserting
+//! both paths answer bit-identically.
+//!
+//! Run with `--quick` for reduced repetitions per grid point.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let compared = factorhd_bench::verify_packed_equivalence();
+    println!("packed vs reference top-1/top-k: bit-identical across {compared} scans");
+    let table = factorhd_bench::packed_scan_table(quick);
+    table.print();
+}

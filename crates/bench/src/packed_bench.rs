@@ -1,0 +1,178 @@
+//! Packed-scan throughput: the contiguous sharded codebook tables of
+//! [`hdc::PackedShards`] against the per-item ternary popcount path they
+//! replace.
+//!
+//! Both paths compute the same exact integer dots (asserted bit-identical
+//! before any timing):
+//!
+//! * **reference/s** — the pre-packed calling pattern: one
+//!   [`hdc::Similarity`] call per boxed item ([`Codebook::best_match`] /
+//!   [`Codebook::top_k`]), i.e. the lossless-ternary popcount path PR 2
+//!   routed single-object queries through.
+//! * **packed/s** — the same scans through [`Codebook::packed_view`]:
+//!   one contiguous word table, a precomputed query non-zero count, a
+//!   bounded per-shard heap, and a rayon fork across shards once the
+//!   table is large enough.
+
+use crate::Table;
+use hdc::{derive_seed, rng_from_seed, AsPackedQuery, Bundle, Codebook, CodebookScan, TernaryHv};
+use std::time::Instant;
+
+const SCAN_SEED: u64 = 0x9ACC_ED5C;
+/// Distinct queries per timing pass (keeps the branch predictor honest).
+const QUERIES: usize = 8;
+/// Top-k width matched to the factorizer's default `refine_width`.
+const TOP_K: usize = 4;
+
+/// The `(dim, items)` grid the bench sweeps: the issue's D ∈ {1k, 8k, 32k}
+/// at both factorizer-sized and catalog-sized codebooks.
+pub const SCAN_GRID: [(usize, usize); 5] = [
+    (1024, 256),
+    (1024, 4096),
+    (8192, 256),
+    (8192, 4096),
+    (32768, 1024),
+];
+
+/// Deterministic clipped-clause-like ternary queries (the factorizer's
+/// dominant query type: ~half the components zero).
+fn queries(dim: usize, n: usize) -> Vec<TernaryHv> {
+    (0..n)
+        .map(|i| {
+            let mut rng = rng_from_seed(derive_seed(&[SCAN_SEED, dim as u64, i as u64]));
+            let a = hdc::BipolarHv::random(dim, &mut rng);
+            let b = hdc::BipolarHv::random(dim, &mut rng);
+            a.bundle(&b).clip_ternary()
+        })
+        .collect()
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanPoint {
+    /// Hypervector dimension `D`.
+    pub dim: usize,
+    /// Codebook items `M`.
+    pub m: usize,
+    /// Shards in the packed table.
+    pub shards: usize,
+    /// Reference (per-item ternary popcount) scans/second.
+    pub reference_per_sec: f64,
+    /// Packed shard-table scans/second.
+    pub packed_per_sec: f64,
+}
+
+impl ScanPoint {
+    /// Packed speedup over the per-item reference path.
+    pub fn speedup(&self) -> f64 {
+        self.packed_per_sec / self.reference_per_sec
+    }
+}
+
+/// Asserts that the packed path answers every grid point bit-identically
+/// to the scalar reference (top-1 and top-k), returning the number of
+/// compared `(point, query)` pairs. The acceptance gate the throughput
+/// numbers stand on.
+pub fn verify_packed_equivalence() -> usize {
+    let mut compared = 0;
+    for &(dim, m) in &SCAN_GRID {
+        let cb = Codebook::derive(derive_seed(&[SCAN_SEED, dim as u64, m as u64]), m, dim);
+        for q in &queries(dim, QUERIES) {
+            assert_eq!(
+                q.scan_best(&cb).expect("non-empty"),
+                cb.best_match(q).expect("non-empty"),
+                "top-1 diverged at dim {dim}, m {m}"
+            );
+            assert_eq!(
+                q.scan_top_k(&cb, TOP_K),
+                cb.top_k(q, TOP_K),
+                "top-{TOP_K} diverged at dim {dim}, m {m}"
+            );
+            compared += 1;
+        }
+    }
+    compared
+}
+
+/// Measures one grid point: warm packed table, identical query stream on
+/// both paths, results asserted equal before timing.
+pub fn measure_scan(dim: usize, m: usize, reps: usize) -> ScanPoint {
+    let cb = Codebook::derive(derive_seed(&[SCAN_SEED, dim as u64, m as u64]), m, dim);
+    let queries = queries(dim, QUERIES);
+    let view = cb.packed_view(); // warm the table before timing
+
+    for q in &queries {
+        assert_eq!(
+            view.top_k(q.packed_query(), TOP_K),
+            cb.top_k(q, TOP_K),
+            "packed path must be bit-identical before timing"
+        );
+    }
+
+    let reps = reps.max(1);
+    let start = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            std::hint::black_box(cb.top_k(q, TOP_K));
+        }
+    }
+    let reference_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            std::hint::black_box(view.top_k(q.packed_query(), TOP_K));
+        }
+    }
+    let packed_secs = start.elapsed().as_secs_f64();
+
+    let scans = (reps * QUERIES) as f64;
+    ScanPoint {
+        dim,
+        m,
+        shards: view.num_shards(),
+        reference_per_sec: scans / reference_secs.max(f64::MIN_POSITIVE),
+        packed_per_sec: scans / packed_secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Runs the full grid and renders the table. `quick` reduces repetitions.
+pub fn packed_scan_table(quick: bool) -> Table {
+    let mut table = Table::new(
+        "packed_scan: top-k codebook scans/sec, packed shard table vs per-item ternary popcount",
+        &["dim", "M", "shards", "reference/s", "packed/s", "speedup"],
+    );
+    for &(dim, m) in &SCAN_GRID {
+        // Aim for comparable wall-clock per point across sizes.
+        let budget = if quick { 1 << 22 } else { 1 << 25 };
+        let reps = (budget / (dim * m * QUERIES)).clamp(1, 4096);
+        let point = measure_scan(dim, m, reps);
+        table.row(&[
+            point.dim.to_string(),
+            point.m.to_string(),
+            point.shards.to_string(),
+            format!("{:.0}", point.reference_per_sec),
+            format!("{:.0}", point.packed_per_sec),
+            format!("{:.2}x", point.speedup()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_equivalence_holds_across_grid() {
+        assert_eq!(verify_packed_equivalence(), SCAN_GRID.len() * QUERIES);
+    }
+
+    #[test]
+    fn measure_scan_produces_positive_rates() {
+        let point = measure_scan(1024, 64, 1);
+        assert!(point.reference_per_sec > 0.0);
+        assert!(point.packed_per_sec > 0.0);
+        assert_eq!((point.dim, point.m), (1024, 64));
+    }
+}

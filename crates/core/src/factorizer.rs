@@ -18,7 +18,7 @@
 //!   "the problem of 2".
 
 use crate::{Encoder, FactorHdError, ItemPath, ObjectSpec, Scene, Taxonomy, ThresholdPolicy};
-use hdc::{AccumHv, Bind, BipolarHv, Similarity, TernaryHv};
+use hdc::{AccumHv, Bind, BipolarHv, CodebookScan, Similarity, TernaryHv};
 use std::sync::Arc;
 
 /// Builds the per-class label-elimination masks
@@ -225,6 +225,30 @@ struct Combo {
 /// Borrows the [`Taxonomy`]; cheap to construct (precomputes one label
 /// unbind key per class, or reuses keys supplied via
 /// [`Factorizer::with_parts`]).
+///
+/// Every codebook scan — the level-1 arg-max, the hierarchy descent, and
+/// the Rep-3 threshold selection — routes through the codebooks' packed
+/// shard tables ([`hdc::CodebookScan`]) whenever the query has a lossless
+/// word-level form, with results bit-identical to the scalar reference
+/// scans.
+///
+/// ```
+/// use factorhd_core::{Encoder, FactorizeConfig, Factorizer, Scene, TaxonomyBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let taxonomy = TaxonomyBuilder::new(2048)
+///     .uniform_classes(3, &[8])
+///     .build()?;
+/// let mut rng = hdc::rng_from_seed(5);
+/// let object = taxonomy.sample_object(&mut rng);
+/// let hv = Encoder::new(&taxonomy).encode_scene(&Scene::single(object.clone()))?;
+///
+/// let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
+/// let decoded = factorizer.factorize_single(&hv)?;
+/// assert_eq!(decoded.object(), &object);
+/// # Ok(())
+/// # }
+/// ```
 pub struct Factorizer<'a> {
     taxonomy: &'a Taxonomy,
     encoder: Encoder<'a>,
@@ -412,9 +436,9 @@ impl<'a> Factorizer<'a> {
     ///
     /// When every component of `hv` lies in `{-1, 0, 1}` (any
     /// single-object scene), the query is routed through its lossless
-    /// ternary view so every similarity runs on word-level popcount
-    /// kernels — bit-identical results, an order of magnitude fewer
-    /// scalar operations.
+    /// ternary view so every codebook scan runs on the packed shard
+    /// tables ([`hdc::CodebookScan`]) — bit-identical results, an order
+    /// of magnitude fewer scalar operations.
     fn decode_classes(
         &self,
         hv: &AccumHv,
@@ -434,7 +458,7 @@ impl<'a> Factorizer<'a> {
         stats: &mut FactorizeStats,
     ) -> Result<Vec<ClassDecode>, FactorHdError>
     where
-        Q: Similarity + Bind<BipolarHv, Output = Q>,
+        Q: CodebookScan + Bind<BipolarHv, Output = Q>,
     {
         let width = self.config.refine_width.max(1);
         let mut result = Vec::with_capacity(classes.len());
@@ -443,9 +467,9 @@ impl<'a> Factorizer<'a> {
             stats.unbind_ops += 1;
 
             let top = self.taxonomy.codebook(class, &[])?;
-            let sims = top.sims(&unbound);
-            stats.similarity_checks += sims.len() as u64;
-            let (_, best_sim) = argmax(&sims);
+            let top_hits = unbound.scan_top_k(&top, width);
+            stats.similarity_checks += top.len() as u64;
+            let best_sim = top_hits.first().expect("non-empty codebook").sim;
 
             if self.config.detect_null {
                 let null_sim = unbound.sim_to(self.taxonomy.null_hv());
@@ -461,18 +485,18 @@ impl<'a> Factorizer<'a> {
             }
 
             // Beam over (path, cumulative sim, levels visited).
-            let mut beam: Vec<(ItemPath, f64)> = top_indices(&sims, width)
+            let mut beam: Vec<(ItemPath, f64)> = top_hits
                 .into_iter()
-                .map(|(idx, sim)| (ItemPath::top(idx as u16), sim))
+                .map(|hit| (ItemPath::top(hit.index as u16), hit.sim))
                 .collect();
             for _level in 1..self.depth_limit(class) {
                 let mut next: Vec<(ItemPath, f64)> = Vec::new();
                 for (path, cum) in &beam {
                     let children = self.taxonomy.codebook(class, path.indices())?;
-                    let child_sims = children.sims(&unbound);
-                    stats.similarity_checks += child_sims.len() as u64;
-                    for (idx, sim) in top_indices(&child_sims, width) {
-                        next.push((path.child(idx as u16), cum + sim));
+                    let child_hits = unbound.scan_top_k(&children, width);
+                    stats.similarity_checks += children.len() as u64;
+                    for hit in child_hits {
+                        next.push((path.child(hit.index as u16), cum + hit.sim));
                     }
                 }
                 next.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -556,7 +580,7 @@ impl<'a> Factorizer<'a> {
         stats: &mut FactorizeStats,
     ) -> Result<Option<DecodedObject>, FactorHdError>
     where
-        Q: Similarity + Bind<BipolarHv, Output = Q>,
+        Q: CodebookScan + Bind<BipolarHv, Output = Q>,
     {
         let f = self.taxonomy.num_classes();
 
@@ -572,7 +596,7 @@ impl<'a> Factorizer<'a> {
         let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(f);
         for (class, unbound_class) in unbound.iter().enumerate() {
             let top = self.taxonomy.codebook(class, &[])?;
-            let hits = top.above_threshold(unbound_class, th);
+            let hits = unbound_class.scan_above_threshold(&top, th);
             stats.similarity_checks += top.len() as u64;
             let mut cands: Vec<Candidate> = hits
                 .into_iter()
@@ -650,7 +674,7 @@ impl<'a> Factorizer<'a> {
     /// Expands one beam entry one level deeper: candidate children per
     /// refinable class (similarity > `th` against that class's unbound
     /// vector), then combination re-testing.
-    fn descend_combo<Q: Similarity>(
+    fn descend_combo<Q: CodebookScan>(
         &self,
         residual: &Q,
         unbound: &[Q],
@@ -674,7 +698,7 @@ impl<'a> Factorizer<'a> {
                 continue;
             }
             let children = self.taxonomy.codebook(class, path.indices())?;
-            let hits = children.above_threshold(&unbound[class], th);
+            let hits = unbound[class].scan_above_threshold(&children, th);
             stats.similarity_checks += children.len() as u64;
             if hits.is_empty() {
                 return Ok(Vec::new());
@@ -749,24 +773,6 @@ impl<'a> Factorizer<'a> {
         accepted.sort_by(|a, b| b.sim.total_cmp(&a.sim));
         accepted
     }
-}
-
-fn argmax(values: &[f64]) -> (usize, f64) {
-    let mut best = (0usize, f64::NEG_INFINITY);
-    for (i, &v) in values.iter().enumerate() {
-        if v > best.1 {
-            best = (i, v);
-        }
-    }
-    best
-}
-
-/// The `k` largest values with their indices, sorted descending.
-fn top_indices(values: &[f64], k: usize) -> Vec<(usize, f64)> {
-    let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
-    indexed.truncate(k);
-    indexed
 }
 
 #[cfg(test)]

@@ -152,4 +152,49 @@ proptest! {
             "decoded {:?} vs truth {:?}", decoded.to_scene(), scene
         );
     }
+
+    /// Replacing a codebook mid-serving can never leave a stale packed
+    /// shard table in the scan path: after `set_codebook`, every scan
+    /// through the taxonomy answers from the replacement items, even when
+    /// the old codebook's table was already warm.
+    #[test]
+    fn set_codebook_never_serves_stale_packed_hits(
+        (m, dim, seed) in (4usize..16, prop_oneof![Just(200usize), Just(512), Just(1000)], any::<u64>())
+    ) {
+        use hdc::{Codebook, CodebookScan};
+
+        let taxonomy = TaxonomyBuilder::new(dim)
+            .seed(seed)
+            .class("a", &[m])
+            .class("b", &[m])
+            .build()
+            .expect("valid taxonomy");
+
+        // Warm the packed view of class 0's level-1 codebook.
+        let stale = taxonomy.codebook(0, &[]).expect("codebook");
+        let stale_generation = stale.packed_view().generation();
+        prop_assert_eq!(stale_generation, stale.generation());
+
+        // Install trained replacements.
+        let replacement = Codebook::derive(seed ^ 0xFACE, m, dim);
+        taxonomy.set_codebook(0, &[], replacement.clone()).expect("installable");
+
+        // A re-fetched codebook carries a fresh generation and its packed
+        // scans answer from the replacement items, bit-identical to the
+        // scalar reference.
+        let fresh = taxonomy.codebook(0, &[]).expect("codebook");
+        prop_assert_ne!(fresh.generation(), stale_generation);
+        for probe in 0..m {
+            let query = replacement.item(probe).to_ternary();
+            let hit = query.scan_best(&fresh).expect("non-empty");
+            prop_assert_eq!(hit.index, probe);
+            prop_assert!((hit.sim - 1.0).abs() < 1e-12);
+            prop_assert_eq!(query.scan_top_k(&fresh, 3), fresh.top_k(&query, 3));
+        }
+        // The generation stamp pins any still-held pre-swap view to the
+        // item set it was built from — staleness is detectable, never
+        // silent.
+        prop_assert_eq!(fresh.packed_view().generation(), fresh.generation());
+        prop_assert_eq!(stale.packed_view().generation(), stale_generation);
+    }
 }

@@ -1,12 +1,12 @@
 //! The `.fhd` model-artifact codec: a hand-rolled, versioned, checksummed
 //! binary format persisting a [`Taxonomy`] and its codebooks.
 //!
-//! # Layout (version 1, all integers little-endian)
+//! # Layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  = 89 46 48 44 0D 0A 1A 0A  ("\x89FHD\r\n\x1a\n")
-//! 8       2     version (u16) = 1
+//! 8       2     version (u16) = 2
 //! 10      2     flags   (u16) = 0 (reserved)
 //! 12      8     dim     (u64)
 //! 20      8     seed    (u64)
@@ -20,6 +20,7 @@
 //!                 parent depth (u32) + parent indices (u16 each)
 //!                 item count m (u32)
 //!                 m × ⌈dim/64⌉ packed sign words (u64 each)
+//!                 packed-shard geometry: items per shard (u32, ≥ 1)   [v2]
 //! end-8   8     FNV-1a 64 checksum over every preceding byte
 //! ```
 //!
@@ -28,6 +29,18 @@
 //! explicit overrides (e.g. trained prototypes installed with
 //! [`Taxonomy::set_codebook`]) carry payload, which keeps artifacts small
 //! and guarantees save → load → factorize equals the in-memory model.
+//!
+//! ## Packed shard tables (version 2)
+//!
+//! The override payload's word layout is exactly the wire form of the
+//! codebook's packed shard table ([`hdc::PackedShards`]): item-major
+//! `u64` sign words. Version 2 therefore persists only the missing piece
+//! of the table — its shard geometry — and the loader reconstructs the
+//! table directly from the payload it is already parsing
+//! ([`hdc::Codebook::from_le_bytes_with_shards`]), so a loaded model
+//! serves packed scans warm from the first request instead of rebuilding
+//! shard tables lazily. Version-1 artifacts still load; their overrides
+//! fall back to lazy table construction on first scan.
 
 use crate::EngineError;
 use factorhd_core::{Taxonomy, TaxonomyBuilder};
@@ -39,8 +52,14 @@ use std::path::Path;
 /// catches text-mode mangling and truncation of the very first read).
 pub const MAGIC: [u8; 8] = *b"\x89FHD\r\n\x1a\n";
 
-/// The artifact format version this build writes and reads.
-pub const VERSION: u16 = 1;
+/// The artifact format version this build writes. Readers also accept
+/// every version in [`SUPPORTED_VERSIONS`].
+pub const VERSION: u16 = 2;
+
+/// Format versions [`parse_taxonomy`] accepts: version 1 (no packed-shard
+/// geometry; tables rebuild lazily on first scan) and version 2 (shard
+/// geometry persisted; tables primed at load).
+pub const SUPPORTED_VERSIONS: [u16; 2] = [1, 2];
 
 /// Sanity caps rejecting absurd allocations from corrupt headers.
 const MAX_DIM: u64 = 1 << 26;
@@ -48,6 +67,9 @@ const MAX_CLASSES: u32 = 1 << 16;
 const MAX_NAME_LEN: u32 = 1 << 16;
 const MAX_LEVELS: u32 = 64;
 const MAX_OVERRIDES: u32 = 1 << 20;
+/// Cap on the persisted packed-shard geometry; the value only controls
+/// scan chunking, so the cap just rejects obviously corrupt headers.
+const MAX_SHARD_LEN: usize = 1 << 20;
 /// Cap on the *eager* allocation a header can demand: one label per class
 /// plus NULL, `dim` bits each. The per-field caps alone still admit a
 /// `dim × classes` product in the hundreds of GiB; this bounds the
@@ -137,6 +159,10 @@ pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(
         }
         buf.extend_from_slice(&(codebook.len() as u32).to_le_bytes());
         buf.extend_from_slice(&codebook.to_le_bytes());
+        // v2: the shard geometry of the codebook's packed table (built
+        // geometry when the view exists, the default for this dimension
+        // otherwise — never forces a build).
+        buf.extend_from_slice(&(codebook.packed_shard_len() as u32).to_le_bytes());
     }
 
     let checksum = fnv1a(&buf);
@@ -209,7 +235,7 @@ pub fn parse_taxonomy(bytes: &[u8]) -> Result<Taxonomy, EngineError> {
         });
     }
     let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-    if version != VERSION {
+    if !SUPPORTED_VERSIONS.contains(&version) {
         return Err(EngineError::UnsupportedVersion(version));
     }
     // The flags field is reserved: rejecting non-zero values now is what
@@ -297,7 +323,20 @@ pub fn parse_taxonomy(bytes: &[u8]) -> Result<Taxonomy, EngineError> {
         }
         let m = cursor.u32()? as usize;
         let payload = cursor.take(Codebook::byte_len(m, dim as usize))?;
-        let codebook = Codebook::from_le_bytes(m, dim as usize, payload)?;
+        let codebook = if version >= 2 {
+            // The payload's word layout is the packed shard table's wire
+            // form; reconstruct the table at its persisted geometry so
+            // packed scans are warm from the first request.
+            let shard_len = cursor.u32()? as usize;
+            if shard_len == 0 || shard_len > MAX_SHARD_LEN {
+                return Err(EngineError::Corrupt(format!(
+                    "packed shard length {shard_len} out of range"
+                )));
+            }
+            Codebook::from_le_bytes_with_shards(m, dim as usize, payload, shard_len)?
+        } else {
+            Codebook::from_le_bytes(m, dim as usize, payload)?
+        };
         taxonomy.set_codebook(class, &parent, codebook)?;
     }
 
@@ -536,6 +575,55 @@ mod tests {
             Err(EngineError::Corrupt(_))
         ));
         assert!(buf.is_empty(), "nothing may be written on rejection");
+    }
+
+    /// Strips the per-override shard-geometry fields and rewrites the
+    /// version to 1, producing a valid version-1 artifact from a
+    /// version-2 one. The sample taxonomy has exactly one override, so
+    /// the geometry field is the last 4 body bytes.
+    fn downgrade_to_v1(bytes: &[u8]) -> Vec<u8> {
+        let mut body = bytes[..bytes.len() - 8 - 4].to_vec();
+        body[8..10].copy_from_slice(&1u16.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn v2_overrides_load_with_primed_shard_tables() {
+        let loaded = parse_taxonomy(&to_bytes(&sample_taxonomy())).expect("parses");
+        // The persisted override arrives with its packed table built…
+        assert!(loaded.codebook(1, &[]).unwrap().packed_view_ready());
+        // …while seed-derived codebooks still build theirs lazily.
+        assert!(!loaded.codebook(0, &[3]).unwrap().packed_view_ready());
+    }
+
+    #[test]
+    fn v1_artifacts_still_load() {
+        let original = sample_taxonomy();
+        let v1 = downgrade_to_v1(&to_bytes(&original));
+        let loaded = parse_taxonomy(&v1).expect("version 1 parses");
+        let cb = loaded.codebook(1, &[]).unwrap();
+        // No geometry persisted: the table builds lazily on first scan.
+        assert!(!cb.packed_view_ready());
+        assert_eq!(cb.as_ref(), original.codebook(1, &[]).unwrap().as_ref());
+        // Re-serializing a v1-loaded model writes the current version.
+        let upgraded = to_bytes(&loaded);
+        assert_eq!(upgraded, to_bytes(&original));
+    }
+
+    #[test]
+    fn corrupt_shard_geometry_rejected() {
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        let geometry_at = body.len() - 4;
+        body[geometry_at..].copy_from_slice(&0u32.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_taxonomy(&body),
+            Err(EngineError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -216,6 +216,30 @@ impl FactorEngine {
 
     /// Executes a batch across the worker pool, returning results in
     /// request order, bit-identical to [`FactorEngine::execute_sequential`].
+    ///
+    /// ```
+    /// use factorhd_core::{Encoder, Scene, TaxonomyBuilder};
+    /// use factorhd_engine::{EngineConfig, FactorEngine, Request, Response};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let taxonomy = TaxonomyBuilder::new(2048)
+    ///     .class("shape", &[8])
+    ///     .class("color", &[8])
+    ///     .build()?;
+    /// let engine = FactorEngine::new(taxonomy, EngineConfig::default());
+    ///
+    /// let mut rng = hdc::rng_from_seed(11);
+    /// let object = engine.taxonomy().sample_object(&mut rng);
+    /// let hv = Encoder::new(engine.taxonomy()).encode_scene(&Scene::single(object.clone()))?;
+    ///
+    /// let responses = engine.execute_batch(&[Request::FactorizeSingle(hv)]);
+    /// match responses.into_iter().next().expect("one response")? {
+    ///     Response::Single(decoded) => assert_eq!(decoded.object(), &object),
+    ///     other => panic!("unexpected response {other:?}"),
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
         requests.par_iter().map(|r| self.execute(r)).collect()
     }

@@ -8,8 +8,10 @@
 //! * **Model artifacts** ([`artifact`]): a versioned, checksummed binary
 //!   format (`.fhd`) persisting a `Taxonomy` and its codebooks, with
 //!   round-trip equality guaranteed — save → load → factorize is
-//!   bit-identical to the in-memory model. Hand-rolled over
-//!   `std::io::{Read, Write}`; no serde.
+//!   bit-identical to the in-memory model. Version 2 also round-trips
+//!   the packed shard tables of installed codebooks, so loaded models
+//!   serve word-level scans warm from the first request. Hand-rolled
+//!   over `std::io::{Read, Write}`; no serde.
 //! * **Batched requests** ([`Request`] / [`Response`]): full factorization
 //!   (Rep 1/2/3), partial (per-class) factorization, membership probes,
 //!   and scene encoding, executed across a rayon worker pool with results

@@ -5,9 +5,20 @@
 //! built from: best match, top-k, above-threshold, and weighted
 //! superposition (the resonator "cleanup" step).
 
+use crate::packed::{AsPackedQuery, PackedShards};
 use crate::{AccumHv, BipolarHv, HdcError, Similarity, TernaryHv, WORD_BITS};
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Monotonic codebook-generation source: every constructed codebook gets
+/// a fresh stamp, so derived structures (the packed shard table, external
+/// caches) can assert they were built from exactly this item set.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One similarity-search result: item index plus its normalized similarity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +47,13 @@ pub struct Codebook {
     /// Row-major dense `i8` mirror of the items, built lazily for the
     /// weighted-superposition kernel (resonator cleanup).
     dense: OnceLock<Vec<i8>>,
+    /// Contiguous sharded word table for packed scans, built lazily by
+    /// [`Codebook::packed_view`] (or primed eagerly by the `.fhd` artifact
+    /// loader via [`Codebook::from_le_bytes_with_shards`]).
+    packed: OnceLock<PackedShards>,
+    /// Construction stamp guarding derived structures against staleness;
+    /// see [`Codebook::generation`].
+    generation: u64,
 }
 
 impl PartialEq for Codebook {
@@ -63,6 +81,8 @@ impl Codebook {
             items,
             dim,
             dense: OnceLock::new(),
+            packed: OnceLock::new(),
+            generation: next_generation(),
         })
     }
 
@@ -97,6 +117,8 @@ impl Codebook {
             items,
             dim,
             dense: OnceLock::new(),
+            packed: OnceLock::new(),
+            generation: next_generation(),
         })
     }
 
@@ -146,6 +168,83 @@ impl Codebook {
             .map(|chunk| BipolarHv::from_le_bytes(dim, chunk))
             .collect::<Result<Vec<_>, _>>()?;
         Codebook::from_items(items)
+    }
+
+    /// Reconstructs a codebook from [`Codebook::to_le_bytes`] output
+    /// **with its packed shard table primed** at the given geometry —
+    /// the wire payload *is* the shard table's word layout, so the `.fhd`
+    /// artifact loader uses this to make packed scans warm from the first
+    /// request instead of rebuilding the table on first use.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`Codebook::from_le_bytes`], plus
+    /// [`HdcError::InvalidShardLen`] if `shard_len == 0`.
+    pub fn from_le_bytes_with_shards(
+        m: usize,
+        dim: usize,
+        bytes: &[u8],
+        shard_len: usize,
+    ) -> Result<Self, HdcError> {
+        if shard_len == 0 {
+            return Err(HdcError::InvalidShardLen);
+        }
+        let cb = Codebook::from_le_bytes(m, dim, bytes)?;
+        let shards = PackedShards::build(&cb.items, dim, shard_len, cb.generation);
+        cb.packed
+            .set(shards)
+            .expect("freshly constructed codebook has no packed view");
+        Ok(cb)
+    }
+
+    /// The construction stamp of this codebook's item set. Structures
+    /// derived from the items — the [`PackedShards`] table, external
+    /// caches — carry the generation they were built from, so a table can
+    /// never silently describe a different item set (replacing a codebook,
+    /// e.g. via `Taxonomy::set_codebook`, always installs a freshly
+    /// stamped codebook with an empty view).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The packed shard table over this codebook's items, built on first
+    /// use and cached (construction is one pass over the item words).
+    ///
+    /// All batched searches — [`PackedShards::top_k`],
+    /// [`PackedShards::above_threshold`], [`PackedShards::dots`] — run on
+    /// this contiguous table instead of chasing per-item allocations, and
+    /// return results bit-identical to the scalar reference methods on
+    /// this codebook.
+    pub fn packed_view(&self) -> &PackedShards {
+        self.packed.get_or_init(|| {
+            PackedShards::build(
+                &self.items,
+                self.dim,
+                PackedShards::default_shard_len(self.dim),
+                self.generation,
+            )
+        })
+    }
+
+    /// `true` when the packed shard table has already been built (always
+    /// true for codebooks loaded via
+    /// [`Codebook::from_le_bytes_with_shards`]).
+    #[inline]
+    pub fn packed_view_ready(&self) -> bool {
+        self.packed.get().is_some()
+    }
+
+    /// The shard geometry a `.fhd` artifact should persist for this
+    /// codebook: the built table's geometry when the view exists, the
+    /// default geometry for this dimension otherwise. Does **not** force
+    /// the table to be built.
+    #[inline]
+    pub fn packed_shard_len(&self) -> usize {
+        self.packed.get().map_or_else(
+            || PackedShards::default_shard_len(self.dim),
+            |s| s.shard_len(),
+        )
     }
 
     /// Number of items `M`.
@@ -199,9 +298,10 @@ impl Codebook {
     }
 
     /// Integer dot products of a bipolar query against every item
-    /// (popcount kernel; the resonator hot path).
+    /// (the resonator hot path), served from the contiguous packed shard
+    /// table — bit-identical to per-item [`BipolarHv::dot`] calls.
     pub fn dots_bipolar(&self, query: &BipolarHv) -> Vec<i64> {
-        self.items.iter().map(|item| query.dot(item)).collect()
+        self.packed_view().dots(query.packed_query())
     }
 
     /// The single most similar item to `query`.

@@ -40,6 +40,8 @@ pub enum HdcError {
         /// Actual payload length in bytes.
         actual: usize,
     },
+    /// A packed shard table was requested with zero items per shard.
+    InvalidShardLen,
 }
 
 impl fmt::Display for HdcError {
@@ -63,6 +65,9 @@ impl fmt::Display for HdcError {
                     "invalid encoding: expected {expected} payload bytes, got {actual}"
                 )
             }
+            HdcError::InvalidShardLen => {
+                write!(f, "packed shard length must be positive")
+            }
         }
     }
 }
@@ -85,6 +90,7 @@ mod tests {
                 expected: 16,
                 actual: 7,
             },
+            HdcError::InvalidShardLen,
         ];
         for err in cases {
             let msg = err.to_string();

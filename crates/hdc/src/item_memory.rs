@@ -135,6 +135,22 @@ impl ItemMemory {
     /// Cleanup: the stored symbol most similar to `query`.
     ///
     /// Returns `None` when the memory is empty.
+    ///
+    /// ```
+    /// use hdc::ItemMemory;
+    /// use rand::SeedableRng;
+    ///
+    /// let memory = ItemMemory::new(2048);
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// for name in ["cat", "dog", "bird"] {
+    ///     memory.intern(name, &mut rng);
+    /// }
+    /// // A noisy copy of "dog" still cleans up to "dog".
+    /// let noisy = memory.get("dog").unwrap().flip_noise(0.2, &mut rng);
+    /// let (name, hit) = memory.lookup_best(&noisy).unwrap();
+    /// assert_eq!(name, "dog");
+    /// assert!(hit.sim > 0.3);
+    /// ```
     pub fn lookup_best<Q: Similarity>(&self, query: &Q) -> Option<(String, SearchHit)> {
         let store = self.store.read();
         let mut best: Option<(usize, f64)> = None;

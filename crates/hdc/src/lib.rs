@@ -16,6 +16,14 @@
 //! * [`AccumHv`] — integer vectors (`i32` per dimension) used for
 //!   unclipped bundles of multiple objects, which the paper keeps in `Z^D`.
 //!
+//! On top of these, the packed scan backend ([`PackedHv`],
+//! [`PackedShards`], [`CodebookScan`]) re-lays codebooks out as contiguous
+//! sharded `u64` word tables so that every similarity scan — the
+//! dominating cost of FactorHD's label elimination and factorization —
+//! runs as word-parallel XOR/popcount kernels, bit-identical to the
+//! scalar reference arithmetic. See `docs/REPRESENTATIONS.md` for how the
+//! representations map onto the paper.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +50,7 @@ mod codebook;
 mod error;
 mod item_memory;
 mod ops;
+mod packed;
 mod rng;
 mod sim;
 mod ternary;
@@ -52,6 +61,7 @@ pub use codebook::{Codebook, SearchHit};
 pub use error::HdcError;
 pub use item_memory::ItemMemory;
 pub use ops::{Bind, Bundle, Permute};
+pub use packed::{AsPackedQuery, CodebookScan, PackedHv, PackedQuery, PackedShards};
 pub use rng::{derive_seed, rng_from_seed, DEFAULT_SEED};
 pub use sim::{cosine, hamming_distance, normalized_dot, Similarity};
 pub use ternary::TernaryHv;
@@ -63,8 +73,8 @@ pub use ternary::TernaryHv;
 /// ```
 pub mod prelude {
     pub use crate::{
-        AccumHv, Bind, BipolarHv, Bundle, Codebook, HdcError, ItemMemory, Permute, Similarity,
-        TernaryHv,
+        AccumHv, AsPackedQuery, Bind, BipolarHv, Bundle, Codebook, CodebookScan, HdcError,
+        ItemMemory, PackedHv, Permute, Similarity, TernaryHv,
     };
 }
 

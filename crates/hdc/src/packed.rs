@@ -1,0 +1,1065 @@
+//! Packed-word scan backend: hypervectors as `u64` sign/mask planes and
+//! codebooks as contiguous sharded word tables.
+//!
+//! Every recognition step in FactorHD is a scan `sim(V1, V2) = V1 · V2 / D`
+//! of one query against a codebook (PAPER.md §II-A, §III). The types here
+//! make that scan run at word speed end to end:
+//!
+//! * [`PackedHv`] — an owned query in packed form: one sign bit per
+//!   dimension plus an optional non-zero mask plane, so both bipolar and
+//!   ternary queries share the same XOR/popcount kernels for dot, Hamming
+//!   distance, and binding.
+//! * [`PackedQuery`] — a borrowed word-level view of a query; obtained via
+//!   [`AsPackedQuery`] from [`BipolarHv`], [`TernaryHv`] or [`PackedHv`]
+//!   without copying.
+//! * [`PackedShards`] — a codebook's items re-laid-out as one contiguous
+//!   word array, grouped into cache-sized shards. Batched searches
+//!   ([`PackedShards::top_k`], [`PackedShards::above_threshold`],
+//!   [`PackedShards::dots`]) run a bounded heap per shard and
+//!   rayon-parallelize across shards once the table is large enough to
+//!   amortize the fork.
+//! * [`CodebookScan`] — the routing trait the factorizer layers use: query
+//!   types with a lossless packed form scan through [`PackedShards`],
+//!   while integer accumulators fall back to the scalar reference path.
+//!
+//! All packed results are **bit-identical** to the scalar reference
+//! implementations on [`Codebook`]: dots are exact integers, similarities
+//! are computed with the same `dot as f64 / dim as f64` expression, and
+//! ties are broken by ascending item index exactly like the reference's
+//! stable descending sort.
+
+use crate::codebook::{Codebook, SearchHit};
+use crate::sim::Similarity;
+use crate::{clear_padding, words_for, AccumHv, BipolarHv, HdcError, TernaryHv};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Target shard payload in bytes: one shard's words should fit comfortably
+/// in L1 alongside the query planes.
+const SHARD_BYTES: usize = 32 * 1024;
+
+/// Minimum table size (in words) before a batched search forks across the
+/// rayon pool; smaller scans finish faster than a fork would take.
+const PAR_MIN_WORDS: usize = 1 << 18;
+
+/// A borrowed word-level view of a scan query.
+///
+/// `sign` holds one bit per dimension (set ⇔ the component is negative);
+/// `mask`, when present, marks non-zero components (ternary queries).
+/// A missing mask means the query is dense (every component is `±1`).
+#[derive(Clone, Copy)]
+pub struct PackedQuery<'a> {
+    sign: &'a [u64],
+    mask: Option<&'a [u64]>,
+    dim: usize,
+}
+
+impl<'a> PackedQuery<'a> {
+    /// The query's dimensionality `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of non-zero components (`D` for a dense query).
+    #[inline]
+    pub fn nonzero_count(&self) -> usize {
+        match self.mask {
+            None => self.dim,
+            Some(mask) => mask.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Exact integer dot product against one item's packed sign words,
+    /// given the query's precomputed non-zero count.
+    #[inline]
+    fn dot_words(&self, item: &[u64], nonzero: i64) -> i64 {
+        let neg = match self.mask {
+            None => xor_popcount(self.sign, item),
+            Some(mask) => xor_and_popcount(self.sign, mask, item),
+        };
+        nonzero - 2 * neg as i64
+    }
+}
+
+/// Carry-save adder: returns the (sum, carry) bit planes of `a + b + c`.
+#[inline(always)]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let u = a ^ b;
+    (u ^ c, (a & b) | (u & c))
+}
+
+/// Running state of a Harley–Seal ladder: bit planes holding the 1s, 2s,
+/// 4s and 8s digits of the popcount sum, plus the completed 16-blocks.
+#[derive(Default)]
+struct LadderState {
+    ones: u64,
+    twos: u64,
+    fours: u64,
+    eights: u64,
+    sixteens_total: u64,
+}
+
+impl LadderState {
+    /// Folds 16 words into the ladder: 15 CSA steps plus **one** popcount
+    /// instead of 16. The build targets baseline x86-64/aarch64 where
+    /// `count_ones` lowers to a multi-op SWAR sequence, so cutting
+    /// popcount invocations 16-fold is what makes the packed scan kernels
+    /// beat the per-item reference loops — while staying exact (the
+    /// ladder is pure integer carry bookkeeping).
+    #[inline(always)]
+    fn fold16(&mut self, w: &[u64; 16]) {
+        let (s, twos_a) = csa(self.ones, w[0], w[1]);
+        let (s, twos_b) = csa(s, w[2], w[3]);
+        let (s2, fours_a) = csa(self.twos, twos_a, twos_b);
+        let (s, twos_a) = csa(s, w[4], w[5]);
+        let (s, twos_b) = csa(s, w[6], w[7]);
+        let (s2, fours_b) = csa(s2, twos_a, twos_b);
+        let (s4, eights_a) = csa(self.fours, fours_a, fours_b);
+        let (s, twos_a) = csa(s, w[8], w[9]);
+        let (s, twos_b) = csa(s, w[10], w[11]);
+        let (s2, fours_a) = csa(s2, twos_a, twos_b);
+        let (s, twos_a) = csa(s, w[12], w[13]);
+        let (s, twos_b) = csa(s, w[14], w[15]);
+        let (s2, fours_b) = csa(s2, twos_a, twos_b);
+        let (s4, eights_b) = csa(s4, fours_a, fours_b);
+        let (s8, sixteens) = csa(self.eights, eights_a, eights_b);
+        self.sixteens_total += sixteens.count_ones() as u64;
+        self.ones = s;
+        self.twos = s2;
+        self.fours = s4;
+        self.eights = s8;
+    }
+
+    /// The exact popcount sum of everything folded so far.
+    #[inline(always)]
+    fn total(&self) -> u64 {
+        16 * self.sixteens_total
+            + 8 * self.eights.count_ones() as u64
+            + 4 * self.fours.count_ones() as u64
+            + 2 * self.twos.count_ones() as u64
+            + self.ones.count_ones() as u64
+    }
+}
+
+/// `Σ popcount(a[i] ^ b[i])` — the dense-query scan kernel.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) on length mismatch; callers guarantee
+/// equal word counts.
+#[inline]
+fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut state = LadderState::default();
+    let mut ac = a.chunks_exact(16);
+    let mut bc = b.chunks_exact(16);
+    for (aw, bw) in (&mut ac).zip(&mut bc) {
+        let mut buf = [0u64; 16];
+        for ((o, x), y) in buf.iter_mut().zip(aw).zip(bw) {
+            *o = x ^ y;
+        }
+        state.fold16(&buf);
+    }
+    let mut total = state.total();
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        total += (x ^ y).count_ones() as u64;
+    }
+    total
+}
+
+/// `Σ popcount((s[i] ^ w[i]) & m[i])` — the ternary-query scan kernel.
+#[inline]
+fn xor_and_popcount(s: &[u64], m: &[u64], w: &[u64]) -> u64 {
+    debug_assert_eq!(s.len(), m.len());
+    debug_assert_eq!(s.len(), w.len());
+    let mut state = LadderState::default();
+    let mut sc = s.chunks_exact(16);
+    let mut mc = m.chunks_exact(16);
+    let mut wc = w.chunks_exact(16);
+    for ((sw, mw), ww) in (&mut sc).zip(&mut mc).zip(&mut wc) {
+        let mut buf = [0u64; 16];
+        for (((o, x), y), z) in buf.iter_mut().zip(sw).zip(mw).zip(ww) {
+            *o = (x ^ z) & y;
+        }
+        state.fold16(&buf);
+    }
+    let mut total = state.total();
+    for ((x, y), z) in sc
+        .remainder()
+        .iter()
+        .zip(mc.remainder())
+        .zip(wc.remainder())
+    {
+        total += ((x ^ z) & y).count_ones() as u64;
+    }
+    total
+}
+
+/// Borrowing conversion into the packed scan form.
+///
+/// Implemented by every query representation whose dot products against
+/// bipolar items reduce losslessly to word-parallel popcounts. [`AccumHv`]
+/// deliberately does **not** implement this: general integer bundles have
+/// no packed form, so they take the scalar reference path (or are routed
+/// through [`AccumHv::to_ternary_lossless`] first when their components
+/// fit `{-1, 0, 1}`).
+pub trait AsPackedQuery {
+    /// This query's borrowed word-level view.
+    fn packed_query(&self) -> PackedQuery<'_>;
+}
+
+impl AsPackedQuery for BipolarHv {
+    fn packed_query(&self) -> PackedQuery<'_> {
+        PackedQuery {
+            sign: self.words(),
+            mask: None,
+            dim: self.dim(),
+        }
+    }
+}
+
+impl AsPackedQuery for TernaryHv {
+    fn packed_query(&self) -> PackedQuery<'_> {
+        PackedQuery {
+            sign: self.sign_words(),
+            mask: Some(self.mask_words()),
+            dim: self.dim(),
+        }
+    }
+}
+
+impl AsPackedQuery for PackedHv {
+    fn packed_query(&self) -> PackedQuery<'_> {
+        PackedQuery {
+            sign: &self.sign,
+            mask: self.mask.as_deref(),
+            dim: self.dim,
+        }
+    }
+}
+
+/// An owned hypervector in packed scan form: sign bits in `u64` words plus
+/// an optional non-zero mask plane.
+///
+/// This is the representation every codebook scan runs on. Dense vectors
+/// (`{-1, +1}^D`) carry no mask; ternary vectors (`{-1, 0, +1}^D`) carry
+/// one. Dot products, Hamming distances, and binding are word-parallel
+/// XOR/popcount kernels either way, and agree exactly with the scalar
+/// reference arithmetic on [`BipolarHv`] / [`TernaryHv`].
+///
+/// ```
+/// use hdc::{Bind, BipolarHv, PackedHv};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let a = BipolarHv::random(1000, &mut rng);
+/// let b = BipolarHv::random(1000, &mut rng);
+///
+/// let pa = PackedHv::from_bipolar(&a);
+/// let pb = PackedHv::from_bipolar(&b);
+/// // Word-parallel kernels, bit-identical to the reference arithmetic.
+/// assert_eq!(pa.dot(&pb), a.dot(&b));
+/// assert_eq!(pa.hamming(&pb), a.hamming(&b));
+/// assert_eq!(pa.bind(&pb).dot(&pa), a.bind(&b).dot(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PackedHv {
+    /// Bit set ⇔ component is negative (only meaningful under the mask).
+    sign: Vec<u64>,
+    /// Bit set ⇔ component is non-zero; `None` ⇔ fully dense.
+    mask: Option<Vec<u64>>,
+    dim: usize,
+}
+
+impl PackedHv {
+    /// Packs a dense bipolar vector (no mask plane).
+    pub fn from_bipolar(hv: &BipolarHv) -> Self {
+        PackedHv {
+            sign: hv.words().to_vec(),
+            mask: None,
+            dim: hv.dim(),
+        }
+    }
+
+    /// Packs a ternary vector. A ternary vector with no zero components
+    /// canonicalizes to the dense (maskless) form, so equal logical
+    /// vectors compare equal regardless of their construction route.
+    pub fn from_ternary(hv: &TernaryHv) -> Self {
+        if hv.nonzero_count() == hv.dim() {
+            return PackedHv {
+                sign: hv.sign_words().to_vec(),
+                mask: None,
+                dim: hv.dim(),
+            };
+        }
+        PackedHv {
+            sign: hv.sign_words().to_vec(),
+            mask: Some(hv.mask_words().to_vec()),
+            dim: hv.dim(),
+        }
+    }
+
+    /// Packs an integer accumulator whose components all lie in
+    /// `{-1, 0, 1}`, or `None` when any component is out of range (the
+    /// packed form would be lossy).
+    pub fn from_accum_lossless(hv: &AccumHv) -> Option<Self> {
+        hv.to_ternary_lossless().map(|t| PackedHv::from_ternary(&t))
+    }
+
+    /// The dimensionality `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when every component is `±1` (no mask plane).
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.mask.is_none()
+    }
+
+    /// Number of non-zero components.
+    #[inline]
+    pub fn nonzero_count(&self) -> usize {
+        self.packed_query().nonzero_count()
+    }
+
+    /// Exact integer dot product with another packed vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, rhs: &PackedHv) -> i64 {
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
+        let mut common = 0u32;
+        let mut neg = 0u32;
+        match (&self.mask, &rhs.mask) {
+            (None, None) => {
+                for (a, b) in self.sign.iter().zip(&rhs.sign) {
+                    neg += (a ^ b).count_ones();
+                }
+                return self.dim as i64 - 2 * neg as i64;
+            }
+            (Some(m), None) | (None, Some(m)) => {
+                for ((a, b), m) in self.sign.iter().zip(&rhs.sign).zip(m) {
+                    common += m.count_ones();
+                    neg += ((a ^ b) & m).count_ones();
+                }
+            }
+            (Some(ma), Some(mb)) => {
+                for (((a, b), ma), mb) in self.sign.iter().zip(&rhs.sign).zip(ma).zip(mb) {
+                    let both = ma & mb;
+                    common += both.count_ones();
+                    neg += ((a ^ b) & both).count_ones();
+                }
+            }
+        }
+        common as i64 - 2 * neg as i64
+    }
+
+    /// Normalized dot similarity `dot / D`.
+    #[inline]
+    pub fn sim(&self, rhs: &PackedHv) -> f64 {
+        self.dot(rhs) as f64 / self.dim as f64
+    }
+
+    /// Number of disagreeing components (any mismatch among `-1, 0, +1`
+    /// counts, including zero versus non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hamming(&self, rhs: &PackedHv) -> usize {
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
+        let full = u64::MAX;
+        let n = self.sign.len();
+        let mut differing = 0usize;
+        for i in 0..n {
+            let ma = self.mask.as_ref().map_or(full, |m| m[i]);
+            let mb = rhs.mask.as_ref().map_or(full, |m| m[i]);
+            // Differ where exactly one is zero, or both non-zero with
+            // opposite signs. Padding bits are zero in both masks for
+            // masked vectors; for dense vectors restrict to valid bits
+            // via the sign planes' shared padding invariant.
+            let mut word = (ma ^ mb) | ((self.sign[i] ^ rhs.sign[i]) & ma & mb);
+            if i == n - 1 {
+                word &= crate::tail_mask(self.dim);
+            }
+            differing += word.count_ones() as usize;
+        }
+        differing
+    }
+
+    /// Component-wise product: zero wherever either operand is zero,
+    /// signs multiply elsewhere — the packed counterpart of
+    /// [`Bind`](crate::Bind) on the unpacked types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn bind(&self, rhs: &PackedHv) -> PackedHv {
+        assert_eq!(
+            self.dim, rhs.dim,
+            "dimension mismatch: {} vs {}",
+            self.dim, rhs.dim
+        );
+        let sign: Vec<u64> = self
+            .sign
+            .iter()
+            .zip(&rhs.sign)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        let mask = match (&self.mask, &rhs.mask) {
+            (None, None) => None,
+            (Some(m), None) | (None, Some(m)) => Some(m.clone()),
+            (Some(ma), Some(mb)) => Some(ma.iter().zip(mb).map(|(a, b)| a & b).collect()),
+        };
+        let mut sign = sign;
+        match &mask {
+            None => clear_padding(&mut sign, self.dim),
+            Some(mask) => {
+                for (s, m) in sign.iter_mut().zip(mask) {
+                    *s &= m;
+                }
+            }
+        }
+        PackedHv {
+            sign,
+            mask,
+            dim: self.dim,
+        }
+    }
+
+    /// Unpacks into the two-plane ternary representation.
+    pub fn to_ternary(&self) -> TernaryHv {
+        let mask = match &self.mask {
+            Some(mask) => mask.clone(),
+            None => {
+                let mut full = vec![u64::MAX; self.sign.len()];
+                clear_padding(&mut full, self.dim);
+                full
+            }
+        };
+        TernaryHv::from_planes(mask, self.sign.clone(), self.dim)
+    }
+}
+
+impl Similarity for PackedHv {
+    fn sim_to(&self, reference: &BipolarHv) -> f64 {
+        assert_eq!(
+            self.dim,
+            reference.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            reference.dim()
+        );
+        let query = self.packed_query();
+        let nonzero = query.nonzero_count() as i64;
+        query.dot_words(reference.words(), nonzero) as f64 / self.dim as f64
+    }
+}
+
+impl fmt::Debug for PackedHv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PackedHv")
+            .field("dim", &self.dim)
+            .field("dense", &self.is_dense())
+            .finish()
+    }
+}
+
+/// A codebook's items re-laid-out for scanning: one contiguous array of
+/// packed sign words, grouped into cache-sized shards.
+///
+/// Built lazily by [`Codebook::packed_view`] (or eagerly by the `.fhd`
+/// artifact loader) and guarded by the owning codebook's
+/// [`generation`](Codebook::generation) stamp: a shard table always
+/// carries the generation of the item set it was built from, so staleness
+/// is structurally impossible — replacing a codebook (e.g. via
+/// `Taxonomy::set_codebook`) creates a new codebook with a new generation
+/// and an empty view.
+///
+/// ```
+/// use hdc::Codebook;
+///
+/// let cb = Codebook::derive(42, 64, 1024);
+/// let shards = cb.packed_view();
+/// let hits = shards.top_k(hdc::AsPackedQuery::packed_query(cb.item(9)), 3);
+/// assert_eq!(hits[0].index, 9);
+/// assert!((hits[0].sim - 1.0).abs() < 1e-12);
+/// // Bit-identical to the scalar reference search.
+/// assert_eq!(hits, cb.top_k(cb.item(9), 3));
+/// ```
+#[derive(Clone)]
+pub struct PackedShards {
+    /// Item-major sign words: item `i` occupies
+    /// `words[i * words_per_item .. (i + 1) * words_per_item]`.
+    words: Vec<u64>,
+    words_per_item: usize,
+    /// Items per shard (the parallel/blocking granularity).
+    shard_len: usize,
+    len: usize,
+    dim: usize,
+    generation: u64,
+}
+
+impl PackedShards {
+    /// Builds a shard table over `items` (all of dimension `dim`),
+    /// stamped with the owning codebook's `generation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_len == 0` (a programming error, not a runtime
+    /// condition — wire-format readers validate before calling).
+    pub(crate) fn build(
+        items: &[BipolarHv],
+        dim: usize,
+        shard_len: usize,
+        generation: u64,
+    ) -> Self {
+        assert!(shard_len > 0, "shard length must be positive");
+        let words_per_item = words_for(dim);
+        let mut words = Vec::with_capacity(items.len() * words_per_item);
+        for item in items {
+            words.extend_from_slice(item.words());
+        }
+        PackedShards {
+            words,
+            words_per_item,
+            shard_len,
+            len: items.len(),
+            dim,
+            generation,
+        }
+    }
+
+    /// The default shard geometry for `dim`: as many items as fit a
+    /// [`SHARD_BYTES`]-sized block, at least one.
+    pub(crate) fn default_shard_len(dim: usize) -> usize {
+        (SHARD_BYTES / (words_for(dim) * 8)).max(1)
+    }
+
+    /// Number of items in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the table holds no items (never for a built codebook).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The hypervector dimension `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Items per shard (the parallel/blocking granularity).
+    #[inline]
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.len.div_ceil(self.shard_len)
+    }
+
+    /// The generation stamp of the codebook this table was built from.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    #[inline]
+    fn check_query(&self, query: &PackedQuery<'_>) {
+        assert_eq!(
+            self.dim,
+            query.dim(),
+            "dimension mismatch: {} vs {}",
+            self.dim,
+            query.dim()
+        );
+    }
+
+    #[inline]
+    fn sim_of(&self, dot: i64) -> f64 {
+        dot as f64 / self.dim as f64
+    }
+
+    /// `true` when a batched search over this table is worth forking
+    /// across the rayon pool.
+    #[inline]
+    fn parallel(&self) -> bool {
+        self.words.len() >= PAR_MIN_WORDS && self.num_shards() > 1
+    }
+
+    /// The item index range of shard `s`.
+    #[inline]
+    fn shard_range(&self, s: usize) -> std::ops::Range<usize> {
+        let start = s * self.shard_len;
+        start..(start + self.shard_len).min(self.len)
+    }
+
+    /// Runs `scan` over every shard — in parallel when the table is big
+    /// enough — and returns the per-shard results in shard order.
+    fn scan_shards<T: Send, F>(&self, scan: F) -> Vec<T>
+    where
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        if self.parallel() {
+            (0..self.num_shards())
+                .into_par_iter()
+                .map(|s| scan(self.shard_range(s)))
+                .collect()
+        } else {
+            (0..self.num_shards())
+                .map(|s| scan(self.shard_range(s)))
+                .collect()
+        }
+    }
+
+    /// Exact integer dot products of `query` against every item, in item
+    /// order — the packed replacement for per-item
+    /// [`BipolarHv::dot`] loops over boxed items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn dots(&self, query: PackedQuery<'_>) -> Vec<i64> {
+        self.check_query(&query);
+        let nonzero = query.nonzero_count() as i64;
+        let per_shard = self.scan_shards(|range| {
+            range
+                .map(|i| query.dot_words(self.item_words(i), nonzero))
+                .collect::<Vec<i64>>()
+        });
+        per_shard.concat()
+    }
+
+    /// The `k` most similar items, sorted by descending similarity with
+    /// ties broken by ascending item index — exactly the ordering of the
+    /// scalar reference [`Codebook::top_k`].
+    ///
+    /// Each shard keeps its local top `k` in a bounded min-heap; the
+    /// per-shard survivors are then merged, so the scan allocates
+    /// `O(shards · k)` instead of materializing all `M` similarities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn top_k(&self, query: PackedQuery<'_>, k: usize) -> Vec<SearchHit> {
+        self.check_query(&query);
+        if k == 0 {
+            return Vec::new();
+        }
+        let nonzero = query.nonzero_count() as i64;
+        let per_shard = self.scan_shards(|range| {
+            // Min-heap of the k best seen: `Reverse` puts the worst kept
+            // candidate on top. Ties order by ascending index, so the
+            // "worst" of two equal dots is the larger index. Once the
+            // heap is full, each item costs one comparison against the
+            // current worst; the sift only runs on an actual improvement.
+            let mut heap: BinaryHeap<Reverse<(i64, Reverse<usize>)>> = BinaryHeap::with_capacity(k);
+            for i in range {
+                let dot = query.dot_words(self.item_words(i), nonzero);
+                let entry = Reverse((dot, Reverse(i)));
+                if heap.len() < k {
+                    heap.push(entry);
+                } else if let Some(mut worst) = heap.peek_mut() {
+                    if entry < *worst {
+                        *worst = entry;
+                    }
+                }
+            }
+            heap.into_vec()
+        });
+        let mut merged: Vec<(i64, usize)> = per_shard
+            .into_iter()
+            .flatten()
+            .map(|Reverse((dot, Reverse(index)))| (dot, index))
+            .collect();
+        merged.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        merged.truncate(k);
+        merged
+            .into_iter()
+            .map(|(dot, index)| SearchHit {
+                index,
+                sim: self.sim_of(dot),
+            })
+            .collect()
+    }
+
+    /// The single most similar item (equivalent to `top_k(query, 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a constructed codebook; returns
+    /// [`HdcError::EmptyCodebook`] defensively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn best_match(&self, query: PackedQuery<'_>) -> Result<SearchHit, HdcError> {
+        self.top_k(query, 1)
+            .into_iter()
+            .next()
+            .ok_or(HdcError::EmptyCodebook)
+    }
+
+    /// All items whose similarity strictly exceeds `threshold`, sorted by
+    /// descending similarity with ties broken by ascending item index —
+    /// exactly the ordering of the scalar reference
+    /// [`Codebook::above_threshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn above_threshold(&self, query: PackedQuery<'_>, threshold: f64) -> Vec<SearchHit> {
+        self.check_query(&query);
+        let nonzero = query.nonzero_count() as i64;
+        let per_shard = self.scan_shards(|range| {
+            range
+                .filter_map(|i| {
+                    let dot = query.dot_words(self.item_words(i), nonzero);
+                    let sim = self.sim_of(dot);
+                    (sim > threshold).then_some((dot, i))
+                })
+                .collect::<Vec<(i64, usize)>>()
+        });
+        let mut hits: Vec<(i64, usize)> = per_shard.concat();
+        hits.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        hits.into_iter()
+            .map(|(dot, index)| SearchHit {
+                index,
+                sim: self.sim_of(dot),
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn item_words(&self, index: usize) -> &[u64] {
+        &self.words[index * self.words_per_item..(index + 1) * self.words_per_item]
+    }
+}
+
+impl fmt::Debug for PackedShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PackedShards")
+            .field("len", &self.len)
+            .field("dim", &self.dim)
+            .field("shard_len", &self.shard_len)
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+/// Scan routing: every query type knows its fastest codebook-scan path.
+///
+/// Word-level representations ([`BipolarHv`], [`TernaryHv`], [`PackedHv`])
+/// route through the codebook's [`PackedShards`]; integer accumulators
+/// ([`AccumHv`]) take the scalar reference path, since a general bundle
+/// has no lossless packed form. Both routes return identical results —
+/// the reference implementations are the oracle the packed kernels are
+/// tested against.
+///
+/// ```
+/// use hdc::{Codebook, CodebookScan};
+///
+/// let cb = Codebook::derive(3, 16, 512);
+/// let query = cb.item(4).to_ternary();
+/// let packed = query.scan_top_k(&cb, 2);      // packed shard scan
+/// let reference = cb.top_k(&query, 2);        // scalar reference
+/// assert_eq!(packed, reference);
+/// assert_eq!(packed[0].index, 4);
+/// ```
+pub trait CodebookScan: Similarity {
+    /// The `k` most similar items of `codebook`, sorted by descending
+    /// similarity (ties by ascending index).
+    fn scan_top_k(&self, codebook: &Codebook, k: usize) -> Vec<SearchHit>;
+
+    /// All items of `codebook` whose similarity strictly exceeds
+    /// `threshold`, sorted by descending similarity (ties by ascending
+    /// index).
+    fn scan_above_threshold(&self, codebook: &Codebook, threshold: f64) -> Vec<SearchHit>;
+
+    /// The single most similar item of `codebook`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyCodebook`] defensively; constructed
+    /// codebooks are never empty.
+    fn scan_best(&self, codebook: &Codebook) -> Result<SearchHit, HdcError> {
+        self.scan_top_k(codebook, 1)
+            .into_iter()
+            .next()
+            .ok_or(HdcError::EmptyCodebook)
+    }
+}
+
+macro_rules! impl_codebook_scan_packed {
+    ($($ty:ty),*) => {$(
+        impl CodebookScan for $ty {
+            fn scan_top_k(&self, codebook: &Codebook, k: usize) -> Vec<SearchHit> {
+                codebook.packed_view().top_k(self.packed_query(), k)
+            }
+
+            fn scan_above_threshold(
+                &self,
+                codebook: &Codebook,
+                threshold: f64,
+            ) -> Vec<SearchHit> {
+                codebook
+                    .packed_view()
+                    .above_threshold(self.packed_query(), threshold)
+            }
+        }
+    )*};
+}
+
+impl_codebook_scan_packed!(BipolarHv, TernaryHv, PackedHv);
+
+impl CodebookScan for AccumHv {
+    fn scan_top_k(&self, codebook: &Codebook, k: usize) -> Vec<SearchHit> {
+        codebook.top_k(self, k)
+    }
+
+    fn scan_above_threshold(&self, codebook: &Codebook, threshold: f64) -> Vec<SearchHit> {
+        codebook.above_threshold(self, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rng_from_seed, Bind, Bundle};
+
+    fn random_ternary(dim: usize, seed: u64) -> TernaryHv {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarHv::random(dim, &mut rng);
+        let b = BipolarHv::random(dim, &mut rng);
+        a.bundle(&b).clip_ternary()
+    }
+
+    #[test]
+    fn harley_seal_matches_naive_popcount_sum() {
+        // Every length around the 16-word block boundary, on adversarial
+        // word patterns (all-ones stresses every carry level).
+        for n in 0..50usize {
+            let a: Vec<u64> = (0..n)
+                .map(|i| crate::derive_seed(&[0xC0DE, i as u64]))
+                .collect();
+            let b: Vec<u64> = (0..n)
+                .map(|i| crate::derive_seed(&[0xFADE, i as u64]))
+                .collect();
+            let m: Vec<u64> = (0..n)
+                .map(|i| crate::derive_seed(&[0x3A5E, i as u64]))
+                .collect();
+            let naive_xor: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x ^ y).count_ones() as u64)
+                .sum();
+            assert_eq!(xor_popcount(&a, &b), naive_xor, "n {n}");
+            let naive_masked: u64 = a
+                .iter()
+                .zip(&m)
+                .zip(&b)
+                .map(|((x, y), z)| ((x ^ z) & y).count_ones() as u64)
+                .sum();
+            assert_eq!(xor_and_popcount(&a, &m, &b), naive_masked, "n {n}");
+            // All-ones stresses every carry level of the ladder.
+            let ones = vec![u64::MAX; n];
+            let zeros = vec![0u64; n];
+            assert_eq!(xor_popcount(&ones, &zeros), 64 * n as u64, "ones n {n}");
+            assert_eq!(xor_popcount(&ones, &ones), 0, "zeros n {n}");
+        }
+    }
+
+    #[test]
+    fn packed_dot_matches_reference_dense() {
+        let mut rng = rng_from_seed(1);
+        for dim in [1usize, 63, 64, 65, 333, 1024] {
+            let a = BipolarHv::random(dim, &mut rng);
+            let b = BipolarHv::random(dim, &mut rng);
+            let pa = PackedHv::from_bipolar(&a);
+            let pb = PackedHv::from_bipolar(&b);
+            assert_eq!(pa.dot(&pb), a.dot(&b), "dim {dim}");
+            assert_eq!(pa.hamming(&pb), a.hamming(&b), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn packed_dot_matches_reference_ternary() {
+        for (dim, seed) in [(1usize, 10u64), (65, 11), (200, 12), (1024, 13)] {
+            let t = random_ternary(dim, seed);
+            let u = random_ternary(dim, seed ^ 0xFF);
+            let pt = PackedHv::from_ternary(&t);
+            let pu = PackedHv::from_ternary(&u);
+            assert_eq!(pt.dot(&pu), t.dot(&u), "dim {dim}");
+            let mut rng = rng_from_seed(seed ^ 0xAAAA);
+            let b = BipolarHv::random(dim, &mut rng);
+            assert_eq!(pt.dot(&PackedHv::from_bipolar(&b)), t.dot_bipolar(&b));
+        }
+    }
+
+    #[test]
+    fn packed_hamming_counts_zero_disagreements() {
+        let t = TernaryHv::from_components(&[1, 0, -1, 0]).unwrap();
+        let u = TernaryHv::from_components(&[1, 1, 1, 0]).unwrap();
+        let h = PackedHv::from_ternary(&t).hamming(&PackedHv::from_ternary(&u));
+        // Components 1 (0 vs 1) and 2 (-1 vs 1) differ.
+        assert_eq!(h, 2);
+    }
+
+    #[test]
+    fn packed_bind_matches_componentwise_product() {
+        let t = random_ternary(130, 20);
+        let u = random_ternary(130, 21);
+        let bound = PackedHv::from_ternary(&t).bind(&PackedHv::from_ternary(&u));
+        let expected: TernaryHv = t.bind(&u);
+        assert_eq!(bound.to_ternary(), expected);
+    }
+
+    #[test]
+    fn dense_ternary_canonicalizes_to_maskless() {
+        let mut rng = rng_from_seed(30);
+        let b = BipolarHv::random(100, &mut rng);
+        let via_ternary = PackedHv::from_ternary(&b.to_ternary());
+        let direct = PackedHv::from_bipolar(&b);
+        assert_eq!(via_ternary, direct);
+        assert!(via_ternary.is_dense());
+    }
+
+    #[test]
+    fn packed_similarity_trait_matches_reference() {
+        let mut rng = rng_from_seed(31);
+        let reference = BipolarHv::random(777, &mut rng);
+        let t = random_ternary(777, 32);
+        let packed = PackedHv::from_ternary(&t);
+        assert_eq!(packed.sim_to(&reference), t.sim_to(&reference));
+        assert_eq!(
+            PackedHv::from_accum_lossless(&t.to_accum())
+                .expect("lossless")
+                .sim_to(&reference),
+            t.sim_to(&reference)
+        );
+        let big = AccumHv::from_components(vec![2, 0, -1]);
+        assert!(PackedHv::from_accum_lossless(&big).is_none());
+    }
+
+    #[test]
+    fn shard_table_dots_match_reference() {
+        let cb = Codebook::derive(40, 37, 513);
+        let mut rng = rng_from_seed(41);
+        let q = BipolarHv::random(513, &mut rng);
+        assert_eq!(
+            cb.packed_view().dots(q.packed_query()),
+            cb.iter().map(|item| q.dot(item)).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn shard_table_top_k_matches_reference_ordering() {
+        // Small dim forces many exact ties: ordering must still agree.
+        let cb = Codebook::derive(42, 64, 16);
+        let t = random_ternary(16, 43);
+        for k in [1usize, 3, 16, 64, 100] {
+            assert_eq!(t.scan_top_k(&cb, k), cb.top_k(&t, k), "k {k}");
+        }
+        assert_eq!(t.scan_top_k(&cb, 0), Vec::new());
+    }
+
+    #[test]
+    fn shard_table_above_threshold_matches_reference() {
+        let cb = Codebook::derive(44, 50, 256);
+        let t = random_ternary(256, 45);
+        for th in [-0.5f64, -0.1, 0.0, 0.05, 0.3, 0.9] {
+            assert_eq!(
+                t.scan_above_threshold(&cb, th),
+                cb.above_threshold(&t, th),
+                "threshold {th}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_best_matches_best_match() {
+        let cb = Codebook::derive(46, 20, 1024);
+        let q = cb.item(13).clone();
+        let packed = q.scan_best(&cb).unwrap();
+        let reference = cb.best_match(&q).unwrap();
+        assert_eq!(packed, reference);
+        assert_eq!(packed.index, 13);
+    }
+
+    #[test]
+    fn accum_route_matches_packed_route_when_lossless() {
+        let cb = Codebook::derive(47, 24, 512);
+        let t = random_ternary(512, 48);
+        let acc = t.to_accum();
+        assert_eq!(acc.scan_top_k(&cb, 5), t.scan_top_k(&cb, 5));
+        assert_eq!(
+            acc.scan_above_threshold(&cb, 0.1),
+            t.scan_above_threshold(&cb, 0.1)
+        );
+    }
+
+    #[test]
+    fn shard_geometry_covers_all_items() {
+        let cb = Codebook::derive(49, 1000, 8192);
+        let view = cb.packed_view();
+        assert_eq!(view.len(), 1000);
+        assert_eq!(view.dim(), 8192);
+        assert!(view.shard_len() >= 1);
+        assert_eq!(view.num_shards(), 1000usize.div_ceil(view.shard_len()));
+        // Every index appears in exactly one shard.
+        let mut seen = vec![false; 1000];
+        for s in 0..view.num_shards() {
+            for i in view.shard_range(s) {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_sequential() {
+        // Big enough to clear PAR_MIN_WORDS (4096 items × 128 words).
+        let cb = Codebook::derive(50, 4096, 8192);
+        let view = cb.packed_view();
+        assert!(view.parallel(), "table must take the parallel route");
+        let t = random_ternary(8192, 51);
+        let q = t.packed_query();
+        // Sequential reference over the same table.
+        let nonzero = q.nonzero_count() as i64;
+        let seq: Vec<i64> = (0..view.len())
+            .map(|i| q.dot_words(view.item_words(i), nonzero))
+            .collect();
+        assert_eq!(view.dots(q), seq);
+        assert_eq!(view.top_k(q, 7), cb.top_k(&t, 7));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        let cb = Codebook::derive(52, 4, 64);
+        assert!(!format!("{:?}", cb.packed_view()).is_empty());
+        assert!(!format!("{:?}", PackedHv::from_bipolar(cb.item(0))).is_empty());
+    }
+}

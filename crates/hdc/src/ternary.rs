@@ -98,6 +98,19 @@ impl TernaryHv {
         self.dim
     }
 
+    /// The packed non-zero mask plane (bit set ⇔ component is non-zero).
+    #[inline]
+    pub(crate) fn mask_words(&self) -> &[u64] {
+        &self.mask
+    }
+
+    /// The packed sign plane (bit set ⇔ component is `-1`; canonical:
+    /// zero under a cleared mask bit).
+    #[inline]
+    pub(crate) fn sign_words(&self) -> &[u64] {
+        &self.sign
+    }
+
     /// Component at `index` (`-1`, `0` or `+1`).
     ///
     /// # Panics

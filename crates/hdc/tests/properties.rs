@@ -142,6 +142,103 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Packed backend vs the f64/scalar reference (the oracle): dot,
+    // Hamming, and every batched codebook search must agree exactly —
+    // including at non-multiple-of-64 dimensions where tail-word masking
+    // can go wrong.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn packed_dot_and_hamming_match_reference((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let a = BipolarHv::random(dim, &mut rng_from_seed(s1));
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s2));
+        let (pa, pb) = (PackedHv::from_bipolar(&a), PackedHv::from_bipolar(&b));
+        prop_assert_eq!(pa.dot(&pb), a.dot(&b));
+        prop_assert_eq!(pa.hamming(&pb), a.hamming(&b));
+        prop_assert_eq!(pa.sim(&pb), a.sim(&b));
+    }
+
+    #[test]
+    fn packed_ternary_dot_matches_reference((dim, s) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>()))) {
+        let t = {
+            let a = BipolarHv::random(dim, &mut rng_from_seed(s));
+            let b = BipolarHv::random(dim, &mut rng_from_seed(s ^ 0xD00D));
+            a.bundle(&b).clip_ternary()
+        };
+        let b = BipolarHv::random(dim, &mut rng_from_seed(s ^ 0xBEEF));
+        let pt = PackedHv::from_ternary(&t);
+        prop_assert_eq!(pt.dot(&PackedHv::from_bipolar(&b)), t.dot_bipolar(&b));
+        prop_assert_eq!(pt.sim_to(&b), t.sim_bipolar(&b));
+    }
+
+    #[test]
+    fn packed_bind_matches_reference((dim, s1, s2) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), any::<u64>()))) {
+        let make = |s: u64| {
+            let a = BipolarHv::random(dim, &mut rng_from_seed(s));
+            let b = BipolarHv::random(dim, &mut rng_from_seed(s ^ 0x5150));
+            a.bundle(&b).clip_ternary()
+        };
+        let (t, u) = (make(s1), make(s2));
+        let packed = PackedHv::from_ternary(&t).bind(&PackedHv::from_ternary(&u));
+        let reference: TernaryHv = t.bind(&u);
+        prop_assert_eq!(packed.to_ternary(), reference);
+    }
+
+    #[test]
+    fn packed_top_k_matches_reference((dim, seed, m, k) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), 1usize..48, 0usize..64))) {
+        let cb = Codebook::derive(seed, m, dim);
+        // Small dims force many exact similarity ties: the packed heap
+        // merge must reproduce the reference's stable tie ordering.
+        let q = {
+            let a = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0xACE));
+            let b = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0xDEAF));
+            a.bundle(&b).clip_ternary()
+        };
+        prop_assert_eq!(q.scan_top_k(&cb, k), cb.top_k(&q, k));
+        let dense = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0xF00));
+        prop_assert_eq!(dense.scan_top_k(&cb, k), cb.top_k(&dense, k));
+    }
+
+    #[test]
+    fn packed_above_threshold_matches_reference((dim, seed, m, th) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), 1usize..48, -0.6f64..0.9))) {
+        let cb = Codebook::derive(seed, m, dim);
+        let q = {
+            let a = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0x7777));
+            let b = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0x8888));
+            a.bundle(&b).clip_ternary()
+        };
+        prop_assert_eq!(q.scan_above_threshold(&cb, th), cb.above_threshold(&q, th));
+        prop_assert_eq!(q.scan_best(&cb).unwrap(), cb.best_match(&q).unwrap());
+    }
+
+    #[test]
+    fn packed_dots_match_per_item_reference((dim, seed, m) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), 1usize..48))) {
+        let cb = Codebook::derive(seed, m, dim);
+        let q = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0x1CE));
+        let reference: Vec<i64> = cb.iter().map(|item| q.dot(item)).collect();
+        prop_assert_eq!(cb.dots_bipolar(&q), reference);
+    }
+
+    #[test]
+    fn accum_scan_route_matches_packed_route((dim, seed, m) in arb_dim().prop_flat_map(|d| (Just(d), any::<u64>(), 1usize..32))) {
+        // The AccumHv reference route and the packed ternary route answer
+        // identically for any query that fits both representations.
+        let cb = Codebook::derive(seed, m, dim);
+        let t = {
+            let a = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0x3A3));
+            let b = BipolarHv::random(dim, &mut rng_from_seed(seed ^ 0x4B4));
+            a.bundle(&b).clip_ternary()
+        };
+        let acc = t.to_accum();
+        prop_assert_eq!(acc.scan_top_k(&cb, 5), t.scan_top_k(&cb, 5));
+        prop_assert_eq!(acc.scan_above_threshold(&cb, 0.05), t.scan_above_threshold(&cb, 0.05));
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]

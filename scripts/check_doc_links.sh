@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# points at a file that exists (anchors are stripped; http(s) and mailto
+# links are skipped). Exits non-zero listing every broken link.
+#
+# The same check runs natively in the test suite as tests/doc_links.rs;
+# this script is the CI/docs-job entry point.
+set -u
+
+cd "$(dirname "$0")/.."
+
+broken=$(
+    for doc in README.md docs/*.md; do
+        [ -f "$doc" ] || continue
+        dir=$(dirname "$doc")
+        # Extract every inline markdown link target: [text](target)
+        grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' | while read -r target; do
+            case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+            "#"*) continue ;; # same-file anchor
+            esac
+            path="${target%%#*}"
+            [ -n "$path" ] || continue
+            [ -e "$dir/$path" ] || echo "BROKEN: $doc -> $target"
+        done
+    done
+)
+
+if [ -n "$broken" ]; then
+    echo "$broken"
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc links OK"

@@ -1,0 +1,81 @@
+//! Keeps the docs book honest: every relative markdown link in
+//! `README.md` and `docs/*.md` must point at a file that exists, so the
+//! architecture book cannot silently rot as files move. The same check
+//! runs in CI's docs job via `scripts/check_doc_links.sh`; this native
+//! version makes it part of `cargo test`.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts every inline markdown link target `](target)` from `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + end].to_owned());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn check_doc(doc: &Path, broken: &mut Vec<String>) {
+    let text = std::fs::read_to_string(doc).expect("doc file readable");
+    let dir = doc.parent().expect("doc has a parent directory");
+    for target in link_targets(&text) {
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+        {
+            continue;
+        }
+        let path = target.split('#').next().unwrap_or("");
+        if path.is_empty() {
+            continue;
+        }
+        if !dir.join(path).exists() {
+            broken.push(format!("{} -> {}", doc.display(), target));
+        }
+    }
+}
+
+#[test]
+fn all_relative_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![root.join("README.md")];
+    let book = root.join("docs");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&book)
+        .expect("docs/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 3,
+        "the architecture book should hold at least ARCHITECTURE/REPRESENTATIONS/SERVING"
+    );
+    docs.extend(entries);
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        check_doc(doc, &mut broken);
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_edge_cases() {
+    let targets = link_targets("see [a](x.md), [b](docs/y.md#frag) and [c](#anchor)");
+    assert_eq!(targets, vec!["x.md", "docs/y.md#frag", "#anchor"]);
+    assert!(link_targets("no links here").is_empty());
+}
