@@ -5,5 +5,6 @@
 fn main() {
     let compared = factorhd_bench::verify_artifact_round_trip();
     println!("artifact save→load→factorize: bit-identical across {compared} responses");
-    factorhd_bench::engine_throughput_table(true).print();
+    let points = factorhd_bench::engine_throughput_points(true);
+    factorhd_bench::engine_throughput_table(&points).print();
 }

@@ -5,5 +5,6 @@
 fn main() {
     let compared = factorhd_bench::verify_packed_equivalence();
     println!("packed vs reference top-1/top-k: bit-identical across {compared} scans");
-    factorhd_bench::packed_scan_table(true).print();
+    let points = factorhd_bench::packed_scan_points(true);
+    factorhd_bench::packed_scan_table(&points).print();
 }

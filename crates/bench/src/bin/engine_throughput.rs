@@ -2,12 +2,18 @@
 //! sizes 1/8/64/512 against the naive rebuild-per-request baseline, plus
 //! the artifact round-trip bit-identity check.
 //!
-//! Run with `--quick` for a single repetition per point.
+//! Prints the human-readable table and writes the machine-readable
+//! `BENCH_engine.json` (schema in docs/SERVING.md) to the working
+//! directory. Run with `--quick` for a single repetition per point.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let compared = factorhd_bench::verify_artifact_round_trip();
     println!("artifact save→load→factorize: bit-identical across {compared} responses");
-    let table = factorhd_bench::engine_throughput_table(quick);
-    table.print();
+    let points = factorhd_bench::engine_throughput_points(quick);
+    factorhd_bench::engine_throughput_table(&points).print();
+    let json = factorhd_bench::engine_throughput_json(&points, quick);
+    let path = "BENCH_engine.json";
+    std::fs::write(path, json + "\n").expect("write BENCH_engine.json");
+    println!("\nwrote {path}");
 }

@@ -1,24 +1,30 @@
 //! Serving-engine throughput: batched warm-cache execution vs the naive
 //! per-request rebuild the engine replaces.
 //!
-//! Three modes run the *same* deterministic request stream:
+//! Three modes run the *same* deterministic typed-op stream:
 //!
-//! * **naive/s** — the pre-engine calling pattern: every request rebuilds
+//! * **naive/s** — the pre-engine calling pattern: every op rebuilds
 //!   the taxonomy (labels, codebooks, clauses re-derived from the seed)
-//!   and a fresh [`factorhd_core::Factorizer`] (label-elimination masks
-//!   re-bound), then runs sequentially.
-//! * **cold/s** — a freshly constructed [`FactorEngine`] executing the
+//!   and a fresh model state (label-elimination masks re-bound), then
+//!   runs sequentially.
+//! * **cold/s** — a freshly constructed [`FactorEngine`] planning the
 //!   batch once (masks pre-built; codebook/clause/reconstruction caches
 //!   filling as it goes).
-//! * **warm/s** — the same engine executing the batch again with every
+//! * **warm/s** — the same engine planning the batch again with every
 //!   cache hot.
 //!
-//! All three produce bit-identical responses; the table reports requests
-//! per second and the warm÷naive speedup.
+//! All three produce bit-identical outputs; the table reports requests
+//! per second and the warm÷naive speedup, and
+//! [`engine_throughput_json`] renders the same points as the
+//! machine-readable `BENCH_engine.json` (schema in docs/SERVING.md).
 
+use crate::json::JsonValue;
 use crate::Table;
 use factorhd_core::{Encoder, FactorizeConfig, Scene, Taxonomy, TaxonomyBuilder, ThresholdPolicy};
-use factorhd_engine::{EngineConfig, FactorEngine, Request, Response};
+use factorhd_engine::{
+    AnyOp, AnyOutput, EncodeScene, EngineConfig, FactorEngine, FactorizeRep2, FactorizeRep3,
+    MembershipProbe, PartialDecode,
+};
 use hdc::derive_seed;
 use std::time::Instant;
 
@@ -28,6 +34,8 @@ const WORKLOAD_SEED: u64 = 0xBA7C_4ED5;
 /// Distinct objects in the simulated catalog; requests draw from this
 /// pool the way production traffic revisits a finite item population.
 const CATALOG: usize = 32;
+/// The batch sizes the sweep measures.
+pub const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
 
 /// The benchmark's model: one hierarchical class plus two flat ones.
 pub fn bench_taxonomy() -> Taxonomy {
@@ -55,10 +63,10 @@ pub fn bench_engine_config() -> EngineConfig {
     }
 }
 
-/// Builds the deterministic mixed request stream for one batch size:
+/// Builds the deterministic mixed typed-op stream for one batch size:
 /// single-object factorizations (the bulk), multi-object Rep-3 scenes,
 /// partial factorizations, membership probes, and scene encodes.
-pub fn build_requests(taxonomy: &Taxonomy, batch: usize) -> Vec<Request> {
+pub fn build_ops(taxonomy: &Taxonomy, batch: usize) -> Vec<AnyOp> {
     let encoder = Encoder::new(taxonomy);
     let mut rng = hdc::rng_from_seed(derive_seed(&[WORKLOAD_SEED, 1]));
     let catalog: Vec<_> = (0..CATALOG)
@@ -72,51 +80,56 @@ pub fn build_requests(taxonomy: &Taxonomy, batch: usize) -> Vec<Request> {
                 0 => {
                     let other = catalog[(i * 5 + 1) % CATALOG].clone();
                     let scene = Scene::new(vec![object, other]);
-                    Request::FactorizeMulti(encoder.encode_scene(&scene).expect("encodable"))
+                    AnyOp::Rep3(FactorizeRep3 {
+                        scene: encoder.encode_scene(&scene).expect("encodable"),
+                    })
                 }
-                5 => Request::FactorizeClasses {
+                5 => AnyOp::Partial(PartialDecode {
                     scene: encoder
                         .encode_scene(&Scene::single(object))
                         .expect("encodable"),
                     classes: vec![1],
-                },
-                6 => Request::Membership {
+                }),
+                6 => AnyOp::Membership(MembershipProbe {
                     scene: encoder
                         .encode_scene(&Scene::single(object.clone()))
                         .expect("encodable"),
                     items: vec![(1, object.assignment(1).expect("present").clone())],
                     absent: vec![],
-                },
+                }),
                 7 => {
                     let fresh = taxonomy.sample_object(&mut rng);
-                    Request::EncodeScene(Scene::new(vec![object, fresh]))
+                    AnyOp::Encode(EncodeScene {
+                        scene: Scene::new(vec![object, fresh]),
+                    })
                 }
-                _ => Request::FactorizeSingle(
-                    encoder
+                _ => AnyOp::Rep2(FactorizeRep2 {
+                    scene: encoder
                         .encode_scene(&Scene::single(object))
                         .expect("encodable"),
-                ),
+                }),
             }
         })
         .collect()
 }
 
-/// Executes one request the pre-engine way: rebuild the taxonomy (labels,
+/// Executes one op the pre-engine way: rebuild the taxonomy (labels,
 /// codebooks, clauses all re-derived) and the label-elimination masks
-/// from scratch, then serve the single request and throw everything away.
-/// A throwaway one-request engine *is* that calling pattern — and routing
-/// through [`FactorEngine::execute`] keeps the dispatch semantics defined
-/// in exactly one place.
-fn execute_naive(request: &Request) -> Response {
+/// from scratch, then serve the single op and throw everything away.
+/// A throwaway one-op engine *is* that calling pattern — and routing
+/// through [`FactorEngine::run`] keeps the dispatch semantics defined in
+/// exactly one place.
+fn execute_naive(op: &AnyOp) -> AnyOutput {
     FactorEngine::new(bench_taxonomy(), bench_engine_config())
-        .execute(request)
-        .expect("request succeeds")
+        .expect("valid config")
+        .run(op)
+        .expect("op succeeds")
 }
 
-fn unwrap_all(results: Vec<Result<Response, factorhd_engine::EngineError>>) -> Vec<Response> {
+fn unwrap_all(results: Vec<Result<AnyOutput, factorhd_engine::EngineError>>) -> Vec<AnyOutput> {
     results
         .into_iter()
-        .map(|r| r.expect("request succeeds"))
+        .map(|r| r.expect("op succeeds"))
         .collect()
 }
 
@@ -141,41 +154,43 @@ impl ThroughputPoint {
 }
 
 /// Measures one batch size, verifying that all three execution modes
-/// return bit-identical responses before timing them.
+/// return bit-identical outputs before timing them.
 pub fn measure_batch(batch: usize, reps: usize) -> ThroughputPoint {
     let taxonomy = bench_taxonomy();
-    let requests = build_requests(&taxonomy, batch);
+    let ops = build_ops(&taxonomy, batch);
 
-    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config());
-    // Correctness first: naive, cold-batched, and warm-batched agree.
-    let naive: Vec<Response> = requests.iter().map(execute_naive).collect();
-    let cold = unwrap_all(engine.execute_batch(&requests));
+    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
+    // Correctness first: naive, cold-planned, and warm-planned agree.
+    let naive: Vec<AnyOutput> = ops.iter().map(execute_naive).collect();
+    let cold = unwrap_all(engine.run_mixed(&ops));
     assert_eq!(naive, cold, "engine must be bit-identical to naive path");
 
-    // Timed naive baseline (sequential, rebuild per request).
+    // Timed naive baseline (sequential, rebuild per op).
     let reps = reps.max(1);
     let start = Instant::now();
     for _ in 0..reps {
-        for request in &requests {
-            std::hint::black_box(execute_naive(request));
+        for op in &ops {
+            std::hint::black_box(execute_naive(op));
         }
     }
     let naive_secs = start.elapsed().as_secs_f64() / reps as f64;
 
-    // Timed cold engine: construction + first batch, fresh each rep.
+    // Timed cold engine: construction + first planned batch, fresh each
+    // rep.
     let start = Instant::now();
     for _ in 0..reps {
-        let fresh = FactorEngine::new(bench_taxonomy(), bench_engine_config());
-        std::hint::black_box(fresh.execute_batch(&requests));
+        let fresh =
+            FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
+        std::hint::black_box(fresh.run_mixed(&ops));
     }
     let cold_secs = start.elapsed().as_secs_f64() / reps as f64;
 
     // Timed warm engine: every cache already hot.
-    let warm_reference = unwrap_all(engine.execute_batch(&requests));
+    let warm_reference = unwrap_all(engine.run_mixed(&ops));
     assert_eq!(cold, warm_reference, "warm cache changed results");
     let start = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(engine.execute_batch(&requests));
+        std::hint::black_box(engine.run_mixed(&ops));
     }
     let warm_secs = start.elapsed().as_secs_f64() / reps as f64;
 
@@ -188,16 +203,23 @@ pub fn measure_batch(batch: usize, reps: usize) -> ThroughputPoint {
     }
 }
 
-/// Runs the full sweep (batch sizes 1 / 8 / 64 / 512) and renders the
-/// table. `quick` runs one repetition per point instead of three.
-pub fn engine_throughput_table(quick: bool) -> Table {
+/// Runs the full sweep over [`BATCH_SIZES`]. `quick` runs one repetition
+/// per point instead of three.
+pub fn engine_throughput_points(quick: bool) -> Vec<ThroughputPoint> {
     let reps = if quick { 1 } else { 3 };
+    BATCH_SIZES
+        .iter()
+        .map(|&batch| measure_batch(batch, reps))
+        .collect()
+}
+
+/// Renders the sweep as the human-readable table.
+pub fn engine_throughput_table(points: &[ThroughputPoint]) -> Table {
     let mut table = Table::new(
         "engine_throughput: requests/sec, cold vs warm cache (1 rebuild-per-request naive baseline)",
         &["batch", "naive/s", "cold/s", "warm/s", "warm÷naive"],
     );
-    for batch in [1usize, 8, 64, 512] {
-        let point = measure_batch(batch, reps);
+    for point in points {
         table.row(&[
             point.batch.to_string(),
             format!("{:.0}", point.naive_per_sec),
@@ -209,18 +231,47 @@ pub fn engine_throughput_table(quick: bool) -> Table {
     table
 }
 
+/// Renders the sweep as the `BENCH_engine.json` document (schema
+/// documented in docs/SERVING.md).
+pub fn engine_throughput_json(points: &[ThroughputPoint], quick: bool) -> String {
+    JsonValue::obj(vec![
+        ("bench", JsonValue::Str("engine_throughput".into())),
+        ("schema_version", JsonValue::Uint(1)),
+        ("quick", JsonValue::Bool(quick)),
+        ("unit", JsonValue::Str("requests_per_second".into())),
+        (
+            "points",
+            JsonValue::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::obj(vec![
+                            ("batch", JsonValue::Uint(p.batch as u64)),
+                            ("naive_per_sec", JsonValue::Num(p.naive_per_sec)),
+                            ("cold_per_sec", JsonValue::Num(p.cold_per_sec)),
+                            ("warm_per_sec", JsonValue::Num(p.warm_per_sec)),
+                            ("warm_over_naive", JsonValue::Num(p.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
 /// Verifies the artifact acceptance criterion: save → load → factorize is
 /// bit-identical to serving from the in-memory model. Returns the number
-/// of compared responses.
+/// of compared outputs.
 pub fn verify_artifact_round_trip() -> usize {
-    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config());
-    let requests = build_requests(engine.taxonomy(), 64);
+    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
+    let ops = build_ops(engine.taxonomy(), 64);
     let mut bytes = Vec::new();
     engine.save_to(&mut bytes).expect("artifact serializes");
     let restored = FactorEngine::load_from(&mut &bytes[..], bench_engine_config())
         .expect("artifact deserializes");
-    let original = unwrap_all(engine.execute_batch(&requests));
-    let roundtripped = unwrap_all(restored.execute_batch(&requests));
+    let original = unwrap_all(engine.run_mixed(&ops));
+    let roundtripped = unwrap_all(restored.run_mixed(&ops));
     assert_eq!(
         original, roundtripped,
         "artifact round trip must serve bit-identically"
@@ -235,7 +286,7 @@ mod tests {
     #[test]
     fn workload_is_deterministic() {
         let taxonomy = bench_taxonomy();
-        assert_eq!(build_requests(&taxonomy, 16), build_requests(&taxonomy, 16));
+        assert_eq!(build_ops(&taxonomy, 16), build_ops(&taxonomy, 16));
     }
 
     #[test]
@@ -249,5 +300,26 @@ mod tests {
     #[test]
     fn artifact_round_trip_is_bit_identical() {
         assert_eq!(verify_artifact_round_trip(), 64);
+    }
+
+    #[test]
+    fn json_document_has_the_documented_shape() {
+        let points = [ThroughputPoint {
+            batch: 64,
+            naive_per_sec: 100.0,
+            cold_per_sec: 200.0,
+            warm_per_sec: 300.0,
+        }];
+        let doc = engine_throughput_json(&points, true);
+        for needle in [
+            r#""bench":"engine_throughput""#,
+            r#""schema_version":1"#,
+            r#""quick":true"#,
+            r#""batch":64"#,
+            r#""warm_per_sec":300"#,
+            r#""warm_over_naive":3"#,
+        ] {
+            assert!(doc.contains(needle), "{needle} missing from {doc}");
+        }
     }
 }

@@ -1,0 +1,127 @@
+//! Minimal hand-rolled JSON emission for the machine-readable
+//! `BENCH_*.json` artifacts (the build environment vendors no serde).
+//!
+//! Only what the bench schemas need: objects, arrays, strings, bools,
+//! and finite numbers. Non-finite numbers render as `null` (JSON has no
+//! NaN/Inf), and strings escape quotes, backslashes, and control bytes.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree, rendered by [`JsonValue::render`].
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// An unsigned integer (rendered without a decimal point).
+    Uint(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object field list.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(x) if x.is_finite() => {
+                // `{}` on f64 always includes enough digits to round-trip.
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Uint(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let value = JsonValue::obj(vec![
+            ("bench", JsonValue::Str("engine_throughput".into())),
+            ("schema_version", JsonValue::Uint(1)),
+            ("quick", JsonValue::Bool(false)),
+            (
+                "points",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("batch", JsonValue::Uint(64)),
+                    ("warm_per_sec", JsonValue::Num(21832.5)),
+                ])]),
+            ),
+        ]);
+        assert_eq!(
+            value.render(),
+            r#"{"bench":"engine_throughput","schema_version":1,"quick":false,"points":[{"batch":64,"warm_per_sec":21832.5}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_and_nonfinite() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+}

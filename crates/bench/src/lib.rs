@@ -14,14 +14,20 @@
 #![warn(missing_docs)]
 
 pub mod engine_bench;
+pub mod json;
 pub mod packed_bench;
 pub mod runner;
 pub mod table;
 
 pub use engine_bench::{
-    engine_throughput_table, measure_batch, verify_artifact_round_trip, ThroughputPoint,
+    engine_throughput_json, engine_throughput_points, engine_throughput_table, measure_batch,
+    verify_artifact_round_trip, ThroughputPoint,
 };
-pub use packed_bench::{measure_scan, packed_scan_table, verify_packed_equivalence, ScanPoint};
+pub use json::JsonValue;
+pub use packed_bench::{
+    measure_scan, packed_scan_json, packed_scan_points, packed_scan_table,
+    verify_packed_equivalence, ScanPoint,
+};
 pub use runner::{
     run_ci_model, run_factorhd_rep1, run_factorhd_rep23, run_imc, run_resonator, th_sweep,
     MethodResult, Rep23Setting, SweepPoint,

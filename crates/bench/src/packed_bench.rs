@@ -136,17 +136,26 @@ pub fn measure_scan(dim: usize, m: usize, reps: usize) -> ScanPoint {
     }
 }
 
-/// Runs the full grid and renders the table. `quick` reduces repetitions.
-pub fn packed_scan_table(quick: bool) -> Table {
+/// Runs the full grid. `quick` reduces repetitions per point.
+pub fn packed_scan_points(quick: bool) -> Vec<ScanPoint> {
+    SCAN_GRID
+        .iter()
+        .map(|&(dim, m)| {
+            // Aim for comparable wall-clock per point across sizes.
+            let budget = if quick { 1 << 22 } else { 1 << 25 };
+            let reps = (budget / (dim * m * QUERIES)).clamp(1, 4096);
+            measure_scan(dim, m, reps)
+        })
+        .collect()
+}
+
+/// Renders the grid as the human-readable table.
+pub fn packed_scan_table(points: &[ScanPoint]) -> Table {
     let mut table = Table::new(
         "packed_scan: top-k codebook scans/sec, packed shard table vs per-item ternary popcount",
         &["dim", "M", "shards", "reference/s", "packed/s", "speedup"],
     );
-    for &(dim, m) in &SCAN_GRID {
-        // Aim for comparable wall-clock per point across sizes.
-        let budget = if quick { 1 << 22 } else { 1 << 25 };
-        let reps = (budget / (dim * m * QUERIES)).clamp(1, 4096);
-        let point = measure_scan(dim, m, reps);
+    for point in points {
         table.row(&[
             point.dim.to_string(),
             point.m.to_string(),
@@ -157,6 +166,37 @@ pub fn packed_scan_table(quick: bool) -> Table {
         ]);
     }
     table
+}
+
+/// Renders the grid as the `BENCH_packed_scan.json` document (schema
+/// documented in docs/SERVING.md).
+pub fn packed_scan_json(points: &[ScanPoint], quick: bool) -> String {
+    use crate::json::JsonValue;
+    JsonValue::obj(vec![
+        ("bench", JsonValue::Str("packed_scan".into())),
+        ("schema_version", JsonValue::Uint(1)),
+        ("quick", JsonValue::Bool(quick)),
+        ("unit", JsonValue::Str("scans_per_second".into())),
+        (
+            "points",
+            JsonValue::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::obj(vec![
+                            ("dim", JsonValue::Uint(p.dim as u64)),
+                            ("items", JsonValue::Uint(p.m as u64)),
+                            ("shards", JsonValue::Uint(p.shards as u64)),
+                            ("reference_per_sec", JsonValue::Num(p.reference_per_sec)),
+                            ("packed_per_sec", JsonValue::Num(p.packed_per_sec)),
+                            ("speedup", JsonValue::Num(p.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
 }
 
 #[cfg(test)]
@@ -174,5 +214,26 @@ mod tests {
         assert!(point.reference_per_sec > 0.0);
         assert!(point.packed_per_sec > 0.0);
         assert_eq!((point.dim, point.m), (1024, 64));
+    }
+
+    #[test]
+    fn json_document_has_the_documented_shape() {
+        let points = [ScanPoint {
+            dim: 8192,
+            m: 256,
+            shards: 8,
+            reference_per_sec: 100.0,
+            packed_per_sec: 229.0,
+        }];
+        let doc = packed_scan_json(&points, false);
+        for needle in [
+            r#""bench":"packed_scan""#,
+            r#""schema_version":1"#,
+            r#""dim":8192"#,
+            r#""items":256"#,
+            r#""speedup":2.29"#,
+        ] {
+            assert!(doc.contains(needle), "{needle} missing from {doc}");
+        }
     }
 }

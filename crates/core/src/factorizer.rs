@@ -403,6 +403,118 @@ impl<'a> Factorizer<'a> {
         self.factorize_single(&hv.to_accum())
     }
 
+    /// [`Factorizer::factorize_single`] for a whole batch of scenes in one
+    /// call, per-query results **bit-identical** to the one-at-a-time
+    /// loop.
+    ///
+    /// When every query has a lossless ternary form (any single-object
+    /// scene does), the level-1 codebook scans run grouped through
+    /// [`hdc::CodebookScan::scan_top_k_many`]: each codebook's packed
+    /// shard table is traversed once per batch instead of once per query,
+    /// which is what a serving planner buys by grouping requests of the
+    /// same kind. Queries without a lossless form (or any dimension
+    /// mismatch in the batch) fall back to the per-query path, still
+    /// returning one `Result` per input in input order.
+    pub fn factorize_single_many(
+        &self,
+        hvs: &[&AccumHv],
+    ) -> Vec<Result<DecodedObject, FactorHdError>> {
+        let mut ternaries = Vec::with_capacity(hvs.len());
+        for hv in hvs {
+            if hv.dim() != self.taxonomy.dim() {
+                return self.factorize_single_fallback(hvs);
+            }
+            match hv.to_ternary_lossless() {
+                Some(t) => ternaries.push(t),
+                None => return self.factorize_single_fallback(hvs),
+            }
+        }
+        match self.decode_singles_grouped(&ternaries) {
+            Ok(decoded) => decoded.into_iter().map(Ok).collect(),
+            // Structurally unreachable for a built taxonomy; fall back so
+            // the error lands on the query that caused it.
+            Err(_) => self.factorize_single_fallback(hvs),
+        }
+    }
+
+    /// The per-query reference path of [`Factorizer::factorize_single_many`].
+    fn factorize_single_fallback(
+        &self,
+        hvs: &[&AccumHv],
+    ) -> Vec<Result<DecodedObject, FactorHdError>> {
+        hvs.iter().map(|hv| self.factorize_single(hv)).collect()
+    }
+
+    /// Grouped decode over lossless ternary queries: classes in the outer
+    /// loop, so each level-1 codebook is scanned once for the whole batch
+    /// ([`hdc::CodebookScan::scan_top_k_many`]); the NULL check and the
+    /// per-query beam descent reuse the exact per-query code path.
+    fn decode_singles_grouped(
+        &self,
+        queries: &[TernaryHv],
+    ) -> Result<Vec<DecodedObject>, FactorHdError> {
+        let width = self.config.refine_width.max(1);
+        let mut stats = FactorizeStats::default();
+        let mut per_query: Vec<Vec<ClassDecode>> = queries
+            .iter()
+            .map(|_| Vec::with_capacity(self.taxonomy.num_classes()))
+            .collect();
+        for class in 0..self.taxonomy.num_classes() {
+            let unbound: Vec<TernaryHv> = queries
+                .iter()
+                .map(|q| q.bind(&self.unbind_keys[class]))
+                .collect();
+            let top = self.taxonomy.codebook(class, &[])?;
+            let hits_many = TernaryHv::scan_top_k_many(&top, &unbound, width);
+            for ((q, hits), decodes) in unbound.iter().zip(hits_many).zip(&mut per_query) {
+                decodes.push(self.decode_class_from_hits(q, class, hits, &mut stats)?);
+            }
+        }
+        Ok(per_query
+            .into_iter()
+            .map(|decodes| {
+                let mut confidence = f64::INFINITY;
+                let assignments = decodes
+                    .into_iter()
+                    .map(|d| {
+                        confidence = confidence.min(d.sim);
+                        d.path
+                    })
+                    .collect();
+                DecodedObject {
+                    object: ObjectSpec::new(assignments),
+                    confidence,
+                }
+            })
+            .collect())
+    }
+
+    /// Membership probe entry point: "does the scene contain an object
+    /// with these `(class, item path)` constraints, with `absent` classes
+    /// NULL?" — a [`crate::SceneQuery`] built and evaluated in one call,
+    /// so serving layers have a single factorizer-level entry per query
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`crate::SceneQuery::with_item`] /
+    /// [`crate::SceneQuery::with_absent`] / [`crate::SceneQuery::evaluate`].
+    pub fn evaluate_membership(
+        &self,
+        scene: &AccumHv,
+        items: &[(usize, ItemPath)],
+        absent: &[usize],
+    ) -> Result<crate::QueryAnswer, FactorHdError> {
+        let mut query = crate::SceneQuery::new(self.taxonomy);
+        for (class, path) in items {
+            query = query.with_item(*class, path.clone())?;
+        }
+        for &class in absent {
+            query = query.with_absent(class)?;
+        }
+        query.evaluate(scene)
+    }
+
     /// **Partial factorization**: decodes only `classes`, skipping all
     /// similarity work for the rest — the capability the paper contrasts
     /// with C-C models' mandatory full factorization.
@@ -469,49 +581,66 @@ impl<'a> Factorizer<'a> {
             let top = self.taxonomy.codebook(class, &[])?;
             let top_hits = unbound.scan_top_k(&top, width);
             stats.similarity_checks += top.len() as u64;
-            let best_sim = top_hits.first().expect("non-empty codebook").sim;
-
-            if self.config.detect_null {
-                let null_sim = unbound.sim_to(self.taxonomy.null_hv());
-                stats.similarity_checks += 1;
-                if null_sim > best_sim {
-                    result.push(ClassDecode {
-                        class,
-                        path: None,
-                        sim: null_sim,
-                    });
-                    continue;
-                }
-            }
-
-            // Beam over (path, cumulative sim, levels visited).
-            let mut beam: Vec<(ItemPath, f64)> = top_hits
-                .into_iter()
-                .map(|hit| (ItemPath::top(hit.index as u16), hit.sim))
-                .collect();
-            for _level in 1..self.depth_limit(class) {
-                let mut next: Vec<(ItemPath, f64)> = Vec::new();
-                for (path, cum) in &beam {
-                    let children = self.taxonomy.codebook(class, path.indices())?;
-                    let child_hits = unbound.scan_top_k(&children, width);
-                    stats.similarity_checks += children.len() as u64;
-                    for hit in child_hits {
-                        next.push((path.child(hit.index as u16), cum + hit.sim));
-                    }
-                }
-                next.sort_by(|a, b| b.1.total_cmp(&a.1));
-                next.truncate(width);
-                beam = next;
-            }
-            let (path, cum) = beam.into_iter().next().expect("non-empty codebooks");
-            let depth = path.depth() as f64;
-            result.push(ClassDecode {
-                class,
-                sim: cum / depth,
-                path: Some(path),
-            });
+            result.push(self.decode_class_from_hits(&unbound, class, top_hits, stats)?);
         }
         Ok(result)
+    }
+
+    /// The per-class decode tail shared by the one-at-a-time and grouped
+    /// paths: NULL detection against the level-1 winners, then the beam
+    /// descent through the subclass levels. `top_hits` are the query's
+    /// level-1 scan results for `class` (already counted in `stats`).
+    fn decode_class_from_hits<Q>(
+        &self,
+        unbound: &Q,
+        class: usize,
+        top_hits: Vec<hdc::SearchHit>,
+        stats: &mut FactorizeStats,
+    ) -> Result<ClassDecode, FactorHdError>
+    where
+        Q: CodebookScan,
+    {
+        let width = self.config.refine_width.max(1);
+        let best_sim = top_hits.first().expect("non-empty codebook").sim;
+
+        if self.config.detect_null {
+            let null_sim = unbound.sim_to(self.taxonomy.null_hv());
+            stats.similarity_checks += 1;
+            if null_sim > best_sim {
+                return Ok(ClassDecode {
+                    class,
+                    path: None,
+                    sim: null_sim,
+                });
+            }
+        }
+
+        // Beam over (path, cumulative sim, levels visited).
+        let mut beam: Vec<(ItemPath, f64)> = top_hits
+            .into_iter()
+            .map(|hit| (ItemPath::top(hit.index as u16), hit.sim))
+            .collect();
+        for _level in 1..self.depth_limit(class) {
+            let mut next: Vec<(ItemPath, f64)> = Vec::new();
+            for (path, cum) in &beam {
+                let children = self.taxonomy.codebook(class, path.indices())?;
+                let child_hits = unbound.scan_top_k(&children, width);
+                stats.similarity_checks += children.len() as u64;
+                for hit in child_hits {
+                    next.push((path.child(hit.index as u16), cum + hit.sim));
+                }
+            }
+            next.sort_by(|a, b| b.1.total_cmp(&a.1));
+            next.truncate(width);
+            beam = next;
+        }
+        let (path, cum) = beam.into_iter().next().expect("non-empty codebooks");
+        let depth = path.depth() as f64;
+        Ok(ClassDecode {
+            class,
+            sim: cum / depth,
+            path: Some(path),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1156,6 +1285,87 @@ mod tests {
             assert_eq!(fast.object(), slow.object());
             assert_eq!(fast_stats, slow_stats);
         }
+    }
+
+    #[test]
+    fn factorize_single_many_is_bit_identical_to_loop() {
+        let t = deep_taxonomy(2048);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(70);
+        let hvs: Vec<AccumHv> = (0..9)
+            .map(|_| {
+                let obj = t.sample_object(&mut rng);
+                enc.encode_scene(&Scene::single(obj)).unwrap()
+            })
+            .collect();
+        let refs: Vec<&AccumHv> = hvs.iter().collect();
+        let grouped: Vec<DecodedObject> = fac
+            .factorize_single_many(&refs)
+            .into_iter()
+            .map(|r| r.expect("decodes"))
+            .collect();
+        let singles: Vec<DecodedObject> = hvs
+            .iter()
+            .map(|hv| fac.factorize_single(hv).expect("decodes"))
+            .collect();
+        assert_eq!(grouped, singles);
+        assert!(fac.factorize_single_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn factorize_single_many_falls_back_per_query() {
+        // A non-lossless accumulator (components outside {-1, 0, 1}) and a
+        // wrong-dimension query both take the per-query path: results and
+        // errors land on the right inputs.
+        let t = flat_taxonomy(3, 8, 1024);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let mut rng = rng_from_seed(71);
+        let obj = t.sample_object(&mut rng);
+        let hv = enc.encode_scene(&Scene::single(obj)).unwrap();
+        let mut doubled = hv.clone();
+        doubled.scale(2);
+        let results = fac.factorize_single_many(&[&hv, &doubled]);
+        assert_eq!(
+            results[0].as_ref().expect("decodes").object(),
+            results[1].as_ref().expect("decodes").object()
+        );
+
+        let short = AccumHv::zeros(64);
+        let mixed = fac.factorize_single_many(&[&hv, &short]);
+        assert!(mixed[0].is_ok());
+        assert!(matches!(
+            mixed[1],
+            Err(FactorHdError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_membership_matches_scene_query() {
+        let t = deep_taxonomy(2048);
+        let enc = Encoder::new(&t);
+        let fac = Factorizer::new(&t, FactorizeConfig::default());
+        let obj = ObjectSpec::new(vec![
+            Some(ItemPath::new(vec![3, 1])),
+            None,
+            Some(ItemPath::top(5)),
+        ]);
+        let hv = enc.encode_scene(&Scene::single(obj.clone())).unwrap();
+        let items = vec![(0usize, ItemPath::new(vec![3, 1]))];
+        let absent = vec![1usize];
+        let via_factorizer = fac.evaluate_membership(&hv, &items, &absent).unwrap();
+        let mut query = crate::SceneQuery::new(&t);
+        for (class, path) in &items {
+            query = query.with_item(*class, path.clone()).unwrap();
+        }
+        for &class in &absent {
+            query = query.with_absent(class).unwrap();
+        }
+        assert_eq!(via_factorizer, query.evaluate(&hv).unwrap());
+        assert!(via_factorizer.present);
+        // Bad class indices surface as typed errors.
+        assert!(fac.evaluate_membership(&hv, &[], &[9]).is_err());
     }
 
     #[test]

@@ -1,132 +1,85 @@
-//! The batched factorization serving engine.
+//! The typed serving engine over one model.
 
-use crate::cache::{CacheStats, ReconCache};
-use crate::{artifact, EngineError};
-use factorhd_core::{
-    build_unbind_keys, ClassDecode, DecodedObject, DecodedScene, Encoder, FactorizeConfig,
-    Factorizer, ItemPath, QueryAnswer, Scene, SceneQuery, Taxonomy,
-};
-use hdc::{AccumHv, BipolarHv};
+use crate::ops::{AnyOp, AnyOutput, Op};
+use crate::{plan, CacheStats, EngineConfig, EngineError, ModelState};
+use factorhd_core::Taxonomy;
 use rayon::prelude::*;
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-/// Tuning knobs for [`FactorEngine`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EngineConfig {
-    /// Factorization configuration applied to every request.
-    pub factorize: FactorizeConfig,
-    /// Capacity (in objects) of the Rep-3 reconstruction memo; 0 disables
-    /// it.
-    pub reconstruction_capacity: usize,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            factorize: FactorizeConfig::default(),
-            reconstruction_capacity: 1024,
-        }
-    }
-}
-
-/// One unit of work submitted to the engine.
+/// A factorization server over one [`ModelState`].
 ///
-/// Scene hypervectors arrive pre-encoded (the wire format a remote client
-/// would ship); [`Request::EncodeScene`] covers the encoding direction.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Request {
-    /// Rep-1/Rep-2 factorization of a single-object scene vector.
-    FactorizeSingle(AccumHv),
-    /// Rep-3 factorization of a multi-object scene vector.
-    FactorizeMulti(AccumHv),
-    /// Partial factorization of only the listed classes.
-    FactorizeClasses {
-        /// The scene hypervector to decode.
-        scene: AccumHv,
-        /// Class indices to decode (others are skipped entirely).
-        classes: Vec<usize>,
-    },
-    /// Membership probe: "does the scene contain an object with these
-    /// items (and with these classes absent)?"
-    Membership {
-        /// The scene hypervector to probe.
-        scene: AccumHv,
-        /// Required `(class, item path)` constraints.
-        items: Vec<(usize, ItemPath)>,
-        /// Classes required to be absent (NULL) on the queried object.
-        absent: Vec<usize>,
-    },
-    /// Symbolic-to-hypervector encoding of a scene.
-    EncodeScene(Scene),
-}
-
-/// The engine's answer to one [`Request`], variant-matched to it.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Response {
-    /// Answer to [`Request::FactorizeSingle`].
-    Single(DecodedObject),
-    /// Answer to [`Request::FactorizeMulti`].
-    Multi(DecodedScene),
-    /// Answer to [`Request::FactorizeClasses`].
-    Classes(Vec<ClassDecode>),
-    /// Answer to [`Request::Membership`].
-    Membership(QueryAnswer),
-    /// Answer to [`Request::EncodeScene`].
-    Encoded(AccumHv),
-}
-
-/// A factorization server over one [`Taxonomy`].
+/// The engine pays per-model setup exactly once — label-elimination
+/// masks, lazily shared codebooks and clauses, and the Rep-3
+/// reconstruction memo — then serves every request as lookups plus the
+/// irreducible similarity arithmetic. Requests are typed ops
+/// ([`crate::ops`]): [`FactorEngine::run`] returns each op's own output
+/// type, [`FactorEngine::run_batch`] plans a homogeneous batch (chunking
+/// groupable ops through their grouped scan kernels), and
+/// [`FactorEngine::run_mixed`] plans a heterogeneous [`AnyOp`] batch.
+/// Batches run on the rayon pool; results are returned in request order
+/// and are bit-identical to a sequential loop because every kernel is a
+/// pure function of the `(op, model)` pair.
 ///
-/// The engine pays per-taxonomy setup exactly once — label-elimination
-/// masks ([`build_unbind_keys`]), lazily shared codebooks and clauses,
-/// and the Rep-3 reconstruction memo — then serves every request as
-/// lookups plus the irreducible similarity arithmetic. Batches run on the
-/// rayon pool; results are returned in request order and are bit-identical
-/// to a sequential loop because every kernel is a pure function of the
-/// (request, taxonomy) pair.
+/// Engines serving multiple named, hot-swappable models stack a
+/// [`crate::ModelRegistry`] on top of the same ops.
 pub struct FactorEngine {
-    taxonomy: Arc<Taxonomy>,
-    config: EngineConfig,
-    unbind_keys: Arc<Vec<BipolarHv>>,
-    reconstruction: Arc<ReconCache>,
+    model: Arc<ModelState>,
 }
 
 impl FactorEngine {
     /// Creates an engine serving `taxonomy`.
-    pub fn new(taxonomy: Taxonomy, config: EngineConfig) -> Self {
-        FactorEngine::from_arc(Arc::new(taxonomy), config)
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when `config` fails
+    /// [`EngineConfig::validate`].
+    pub fn new(taxonomy: Taxonomy, config: EngineConfig) -> Result<Self, EngineError> {
+        Ok(FactorEngine::from_state(ModelState::new(taxonomy, config)?))
     }
 
     /// Creates an engine over an already-shared taxonomy.
-    pub fn from_arc(taxonomy: Arc<Taxonomy>, config: EngineConfig) -> Self {
-        let unbind_keys = Arc::new(build_unbind_keys(&taxonomy));
-        let reconstruction = Arc::new(ReconCache::new(config.reconstruction_capacity));
-        FactorEngine {
-            taxonomy,
-            config,
-            unbind_keys,
-            reconstruction,
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when `config` fails
+    /// [`EngineConfig::validate`].
+    pub fn from_arc(taxonomy: Arc<Taxonomy>, config: EngineConfig) -> Result<Self, EngineError> {
+        Ok(FactorEngine::from_state(ModelState::from_arc(
+            taxonomy, config,
+        )?))
+    }
+
+    /// Wraps an already-built model state (e.g. one resolved from a
+    /// [`crate::ModelRegistry`] handle).
+    pub fn from_state(model: ModelState) -> Self {
+        FactorEngine::from_shared(Arc::new(model))
+    }
+
+    /// [`FactorEngine::from_state`] over a shared state.
+    pub fn from_shared(model: Arc<ModelState>) -> Self {
+        FactorEngine { model }
     }
 
     /// Loads an engine from a `.fhd` model artifact at `path`.
     ///
     /// # Errors
     ///
-    /// The conditions of [`artifact::load_taxonomy`].
+    /// The conditions of [`ModelState::load`].
     pub fn load<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<Self, EngineError> {
-        Ok(FactorEngine::new(artifact::load_taxonomy(path)?, config))
+        Ok(FactorEngine::from_state(ModelState::load(path, config)?))
     }
 
     /// Loads an engine from `.fhd` bytes supplied by `reader`.
     ///
     /// # Errors
     ///
-    /// The conditions of [`artifact::read_taxonomy`].
+    /// The conditions of [`ModelState::load_from`].
     pub fn load_from<R: Read>(reader: &mut R, config: EngineConfig) -> Result<Self, EngineError> {
-        Ok(FactorEngine::new(artifact::read_taxonomy(reader)?, config))
+        Ok(FactorEngine::from_state(ModelState::load_from(
+            reader, config,
+        )?))
     }
 
     /// Saves the engine's model as a `.fhd` artifact at `path`.
@@ -135,7 +88,7 @@ impl FactorEngine {
     ///
     /// [`EngineError::Io`] on filesystem failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
-        artifact::save_taxonomy(path, &self.taxonomy)
+        self.model.save(path)
     }
 
     /// Writes the engine's model as `.fhd` bytes to `writer`.
@@ -144,117 +97,118 @@ impl FactorEngine {
     ///
     /// [`EngineError::Io`] on write failure.
     pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), EngineError> {
-        artifact::write_taxonomy(writer, &self.taxonomy)
+        self.model.save_to(writer)
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &Arc<ModelState> {
+        &self.model
     }
 
     /// The taxonomy this engine serves.
     pub fn taxonomy(&self) -> &Taxonomy {
-        &self.taxonomy
+        self.model.taxonomy()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.model.config()
     }
 
     /// Usage counters of the reconstruction memo (hits grow as the cache
     /// warms; compare cold vs warm runs).
     pub fn reconstruction_stats(&self) -> CacheStats {
-        self.reconstruction.stats()
+        self.model.reconstruction_stats()
     }
 
-    /// A factorizer assembled from the engine's memoized parts — no
-    /// per-request mask rebuild.
-    fn factorizer(&self) -> Factorizer<'_> {
-        let cache: Arc<dyn factorhd_core::ReconstructionCache> =
-            Arc::clone(&self.reconstruction) as _;
-        Factorizer::with_parts(
-            &self.taxonomy,
-            self.config.factorize,
-            Arc::clone(&self.unbind_keys),
-            Some(cache),
-        )
-        .expect("engine-built keys match the taxonomy")
-    }
-
-    /// Executes one request.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::Core`] wrapping the underlying validation or
-    /// dimension error.
-    pub fn execute(&self, request: &Request) -> Result<Response, EngineError> {
-        match request {
-            Request::FactorizeSingle(scene) => {
-                Ok(Response::Single(self.factorizer().factorize_single(scene)?))
-            }
-            Request::FactorizeMulti(scene) => {
-                Ok(Response::Multi(self.factorizer().factorize_multi(scene)?))
-            }
-            Request::FactorizeClasses { scene, classes } => Ok(Response::Classes(
-                self.factorizer().factorize_classes(scene, classes)?,
-            )),
-            Request::Membership {
-                scene,
-                items,
-                absent,
-            } => {
-                let mut query = SceneQuery::new(&self.taxonomy);
-                for (class, path) in items {
-                    query = query.with_item(*class, path.clone())?;
-                }
-                for &class in absent {
-                    query = query.with_absent(class)?;
-                }
-                Ok(Response::Membership(query.evaluate(scene)?))
-            }
-            Request::EncodeScene(scene) => Ok(Response::Encoded(
-                Encoder::new(&self.taxonomy).encode_scene(scene)?,
-            )),
-        }
-    }
-
-    /// Executes a batch across the worker pool, returning results in
-    /// request order, bit-identical to [`FactorEngine::execute_sequential`].
+    /// Executes one typed op, returning **its own output type** — a
+    /// [`crate::FactorizeRep3`] comes back as a
+    /// [`factorhd_core::DecodedScene`], a [`crate::MembershipProbe`] as a
+    /// [`factorhd_core::QueryAnswer`], with nothing to destructure.
     ///
     /// ```
     /// use factorhd_core::{Encoder, Scene, TaxonomyBuilder};
-    /// use factorhd_engine::{EngineConfig, FactorEngine, Request, Response};
+    /// use factorhd_engine::{EngineConfig, FactorEngine, FactorizeRep2};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let taxonomy = TaxonomyBuilder::new(2048)
     ///     .class("shape", &[8])
     ///     .class("color", &[8])
     ///     .build()?;
-    /// let engine = FactorEngine::new(taxonomy, EngineConfig::default());
+    /// let engine = FactorEngine::new(taxonomy, EngineConfig::default())?;
     ///
     /// let mut rng = hdc::rng_from_seed(11);
     /// let object = engine.taxonomy().sample_object(&mut rng);
     /// let hv = Encoder::new(engine.taxonomy()).encode_scene(&Scene::single(object.clone()))?;
     ///
-    /// let responses = engine.execute_batch(&[Request::FactorizeSingle(hv)]);
-    /// match responses.into_iter().next().expect("one response")? {
-    ///     Response::Single(decoded) => assert_eq!(decoded.object(), &object),
-    ///     other => panic!("unexpected response {other:?}"),
-    /// }
+    /// // Typed in, typed out: `run` returns a DecodedObject directly.
+    /// let decoded = engine.run(&FactorizeRep2 { scene: hv })?;
+    /// assert_eq!(decoded.object(), &object);
     /// # Ok(())
     /// # }
     /// ```
-    pub fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
-        requests.par_iter().map(|r| self.execute(r)).collect()
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`Op::run`].
+    pub fn run<O: Op>(&self, op: &O) -> Result<O::Output, EngineError> {
+        op.run(&self.model)
     }
 
-    /// Executes a batch one request at a time on the calling thread (the
-    /// determinism reference for [`FactorEngine::execute_batch`]).
-    pub fn execute_sequential(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
-        requests.iter().map(|r| self.execute(r)).collect()
+    /// Executes a homogeneous typed batch across the worker pool, results
+    /// in op order, bit-identical to calling [`FactorEngine::run`] per
+    /// op. Groupable ops ([`Op::groupable`]) are chunked at
+    /// [`EngineConfig::batch_chunk`] ops per task so each chunk amortizes
+    /// its level-1 codebook scans ([`Op::run_many`]); other ops run one
+    /// per task.
+    pub fn run_batch<O>(&self, ops: &[O]) -> Vec<Result<O::Output, EngineError>>
+    where
+        O: Op + Sync,
+        O::Output: Send,
+    {
+        let model = self.model.as_ref();
+        if O::groupable() {
+            let chunk = model.config().batch_chunk.max(1);
+            let chunks: Vec<&[O]> = ops.chunks(chunk).collect();
+            let per_chunk: Vec<Vec<Result<O::Output, EngineError>>> = chunks
+                .par_iter()
+                .map(|piece| {
+                    let refs: Vec<&O> = piece.iter().collect();
+                    O::run_many(model, &refs)
+                })
+                .collect();
+            per_chunk.into_iter().flatten().collect()
+        } else {
+            ops.par_iter().map(|op| op.run(model)).collect()
+        }
+    }
+
+    /// Executes a heterogeneous batch: ops are grouped by kind so
+    /// same-shape work scans the packed shards contiguously, then fanned
+    /// out across the pool. Results in input order, **bit-identical** to
+    /// [`FactorEngine::run_mixed_sequential`].
+    pub fn run_mixed(&self, ops: &[AnyOp]) -> Vec<Result<AnyOutput, EngineError>> {
+        plan::execute_mixed(&self.model, ops)
+    }
+
+    /// The determinism reference for [`FactorEngine::run_mixed`]: one op
+    /// at a time on the calling thread, no grouping.
+    pub fn run_mixed_sequential(&self, ops: &[AnyOp]) -> Vec<Result<AnyOutput, EngineError>> {
+        ops.iter().map(|op| op.run(&self.model)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use factorhd_core::{FactorHdError, ObjectSpec, TaxonomyBuilder, ThresholdPolicy};
+    use crate::ops::{
+        EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe, PartialDecode,
+    };
+    use factorhd_core::{
+        Encoder, FactorHdError, FactorizeConfig, ItemPath, ObjectSpec, Scene, TaxonomyBuilder,
+        ThresholdPolicy,
+    };
+    use hdc::AccumHv;
 
     fn taxonomy(seed: u64) -> Taxonomy {
         TaxonomyBuilder::new(2048)
@@ -277,60 +231,72 @@ mod tests {
                 ..EngineConfig::default()
             },
         )
+        .expect("valid config")
     }
 
-    fn mixed_requests(engine: &FactorEngine, n: usize, seed: u64) -> Vec<Request> {
+    fn mixed_ops(engine: &FactorEngine, n: usize, seed: u64) -> Vec<AnyOp> {
         let encoder = Encoder::new(engine.taxonomy());
         let mut rng = hdc::rng_from_seed(seed);
         (0..n)
             .map(|i| {
                 let object = engine.taxonomy().sample_object(&mut rng);
-                match i % 5 {
-                    0 => Request::FactorizeSingle(
-                        encoder.encode_scene(&Scene::single(object)).unwrap(),
-                    ),
+                match i % 6 {
+                    0 => AnyOp::Rep2(FactorizeRep2 {
+                        scene: encoder.encode_scene(&Scene::single(object)).unwrap(),
+                    }),
                     1 => {
                         let scene = engine.taxonomy().sample_scene(2, true, &mut rng);
-                        Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap())
+                        AnyOp::Rep3(FactorizeRep3 {
+                            scene: encoder.encode_scene(&scene).unwrap(),
+                        })
                     }
-                    2 => Request::FactorizeClasses {
+                    2 => AnyOp::Partial(PartialDecode {
                         scene: encoder.encode_scene(&Scene::single(object)).unwrap(),
                         classes: vec![1],
-                    },
-                    3 => Request::Membership {
+                    }),
+                    3 => AnyOp::Membership(MembershipProbe {
                         scene: encoder
                             .encode_scene(&Scene::single(object.clone()))
                             .unwrap(),
                         items: vec![(1, object.assignment(1).unwrap().clone())],
                         absent: vec![],
-                    },
-                    _ => Request::EncodeScene(Scene::single(object)),
+                    }),
+                    4 => AnyOp::Rep1(FactorizeRep1 {
+                        scene: encoder.encode_scene(&Scene::single(object)).unwrap(),
+                    }),
+                    _ => AnyOp::Encode(EncodeScene {
+                        scene: Scene::single(object),
+                    }),
                 }
             })
             .collect()
     }
 
-    fn unwrap_all(results: Vec<Result<Response, EngineError>>) -> Vec<Response> {
+    fn unwrap_all(results: Vec<Result<AnyOutput, EngineError>>) -> Vec<AnyOutput> {
         results
             .into_iter()
-            .map(|r| r.expect("request succeeds"))
+            .map(|r| r.expect("op succeeds"))
             .collect()
     }
 
     #[test]
-    fn batch_is_bit_identical_to_sequential() {
+    fn mixed_batch_is_bit_identical_to_sequential() {
         let eng = engine(77);
-        let requests = mixed_requests(&eng, 15, 1);
-        let batched = unwrap_all(eng.execute_batch(&requests));
-        let sequential = unwrap_all(eng.execute_sequential(&requests));
+        let ops = mixed_ops(&eng, 18, 1);
+        let batched = unwrap_all(eng.run_mixed(&ops));
+        let sequential = unwrap_all(eng.run_mixed_sequential(&ops));
         assert_eq!(batched, sequential);
         // And a second (warm-cache) pass does not change anything.
-        let warm = unwrap_all(eng.execute_batch(&requests));
+        let warm = unwrap_all(eng.run_mixed(&ops));
         assert_eq!(warm, batched);
+        // Output variants match the op kinds in order.
+        for (op, out) in ops.iter().zip(&batched) {
+            assert_eq!(op.kind(), out.kind());
+        }
     }
 
     #[test]
-    fn responses_recover_the_encoded_objects() {
+    fn typed_ops_recover_the_encoded_objects() {
         let eng = engine(78);
         let encoder = Encoder::new(eng.taxonomy());
         let mut rng = hdc::rng_from_seed(2);
@@ -338,17 +304,62 @@ mod tests {
         let hv = encoder
             .encode_scene(&Scene::single(object.clone()))
             .unwrap();
-        match eng.execute(&Request::FactorizeSingle(hv.clone())).unwrap() {
-            Response::Single(decoded) => assert_eq!(decoded.object(), &object),
-            other => panic!("wrong variant: {other:?}"),
-        }
-        match eng
-            .execute(&Request::EncodeScene(Scene::single(object)))
-            .unwrap()
-        {
-            Response::Encoded(encoded) => assert_eq!(encoded, hv),
-            other => panic!("wrong variant: {other:?}"),
-        }
+        let decoded = eng
+            .run(&FactorizeRep2 { scene: hv.clone() })
+            .expect("decodes");
+        assert_eq!(decoded.object(), &object);
+        let encoded = eng
+            .run(&EncodeScene {
+                scene: Scene::single(object),
+            })
+            .expect("encodes");
+        assert_eq!(encoded, hv);
+    }
+
+    #[test]
+    fn rep1_decodes_top_level_only() {
+        let eng = engine(84);
+        let encoder = Encoder::new(eng.taxonomy());
+        let mut rng = hdc::rng_from_seed(5);
+        let object = eng.taxonomy().sample_object(&mut rng);
+        let hv = encoder
+            .encode_scene(&Scene::single(object.clone()))
+            .unwrap();
+        let flat = eng.run(&FactorizeRep1 { scene: hv.clone() }).unwrap();
+        let deep = eng.run(&FactorizeRep2 { scene: hv }).unwrap();
+        // Class 0 is hierarchical: Rep 1 stops at depth 1, Rep 2 descends.
+        assert_eq!(flat.object().assignment(0).unwrap().depth(), 1);
+        assert_eq!(
+            deep.object().assignment(0).unwrap().depth(),
+            eng.taxonomy().levels(0)
+        );
+        // Their top-level choices agree.
+        assert_eq!(
+            flat.object().assignment(0).unwrap().indices()[0],
+            deep.object().assignment(0).unwrap().indices()[0]
+        );
+    }
+
+    #[test]
+    fn run_batch_grouped_matches_per_op() {
+        let eng = engine(85);
+        let encoder = Encoder::new(eng.taxonomy());
+        let mut rng = hdc::rng_from_seed(6);
+        let ops: Vec<FactorizeRep2> = (0..20)
+            .map(|_| {
+                let object = eng.taxonomy().sample_object(&mut rng);
+                FactorizeRep2 {
+                    scene: encoder.encode_scene(&Scene::single(object)).unwrap(),
+                }
+            })
+            .collect();
+        let batched: Vec<_> = eng
+            .run_batch(&ops)
+            .into_iter()
+            .map(|r| r.expect("decodes"))
+            .collect();
+        let singles: Vec<_> = ops.iter().map(|op| eng.run(op).expect("decodes")).collect();
+        assert_eq!(batched, singles);
     }
 
     #[test]
@@ -357,10 +368,12 @@ mod tests {
         let encoder = Encoder::new(eng.taxonomy());
         let mut rng = hdc::rng_from_seed(3);
         let scene = eng.taxonomy().sample_scene(2, true, &mut rng);
-        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
-        let cold = eng.execute(&request).unwrap();
+        let op = FactorizeRep3 {
+            scene: encoder.encode_scene(&scene).unwrap(),
+        };
+        let cold = eng.run(&op).unwrap();
         let after_cold = eng.reconstruction_stats();
-        let warm = eng.execute(&request).unwrap();
+        let warm = eng.run(&op).unwrap();
         let after_warm = eng.reconstruction_stats();
         assert_eq!(cold, warm);
         assert!(after_cold.misses > 0, "cold run must populate the memo");
@@ -379,8 +392,10 @@ mod tests {
         let encoder = Encoder::new(eng.taxonomy());
         let mut rng = hdc::rng_from_seed(6);
         let scene = eng.taxonomy().sample_scene(2, true, &mut rng);
-        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
-        let _ = eng.execute(&request).unwrap(); // populate the memo
+        let op = FactorizeRep3 {
+            scene: encoder.encode_scene(&scene).unwrap(),
+        };
+        let _ = eng.run(&op).unwrap(); // populate the memo
 
         let trained = hdc::Codebook::derive(0xAB, 8, 2048);
         eng.taxonomy()
@@ -389,14 +404,16 @@ mod tests {
 
         let fresh_taxonomy = taxonomy(83);
         fresh_taxonomy.set_codebook(1, &[], trained).unwrap();
-        let fresh = FactorEngine::from_arc(Arc::new(fresh_taxonomy), *eng.config());
+        let fresh = FactorEngine::from_arc(Arc::new(fresh_taxonomy), *eng.config()).expect("valid");
         // Re-encode the request against the mutated model so both engines
         // answer the same question.
         let encoder = Encoder::new(eng.taxonomy());
-        let request = Request::FactorizeMulti(encoder.encode_scene(&scene).unwrap());
+        let op = FactorizeRep3 {
+            scene: encoder.encode_scene(&scene).unwrap(),
+        };
         assert_eq!(
-            eng.execute(&request).unwrap(),
-            fresh.execute(&request).unwrap(),
+            eng.run(&op).unwrap(),
+            fresh.run(&op).unwrap(),
             "stale reconstruction served after set_codebook"
         );
     }
@@ -404,11 +421,25 @@ mod tests {
     #[test]
     fn dimension_mismatch_surfaces_as_core_error() {
         let eng = engine(80);
-        let result = eng.execute(&Request::FactorizeSingle(AccumHv::zeros(64)));
+        let result = eng.run(&FactorizeRep2 {
+            scene: AccumHv::zeros(64),
+        });
         assert!(matches!(
             result,
             Err(EngineError::Core(FactorHdError::DimensionMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let result = FactorEngine::new(
+            taxonomy(90),
+            EngineConfig {
+                batch_chunk: 0,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(matches!(result, Err(EngineError::InvalidConfig(_))));
     }
 
     #[test]
@@ -421,29 +452,26 @@ mod tests {
             Some(ItemPath::top(5)),
         ]);
         let hv = encoder.encode_scene(&Scene::single(object)).unwrap();
-        match eng
-            .execute(&Request::Membership {
+        let answer = eng
+            .run(&MembershipProbe {
                 scene: hv,
                 items: vec![(0, ItemPath::new(vec![3, 1]))],
                 absent: vec![1],
             })
-            .unwrap()
-        {
-            Response::Membership(answer) => assert!(answer.present),
-            other => panic!("wrong variant: {other:?}"),
-        }
+            .unwrap();
+        assert!(answer.present);
     }
 
     #[test]
     fn artifact_round_trip_serves_identically() {
         let eng = engine(82);
-        let requests = mixed_requests(&eng, 10, 4);
+        let ops = mixed_ops(&eng, 12, 4);
         let mut bytes = Vec::new();
         eng.save_to(&mut bytes).expect("serializes");
         let loaded = FactorEngine::load_from(&mut &bytes[..], *eng.config()).expect("deserializes");
         assert_eq!(
-            unwrap_all(eng.execute_batch(&requests)),
-            unwrap_all(loaded.execute_batch(&requests)),
+            unwrap_all(eng.run_mixed(&ops)),
+            unwrap_all(loaded.run_mixed(&ops)),
         );
     }
 }

@@ -38,6 +38,11 @@ pub enum EngineError {
     /// The artifact is structurally invalid (an out-of-range count, a
     /// non-UTF-8 class name, trailing garbage, …).
     Corrupt(String),
+    /// The engine configuration failed validation (a zero or absurd batch
+    /// or cache size; see [`crate::EngineConfig::validate`]).
+    InvalidConfig(String),
+    /// A registry operation named a model id that is not installed.
+    UnknownModel(String),
     /// An error bubbled up from the FactorHD core while rebuilding or
     /// querying the model.
     Core(FactorHdError),
@@ -66,6 +71,10 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Corrupt(reason) => write!(f, "corrupt artifact: {reason}"),
+            EngineError::InvalidConfig(reason) => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::UnknownModel(id) => write!(f, "unknown model {id:?}"),
             EngineError::Core(e) => write!(f, "model error: {e}"),
         }
     }
@@ -118,12 +127,51 @@ mod tests {
                 remaining: 3,
             },
             EngineError::Corrupt("trailing garbage".into()),
+            EngineError::InvalidConfig("batch_chunk must be at least 1".into()),
+            EngineError::UnknownModel("fruit".into()),
             EngineError::Core(FactorHdError::NoClasses),
         ];
         for err in cases {
             let msg = err.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn every_variant_is_constructed_and_matched() {
+        // Exhaustiveness pin: constructing one value per variant and
+        // matching without a wildcard means adding a variant without
+        // display/source coverage fails to compile here first.
+        let all: Vec<EngineError> = vec![
+            EngineError::Io(io::Error::other("x")),
+            EngineError::BadMagic { found: [1; 8] },
+            EngineError::UnsupportedVersion(3),
+            EngineError::ChecksumMismatch {
+                stored: 0,
+                computed: 1,
+            },
+            EngineError::Truncated {
+                needed: 1,
+                remaining: 0,
+            },
+            EngineError::Corrupt("c".into()),
+            EngineError::InvalidConfig("i".into()),
+            EngineError::UnknownModel("m".into()),
+            EngineError::Core(FactorHdError::EmptyScene),
+        ];
+        for err in &all {
+            let has_source = match err {
+                EngineError::Io(_) | EngineError::Core(_) => true,
+                EngineError::BadMagic { .. }
+                | EngineError::UnsupportedVersion(_)
+                | EngineError::ChecksumMismatch { .. }
+                | EngineError::Truncated { .. }
+                | EngineError::Corrupt(_)
+                | EngineError::InvalidConfig(_)
+                | EngineError::UnknownModel(_) => false,
+            };
+            assert_eq!(Error::source(err).is_some(), has_source, "{err}");
         }
     }
 

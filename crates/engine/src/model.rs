@@ -1,0 +1,336 @@
+//! Per-model serving state: one taxonomy plus everything the engine
+//! memoizes for it, bundled so registries and engines can share it.
+
+use crate::cache::{CacheStats, ReconCache};
+use crate::{artifact, EngineError};
+use factorhd_core::{build_unbind_keys, FactorizeConfig, Factorizer, Taxonomy};
+use hdc::BipolarHv;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Cap on [`EngineConfig::reconstruction_capacity`] (largest accepted
+/// value): anything beyond 2^24 objects would pin gigabytes of
+/// hypervectors — treat it as a typo.
+const MAX_RECONSTRUCTION_CAPACITY: usize = 1 << 24;
+/// Cap on [`EngineConfig::batch_chunk`]: chunks beyond 2^16 ops defeat
+/// the planner's load balancing entirely.
+const MAX_BATCH_CHUNK: usize = 1 << 16;
+
+/// Tuning knobs for [`ModelState`] / [`crate::FactorEngine`].
+///
+/// Constructors validate the configuration up front
+/// ([`EngineConfig::validate`]): zero or absurd sizes are rejected with a
+/// typed [`EngineError::InvalidConfig`] instead of silently misbehaving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Factorization configuration applied to every request.
+    pub factorize: FactorizeConfig,
+    /// Capacity (in objects) of the Rep-3 reconstruction memo; 0 disables
+    /// it.
+    pub reconstruction_capacity: usize,
+    /// How many groupable ops the batch planner hands to one grouped-scan
+    /// task (Rep-1/Rep-2 level-1 scans amortize codebook traversal across
+    /// the chunk). Must be ≥ 1; larger chunks amortize more but reduce
+    /// parallelism on multi-core hosts.
+    pub batch_chunk: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            factorize: FactorizeConfig::default(),
+            reconstruction_capacity: 1024,
+            batch_chunk: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Checks the configuration for zero/absurd sizes.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] naming the offending field when a
+    /// value is zero where a zero would dead-lock or no-op the engine
+    /// (`batch_chunk`, `factorize.max_objects`, `factorize.beam_width`,
+    /// `factorize.max_combinations`, `factorize.refine_width`), beyond a
+    /// sanity cap (`reconstruction_capacity`, `batch_chunk`), or not
+    /// finite (`factorize.accept_threshold`).
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let invalid = |what: String| Err(EngineError::InvalidConfig(what));
+        if self.batch_chunk == 0 {
+            return invalid("batch_chunk must be at least 1".into());
+        }
+        if self.batch_chunk > MAX_BATCH_CHUNK {
+            return invalid(format!(
+                "batch_chunk {} exceeds the cap {MAX_BATCH_CHUNK}",
+                self.batch_chunk
+            ));
+        }
+        if self.reconstruction_capacity > MAX_RECONSTRUCTION_CAPACITY {
+            return invalid(format!(
+                "reconstruction_capacity {} exceeds the cap {MAX_RECONSTRUCTION_CAPACITY}",
+                self.reconstruction_capacity
+            ));
+        }
+        if self.factorize.max_objects == 0 {
+            return invalid("factorize.max_objects must be at least 1".into());
+        }
+        if self.factorize.beam_width == 0 {
+            return invalid("factorize.beam_width must be at least 1".into());
+        }
+        if self.factorize.max_combinations == 0 {
+            return invalid("factorize.max_combinations must be at least 1".into());
+        }
+        if self.factorize.refine_width == 0 {
+            return invalid("factorize.refine_width must be at least 1".into());
+        }
+        if !self.factorize.accept_threshold.is_finite() {
+            return invalid(format!(
+                "factorize.accept_threshold {} is not finite",
+                self.factorize.accept_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One served model: a [`Taxonomy`] bundled with its memoized parts —
+/// label-elimination masks, the Rep-3 reconstruction memo, and the
+/// (lazily shared) codebooks, clauses, and packed shard tables living
+/// inside the taxonomy.
+///
+/// A `ModelState` is what [`crate::Op`]s run against and what a
+/// [`crate::ModelRegistry`] hands out behind `Arc`s: hot-swapping a model
+/// installs a fresh `ModelState` while in-flight batches keep their clone
+/// of the old one alive until they finish.
+pub struct ModelState {
+    taxonomy: Arc<Taxonomy>,
+    config: EngineConfig,
+    unbind_keys: Arc<Vec<BipolarHv>>,
+    reconstruction: Arc<ReconCache>,
+}
+
+impl ModelState {
+    /// Builds the serving state for `taxonomy`, paying the per-model
+    /// setup (label-elimination masks, empty reconstruction memo) once.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when `config` fails
+    /// [`EngineConfig::validate`].
+    pub fn new(taxonomy: Taxonomy, config: EngineConfig) -> Result<Self, EngineError> {
+        ModelState::from_arc(Arc::new(taxonomy), config)
+    }
+
+    /// [`ModelState::new`] over an already-shared taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when `config` fails
+    /// [`EngineConfig::validate`].
+    pub fn from_arc(taxonomy: Arc<Taxonomy>, config: EngineConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        let unbind_keys = Arc::new(build_unbind_keys(&taxonomy));
+        let reconstruction = Arc::new(ReconCache::new(config.reconstruction_capacity));
+        Ok(ModelState {
+            taxonomy,
+            config,
+            unbind_keys,
+            reconstruction,
+        })
+    }
+
+    /// Loads a model from a `.fhd` artifact at `path`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`artifact::load_taxonomy`] and
+    /// [`EngineConfig::validate`].
+    pub fn load<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<Self, EngineError> {
+        ModelState::new(artifact::load_taxonomy(path)?, config)
+    }
+
+    /// Loads a model from `.fhd` bytes supplied by `reader`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`artifact::read_taxonomy`] and
+    /// [`EngineConfig::validate`].
+    pub fn load_from<R: Read>(reader: &mut R, config: EngineConfig) -> Result<Self, EngineError> {
+        ModelState::new(artifact::read_taxonomy(reader)?, config)
+    }
+
+    /// Saves the model as a `.fhd` artifact at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
+        artifact::save_taxonomy(path, &self.taxonomy)
+    }
+
+    /// Writes the model as `.fhd` bytes to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] on write failure.
+    pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), EngineError> {
+        artifact::write_taxonomy(writer, &self.taxonomy)
+    }
+
+    /// The taxonomy this model serves.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Usage counters of the Rep-3 reconstruction memo.
+    pub fn reconstruction_stats(&self) -> CacheStats {
+        self.reconstruction.stats()
+    }
+
+    /// A factorizer assembled from the model's memoized parts — no
+    /// per-request mask rebuild.
+    pub fn factorizer(&self) -> Factorizer<'_> {
+        self.factorizer_with(self.config.factorize)
+    }
+
+    /// [`ModelState::factorizer`] with a per-op factorization config (the
+    /// memoized masks and reconstruction memo are still shared; e.g.
+    /// [`crate::FactorizeRep1`] caps the descent depth at level 1).
+    pub(crate) fn factorizer_with(&self, factorize: FactorizeConfig) -> Factorizer<'_> {
+        let cache: Arc<dyn factorhd_core::ReconstructionCache> =
+            Arc::clone(&self.reconstruction) as _;
+        Factorizer::with_parts(
+            &self.taxonomy,
+            factorize,
+            Arc::clone(&self.unbind_keys),
+            Some(cache),
+        )
+        .expect("model-built keys match the taxonomy")
+    }
+}
+
+impl std::fmt::Debug for ModelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelState")
+            .field("dim", &self.taxonomy.dim())
+            .field("classes", &self.taxonomy.num_classes())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorhd_core::TaxonomyBuilder;
+
+    fn taxonomy() -> Taxonomy {
+        TaxonomyBuilder::new(512)
+            .seed(7)
+            .class("a", &[4])
+            .class("b", &[4])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(ModelState::new(taxonomy(), EngineConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn zero_and_absurd_sizes_are_rejected_typed() {
+        let cases: Vec<EngineConfig> = vec![
+            EngineConfig {
+                batch_chunk: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                batch_chunk: MAX_BATCH_CHUNK + 1,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                reconstruction_capacity: MAX_RECONSTRUCTION_CAPACITY + 1,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    max_objects: 0,
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    beam_width: 0,
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    max_combinations: 0,
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    refine_width: 0,
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                factorize: FactorizeConfig {
+                    accept_threshold: f64::NAN,
+                    ..FactorizeConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        ];
+        for config in cases {
+            assert!(
+                matches!(config.validate(), Err(EngineError::InvalidConfig(_))),
+                "accepted {config:?}"
+            );
+            assert!(
+                matches!(
+                    ModelState::new(taxonomy(), config),
+                    Err(EngineError::InvalidConfig(_))
+                ),
+                "constructor accepted {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_reconstruction_capacity_is_legal() {
+        // 0 means "memo disabled", not "absurd".
+        let config = EngineConfig {
+            reconstruction_capacity: 0,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn artifact_round_trip_through_model_state() {
+        let state = ModelState::new(taxonomy(), EngineConfig::default()).expect("valid");
+        let mut bytes = Vec::new();
+        state.save_to(&mut bytes).expect("serializes");
+        let loaded =
+            ModelState::load_from(&mut &bytes[..], EngineConfig::default()).expect("loads");
+        assert_eq!(loaded.taxonomy().label(0), state.taxonomy().label(0));
+        assert_eq!(loaded.taxonomy().seed(), state.taxonomy().seed());
+    }
+}

@@ -1,0 +1,421 @@
+//! The typed operation surface: one request type per query shape, each
+//! carrying its own output type.
+//!
+//! The paper's three representations are distinct query shapes with
+//! distinct result types; modeling them as one closed enum forced every
+//! caller to pattern-match a `Response` the type system could not tie to
+//! the request. An [`Op`] is the request *and* its contract:
+//! `engine.run(&FactorizeRep3 { scene })` returns a
+//! [`DecodedScene`] — no destructuring, no unreachable arms.
+//!
+//! | op | paper shape | output |
+//! |---|---|---|
+//! | [`FactorizeRep1`] | Rep 1: single object, top level only | [`DecodedObject`] |
+//! | [`FactorizeRep2`] | Rep 2: single object, full hierarchy | [`DecodedObject`] |
+//! | [`FactorizeRep3`] | Rep 3: multi-object scene | [`DecodedScene`] |
+//! | [`PartialDecode`] | per-class partial factorization | `Vec<ClassDecode>` |
+//! | [`MembershipProbe`] | scene membership query | [`QueryAnswer`] |
+//! | [`EncodeScene`] | symbolic → hypervector encoding | [`AccumHv`] |
+//!
+//! [`AnyOp`] / [`AnyOutput`] are the transport form for *heterogeneous*
+//! batches (the planner groups them by [`OpKind`]); homogeneous batches
+//! keep full typing through [`crate::FactorEngine::run_batch`].
+
+use crate::{EngineError, ModelState};
+use factorhd_core::{
+    ClassDecode, DecodedObject, DecodedScene, Encoder, FactorizeConfig, ItemPath, QueryAnswer,
+    Scene,
+};
+use hdc::AccumHv;
+
+/// A typed engine operation: the request shape and its output type in one
+/// trait, so `engine.run(op)` returns exactly what the op produces.
+///
+/// Ops are pure functions of `(op, model)` — that purity is what lets the
+/// batch planner regroup and parallelize them while staying bit-identical
+/// to a sequential loop.
+pub trait Op {
+    /// What this operation produces.
+    type Output;
+
+    /// Executes the operation against `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Core`] wrapping the underlying validation or
+    /// dimension error.
+    fn run(&self, model: &ModelState) -> Result<Self::Output, EngineError>;
+
+    /// Executes a batch of same-typed ops, results in input order and
+    /// bit-identical to calling [`Op::run`] per op. The default is the
+    /// per-op loop; ops with a grouped kernel (the Rep-1/Rep-2 level-1
+    /// codebook scans) override it to amortize shard traversal across the
+    /// batch.
+    fn run_many(model: &ModelState, ops: &[&Self]) -> Vec<Result<Self::Output, EngineError>>
+    where
+        Self: Sized,
+    {
+        ops.iter().map(|op| op.run(model)).collect()
+    }
+
+    /// Whether [`Op::run_many`] actually amortizes work across the batch
+    /// (`true` for the grouped-scan ops). The planner chunks groupable
+    /// ops and runs everything else one op per task.
+    fn groupable() -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+}
+
+/// Rep-1 factorization: recover the single object of a scene vector at
+/// the **top level only** (the paper's flat Representation 1), skipping
+/// subclass descent entirely. On a flat taxonomy this equals
+/// [`FactorizeRep2`]; on a hierarchical one it answers "which top-level
+/// item per class" at a fraction of the similarity checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeRep1 {
+    /// The single-object scene hypervector to decode.
+    pub scene: AccumHv,
+}
+
+/// Rep-2 factorization: recover the single object of a scene vector
+/// through the full subclass hierarchy (the paper's Representation 2;
+/// also the right op for Rep-1 scenes on flat taxonomies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeRep2 {
+    /// The single-object scene hypervector to decode.
+    pub scene: AccumHv,
+}
+
+/// Rep-3 factorization: recover every object of a multi-object scene
+/// vector (count unknown) via threshold selection and the
+/// reconstruct-and-exclude loop of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeRep3 {
+    /// The multi-object scene hypervector to decode.
+    pub scene: AccumHv,
+}
+
+/// Partial factorization: decode only the listed classes, skipping all
+/// similarity work for the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialDecode {
+    /// The scene hypervector to decode.
+    pub scene: AccumHv,
+    /// Class indices to decode (others are skipped entirely).
+    pub classes: Vec<usize>,
+}
+
+/// Membership probe: "does the scene contain an object with these items
+/// (and with these classes absent)?"
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipProbe {
+    /// The scene hypervector to probe.
+    pub scene: AccumHv,
+    /// Required `(class, item path)` constraints.
+    pub items: Vec<(usize, ItemPath)>,
+    /// Classes required to be absent (NULL) on the queried object.
+    pub absent: Vec<usize>,
+}
+
+/// Symbolic-to-hypervector encoding of a scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodeScene {
+    /// The symbolic scene to encode.
+    pub scene: Scene,
+}
+
+/// The Rep-1 depth cap: decode level 1 only, whatever the model's
+/// configured depth.
+fn rep1_config(model: &ModelState) -> FactorizeConfig {
+    FactorizeConfig {
+        max_depth: Some(1),
+        ..model.config().factorize
+    }
+}
+
+impl Op for FactorizeRep1 {
+    type Output = DecodedObject;
+
+    fn run(&self, model: &ModelState) -> Result<DecodedObject, EngineError> {
+        Ok(model
+            .factorizer_with(rep1_config(model))
+            .factorize_single(&self.scene)?)
+    }
+
+    fn run_many(model: &ModelState, ops: &[&Self]) -> Vec<Result<DecodedObject, EngineError>> {
+        let scenes: Vec<&AccumHv> = ops.iter().map(|op| &op.scene).collect();
+        model
+            .factorizer_with(rep1_config(model))
+            .factorize_single_many(&scenes)
+            .into_iter()
+            .map(|r| r.map_err(EngineError::from))
+            .collect()
+    }
+
+    fn groupable() -> bool {
+        true
+    }
+}
+
+impl Op for FactorizeRep2 {
+    type Output = DecodedObject;
+
+    fn run(&self, model: &ModelState) -> Result<DecodedObject, EngineError> {
+        Ok(model.factorizer().factorize_single(&self.scene)?)
+    }
+
+    fn run_many(model: &ModelState, ops: &[&Self]) -> Vec<Result<DecodedObject, EngineError>> {
+        let scenes: Vec<&AccumHv> = ops.iter().map(|op| &op.scene).collect();
+        model
+            .factorizer()
+            .factorize_single_many(&scenes)
+            .into_iter()
+            .map(|r| r.map_err(EngineError::from))
+            .collect()
+    }
+
+    fn groupable() -> bool {
+        true
+    }
+}
+
+impl Op for FactorizeRep3 {
+    type Output = DecodedScene;
+
+    fn run(&self, model: &ModelState) -> Result<DecodedScene, EngineError> {
+        Ok(model.factorizer().factorize_multi(&self.scene)?)
+    }
+}
+
+impl Op for PartialDecode {
+    type Output = Vec<ClassDecode>;
+
+    fn run(&self, model: &ModelState) -> Result<Vec<ClassDecode>, EngineError> {
+        Ok(model
+            .factorizer()
+            .factorize_classes(&self.scene, &self.classes)?)
+    }
+}
+
+impl Op for MembershipProbe {
+    type Output = QueryAnswer;
+
+    fn run(&self, model: &ModelState) -> Result<QueryAnswer, EngineError> {
+        Ok(model
+            .factorizer()
+            .evaluate_membership(&self.scene, &self.items, &self.absent)?)
+    }
+}
+
+impl Op for EncodeScene {
+    type Output = AccumHv;
+
+    fn run(&self, model: &ModelState) -> Result<AccumHv, EngineError> {
+        Ok(Encoder::new(model.taxonomy()).encode_scene(&self.scene)?)
+    }
+}
+
+/// The discriminant of an [`AnyOp`] — the planner's grouping key (ops of
+/// one kind against one model scan the same codebooks back to back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// [`FactorizeRep1`]
+    Rep1,
+    /// [`FactorizeRep2`]
+    Rep2,
+    /// [`FactorizeRep3`]
+    Rep3,
+    /// [`PartialDecode`]
+    Partial,
+    /// [`MembershipProbe`]
+    Membership,
+    /// [`EncodeScene`]
+    Encode,
+}
+
+impl OpKind {
+    /// Whether ops of this kind share a grouped kernel (see
+    /// [`Op::groupable`]).
+    pub fn groupable(self) -> bool {
+        matches!(self, OpKind::Rep1 | OpKind::Rep2)
+    }
+}
+
+/// A typed op in transport form, for heterogeneous batches. Ops lose
+/// their individual output types here — the price of putting different
+/// shapes in one `Vec` — and come back as [`AnyOutput`], whose variant
+/// the planner guarantees matches the op's [`OpKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyOp {
+    /// A [`FactorizeRep1`] op.
+    Rep1(FactorizeRep1),
+    /// A [`FactorizeRep2`] op.
+    Rep2(FactorizeRep2),
+    /// A [`FactorizeRep3`] op.
+    Rep3(FactorizeRep3),
+    /// A [`PartialDecode`] op.
+    Partial(PartialDecode),
+    /// A [`MembershipProbe`] op.
+    Membership(MembershipProbe),
+    /// An [`EncodeScene`] op.
+    Encode(EncodeScene),
+}
+
+impl AnyOp {
+    /// The grouping key of this op.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            AnyOp::Rep1(_) => OpKind::Rep1,
+            AnyOp::Rep2(_) => OpKind::Rep2,
+            AnyOp::Rep3(_) => OpKind::Rep3,
+            AnyOp::Partial(_) => OpKind::Partial,
+            AnyOp::Membership(_) => OpKind::Membership,
+            AnyOp::Encode(_) => OpKind::Encode,
+        }
+    }
+}
+
+impl From<FactorizeRep1> for AnyOp {
+    fn from(op: FactorizeRep1) -> Self {
+        AnyOp::Rep1(op)
+    }
+}
+
+impl From<FactorizeRep2> for AnyOp {
+    fn from(op: FactorizeRep2) -> Self {
+        AnyOp::Rep2(op)
+    }
+}
+
+impl From<FactorizeRep3> for AnyOp {
+    fn from(op: FactorizeRep3) -> Self {
+        AnyOp::Rep3(op)
+    }
+}
+
+impl From<PartialDecode> for AnyOp {
+    fn from(op: PartialDecode) -> Self {
+        AnyOp::Partial(op)
+    }
+}
+
+impl From<MembershipProbe> for AnyOp {
+    fn from(op: MembershipProbe) -> Self {
+        AnyOp::Membership(op)
+    }
+}
+
+impl From<EncodeScene> for AnyOp {
+    fn from(op: EncodeScene) -> Self {
+        AnyOp::Encode(op)
+    }
+}
+
+/// The output of an [`AnyOp`], variant-matched to the op's [`OpKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyOutput {
+    /// Output of [`AnyOp::Rep1`].
+    Rep1(DecodedObject),
+    /// Output of [`AnyOp::Rep2`].
+    Rep2(DecodedObject),
+    /// Output of [`AnyOp::Rep3`].
+    Rep3(DecodedScene),
+    /// Output of [`AnyOp::Partial`].
+    Partial(Vec<ClassDecode>),
+    /// Output of [`AnyOp::Membership`].
+    Membership(QueryAnswer),
+    /// Output of [`AnyOp::Encode`].
+    Encoded(AccumHv),
+}
+
+impl AnyOutput {
+    /// The kind of op that produced this output.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            AnyOutput::Rep1(_) => OpKind::Rep1,
+            AnyOutput::Rep2(_) => OpKind::Rep2,
+            AnyOutput::Rep3(_) => OpKind::Rep3,
+            AnyOutput::Partial(_) => OpKind::Partial,
+            AnyOutput::Membership(_) => OpKind::Membership,
+            AnyOutput::Encoded(_) => OpKind::Encode,
+        }
+    }
+
+    /// The decoded object, when this is a Rep-1 or Rep-2 output.
+    pub fn as_object(&self) -> Option<&DecodedObject> {
+        match self {
+            AnyOutput::Rep1(obj) | AnyOutput::Rep2(obj) => Some(obj),
+            _ => None,
+        }
+    }
+
+    /// The decoded scene, when this is a Rep-3 output.
+    pub fn as_scene(&self) -> Option<&DecodedScene> {
+        match self {
+            AnyOutput::Rep3(scene) => Some(scene),
+            _ => None,
+        }
+    }
+}
+
+impl Op for AnyOp {
+    type Output = AnyOutput;
+
+    fn run(&self, model: &ModelState) -> Result<AnyOutput, EngineError> {
+        match self {
+            AnyOp::Rep1(op) => op.run(model).map(AnyOutput::Rep1),
+            AnyOp::Rep2(op) => op.run(model).map(AnyOutput::Rep2),
+            AnyOp::Rep3(op) => op.run(model).map(AnyOutput::Rep3),
+            AnyOp::Partial(op) => op.run(model).map(AnyOutput::Partial),
+            AnyOp::Membership(op) => op.run(model).map(AnyOutput::Membership),
+            AnyOp::Encode(op) => op.run(model).map(AnyOutput::Encoded),
+        }
+    }
+}
+
+/// Runs a same-kind slice of [`AnyOp`]s against one model, dispatching
+/// groupable kinds to their grouped kernels. Results in input order,
+/// bit-identical to per-op [`Op::run`].
+///
+/// # Panics
+///
+/// Panics if the ops are not all of `kind` (a planner invariant, not a
+/// runtime condition).
+pub(crate) fn run_any_group(
+    model: &ModelState,
+    kind: OpKind,
+    ops: &[&AnyOp],
+) -> Vec<Result<AnyOutput, EngineError>> {
+    match kind {
+        OpKind::Rep1 => {
+            let typed: Vec<&FactorizeRep1> = ops
+                .iter()
+                .map(|op| match op {
+                    AnyOp::Rep1(inner) => inner,
+                    other => panic!("mixed group: expected Rep1, got {:?}", other.kind()),
+                })
+                .collect();
+            FactorizeRep1::run_many(model, &typed)
+                .into_iter()
+                .map(|r| r.map(AnyOutput::Rep1))
+                .collect()
+        }
+        OpKind::Rep2 => {
+            let typed: Vec<&FactorizeRep2> = ops
+                .iter()
+                .map(|op| match op {
+                    AnyOp::Rep2(inner) => inner,
+                    other => panic!("mixed group: expected Rep2, got {:?}", other.kind()),
+                })
+                .collect();
+            FactorizeRep2::run_many(model, &typed)
+                .into_iter()
+                .map(|r| r.map(AnyOutput::Rep2))
+                .collect()
+        }
+        _ => ops.iter().map(|op| op.run(model)).collect(),
+    }
+}

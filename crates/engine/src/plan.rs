@@ -1,0 +1,90 @@
+//! The batch planner: groups heterogeneous typed ops by `(model, op
+//! kind)` so packed-shard scans stay contiguous, then fans the groups out
+//! across the worker pool — results in input order, bit-identical to a
+//! sequential loop.
+//!
+//! Grouping is pure bookkeeping over op indices: every op is still
+//! computed by the same pure `(op, model)` function a sequential loop
+//! would call, and the grouped Rep-1/Rep-2 kernel is itself bit-identical
+//! to its per-op form ([`factorhd_core::Factorizer::factorize_single_many`]),
+//! so the plan can only change *when* work happens, never *what* it
+//! produces. Groupable kinds are chunked at
+//! [`crate::EngineConfig::batch_chunk`] ops per task (each chunk
+//! amortizes one codebook traversal); other kinds run one op per task to
+//! keep the pool saturated with their coarser work items.
+
+use crate::ops::{run_any_group, AnyOp, AnyOutput, OpKind};
+use crate::{EngineError, ModelState};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One planned task's scatter payload: the op indices it covered and
+/// their results, in matching order.
+type TaskOutput = (Vec<usize>, Vec<Result<AnyOutput, EngineError>>);
+
+/// Executes `ops` — each tagged with the slot of the model it targets —
+/// grouped by `(slot, kind)`. `states[slot]` is the resolved model for
+/// that slot (`None` → every op of the slot fails with
+/// [`EngineError::UnknownModel`] naming `slot_names[slot]`).
+pub(crate) fn execute_batch_planned(
+    ops: &[(usize, &AnyOp)],
+    states: &[Option<Arc<ModelState>>],
+    slot_names: &[String],
+) -> Vec<Result<AnyOutput, EngineError>> {
+    let mut results: Vec<Option<Result<AnyOutput, EngineError>>> =
+        ops.iter().map(|_| None).collect();
+
+    // Group op indices by (model slot, kind); BTreeMap keeps the group
+    // (and therefore task) order deterministic.
+    let mut groups: BTreeMap<(usize, OpKind), Vec<usize>> = BTreeMap::new();
+    for (i, (slot, op)) in ops.iter().enumerate() {
+        if states[*slot].is_none() {
+            results[i] = Some(Err(EngineError::UnknownModel(slot_names[*slot].clone())));
+            continue;
+        }
+        groups.entry((*slot, op.kind())).or_default().push(i);
+    }
+
+    // One task per chunk of a groupable group, one per op otherwise.
+    let mut tasks: Vec<(usize, OpKind, Vec<usize>)> = Vec::new();
+    for ((slot, kind), indices) in groups {
+        let state = states[slot].as_ref().expect("grouped slots are resolved");
+        let chunk = if kind.groupable() {
+            state.config().batch_chunk.max(1)
+        } else {
+            1
+        };
+        for piece in indices.chunks(chunk) {
+            tasks.push((slot, kind, piece.to_vec()));
+        }
+    }
+
+    let outputs: Vec<TaskOutput> = tasks
+        .par_iter()
+        .map(|(slot, kind, indices)| {
+            let state = states[*slot].as_ref().expect("resolved");
+            let refs: Vec<&AnyOp> = indices.iter().map(|&i| ops[i].1).collect();
+            (indices.clone(), run_any_group(state, *kind, &refs))
+        })
+        .collect();
+
+    for (indices, group_results) in outputs {
+        for (i, result) in indices.into_iter().zip(group_results) {
+            results[i] = Some(result);
+        }
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every op planned exactly once"))
+        .collect()
+}
+
+/// Single-model planner: every op targets `model`.
+pub(crate) fn execute_mixed(
+    model: &Arc<ModelState>,
+    ops: &[AnyOp],
+) -> Vec<Result<AnyOutput, EngineError>> {
+    let tagged: Vec<(usize, &AnyOp)> = ops.iter().map(|op| (0usize, op)).collect();
+    execute_batch_planned(&tagged, &[Some(Arc::clone(model))], &[String::new()])
+}

@@ -1,0 +1,406 @@
+//! The multi-model registry: named models, loaded and hot-swapped from
+//! `.fhd` artifacts at runtime, served through the typed op API.
+//!
+//! A [`ModelRegistry`] maps [`ModelId`]s to [`ModelState`]s behind
+//! generation-stamped handles. Installing over an existing id is a
+//! **hot swap**: the registry's clock advances and new lookups see the
+//! new state, while in-flight work keeps its [`ModelHandle`]'s `Arc` to
+//! the old state alive until it finishes — no lock is held during
+//! serving, so a swap never blocks or corrupts a running batch.
+
+use crate::ops::{AnyOp, AnyOutput, Op};
+use crate::plan::execute_batch_planned;
+use crate::{EngineConfig, EngineError, ModelState};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The name of a registered model — a cheap-to-clone interned string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(Arc<str>);
+
+impl ModelId {
+    /// Creates an id from any string-like value.
+    pub fn new(id: impl AsRef<str>) -> Self {
+        ModelId(Arc::from(id.as_ref()))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(id: &str) -> Self {
+        ModelId::new(id)
+    }
+}
+
+impl From<String> for ModelId {
+    fn from(id: String) -> Self {
+        ModelId::new(id)
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generation-stamped reference to one registered model.
+///
+/// The handle owns an `Arc` to the state it resolved, so it keeps
+/// serving that exact model even if the registry hot-swaps the id —
+/// in-flight batches finish on the model they started on. Compare
+/// [`ModelHandle::generation`] against
+/// [`ModelRegistry::generation_of`] to detect that a newer model has
+/// been installed.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    id: ModelId,
+    state: Arc<ModelState>,
+    generation: u64,
+}
+
+impl ModelHandle {
+    /// The id this handle resolved.
+    pub fn id(&self) -> &ModelId {
+        &self.id
+    }
+
+    /// The resolved model state.
+    pub fn state(&self) -> &ModelState {
+        &self.state
+    }
+
+    /// The resolved state's shared pointer (e.g. to build a
+    /// [`crate::FactorEngine`] pinned to this generation).
+    pub fn state_arc(&self) -> &Arc<ModelState> {
+        &self.state
+    }
+
+    /// The registry generation at which this handle's state was
+    /// installed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Runs a typed op against this handle's (possibly superseded) state.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`Op::run`].
+    pub fn run<O: Op>(&self, op: &O) -> Result<O::Output, EngineError> {
+        op.run(&self.state)
+    }
+}
+
+struct Entry {
+    state: Arc<ModelState>,
+    generation: u64,
+}
+
+/// Named, hot-swappable models served through the typed op API.
+///
+/// ```
+/// use factorhd_core::TaxonomyBuilder;
+/// use factorhd_engine::{EncodeScene, EngineConfig, ModelRegistry, ModelState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = ModelRegistry::new();
+/// let taxonomy = TaxonomyBuilder::new(512).class("shape", &[4]).build()?;
+/// registry.install("shapes", ModelState::new(taxonomy, EngineConfig::default())?);
+///
+/// let mut rng = hdc::rng_from_seed(3);
+/// let scene = registry.get("shapes")?.state().taxonomy().sample_scene(1, true, &mut rng);
+/// let hv = registry.run("shapes", &EncodeScene { scene })?;
+/// assert_eq!(hv.dim(), 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<ModelId, Entry>>,
+    clock: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Installs (or hot-swaps) `state` under `id`, returning the new
+    /// generation. Handles resolved before the swap keep serving the old
+    /// state; lookups after it see the new one.
+    pub fn install(&self, id: impl Into<ModelId>, state: ModelState) -> u64 {
+        self.install_shared(id, Arc::new(state))
+    }
+
+    /// [`ModelRegistry::install`] for an already-shared state.
+    pub fn install_shared(&self, id: impl Into<ModelId>, state: Arc<ModelState>) -> u64 {
+        let id = id.into();
+        // Stamp and insert under the same write lock: concurrent installs
+        // of one id must commit in generation order, or `generation_of`
+        // could move backwards while an older state wins the slot.
+        let mut guard = self.models.write();
+        let generation = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        guard.insert(id, Entry { state, generation });
+        generation
+    }
+
+    /// Loads a `.fhd` artifact at `path` and installs it under `id`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`ModelState::load`]; on error the registry is
+    /// unchanged (a failed load never evicts the model it would have
+    /// replaced).
+    pub fn load(
+        &self,
+        id: impl Into<ModelId>,
+        path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<u64, EngineError> {
+        Ok(self.install(id, ModelState::load(path, config)?))
+    }
+
+    /// Loads `.fhd` bytes from `reader` and installs them under `id`.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`ModelState::load_from`]; on error the registry
+    /// is unchanged.
+    pub fn load_from<R: Read>(
+        &self,
+        id: impl Into<ModelId>,
+        reader: &mut R,
+        config: EngineConfig,
+    ) -> Result<u64, EngineError> {
+        Ok(self.install(id, ModelState::load_from(reader, config)?))
+    }
+
+    /// Removes `id`, returning whether it was present. In-flight handles
+    /// keep their state alive; only new lookups fail.
+    pub fn remove(&self, id: &str) -> bool {
+        self.models.write().remove(&ModelId::new(id)).is_some()
+    }
+
+    /// Resolves `id` to a generation-stamped handle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] when `id` is not installed.
+    pub fn get(&self, id: &str) -> Result<ModelHandle, EngineError> {
+        let key = ModelId::new(id);
+        let guard = self.models.read();
+        match guard.get(&key) {
+            Some(entry) => Ok(ModelHandle {
+                id: key,
+                state: Arc::clone(&entry.state),
+                generation: entry.generation,
+            }),
+            None => Err(EngineError::UnknownModel(id.to_owned())),
+        }
+    }
+
+    /// The generation currently installed under `id`, if any.
+    pub fn generation_of(&self, id: &str) -> Option<u64> {
+        self.models
+            .read()
+            .get(&ModelId::new(id))
+            .map(|e| e.generation)
+    }
+
+    /// The installed ids, sorted.
+    pub fn ids(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self.models.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of installed models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// `true` when no model is installed.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+
+    /// Runs one typed op against the model currently installed under
+    /// `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`], or the conditions of [`Op::run`].
+    pub fn run<O: Op>(&self, id: &str, op: &O) -> Result<O::Output, EngineError> {
+        self.get(id)?.run(op)
+    }
+
+    /// Executes a heterogeneous multi-model batch: ops are grouped by
+    /// `(model, op kind)` so same-shape work scans each model's packed
+    /// shards contiguously, then fanned out across the worker pool.
+    /// Results come back in input order, **bit-identical** to
+    /// [`ModelRegistry::execute_sequential`]. Model resolution is
+    /// snapshotted once at entry, so a hot swap mid-batch cannot mix
+    /// generations within the batch; ops naming an unknown model fail
+    /// individually with [`EngineError::UnknownModel`].
+    pub fn execute_batch(&self, ops: &[(ModelId, AnyOp)]) -> Vec<Result<AnyOutput, EngineError>> {
+        // Snapshot every distinct id under one read lock.
+        let mut slot_of: HashMap<&ModelId, usize> = HashMap::new();
+        let mut states: Vec<Option<Arc<ModelState>>> = Vec::new();
+        let mut slot_names: Vec<String> = Vec::new();
+        {
+            let guard = self.models.read();
+            for (id, _) in ops {
+                if !slot_of.contains_key(id) {
+                    slot_of.insert(id, states.len());
+                    states.push(guard.get(id).map(|e| Arc::clone(&e.state)));
+                    slot_names.push(id.to_string());
+                }
+            }
+        }
+        let tagged: Vec<(usize, &AnyOp)> = ops.iter().map(|(id, op)| (slot_of[id], op)).collect();
+        execute_batch_planned(&tagged, &states, &slot_names)
+    }
+
+    /// The determinism reference for [`ModelRegistry::execute_batch`]:
+    /// one op at a time, each resolved and run on the calling thread.
+    pub fn execute_sequential(
+        &self,
+        ops: &[(ModelId, AnyOp)],
+    ) -> Vec<Result<AnyOutput, EngineError>> {
+        ops.iter()
+            .map(|(id, op)| self.run(id.as_str(), op))
+            .collect()
+    }
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.ids())
+            .field("clock", &self.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FactorizeRep2, FactorizeRep3};
+    use factorhd_core::{Encoder, Scene, Taxonomy, TaxonomyBuilder};
+
+    fn taxonomy(seed: u64) -> Taxonomy {
+        TaxonomyBuilder::new(1024)
+            .seed(seed)
+            .class("animal", &[8, 4])
+            .class("color", &[8])
+            .build()
+            .expect("valid taxonomy")
+    }
+
+    fn state(seed: u64) -> ModelState {
+        ModelState::new(taxonomy(seed), EngineConfig::default()).expect("valid config")
+    }
+
+    #[test]
+    fn install_get_remove_round_trip() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        let gen1 = registry.install("a", state(1));
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.generation_of("a"), Some(gen1));
+        assert_eq!(registry.get("a").unwrap().generation(), gen1);
+        assert!(matches!(
+            registry.get("missing"),
+            Err(EngineError::UnknownModel(name)) if name == "missing"
+        ));
+        assert!(registry.remove("a"));
+        assert!(!registry.remove("a"));
+        assert!(registry.get("a").is_err());
+    }
+
+    #[test]
+    fn hot_swap_bumps_generation_and_preserves_old_handles() {
+        let registry = ModelRegistry::new();
+        let gen1 = registry.install("m", state(10));
+        let handle = registry.get("m").expect("installed");
+        let old_seed = handle.state().taxonomy().seed();
+
+        let gen2 = registry.install("m", state(11));
+        assert!(gen2 > gen1);
+        assert_eq!(registry.generation_of("m"), Some(gen2));
+        // The pre-swap handle still serves the model it resolved…
+        assert_eq!(handle.generation(), gen1);
+        assert_eq!(handle.state().taxonomy().seed(), old_seed);
+        // …and a fresh lookup sees the new one.
+        let fresh = registry.get("m").expect("installed");
+        assert_eq!(fresh.state().taxonomy().seed(), 11);
+    }
+
+    #[test]
+    fn multi_model_batch_matches_sequential_and_isolates_unknowns() {
+        let registry = ModelRegistry::new();
+        registry.install("left", state(20));
+        registry.install("right", state(21));
+
+        let mut ops: Vec<(ModelId, AnyOp)> = Vec::new();
+        for (which, seed) in [("left", 30u64), ("right", 31), ("left", 32), ("gone", 33)] {
+            let model_taxonomy = taxonomy(if which == "right" { 21 } else { 20 });
+            let encoder = Encoder::new(&model_taxonomy);
+            let mut rng = hdc::rng_from_seed(seed);
+            let object = model_taxonomy.sample_object(&mut rng);
+            let hv = encoder.encode_scene(&Scene::single(object)).unwrap();
+            ops.push((
+                ModelId::new(which),
+                AnyOp::Rep2(FactorizeRep2 { scene: hv }),
+            ));
+        }
+        let mut rng = hdc::rng_from_seed(34);
+        let scene_taxonomy = taxonomy(21);
+        let scene = scene_taxonomy.sample_scene(2, true, &mut rng);
+        let hv = Encoder::new(&scene_taxonomy).encode_scene(&scene).unwrap();
+        ops.push((
+            ModelId::new("right"),
+            AnyOp::Rep3(FactorizeRep3 { scene: hv }),
+        ));
+
+        let batched = registry.execute_batch(&ops);
+        let sequential = registry.execute_sequential(&ops);
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            match (b, s) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "op {i}"),
+                (Err(EngineError::UnknownModel(x)), Err(EngineError::UnknownModel(y))) => {
+                    assert_eq!(x, y, "op {i}");
+                    assert_eq!(x, "gone");
+                }
+                other => panic!("op {i}: mismatched results {other:?}"),
+            }
+        }
+        // Exactly the op routed at the missing model failed.
+        assert!(batched[3].is_err());
+        assert_eq!(batched.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn failed_load_leaves_registry_unchanged() {
+        let registry = ModelRegistry::new();
+        registry.install("m", state(40));
+        let before = registry.generation_of("m");
+        let garbage = b"not an artifact".to_vec();
+        assert!(registry
+            .load_from("m", &mut &garbage[..], EngineConfig::default())
+            .is_err());
+        assert_eq!(registry.generation_of("m"), before);
+    }
+}

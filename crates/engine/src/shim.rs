@@ -1,0 +1,160 @@
+//! The legacy closed-enum serving surface, kept as a thin **deprecated**
+//! shim implemented on the typed op API.
+//!
+//! Pre-typed-API callers pattern-matched one [`Response`] enum that the
+//! type system could not tie to the [`Request`] they sent. The typed ops
+//! ([`crate::ops`]) replace both enums; this module maps every legacy
+//! variant onto its op (the mapping below) and routes execution through
+//! the same planner, so shim results are **bit-identical** to the typed
+//! path (pinned by `tests/shim_equivalence.rs`).
+//!
+//! | legacy | typed op |
+//! |---|---|
+//! | `Request::FactorizeSingle` | [`crate::FactorizeRep2`] |
+//! | `Request::FactorizeMulti` | [`crate::FactorizeRep3`] |
+//! | `Request::FactorizeClasses` | [`crate::PartialDecode`] |
+//! | `Request::Membership` | [`crate::MembershipProbe`] |
+//! | `Request::EncodeScene` | [`crate::EncodeScene`] |
+//!
+//! This module is the only place in the workspace allowed to use the
+//! deprecated items (CI builds with deprecation warnings promoted to
+//! errors everywhere else).
+#![allow(deprecated)]
+
+use crate::ops::{
+    AnyOp, AnyOutput, EncodeScene, FactorizeRep2, FactorizeRep3, MembershipProbe, PartialDecode,
+};
+use crate::{EngineError, FactorEngine};
+use factorhd_core::{ClassDecode, DecodedObject, DecodedScene, ItemPath, QueryAnswer, Scene};
+use hdc::AccumHv;
+
+/// One unit of work submitted to the engine (legacy enum form).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the typed ops (`FactorizeRep2`, `FactorizeRep3`, `PartialDecode`, \
+            `MembershipProbe`, `EncodeScene`) with `FactorEngine::run` / `run_mixed`"
+)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Rep-1/Rep-2 factorization of a single-object scene vector.
+    FactorizeSingle(AccumHv),
+    /// Rep-3 factorization of a multi-object scene vector.
+    FactorizeMulti(AccumHv),
+    /// Partial factorization of only the listed classes.
+    FactorizeClasses {
+        /// The scene hypervector to decode.
+        scene: AccumHv,
+        /// Class indices to decode (others are skipped entirely).
+        classes: Vec<usize>,
+    },
+    /// Membership probe: "does the scene contain an object with these
+    /// items (and with these classes absent)?"
+    Membership {
+        /// The scene hypervector to probe.
+        scene: AccumHv,
+        /// Required `(class, item path)` constraints.
+        items: Vec<(usize, ItemPath)>,
+        /// Classes required to be absent (NULL) on the queried object.
+        absent: Vec<usize>,
+    },
+    /// Symbolic-to-hypervector encoding of a scene.
+    EncodeScene(Scene),
+}
+
+/// The engine's answer to one [`Request`], variant-matched to it (legacy
+/// enum form).
+#[deprecated(
+    since = "0.2.0",
+    note = "typed ops return their own output types; see `FactorEngine::run`"
+)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::FactorizeSingle`].
+    Single(DecodedObject),
+    /// Answer to [`Request::FactorizeMulti`].
+    Multi(DecodedScene),
+    /// Answer to [`Request::FactorizeClasses`].
+    Classes(Vec<ClassDecode>),
+    /// Answer to [`Request::Membership`].
+    Membership(QueryAnswer),
+    /// Answer to [`Request::EncodeScene`].
+    Encoded(AccumHv),
+}
+
+impl From<Request> for AnyOp {
+    fn from(request: Request) -> Self {
+        match request {
+            Request::FactorizeSingle(scene) => AnyOp::Rep2(FactorizeRep2 { scene }),
+            Request::FactorizeMulti(scene) => AnyOp::Rep3(FactorizeRep3 { scene }),
+            Request::FactorizeClasses { scene, classes } => {
+                AnyOp::Partial(PartialDecode { scene, classes })
+            }
+            Request::Membership {
+                scene,
+                items,
+                absent,
+            } => AnyOp::Membership(MembershipProbe {
+                scene,
+                items,
+                absent,
+            }),
+            Request::EncodeScene(scene) => AnyOp::Encode(EncodeScene { scene }),
+        }
+    }
+}
+
+impl From<AnyOutput> for Response {
+    fn from(output: AnyOutput) -> Self {
+        match output {
+            AnyOutput::Rep1(decoded) | AnyOutput::Rep2(decoded) => Response::Single(decoded),
+            AnyOutput::Rep3(decoded) => Response::Multi(decoded),
+            AnyOutput::Partial(decodes) => Response::Classes(decodes),
+            AnyOutput::Membership(answer) => Response::Membership(answer),
+            AnyOutput::Encoded(hv) => Response::Encoded(hv),
+        }
+    }
+}
+
+impl FactorEngine {
+    /// Executes one legacy request through the typed op it maps to.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`crate::Op::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `FactorEngine::run` with a typed op; see docs/SERVING.md for the migration map"
+    )]
+    pub fn execute(&self, request: &Request) -> Result<Response, EngineError> {
+        self.run(&AnyOp::from(request.clone())).map(Response::from)
+    }
+
+    /// Executes a legacy batch through the typed planner, results in
+    /// request order, bit-identical to [`FactorEngine::execute_sequential`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `FactorEngine::run_batch` / `run_mixed` with typed ops"
+    )]
+    pub fn execute_batch(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
+        let ops: Vec<AnyOp> = requests.iter().cloned().map(AnyOp::from).collect();
+        self.run_mixed(&ops)
+            .into_iter()
+            .map(|r| r.map(Response::from))
+            .collect()
+    }
+
+    /// Executes a legacy batch one request at a time on the calling
+    /// thread (the determinism reference for
+    /// [`FactorEngine::execute_batch`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `FactorEngine::run_mixed_sequential` with typed ops"
+    )]
+    pub fn execute_sequential(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
+        let ops: Vec<AnyOp> = requests.iter().cloned().map(AnyOp::from).collect();
+        self.run_mixed_sequential(&ops)
+            .into_iter()
+            .map(|r| r.map(Response::from))
+            .collect()
+    }
+}

@@ -1,0 +1,136 @@
+//! The deprecated enum shim must be a *thin* shim: every legacy
+//! [`Request`] routed through `execute` / `execute_batch` returns results
+//! byte-identical to the typed op it maps onto, for random models and
+//! random request streams.
+
+#![allow(deprecated)]
+
+use factorhd_core::{Encoder, Scene, Taxonomy, TaxonomyBuilder};
+use factorhd_engine::{AnyOp, AnyOutput, EngineConfig, FactorEngine, Op, Request, Response};
+use proptest::prelude::*;
+
+/// A generated model: dimension, seed, and per-class level sizes.
+type ModelSpec = (usize, u64, Vec<Vec<usize>>);
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    (
+        256usize..1024,
+        any::<u64>(),
+        proptest::collection::vec(proptest::collection::vec(2usize..7, 1..3), 2..4),
+    )
+}
+
+fn build_model(spec: &ModelSpec) -> Taxonomy {
+    let (dim, seed, classes) = spec;
+    let mut builder = TaxonomyBuilder::new(*dim).seed(*seed);
+    for (i, levels) in classes.iter().enumerate() {
+        builder = builder.class(&format!("class-{i}"), levels);
+    }
+    builder.build().expect("generated spec is valid")
+}
+
+/// One legacy request of each shape, drawn deterministically from the
+/// model and a stream seed.
+fn request_stream(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<Request> {
+    let encoder = Encoder::new(taxonomy);
+    let mut rng = hdc::rng_from_seed(seed);
+    (0..n)
+        .map(|i| {
+            let object = taxonomy.sample_object(&mut rng);
+            match i % 5 {
+                0 => {
+                    let scene = taxonomy.sample_scene(2, true, &mut rng);
+                    Request::FactorizeMulti(encoder.encode_scene(&scene).expect("encodable"))
+                }
+                1 => Request::FactorizeClasses {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                    classes: vec![i % taxonomy.num_classes()],
+                },
+                2 => Request::Membership {
+                    scene: encoder
+                        .encode_scene(&Scene::single(object.clone()))
+                        .expect("encodable"),
+                    items: vec![(0, object.assignment(0).expect("present").clone())],
+                    absent: vec![],
+                },
+                3 => Request::EncodeScene(Scene::single(object)),
+                _ => Request::FactorizeSingle(
+                    encoder
+                        .encode_scene(&Scene::single(object))
+                        .expect("encodable"),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// The typed result a legacy request must reproduce, computed through
+/// `Op::run` directly (no planner, no shim).
+fn typed_reference(
+    engine: &FactorEngine,
+    request: &Request,
+) -> Result<AnyOutput, factorhd_engine::EngineError> {
+    AnyOp::from(request.clone()).run(engine.model())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shim_execute_equals_typed_op(spec in model_strategy(), stream_seed in any::<u64>()) {
+        let engine = FactorEngine::new(build_model(&spec), EngineConfig::default())
+            .expect("default config is valid");
+        for request in request_stream(engine.taxonomy(), 10, stream_seed) {
+            let via_shim = engine.execute(&request).expect("request succeeds");
+            let typed = typed_reference(&engine, &request).expect("op succeeds");
+            prop_assert_eq!(via_shim, Response::from(typed));
+        }
+    }
+
+    #[test]
+    fn shim_batches_equal_typed_planner(spec in model_strategy(), stream_seed in any::<u64>()) {
+        let engine = FactorEngine::new(build_model(&spec), EngineConfig::default())
+            .expect("default config is valid");
+        let requests = request_stream(engine.taxonomy(), 15, stream_seed);
+        let ops: Vec<AnyOp> = requests.iter().cloned().map(AnyOp::from).collect();
+
+        let shim_batch: Vec<Response> = engine
+            .execute_batch(&requests)
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect();
+        let shim_sequential: Vec<Response> = engine
+            .execute_sequential(&requests)
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect();
+        let typed: Vec<Response> = engine
+            .run_mixed(&ops)
+            .into_iter()
+            .map(|r| Response::from(r.expect("op succeeds")))
+            .collect();
+
+        prop_assert_eq!(&shim_batch, &typed);
+        prop_assert_eq!(&shim_batch, &shim_sequential);
+    }
+}
+
+#[test]
+fn shim_error_paths_match_typed() {
+    let engine = FactorEngine::new(
+        TaxonomyBuilder::new(256)
+            .class("a", &[4])
+            .class("b", &[4])
+            .build()
+            .expect("valid"),
+        EngineConfig::default(),
+    )
+    .expect("valid config");
+    // A wrong-dimension request fails identically through both surfaces.
+    let bad = Request::FactorizeSingle(hdc::AccumHv::zeros(32));
+    let via_shim = engine.execute(&bad).expect_err("must fail");
+    let typed = typed_reference(&engine, &bad).expect_err("must fail");
+    assert_eq!(via_shim.to_string(), typed.to_string());
+}

@@ -44,6 +44,11 @@ const SHARD_BYTES: usize = 32 * 1024;
 /// rayon pool; smaller scans finish faster than a fork would take.
 const PAR_MIN_WORDS: usize = 1 << 18;
 
+/// Bounded min-heap of the k best `(dot, index)` candidates seen so far:
+/// `Reverse` puts the worst kept candidate on top, and the inner
+/// `Reverse<usize>` makes equal dots prefer the smaller item index.
+type TopKHeap = BinaryHeap<Reverse<(i64, Reverse<usize>)>>;
+
 /// A borrowed word-level view of a scan query.
 ///
 /// `sign` holds one bit per dimension (set ⇔ the component is negative);
@@ -675,7 +680,7 @@ impl PackedShards {
             // "worst" of two equal dots is the larger index. Once the
             // heap is full, each item costs one comparison against the
             // current worst; the sift only runs on an actual improvement.
-            let mut heap: BinaryHeap<Reverse<(i64, Reverse<usize>)>> = BinaryHeap::with_capacity(k);
+            let mut heap: TopKHeap = BinaryHeap::with_capacity(k);
             for i in range {
                 let dot = query.dot_words(self.item_words(i), nonzero);
                 let entry = Reverse((dot, Reverse(i)));
@@ -701,6 +706,70 @@ impl PackedShards {
             .map(|(dot, index)| SearchHit {
                 index,
                 sim: self.sim_of(dot),
+            })
+            .collect()
+    }
+
+    /// [`PackedShards::top_k`] for a whole batch of queries in one table
+    /// traversal: shards are walked in the outer loop and queries in the
+    /// inner loop, so each shard's words are loaded into cache once and
+    /// scanned by every query before the next shard is touched — the
+    /// amortization a serving planner relies on when it groups requests
+    /// against one codebook.
+    ///
+    /// Per-query results are **bit-identical** to calling
+    /// [`PackedShards::top_k`] once per query (same candidate set, same
+    /// descending-similarity order, same ascending-index tie break). The
+    /// traversal is single-threaded; callers that want parallelism chunk
+    /// the query batch and fan the chunks out themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from the table's.
+    pub fn top_k_many(&self, queries: &[PackedQuery<'_>], k: usize) -> Vec<Vec<SearchHit>> {
+        for query in queries {
+            self.check_query(query);
+        }
+        if k == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+        let nonzero: Vec<i64> = queries.iter().map(|q| q.nonzero_count() as i64).collect();
+        // One bounded min-heap per query, fed in ascending item order —
+        // the same candidate-retention policy as the single-query scan.
+        let mut heaps: Vec<TopKHeap> = queries
+            .iter()
+            .map(|_| BinaryHeap::with_capacity(k))
+            .collect();
+        for s in 0..self.num_shards() {
+            for i in self.shard_range(s) {
+                let item = self.item_words(i);
+                for ((query, &nz), heap) in queries.iter().zip(&nonzero).zip(&mut heaps) {
+                    let entry = Reverse((query.dot_words(item, nz), Reverse(i)));
+                    if heap.len() < k {
+                        heap.push(entry);
+                    } else if let Some(mut worst) = heap.peek_mut() {
+                        if entry < *worst {
+                            *worst = entry;
+                        }
+                    }
+                }
+            }
+        }
+        heaps
+            .into_iter()
+            .map(|heap| {
+                let mut kept: Vec<(i64, usize)> = heap
+                    .into_vec()
+                    .into_iter()
+                    .map(|Reverse((dot, Reverse(index)))| (dot, index))
+                    .collect();
+                kept.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                kept.into_iter()
+                    .map(|(dot, index)| SearchHit {
+                        index,
+                        sim: self.sim_of(dot),
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -810,6 +879,19 @@ pub trait CodebookScan: Similarity {
             .next()
             .ok_or(HdcError::EmptyCodebook)
     }
+
+    /// [`CodebookScan::scan_top_k`] for a whole batch of queries against
+    /// one codebook, per-query results bit-identical to the one-at-a-time
+    /// scan. Packed query types route through
+    /// [`PackedShards::top_k_many`], amortizing the table traversal across
+    /// the batch; the default implementation is the per-query reference
+    /// loop (and what [`AccumHv`] uses, having no packed form).
+    fn scan_top_k_many(codebook: &Codebook, queries: &[Self], k: usize) -> Vec<Vec<SearchHit>>
+    where
+        Self: Sized,
+    {
+        queries.iter().map(|q| q.scan_top_k(codebook, k)).collect()
+    }
 }
 
 macro_rules! impl_codebook_scan_packed {
@@ -827,6 +909,16 @@ macro_rules! impl_codebook_scan_packed {
                 codebook
                     .packed_view()
                     .above_threshold(self.packed_query(), threshold)
+            }
+
+            fn scan_top_k_many(
+                codebook: &Codebook,
+                queries: &[Self],
+                k: usize,
+            ) -> Vec<Vec<SearchHit>> {
+                let packed: Vec<PackedQuery<'_>> =
+                    queries.iter().map(|q| q.packed_query()).collect();
+                codebook.packed_view().top_k_many(&packed, k)
             }
         }
     )*};
@@ -1054,6 +1146,37 @@ mod tests {
             .collect();
         assert_eq!(view.dots(q), seq);
         assert_eq!(view.top_k(q, 7), cb.top_k(&t, 7));
+    }
+
+    #[test]
+    fn top_k_many_matches_per_query_top_k() {
+        // Small dim forces exact ties: the batched traversal must keep the
+        // same candidates in the same order as the one-at-a-time scan.
+        let cb = Codebook::derive(60, 96, 64);
+        let view = cb.packed_view();
+        let queries: Vec<TernaryHv> = (0..9).map(|i| random_ternary(64, 61 + i)).collect();
+        let packed: Vec<PackedQuery<'_>> = queries.iter().map(|q| q.packed_query()).collect();
+        for k in [1usize, 4, 96, 200] {
+            let many = view.top_k_many(&packed, k);
+            for (q, hits) in queries.iter().zip(&many) {
+                assert_eq!(hits, &view.top_k(q.packed_query(), k), "k {k}");
+                assert_eq!(hits, &cb.top_k(q, k), "k {k} vs reference");
+            }
+        }
+        assert_eq!(view.top_k_many(&packed, 0), vec![Vec::new(); queries.len()]);
+        assert_eq!(view.top_k_many(&[], 3), Vec::<Vec<SearchHit>>::new());
+    }
+
+    #[test]
+    fn scan_top_k_many_routes_match_per_query() {
+        let cb = Codebook::derive(62, 40, 512);
+        let ternary: Vec<TernaryHv> = (0..5).map(|i| random_ternary(512, 63 + i)).collect();
+        let grouped = TernaryHv::scan_top_k_many(&cb, &ternary, 3);
+        let single: Vec<Vec<SearchHit>> = ternary.iter().map(|q| q.scan_top_k(&cb, 3)).collect();
+        assert_eq!(grouped, single);
+        // The accumulator default (no packed form) agrees too.
+        let accums: Vec<AccumHv> = ternary.iter().map(|t| t.to_accum()).collect();
+        assert_eq!(AccumHv::scan_top_k_many(&cb, &accums, 3), single);
     }
 
     #[test]

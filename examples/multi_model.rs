@@ -1,0 +1,147 @@
+//! Multi-model serving: two taxonomies persisted as `.fhd` artifacts,
+//! loaded into one `ModelRegistry`, served concurrently through typed
+//! ops, with one model hot-swapped mid-run.
+//!
+//! ```sh
+//! cargo run --release --example multi_model
+//! ```
+
+use factorhd::prelude::*;
+use std::sync::Arc;
+
+fn fruit_taxonomy(seed: u64) -> Result<Taxonomy, FactorHdError> {
+    TaxonomyBuilder::new(2048)
+        .seed(seed)
+        .class("species", &[12, 4])
+        .class("ripeness", &[6])
+        .build()
+}
+
+fn traffic_taxonomy() -> Result<Taxonomy, FactorHdError> {
+    TaxonomyBuilder::new(4096)
+        .seed(99)
+        .class("vehicle", &[10])
+        .class("color", &[8])
+        .class("lane", &[4])
+        .build()
+}
+
+/// Encodes `n` single-object Rep-2 ops against `taxonomy`.
+fn rep2_ops(taxonomy: &Taxonomy, n: usize, seed: u64) -> Result<Vec<AnyOp>, FactorHdError> {
+    let encoder = Encoder::new(taxonomy);
+    let mut rng = hdc::rng_from_seed(seed);
+    (0..n)
+        .map(|_| {
+            let object = taxonomy.sample_object(&mut rng);
+            Ok(AnyOp::Rep2(FactorizeRep2 {
+                scene: encoder.encode_scene(&Scene::single(object))?,
+            }))
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Persist two different models as `.fhd` artifacts.
+    let dir = std::env::temp_dir();
+    let fruit_path = dir.join("multi_model_fruit.fhd");
+    let traffic_path = dir.join("multi_model_traffic.fhd");
+    ModelState::new(fruit_taxonomy(1)?, EngineConfig::default())?.save(&fruit_path)?;
+    ModelState::new(traffic_taxonomy()?, EngineConfig::default())?.save(&traffic_path)?;
+
+    // 2. Load both into one registry: two taxonomies, one serving
+    //    surface.
+    let registry = Arc::new(ModelRegistry::new());
+    let fruit_gen = registry.load("fruit", &fruit_path, EngineConfig::default())?;
+    registry.load("traffic", &traffic_path, EngineConfig::default())?;
+    println!(
+        "registry serves {:?} (fruit generation {fruit_gen})",
+        registry.ids()
+    );
+
+    // 3. Serve both models concurrently from worker threads while the
+    //    main thread hot-swaps the fruit model mid-run.
+    let fruit_handle = registry.get("fruit")?; // pre-swap, generation-stamped
+    let fruit_ops = rep2_ops(fruit_handle.state().taxonomy(), 24, 7)?;
+    let traffic_ops = rep2_ops(registry.get("traffic")?.state().taxonomy(), 24, 8)?;
+
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let fruit_worker = {
+            let handle = fruit_handle.clone();
+            let ops = &fruit_ops;
+            scope.spawn(move || {
+                // In-flight work pinned to the handle keeps serving the
+                // model it resolved, across however many batches, even
+                // after the registry swaps the id.
+                ops.iter()
+                    .map(|op| handle.run(op))
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+        };
+        let traffic_worker = {
+            let registry = Arc::clone(&registry);
+            let ops = &traffic_ops;
+            scope.spawn(move || {
+                registry
+                    .execute_batch(
+                        &ops.iter()
+                            .map(|op| (ModelId::new("traffic"), op.clone()))
+                            .collect::<Vec<_>>(),
+                    )
+                    .into_iter()
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+        };
+
+        // Hot swap: a retrained fruit model (different seed) replaces the
+        // artifact-loaded one while the workers are serving.
+        let swapped_gen = registry.install(
+            "fruit",
+            ModelState::new(fruit_taxonomy(2)?, EngineConfig::default())?,
+        );
+        println!(
+            "hot-swapped fruit: generation {} → {swapped_gen}",
+            fruit_handle.generation()
+        );
+
+        let fruit_ok = fruit_worker.join().expect("fruit worker");
+        let traffic_ok = traffic_worker.join().expect("traffic worker");
+        println!("fruit worker decoded {fruit_ok}/24 on the pre-swap model");
+        println!("traffic worker decoded {traffic_ok}/24");
+        Ok(())
+    })?;
+
+    // 4. The old handle and the new registry state coexist: the handle
+    //    still answers for the model it resolved, new lookups see the
+    //    swap.
+    assert_eq!(fruit_handle.state().taxonomy().seed(), 1);
+    let fresh = registry.get("fruit")?;
+    assert_eq!(fresh.state().taxonomy().seed(), 2);
+    assert!(fresh.generation() > fruit_handle.generation());
+    println!(
+        "pre-swap handle: seed {} (gen {}); current: seed {} (gen {})",
+        fruit_handle.state().taxonomy().seed(),
+        fruit_handle.generation(),
+        fresh.state().taxonomy().seed(),
+        fresh.generation()
+    );
+
+    // 5. One heterogeneous multi-model batch: the planner groups ops by
+    //    (model, kind) and returns results in input order.
+    let fresh_fruit_ops = rep2_ops(fresh.state().taxonomy(), 4, 9)?;
+    let mut routed: Vec<(ModelId, AnyOp)> = Vec::new();
+    for op in fresh_fruit_ops {
+        routed.push((ModelId::new("fruit"), op));
+    }
+    for op in rep2_ops(registry.get("traffic")?.state().taxonomy(), 4, 10)? {
+        routed.push((ModelId::new("traffic"), op));
+    }
+    let results = registry.execute_batch(&routed);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!("mixed-model batch: {ok}/{} ops served", results.len());
+
+    std::fs::remove_file(&fruit_path)?;
+    std::fs::remove_file(&traffic_path)?;
+    Ok(())
+}

@@ -1,6 +1,6 @@
 //! Batched serving with a persisted model artifact: build a taxonomy,
 //! save it as `.fhd`, load it back into a `FactorEngine`, and serve a
-//! mixed batch of factorization / membership / encode requests.
+//! mixed batch of typed ops through the planner.
 //!
 //! ```sh
 //! cargo run --release --example serve_batch
@@ -18,26 +18,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let encoder = Encoder::new(&taxonomy);
 
-    // 2. Prepare a mixed request batch before handing the model over.
+    // 2. Prepare a mixed typed-op batch before handing the model over.
+    //    Heterogeneous batches travel as `AnyOp`; the planner groups them
+    //    by op kind so same-shape work scans the packed shards
+    //    contiguously.
     let mut rng = hdc::rng_from_seed(7);
-    let mut requests = Vec::new();
+    let mut ops = Vec::new();
     let mut expected = Vec::new();
     for i in 0..12 {
         let object = taxonomy.sample_object(&mut rng);
         if i % 4 == 3 {
             let scene = taxonomy.sample_scene(2, true, &mut rng);
-            requests.push(Request::FactorizeMulti(encoder.encode_scene(&scene)?));
+            ops.push(AnyOp::Rep3(FactorizeRep3 {
+                scene: encoder.encode_scene(&scene)?,
+            }));
             expected.push(format!("scene with {} objects", scene.len()));
         } else {
             let hv = encoder.encode_scene(&Scene::single(object.clone()))?;
-            requests.push(Request::FactorizeSingle(hv));
+            ops.push(AnyOp::Rep2(FactorizeRep2 { scene: hv }));
             expected.push(object.to_string());
         }
     }
 
     // 3. Persist the model as a `.fhd` artifact and load it back — the
     //    restored engine serves bit-identically to the in-memory one.
-    let engine = FactorEngine::new(taxonomy, EngineConfig::default());
+    let engine = FactorEngine::new(taxonomy, EngineConfig::default())?;
     let path = std::env::temp_dir().join("serve_batch_example.fhd");
     engine.save(&path)?;
     let restored = FactorEngine::load(&path, EngineConfig::default())?;
@@ -48,34 +53,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Serve the batch across the worker pool.
-    let responses = restored.execute_batch(&requests);
-    for (i, (response, expectation)) in responses.into_iter().zip(&expected).enumerate() {
-        match response? {
-            Response::Single(decoded) => {
+    let outputs = restored.run_mixed(&ops);
+    for (i, (output, expectation)) in outputs.into_iter().zip(&expected).enumerate() {
+        match output? {
+            AnyOutput::Rep2(decoded) => {
                 let ok = decoded.object().to_string() == *expectation;
                 println!(
-                    "req {i:>2}: single  {} (confidence {:.3}){}",
+                    "op {i:>2}: single  {} (confidence {:.3}){}",
                     decoded.object(),
                     decoded.confidence(),
                     if ok { "" } else { "  [MISMATCH]" }
                 );
             }
-            Response::Multi(decoded) => {
+            AnyOutput::Rep3(decoded) => {
                 println!(
-                    "req {i:>2}: multi   {} objects recovered from {expectation} \
+                    "op {i:>2}: multi   {} objects recovered from {expectation} \
                      (residual {:.1})",
                     decoded.objects.len(),
                     decoded.residual_norm
                 );
             }
-            other => println!("req {i:>2}: {other:?}"),
+            other => println!("op {i:>2}: {other:?}"),
         }
     }
 
-    // 5. Caches are shared across the whole batch.
+    // 5. Homogeneous batches keep full typing: `run_batch` returns the
+    //    op's own output type, grouped through the shared level-1 scans.
+    let mut rng = hdc::rng_from_seed(8);
+    let singles: Vec<FactorizeRep2> = (0..4)
+        .map(|_| {
+            let object = restored.taxonomy().sample_object(&mut rng);
+            Ok(FactorizeRep2 {
+                scene: Encoder::new(restored.taxonomy()).encode_scene(&Scene::single(object))?,
+            })
+        })
+        .collect::<Result<_, FactorHdError>>()?;
+    let decoded = restored.run_batch(&singles);
+    println!(
+        "\ntyped run_batch: {} DecodedObjects, no enum to destructure",
+        decoded.len()
+    );
+
+    // 6. Caches are shared across the whole batch.
     let stats = restored.reconstruction_stats();
     println!(
-        "\nreconstruction memo: {} hits / {} misses ({} entries)",
+        "reconstruction memo: {} hits / {} misses ({} entries)",
         stats.hits, stats.misses, stats.entries
     );
     std::fs::remove_file(&path)?;

@@ -8,9 +8,11 @@
 //!   operators, codebooks).
 //! * [`core`] — the paper's contribution: the FactorHD taxonomy encoder and
 //!   factorization algorithm.
-//! * [`engine`] — the serving layer: batched request execution over a
-//!   shared taxonomy, memoized label-elimination masks and
-//!   reconstructions, and the persisted `.fhd` model-artifact format.
+//! * [`engine`] — the serving layer: typed operations (`FactorizeRep1/2/3`,
+//!   `PartialDecode`, `MembershipProbe`, `EncodeScene`) planned into
+//!   batches over named, hot-swappable models (`ModelRegistry`), with
+//!   memoized label-elimination masks and reconstructions and the
+//!   persisted `.fhd` model-artifact format.
 //! * [`baselines`] — the comparison systems from the paper's evaluation
 //!   (resonator network, IMC stochastic factorizer, class-instance model).
 //! * [`neural`] — the simulated ResNet-18 front-end, synthetic RAVEN /
@@ -55,9 +57,14 @@ pub use hdc;
 /// One-stop import for the types used in typical FactorHD workflows.
 pub mod prelude {
     pub use factorhd_core::{
-        DecodedObject, DecodedScene, Encoder, FactorizeConfig, Factorizer, ItemPath, ObjectSpec,
-        Scene, SceneQuery, Taxonomy, TaxonomyBuilder, ThresholdPolicy,
+        ClassDecode, DecodedObject, DecodedScene, Encoder, FactorHdError, FactorizeConfig,
+        Factorizer, ItemPath, ObjectSpec, Scene, SceneQuery, Taxonomy, TaxonomyBuilder,
+        ThresholdPolicy,
     };
-    pub use factorhd_engine::{EngineConfig, EngineError, FactorEngine, Request, Response};
+    pub use factorhd_engine::{
+        AnyOp, AnyOutput, EncodeScene, EngineConfig, EngineError, FactorEngine, FactorizeRep1,
+        FactorizeRep2, FactorizeRep3, MembershipProbe, ModelHandle, ModelId, ModelRegistry,
+        ModelState, Op, OpKind, PartialDecode,
+    };
     pub use hdc::prelude::*;
 }

@@ -125,9 +125,9 @@ fn parallel_encoding_preserves_trial_order() {
     assert_eq!(bundle_seq, bundle_par);
 }
 
-/// A deterministic mixed request stream over `taxonomy`: Rep-1 singles,
+/// A deterministic mixed typed-op stream over `taxonomy`: Rep-2 singles,
 /// Rep-3 multis, partial factorizations, membership probes, and encodes.
-fn mixed_requests(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<Request> {
+fn mixed_ops(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<AnyOp> {
     let encoder = Encoder::new(taxonomy);
     let mut rng = hdc::rng_from_seed(seed);
     (0..n)
@@ -136,27 +136,31 @@ fn mixed_requests(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<Request> {
             match i % 5 {
                 0 => {
                     let scene = taxonomy.sample_scene(2, true, &mut rng);
-                    Request::FactorizeMulti(encoder.encode_scene(&scene).expect("encodable"))
+                    AnyOp::Rep3(FactorizeRep3 {
+                        scene: encoder.encode_scene(&scene).expect("encodable"),
+                    })
                 }
-                1 => Request::FactorizeClasses {
+                1 => AnyOp::Partial(PartialDecode {
                     scene: encoder
                         .encode_scene(&Scene::single(object))
                         .expect("encodable"),
                     classes: vec![0],
-                },
-                2 => Request::Membership {
+                }),
+                2 => AnyOp::Membership(MembershipProbe {
                     scene: encoder
                         .encode_scene(&Scene::single(object.clone()))
                         .expect("encodable"),
                     items: vec![(1, object.assignment(1).expect("present").clone())],
                     absent: vec![],
-                },
-                3 => Request::EncodeScene(Scene::single(object)),
-                _ => Request::FactorizeSingle(
-                    encoder
+                }),
+                3 => AnyOp::Encode(EncodeScene {
+                    scene: Scene::single(object),
+                }),
+                _ => AnyOp::Rep2(FactorizeRep2 {
+                    scene: encoder
                         .encode_scene(&Scene::single(object))
                         .expect("encodable"),
-                ),
+                }),
             }
         })
         .collect()
@@ -164,46 +168,54 @@ fn mixed_requests(taxonomy: &Taxonomy, n: usize, seed: u64) -> Vec<Request> {
 
 #[test]
 fn engine_batch_is_bit_identical_to_sequential_loop() {
-    // The serving engine's batched execution must be indistinguishable —
-    // bit for bit — from a sequential loop over the same requests,
-    // whether its caches are cold or warm, and across construction paths
-    // (in-memory vs artifact round trip).
-    let requests = mixed_requests(&build_taxonomy(62), 20, 63);
-    let unwrap = |results: Vec<Result<Response, EngineError>>| -> Vec<Response> {
+    // The serving engine's planned batch execution must be
+    // indistinguishable — bit for bit — from a sequential loop over the
+    // same typed ops, whether its caches are cold or warm, and across
+    // construction paths (in-memory vs artifact round trip).
+    let ops = mixed_ops(&build_taxonomy(62), 20, 63);
+    let unwrap = |results: Vec<Result<AnyOutput, EngineError>>| -> Vec<AnyOutput> {
         results
             .into_iter()
-            .map(|r| r.expect("request succeeds"))
+            .map(|r| r.expect("op succeeds"))
             .collect()
     };
 
-    // Cold engine, batched.
-    let cold_engine = FactorEngine::new(build_taxonomy(62), EngineConfig::default());
-    let cold_batched = unwrap(cold_engine.execute_batch(&requests));
+    // Cold engine, planned batch.
+    let cold_engine =
+        FactorEngine::new(build_taxonomy(62), EngineConfig::default()).expect("valid config");
+    let cold_batched = unwrap(cold_engine.run_mixed(&ops));
     // Cold engine, sequential (fresh instance so no cache is shared).
-    let seq_engine = FactorEngine::new(build_taxonomy(62), EngineConfig::default());
-    let cold_sequential = unwrap(seq_engine.execute_sequential(&requests));
+    let seq_engine =
+        FactorEngine::new(build_taxonomy(62), EngineConfig::default()).expect("valid config");
+    let cold_sequential = unwrap(seq_engine.run_mixed_sequential(&ops));
     assert_eq!(cold_batched, cold_sequential);
 
     // Warm caches (both engines served one pass already).
-    let warm_batched = unwrap(cold_engine.execute_batch(&requests));
-    let warm_sequential = unwrap(seq_engine.execute_sequential(&requests));
+    let warm_batched = unwrap(cold_engine.run_mixed(&ops));
+    let warm_sequential = unwrap(seq_engine.run_mixed_sequential(&ops));
     assert_eq!(warm_batched, cold_batched);
     assert_eq!(warm_sequential, cold_sequential);
 
-    // The plain core loop (no engine, no caches) agrees response by
-    // response.
+    // The plain core loop (no engine, no caches) agrees output by
+    // output.
     let taxonomy = build_taxonomy(62);
     let factorizer = Factorizer::new(&taxonomy, FactorizeConfig::default());
     let encoder = Encoder::new(&taxonomy);
-    for (request, response) in requests.iter().zip(&cold_batched) {
-        match (request, response) {
-            (Request::FactorizeSingle(hv), Response::Single(decoded)) => {
-                assert_eq!(&factorizer.factorize_single(hv).expect("decodes"), decoded);
+    for (op, output) in ops.iter().zip(&cold_batched) {
+        match (op, output) {
+            (AnyOp::Rep2(FactorizeRep2 { scene }), AnyOutput::Rep2(decoded)) => {
+                assert_eq!(
+                    &factorizer.factorize_single(scene).expect("decodes"),
+                    decoded
+                );
             }
-            (Request::FactorizeMulti(hv), Response::Multi(decoded)) => {
-                assert_eq!(&factorizer.factorize_multi(hv).expect("decodes"), decoded);
+            (AnyOp::Rep3(FactorizeRep3 { scene }), AnyOutput::Rep3(decoded)) => {
+                assert_eq!(
+                    &factorizer.factorize_multi(scene).expect("decodes"),
+                    decoded
+                );
             }
-            (Request::FactorizeClasses { scene, classes }, Response::Classes(decoded)) => {
+            (AnyOp::Partial(PartialDecode { scene, classes }), AnyOutput::Partial(decoded)) => {
                 assert_eq!(
                     &factorizer
                         .factorize_classes(scene, classes)
@@ -211,16 +223,16 @@ fn engine_batch_is_bit_identical_to_sequential_loop() {
                     decoded
                 );
             }
-            (Request::EncodeScene(scene), Response::Encoded(hv)) => {
+            (AnyOp::Encode(EncodeScene { scene }), AnyOutput::Encoded(hv)) => {
                 assert_eq!(&encoder.encode_scene(scene).expect("encodable"), hv);
             }
             (
-                Request::Membership {
+                AnyOp::Membership(MembershipProbe {
                     scene,
                     items,
                     absent,
-                },
-                Response::Membership(answer),
+                }),
+                AnyOutput::Membership(answer),
             ) => {
                 let mut query = SceneQuery::new(&taxonomy);
                 for (class, path) in items {
@@ -231,7 +243,7 @@ fn engine_batch_is_bit_identical_to_sequential_loop() {
                 }
                 assert_eq!(&query.evaluate(scene).expect("evaluates"), answer);
             }
-            (request, response) => panic!("mismatched variants: {request:?} → {response:?}"),
+            (op, output) => panic!("mismatched variants: {op:?} → {output:?}"),
         }
     }
 
@@ -240,7 +252,45 @@ fn engine_batch_is_bit_identical_to_sequential_loop() {
     cold_engine.save_to(&mut bytes).expect("serializes");
     let restored =
         FactorEngine::load_from(&mut &bytes[..], EngineConfig::default()).expect("deserializes");
-    assert_eq!(unwrap(restored.execute_batch(&requests)), cold_batched);
+    assert_eq!(unwrap(restored.run_mixed(&ops)), cold_batched);
+}
+
+#[test]
+fn registry_batch_is_bit_identical_to_sequential_loop() {
+    // The multi-model planner must match its own sequential reference
+    // while serving two different taxonomies from one batch.
+    let registry = ModelRegistry::new();
+    registry.install(
+        "a",
+        ModelState::new(build_taxonomy(64), EngineConfig::default()).expect("valid config"),
+    );
+    registry.install(
+        "b",
+        ModelState::new(build_taxonomy(65), EngineConfig::default()).expect("valid config"),
+    );
+    let ops_a = {
+        let handle = registry.get("a").expect("installed");
+        mixed_ops(handle.state().taxonomy(), 10, 66)
+    };
+    let ops_b = {
+        let handle = registry.get("b").expect("installed");
+        mixed_ops(handle.state().taxonomy(), 10, 67)
+    };
+    // Interleave the two models so grouping actually has work to do.
+    let mut routed: Vec<(ModelId, AnyOp)> = Vec::new();
+    for (a, b) in ops_a.into_iter().zip(ops_b) {
+        routed.push((ModelId::new("a"), a));
+        routed.push((ModelId::new("b"), b));
+    }
+    let batched = registry.execute_batch(&routed);
+    let sequential = registry.execute_sequential(&routed);
+    assert_eq!(batched.len(), sequential.len());
+    for (b, s) in batched.iter().zip(&sequential) {
+        assert_eq!(
+            b.as_ref().expect("op succeeds"),
+            s.as_ref().expect("op succeeds")
+        );
+    }
 }
 
 #[test]
