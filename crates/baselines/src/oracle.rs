@@ -34,7 +34,7 @@ pub fn exhaustive_solve(problem: &FactorizationProblem, limit: usize) -> SolveOu
         let product = product_of(problem.codebooks(), &indices);
         let dot = problem.target().dot(&product);
         checked += 1;
-        if best.as_ref().map_or(true, |(_, b)| dot > *b) {
+        if best.as_ref().is_none_or(|(_, b)| dot > *b) {
             best = Some((indices.clone(), dot));
         }
         // Advance mixed-radix counter.

@@ -1,0 +1,15 @@
+//! Bench-harness entry for the scan-kernel throughput sweep; compiles
+//! under `cargo bench --no-run` and runs the quick sweep under
+//! `cargo bench -p factorhd-bench --bench kernels`.
+
+fn main() {
+    println!("cpu features: {}", hdc::kernels::cpu_features());
+    println!(
+        "selected kernel: {}",
+        hdc::kernels::selected_kernel().name()
+    );
+    let compared = factorhd_bench::verify_kernel_equivalence();
+    println!("kernels vs scalar oracle: bit-identical across {compared} (kernel, size) pairs");
+    let points = factorhd_bench::kernel_points(true);
+    factorhd_bench::kernel_bench_table(&points).print();
+}

@@ -232,13 +232,17 @@ pub fn engine_throughput_table(points: &[ThroughputPoint]) -> Table {
 }
 
 /// Renders the sweep as the `BENCH_engine.json` document (schema
-/// documented in docs/SERVING.md).
+/// documented in docs/SERVING.md). Every point records the scan kernel
+/// the engine's codebook scans dispatched to, and the document carries
+/// the CPU features the dispatcher saw.
 pub fn engine_throughput_json(points: &[ThroughputPoint], quick: bool) -> String {
+    let kernel = hdc::kernels::selected_kernel().name();
     JsonValue::obj(vec![
         ("bench", JsonValue::Str("engine_throughput".into())),
         ("schema_version", JsonValue::Uint(1)),
         ("quick", JsonValue::Bool(quick)),
         ("unit", JsonValue::Str("requests_per_second".into())),
+        ("cpu_features", JsonValue::Str(hdc::kernels::cpu_features())),
         (
             "points",
             JsonValue::Arr(
@@ -247,6 +251,7 @@ pub fn engine_throughput_json(points: &[ThroughputPoint], quick: bool) -> String
                     .map(|p| {
                         JsonValue::obj(vec![
                             ("batch", JsonValue::Uint(p.batch as u64)),
+                            ("kernel", JsonValue::Str(kernel.into())),
                             ("naive_per_sec", JsonValue::Num(p.naive_per_sec)),
                             ("cold_per_sec", JsonValue::Num(p.cold_per_sec)),
                             ("warm_per_sec", JsonValue::Num(p.warm_per_sec)),
@@ -315,7 +320,9 @@ mod tests {
             r#""bench":"engine_throughput""#,
             r#""schema_version":1"#,
             r#""quick":true"#,
+            r#""cpu_features":"#,
             r#""batch":64"#,
+            r#""kernel":"#,
             r#""warm_per_sec":300"#,
             r#""warm_over_naive":3"#,
         ] {

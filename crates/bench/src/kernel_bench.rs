@@ -1,0 +1,274 @@
+//! Scan-kernel throughput: the two inner popcount loops every FactorHD
+//! recognition step bottoms out in ([`hdc::kernels`]), measured for
+//! every implementation the running CPU can dispatch, at word counts
+//! spanning one-cache-line queries to table-sized streams.
+//!
+//! Exactness first: before any timing, every available kernel is checked
+//! bit-identical to the scalar reference oracle on the exact buffers the
+//! sweep will time. The table then reports words/second per
+//! `(kernel, word count)` and each kernel's speedup over the portable
+//! Harley–Seal ladder (the pre-dispatch fallback and the baseline the
+//! acceptance gate is phrased against), and
+//! [`kernel_bench_json`] renders the same points as the machine-readable
+//! `BENCH_kernels.json` (schema in docs/SERVING.md).
+
+use crate::json::JsonValue;
+use crate::Table;
+use hdc::derive_seed;
+use hdc::kernels::{self, ScanKernel};
+use std::time::Instant;
+
+const KERNEL_SEED: u64 = 0x5CA9_4E15;
+
+/// The word counts the sweep measures: a 4 Ki-bit query (one `D = 4096`
+/// hypervector plane is 64 words), a 32 Ki-bit plane, a whole L1-sized
+/// shard, and a table-sized stream that spills every cache level.
+pub const WORD_COUNTS: [usize; 4] = [64, 512, 4096, 65536];
+
+/// Deterministic operand buffers for one word count: a sign plane, a
+/// (roughly half-dense) mask plane, and an item plane.
+fn buffers(words: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let gen = |tag: u64| -> Vec<u64> {
+        (0..words)
+            .map(|i| derive_seed(&[KERNEL_SEED, tag, i as u64]))
+            .collect()
+    };
+    (gen(1), gen(2), gen(3))
+}
+
+/// One measured `(kernel, word count)` grid point.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelPoint {
+    /// Dispatch name of the measured kernel.
+    pub kernel: &'static str,
+    /// Words per scan.
+    pub words: usize,
+    /// `hamming_words` throughput in words/second.
+    pub hamming_words_per_sec: f64,
+    /// `masked_hamming_words` throughput in words/second.
+    pub masked_words_per_sec: f64,
+    /// This kernel's `hamming_words` throughput over the portable
+    /// Harley–Seal ladder's at the same word count.
+    pub speedup_vs_harley_seal: f64,
+}
+
+/// Asserts every available kernel agrees with the scalar oracle on the
+/// sweep's exact buffers; returns the number of `(kernel, words)` pairs
+/// compared. The gate the throughput numbers stand on.
+pub fn verify_kernel_equivalence() -> usize {
+    let mut compared = 0;
+    for &words in &WORD_COUNTS {
+        let (sign, mask, item) = buffers(words);
+        let expected_hamming = kernels::SCALAR.hamming_words(&sign, &item);
+        let expected_masked = kernels::SCALAR.masked_hamming_words(&sign, &mask, &item);
+        for kernel in kernels::available_kernels() {
+            assert_eq!(
+                kernel.hamming_words(&sign, &item),
+                expected_hamming,
+                "kernel {} hamming diverged at {words} words",
+                kernel.name()
+            );
+            assert_eq!(
+                kernel.masked_hamming_words(&sign, &mask, &item),
+                expected_masked,
+                "kernel {} masked diverged at {words} words",
+                kernel.name()
+            );
+            compared += 1;
+        }
+    }
+    compared
+}
+
+/// Times one kernel on one word count; returns
+/// `(hamming, masked)` throughputs in words/second.
+pub fn measure_kernel(kernel: &ScanKernel, words: usize, reps: usize) -> (f64, f64) {
+    let (sign, mask, item) = buffers(words);
+    let reps = reps.max(1);
+
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        acc = acc.wrapping_add(
+            kernel.hamming_words(std::hint::black_box(&sign), std::hint::black_box(&item)),
+        );
+    }
+    let hamming_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        acc = acc.wrapping_add(kernel.masked_hamming_words(
+            std::hint::black_box(&sign),
+            std::hint::black_box(&mask),
+            std::hint::black_box(&item),
+        ));
+    }
+    let masked_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    let throughput = |secs: f64| (words * reps) as f64 / secs.max(f64::MIN_POSITIVE);
+    (throughput(hamming_secs), throughput(masked_secs))
+}
+
+/// Runs the full `(kernel, word count)` grid over every available kernel
+/// and computes each row's speedup against the Harley–Seal baseline at
+/// the same word count. `quick` reduces repetitions per point.
+pub fn kernel_points(quick: bool) -> Vec<KernelPoint> {
+    // Word budget per (kernel, size) point, so every row gets comparable
+    // wall-clock regardless of buffer size.
+    let budget: usize = if quick { 1 << 22 } else { 1 << 27 };
+    let mut points = Vec::new();
+    for kernel in kernels::available_kernels() {
+        for &words in &WORD_COUNTS {
+            let reps = (budget / words).clamp(1, 1 << 22);
+            let (hamming, masked) = measure_kernel(kernel, words, reps);
+            points.push(KernelPoint {
+                kernel: kernel.name(),
+                words,
+                hamming_words_per_sec: hamming,
+                masked_words_per_sec: masked,
+                speedup_vs_harley_seal: 1.0,
+            });
+        }
+    }
+    for i in 0..points.len() {
+        let baseline = points
+            .iter()
+            .find(|p| p.kernel == "harley-seal" && p.words == points[i].words)
+            .map(|p| p.hamming_words_per_sec)
+            .unwrap_or(f64::NAN);
+        points[i].speedup_vs_harley_seal = points[i].hamming_words_per_sec / baseline;
+    }
+    points
+}
+
+/// Renders the grid as the human-readable table.
+pub fn kernel_bench_table(points: &[KernelPoint]) -> Table {
+    let mut table = Table::new(
+        "kernels: scan-kernel throughput (hamming_words / masked_hamming_words), words/sec",
+        &[
+            "kernel",
+            "words",
+            "hamming w/s",
+            "masked w/s",
+            "vs harley-seal",
+        ],
+    );
+    for point in points {
+        table.row(&[
+            point.kernel.to_string(),
+            point.words.to_string(),
+            format!("{:.3e}", point.hamming_words_per_sec),
+            format!("{:.3e}", point.masked_words_per_sec),
+            format!("{:.2}x", point.speedup_vs_harley_seal),
+        ]);
+    }
+    table
+}
+
+/// Renders the grid as the `BENCH_kernels.json` document (schema
+/// documented in docs/SERVING.md).
+pub fn kernel_bench_json(points: &[KernelPoint], quick: bool) -> String {
+    JsonValue::obj(vec![
+        ("bench", JsonValue::Str("kernels".into())),
+        ("schema_version", JsonValue::Uint(1)),
+        ("quick", JsonValue::Bool(quick)),
+        ("unit", JsonValue::Str("words_per_second".into())),
+        (
+            "selected_kernel",
+            JsonValue::Str(kernels::selected_kernel().name().into()),
+        ),
+        ("cpu_features", JsonValue::Str(kernels::cpu_features())),
+        (
+            "points",
+            JsonValue::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::obj(vec![
+                            ("kernel", JsonValue::Str(p.kernel.into())),
+                            ("words", JsonValue::Uint(p.words as u64)),
+                            ("hamming_per_sec", JsonValue::Num(p.hamming_words_per_sec)),
+                            ("masked_per_sec", JsonValue::Num(p.masked_words_per_sec)),
+                            (
+                                "speedup_vs_harley_seal",
+                                JsonValue::Num(p.speedup_vs_harley_seal),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_equivalence_holds_across_grid() {
+        assert_eq!(
+            verify_kernel_equivalence(),
+            WORD_COUNTS.len() * kernels::available_kernels().len()
+        );
+    }
+
+    #[test]
+    fn measure_kernel_produces_positive_rates() {
+        let (hamming, masked) = measure_kernel(&kernels::HARLEY_SEAL, 512, 2);
+        assert!(hamming > 0.0);
+        assert!(masked > 0.0);
+    }
+
+    #[test]
+    fn points_cover_every_available_kernel_and_size() {
+        let points = kernel_points(true);
+        let kernels = kernels::available_kernels();
+        assert_eq!(points.len(), kernels.len() * WORD_COUNTS.len());
+        for kernel in &kernels {
+            for &words in &WORD_COUNTS {
+                let point = points
+                    .iter()
+                    .find(|p| p.kernel == kernel.name() && p.words == words)
+                    .expect("every (kernel, words) pair measured");
+                assert!(point.hamming_words_per_sec > 0.0);
+                assert!(point.speedup_vs_harley_seal.is_finite());
+            }
+        }
+        // The ladder's speedup over itself is exactly 1.
+        let ladder = points
+            .iter()
+            .find(|p| p.kernel == "harley-seal")
+            .expect("ladder always available");
+        assert!((ladder.speedup_vs_harley_seal - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_document_has_the_documented_shape() {
+        let points = [KernelPoint {
+            kernel: "avx512",
+            words: 4096,
+            hamming_words_per_sec: 2.0e10,
+            masked_words_per_sec: 1.5e10,
+            speedup_vs_harley_seal: 4.0,
+        }];
+        let doc = kernel_bench_json(&points, true);
+        for needle in [
+            r#""bench":"kernels""#,
+            r#""schema_version":1"#,
+            r#""quick":true"#,
+            r#""unit":"words_per_second""#,
+            r#""selected_kernel":"#,
+            r#""cpu_features":"#,
+            r#""kernel":"avx512""#,
+            r#""words":4096"#,
+            r#""speedup_vs_harley_seal":4"#,
+        ] {
+            assert!(doc.contains(needle), "{needle} missing from {doc}");
+        }
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod engine_bench;
 pub mod json;
+pub mod kernel_bench;
 pub mod packed_bench;
 pub mod runner;
 pub mod table;
@@ -24,6 +25,10 @@ pub use engine_bench::{
     verify_artifact_round_trip, ThroughputPoint,
 };
 pub use json::JsonValue;
+pub use kernel_bench::{
+    kernel_bench_json, kernel_bench_table, kernel_points, measure_kernel,
+    verify_kernel_equivalence, KernelPoint,
+};
 pub use packed_bench::{
     measure_scan, packed_scan_json, packed_scan_points, packed_scan_table,
     verify_packed_equivalence, ScanPoint,

@@ -169,14 +169,18 @@ pub fn packed_scan_table(points: &[ScanPoint]) -> Table {
 }
 
 /// Renders the grid as the `BENCH_packed_scan.json` document (schema
-/// documented in docs/SERVING.md).
+/// documented in docs/SERVING.md). Every point records the scan kernel
+/// that served it (the packed path's runtime-dispatched inner loop), and
+/// the document carries the CPU features the dispatcher saw.
 pub fn packed_scan_json(points: &[ScanPoint], quick: bool) -> String {
     use crate::json::JsonValue;
+    let kernel = hdc::kernels::selected_kernel().name();
     JsonValue::obj(vec![
         ("bench", JsonValue::Str("packed_scan".into())),
         ("schema_version", JsonValue::Uint(1)),
         ("quick", JsonValue::Bool(quick)),
         ("unit", JsonValue::Str("scans_per_second".into())),
+        ("cpu_features", JsonValue::Str(hdc::kernels::cpu_features())),
         (
             "points",
             JsonValue::Arr(
@@ -187,6 +191,7 @@ pub fn packed_scan_json(points: &[ScanPoint], quick: bool) -> String {
                             ("dim", JsonValue::Uint(p.dim as u64)),
                             ("items", JsonValue::Uint(p.m as u64)),
                             ("shards", JsonValue::Uint(p.shards as u64)),
+                            ("kernel", JsonValue::Str(kernel.into())),
                             ("reference_per_sec", JsonValue::Num(p.reference_per_sec)),
                             ("packed_per_sec", JsonValue::Num(p.packed_per_sec)),
                             ("speedup", JsonValue::Num(p.speedup())),
@@ -229,8 +234,10 @@ mod tests {
         for needle in [
             r#""bench":"packed_scan""#,
             r#""schema_version":1"#,
+            r#""cpu_features":"#,
             r#""dim":8192"#,
             r#""items":256"#,
+            r#""kernel":"#,
             r#""speedup":2.29"#,
         ] {
             assert!(doc.contains(needle), "{needle} missing from {doc}");

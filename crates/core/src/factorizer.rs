@@ -466,7 +466,7 @@ impl<'a> Factorizer<'a> {
                 .collect();
             let top = self.taxonomy.codebook(class, &[])?;
             let hits_many = TernaryHv::scan_top_k_many(&top, &unbound, width);
-            for ((q, hits), decodes) in unbound.iter().zip(hits_many).zip(&mut per_query) {
+            for ((q, hits), decodes) in unbound.iter().zip(&hits_many).zip(&mut per_query) {
                 decodes.push(self.decode_class_from_hits(q, class, hits, &mut stats)?);
             }
         }
@@ -550,7 +550,10 @@ impl<'a> Factorizer<'a> {
     /// single-object scene), the query is routed through its lossless
     /// ternary view so every codebook scan runs on the packed shard
     /// tables ([`hdc::CodebookScan`]) — bit-identical results, an order
-    /// of magnitude fewer scalar operations.
+    /// of magnitude fewer scalar operations. Scan hits land in buffers
+    /// reused across classes and levels
+    /// ([`hdc::CodebookScan::scan_top_k_into`]), so a warm decode's scans
+    /// allocate nothing.
     fn decode_classes(
         &self,
         hv: &AccumHv,
@@ -574,14 +577,15 @@ impl<'a> Factorizer<'a> {
     {
         let width = self.config.refine_width.max(1);
         let mut result = Vec::with_capacity(classes.len());
+        let mut top_hits: Vec<hdc::SearchHit> = Vec::new();
         for &class in classes {
             let unbound = hv.bind(&self.unbind_keys[class]);
             stats.unbind_ops += 1;
 
             let top = self.taxonomy.codebook(class, &[])?;
-            let top_hits = unbound.scan_top_k(&top, width);
+            unbound.scan_top_k_into(&top, width, &mut top_hits);
             stats.similarity_checks += top.len() as u64;
-            result.push(self.decode_class_from_hits(&unbound, class, top_hits, stats)?);
+            result.push(self.decode_class_from_hits(&unbound, class, &top_hits, stats)?);
         }
         Ok(result)
     }
@@ -594,7 +598,7 @@ impl<'a> Factorizer<'a> {
         &self,
         unbound: &Q,
         class: usize,
-        top_hits: Vec<hdc::SearchHit>,
+        top_hits: &[hdc::SearchHit],
         stats: &mut FactorizeStats,
     ) -> Result<ClassDecode, FactorHdError>
     where
@@ -615,18 +619,21 @@ impl<'a> Factorizer<'a> {
             }
         }
 
-        // Beam over (path, cumulative sim, levels visited).
+        // Beam over (path, cumulative sim, levels visited). The subclass
+        // scans reuse one hits buffer across levels and beam nodes
+        // (zero-allocation scans once the thread's scratch is warm).
         let mut beam: Vec<(ItemPath, f64)> = top_hits
-            .into_iter()
+            .iter()
             .map(|hit| (ItemPath::top(hit.index as u16), hit.sim))
             .collect();
+        let mut child_hits: Vec<hdc::SearchHit> = Vec::new();
         for _level in 1..self.depth_limit(class) {
             let mut next: Vec<(ItemPath, f64)> = Vec::new();
             for (path, cum) in &beam {
                 let children = self.taxonomy.codebook(class, path.indices())?;
-                let child_hits = unbound.scan_top_k(&children, width);
+                unbound.scan_top_k_into(&children, width, &mut child_hits);
                 stats.similarity_checks += children.len() as u64;
-                for hit in child_hits {
+                for hit in &child_hits {
                     next.push((path.child(hit.index as u16), cum + hit.sim));
                 }
             }

@@ -134,12 +134,33 @@ impl ModelState {
         config.validate()?;
         let unbind_keys = Arc::new(build_unbind_keys(&taxonomy));
         let reconstruction = Arc::new(ReconCache::new(config.reconstruction_capacity));
-        Ok(ModelState {
+        let state = ModelState {
             taxonomy,
             config,
             unbind_keys,
             reconstruction,
-        })
+        };
+        state.warm_scan_tables();
+        Ok(state)
+    }
+
+    /// Primes the packed scan tables of every top-level codebook —
+    /// the tables every Rep-1/Rep-2 level-1 scan and every Rep-3
+    /// label-elimination pass hits first — so the first planned batch
+    /// starts on warm word tables instead of paying lazy builds on the
+    /// serving path. Subclass codebooks stay lazy (their population is
+    /// workload-dependent), and `.fhd`-installed override codebooks
+    /// arrive pre-primed from the artifact loader. Called on
+    /// construction; results are unaffected (the tables are
+    /// bit-identical to what lazy building would produce).
+    fn warm_scan_tables(&self) {
+        for class in 0..self.taxonomy.num_classes() {
+            // Structurally infallible for in-range classes; skip
+            // defensively rather than fail model construction.
+            if let Ok(codebook) = self.taxonomy.codebook(class, &[]) {
+                codebook.packed_view();
+            }
+        }
     }
 
     /// Loads a model from a `.fhd` artifact at `path`.

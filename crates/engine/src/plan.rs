@@ -12,6 +12,14 @@
 //! [`crate::EngineConfig::batch_chunk`] ops per task (each chunk
 //! amortizes one codebook traversal); other kinds run one op per task to
 //! keep the pool saturated with their coarser work items.
+//!
+//! Scratch plumbing: the codebook scans under every task run on `hdc`'s
+//! per-thread scan scratch (`PackedShards::top_k_into` /
+//! `top_k_many_into`), so each rayon worker warms its own buffer set on
+//! its first task and steady-state batch execution performs
+//! zero-allocation scans — no scratch handles need to travel through the
+//! plan. Grouping same-kind ops onto one worker additionally keeps that
+//! worker's scratch sized for the op shape it keeps serving.
 
 use crate::ops::{run_any_group, AnyOp, AnyOutput, OpKind};
 use crate::{EngineError, ModelState};

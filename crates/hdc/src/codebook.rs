@@ -314,7 +314,7 @@ impl Codebook {
         let mut best: Option<SearchHit> = None;
         for (index, item) in self.items.iter().enumerate() {
             let sim = query.sim_to(item);
-            if best.map_or(true, |b| sim > b.sim) {
+            if best.is_none_or(|b| sim > b.sim) {
                 best = Some(SearchHit { index, sim });
             }
         }

@@ -42,6 +42,15 @@ pub enum HdcError {
     },
     /// A packed shard table was requested with zero items per shard.
     InvalidShardLen,
+    /// A scan kernel was requested that is not compiled into this build
+    /// or not supported by the running CPU
+    /// (see [`crate::kernels::force_kernel`]).
+    UnknownKernel {
+        /// The kernel name that was requested.
+        requested: String,
+        /// Comma-separated names of the kernels that can be selected.
+        available: String,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -68,6 +77,12 @@ impl fmt::Display for HdcError {
             HdcError::InvalidShardLen => {
                 write!(f, "packed shard length must be positive")
             }
+            HdcError::UnknownKernel {
+                requested,
+                available,
+            } => {
+                write!(f, "unknown scan kernel `{requested}` (valid: {available})")
+            }
         }
     }
 }
@@ -91,6 +106,10 @@ mod tests {
                 actual: 7,
             },
             HdcError::InvalidShardLen,
+            HdcError::UnknownKernel {
+                requested: "quantum".into(),
+                available: "scalar,harley-seal".into(),
+            },
         ];
         for err in cases {
             let msg = err.to_string();

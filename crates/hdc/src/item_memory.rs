@@ -156,7 +156,7 @@ impl ItemMemory {
         let mut best: Option<(usize, f64)> = None;
         for (idx, v) in store.vectors.iter().enumerate() {
             let sim = query.sim_to(v);
-            if best.map_or(true, |(_, s)| sim > s) {
+            if best.is_none_or(|(_, s)| sim > s) {
                 best = Some((idx, sim));
             }
         }

@@ -21,8 +21,13 @@
 //! sharded `u64` word tables so that every similarity scan — the
 //! dominating cost of FactorHD's label elimination and factorization —
 //! runs as word-parallel XOR/popcount kernels, bit-identical to the
-//! scalar reference arithmetic. See `docs/REPRESENTATIONS.md` for how the
-//! representations map onto the paper.
+//! scalar reference arithmetic. The inner popcount loops themselves are
+//! runtime-dispatched ([`kernels`]): hardware `POPCNT`, AVX2, and
+//! AVX-512 `vpopcntq` implementations are selected by CPU detection at
+//! first use (forcible via the `FACTORHD_KERNEL` environment variable),
+//! with a portable Harley–Seal ladder as the fallback. See
+//! `docs/REPRESENTATIONS.md` for how the representations map onto the
+//! paper and `docs/KERNELS.md` for the kernel-dispatch design.
 //!
 //! # Example
 //!
@@ -41,7 +46,11 @@
 //! assert_eq!(bound.bind(&b), a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single exception is the `kernels`
+// module, whose `#[target_feature]` SIMD bodies and dispatch wrappers
+// carry explicit `#[allow(unsafe_code)]` with a documented safety
+// argument (docs/KERNELS.md).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accum;
@@ -49,6 +58,7 @@ mod bipolar;
 mod codebook;
 mod error;
 mod item_memory;
+pub mod kernels;
 mod ops;
 mod packed;
 mod rng;

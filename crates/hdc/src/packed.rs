@@ -22,18 +22,29 @@
 //!   types with a lossless packed form scan through [`PackedShards`],
 //!   while integer accumulators fall back to the scalar reference path.
 //!
+//! The inner XOR-popcount loops are not hard-coded: every dot product
+//! goes through the [`crate::kernels`] dispatch layer, which picks the
+//! fastest implementation the running CPU supports (hardware `POPCNT`,
+//! AVX2 nibble-LUT, AVX-512 `vpopcntq`, or the portable Harley–Seal
+//! ladder) once at startup. The serving-path scans additionally reuse a
+//! thread-local [`ScanScratch`] workspace and offer `*_into` variants
+//! ([`PackedShards::top_k_into`], [`PackedShards::top_k_many_into`],
+//! [`PackedShards::dots_into`], [`PackedShards::above_threshold_into`])
+//! that write into caller-owned buffers, so a warm scan performs **zero
+//! heap allocations**.
+//!
 //! All packed results are **bit-identical** to the scalar reference
 //! implementations on [`Codebook`]: dots are exact integers, similarities
 //! are computed with the same `dot as f64 / dim as f64` expression, and
 //! ties are broken by ascending item index exactly like the reference's
-//! stable descending sort.
+//! stable descending sort — regardless of which kernel is dispatched.
 
 use crate::codebook::{Codebook, SearchHit};
+use crate::kernels::{self, ScanKernel};
 use crate::sim::Similarity;
 use crate::{clear_padding, words_for, AccumHv, BipolarHv, HdcError, TernaryHv};
 use rayon::prelude::*;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Target shard payload in bytes: one shard's words should fit comfortably
@@ -44,10 +55,104 @@ const SHARD_BYTES: usize = 32 * 1024;
 /// rayon pool; smaller scans finish faster than a fork would take.
 const PAR_MIN_WORDS: usize = 1 << 18;
 
-/// Bounded min-heap of the k best `(dot, index)` candidates seen so far:
-/// `Reverse` puts the worst kept candidate on top, and the inner
-/// `Reverse<usize>` makes equal dots prefer the smaller item index.
-type TopKHeap = BinaryHeap<Reverse<(i64, Reverse<usize>)>>;
+/// Queries per register block in the batched multi-query scan: each
+/// L1-sized tile of codebook words is scanned by up to this many queries
+/// before the next tile is touched, so the tile's cache lines (and the
+/// block's query planes) are reused instead of re-fetched per query.
+const QUERY_BLOCK: usize = 4;
+
+/// Reusable per-thread scan workspace: every buffer a serving-path scan
+/// needs lives here, grown once and reused, so warm
+/// [`PackedShards::top_k_into`] / [`PackedShards::top_k_many_into`] /
+/// [`PackedShards::dots_into`] / [`PackedShards::above_threshold_into`]
+/// calls allocate nothing.
+#[derive(Default)]
+struct ScanScratch {
+    /// Flat per-query bounded heaps for the multi-query scan: query `q`
+    /// of a `k`-wide scan owns `heap_data[q * k .. q * k + heap_lens[q]]`.
+    heap_data: Vec<(i64, usize)>,
+    heap_lens: Vec<usize>,
+    /// Candidate buffer for single-query top-k and threshold scans.
+    cand: Vec<(i64, usize)>,
+    /// Per-query non-zero counts for the multi-query scan.
+    nonzero: Vec<i64>,
+}
+
+thread_local! {
+    /// One [`ScanScratch`] per thread: rayon workers executing planned
+    /// engine batches each warm their own copy, after which steady-state
+    /// scans on that worker stop allocating.
+    static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::default());
+}
+
+/// Runs `f` with this thread's scan scratch. Scans never re-enter the
+/// scan path while holding the borrow, so the `RefCell` cannot panic.
+fn with_scratch<R>(f: impl FnOnce(&mut ScanScratch) -> R) -> R {
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// `true` when candidate `a` ranks strictly below `b`: a lower dot, or an
+/// equal dot with the larger item index (ties prefer small indices, like
+/// the scalar reference's stable descending sort).
+#[inline]
+fn ranks_below(a: (i64, usize), b: (i64, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+/// Offers `entry` to the bounded worst-at-root heap held in
+/// `data[..*len]` (capacity `k`): while not full the entry is sifted in;
+/// once full, the entry replaces the root — the worst kept candidate —
+/// only if it ranks above it. Keeps exactly the `k` best candidates seen,
+/// under the total order of [`ranks_below`] (which has no equal keys:
+/// item indices are unique), so the kept set is identical to any other
+/// correct top-k selection.
+#[inline]
+fn heap_offer(data: &mut [(i64, usize)], len: &mut usize, k: usize, entry: (i64, usize)) {
+    if *len < k {
+        data[*len] = entry;
+        *len += 1;
+        let mut i = *len - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if ranks_below(data[i], data[parent]) {
+                data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        return;
+    }
+    if !ranks_below(data[0], entry) {
+        return;
+    }
+    data[0] = entry;
+    let mut i = 0;
+    loop {
+        let left = 2 * i + 1;
+        let right = left + 1;
+        let mut worst = i;
+        if left < k && ranks_below(data[left], data[worst]) {
+            worst = left;
+        }
+        if right < k && ranks_below(data[right], data[worst]) {
+            worst = right;
+        }
+        if worst == i {
+            break;
+        }
+        data.swap(i, worst);
+        i = worst;
+    }
+}
+
+/// Sorts candidates into the reference hit order: descending dot, ties by
+/// ascending item index. Unstable sort is exact here — `(dot, index)`
+/// keys are unique — and, unlike the stable sort, allocates nothing.
+#[inline]
+fn sort_candidates(cand: &mut [(i64, usize)]) {
+    cand.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+}
 
 /// A borrowed word-level view of a scan query.
 ///
@@ -78,129 +183,17 @@ impl<'a> PackedQuery<'a> {
     }
 
     /// Exact integer dot product against one item's packed sign words,
-    /// given the query's precomputed non-zero count.
+    /// given the query's precomputed non-zero count and the scan kernel
+    /// to run the popcount loop on (hoisted out of the per-item loop by
+    /// every scan entry point).
     #[inline]
-    fn dot_words(&self, item: &[u64], nonzero: i64) -> i64 {
+    fn dot_words(&self, item: &[u64], nonzero: i64, kernel: &ScanKernel) -> i64 {
         let neg = match self.mask {
-            None => xor_popcount(self.sign, item),
-            Some(mask) => xor_and_popcount(self.sign, mask, item),
+            None => kernel.hamming_words(self.sign, item),
+            Some(mask) => kernel.masked_hamming_words(self.sign, mask, item),
         };
         nonzero - 2 * neg as i64
     }
-}
-
-/// Carry-save adder: returns the (sum, carry) bit planes of `a + b + c`.
-#[inline(always)]
-fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
-    let u = a ^ b;
-    (u ^ c, (a & b) | (u & c))
-}
-
-/// Running state of a Harley–Seal ladder: bit planes holding the 1s, 2s,
-/// 4s and 8s digits of the popcount sum, plus the completed 16-blocks.
-#[derive(Default)]
-struct LadderState {
-    ones: u64,
-    twos: u64,
-    fours: u64,
-    eights: u64,
-    sixteens_total: u64,
-}
-
-impl LadderState {
-    /// Folds 16 words into the ladder: 15 CSA steps plus **one** popcount
-    /// instead of 16. The build targets baseline x86-64/aarch64 where
-    /// `count_ones` lowers to a multi-op SWAR sequence, so cutting
-    /// popcount invocations 16-fold is what makes the packed scan kernels
-    /// beat the per-item reference loops — while staying exact (the
-    /// ladder is pure integer carry bookkeeping).
-    #[inline(always)]
-    fn fold16(&mut self, w: &[u64; 16]) {
-        let (s, twos_a) = csa(self.ones, w[0], w[1]);
-        let (s, twos_b) = csa(s, w[2], w[3]);
-        let (s2, fours_a) = csa(self.twos, twos_a, twos_b);
-        let (s, twos_a) = csa(s, w[4], w[5]);
-        let (s, twos_b) = csa(s, w[6], w[7]);
-        let (s2, fours_b) = csa(s2, twos_a, twos_b);
-        let (s4, eights_a) = csa(self.fours, fours_a, fours_b);
-        let (s, twos_a) = csa(s, w[8], w[9]);
-        let (s, twos_b) = csa(s, w[10], w[11]);
-        let (s2, fours_a) = csa(s2, twos_a, twos_b);
-        let (s, twos_a) = csa(s, w[12], w[13]);
-        let (s, twos_b) = csa(s, w[14], w[15]);
-        let (s2, fours_b) = csa(s2, twos_a, twos_b);
-        let (s4, eights_b) = csa(s4, fours_a, fours_b);
-        let (s8, sixteens) = csa(self.eights, eights_a, eights_b);
-        self.sixteens_total += sixteens.count_ones() as u64;
-        self.ones = s;
-        self.twos = s2;
-        self.fours = s4;
-        self.eights = s8;
-    }
-
-    /// The exact popcount sum of everything folded so far.
-    #[inline(always)]
-    fn total(&self) -> u64 {
-        16 * self.sixteens_total
-            + 8 * self.eights.count_ones() as u64
-            + 4 * self.fours.count_ones() as u64
-            + 2 * self.twos.count_ones() as u64
-            + self.ones.count_ones() as u64
-    }
-}
-
-/// `Σ popcount(a[i] ^ b[i])` — the dense-query scan kernel.
-///
-/// # Panics
-///
-/// Panics (via `debug_assert`) on length mismatch; callers guarantee
-/// equal word counts.
-#[inline]
-fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut state = LadderState::default();
-    let mut ac = a.chunks_exact(16);
-    let mut bc = b.chunks_exact(16);
-    for (aw, bw) in (&mut ac).zip(&mut bc) {
-        let mut buf = [0u64; 16];
-        for ((o, x), y) in buf.iter_mut().zip(aw).zip(bw) {
-            *o = x ^ y;
-        }
-        state.fold16(&buf);
-    }
-    let mut total = state.total();
-    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
-        total += (x ^ y).count_ones() as u64;
-    }
-    total
-}
-
-/// `Σ popcount((s[i] ^ w[i]) & m[i])` — the ternary-query scan kernel.
-#[inline]
-fn xor_and_popcount(s: &[u64], m: &[u64], w: &[u64]) -> u64 {
-    debug_assert_eq!(s.len(), m.len());
-    debug_assert_eq!(s.len(), w.len());
-    let mut state = LadderState::default();
-    let mut sc = s.chunks_exact(16);
-    let mut mc = m.chunks_exact(16);
-    let mut wc = w.chunks_exact(16);
-    for ((sw, mw), ww) in (&mut sc).zip(&mut mc).zip(&mut wc) {
-        let mut buf = [0u64; 16];
-        for (((o, x), y), z) in buf.iter_mut().zip(sw).zip(mw).zip(ww) {
-            *o = (x ^ z) & y;
-        }
-        state.fold16(&buf);
-    }
-    let mut total = state.total();
-    for ((x, y), z) in sc
-        .remainder()
-        .iter()
-        .zip(mc.remainder())
-        .zip(wc.remainder())
-    {
-        total += ((x ^ z) & y).count_ones() as u64;
-    }
-    total
 }
 
 /// Borrowing conversion into the packed scan form.
@@ -471,7 +464,8 @@ impl Similarity for PackedHv {
         );
         let query = self.packed_query();
         let nonzero = query.nonzero_count() as i64;
-        query.dot_words(reference.words(), nonzero) as f64 / self.dim as f64
+        let kernel = kernels::selected_kernel();
+        query.dot_words(reference.words(), nonzero, kernel) as f64 / self.dim as f64
     }
 }
 
@@ -643,63 +637,88 @@ impl PackedShards {
     /// order — the packed replacement for per-item
     /// [`BipolarHv::dot`] loops over boxed items.
     ///
+    /// Tables below the parallel threshold are scanned through
+    /// [`PackedShards::dots_into`] (zero steady-state allocations beyond
+    /// the returned `Vec`); larger tables fork across the rayon pool.
+    ///
     /// # Panics
     ///
     /// Panics if the query dimension differs from the table's.
     pub fn dots(&self, query: PackedQuery<'_>) -> Vec<i64> {
+        if !self.parallel() {
+            let mut out = Vec::with_capacity(self.len);
+            self.dots_into(query, &mut out);
+            return out;
+        }
         self.check_query(&query);
+        let kernel = kernels::selected_kernel();
         let nonzero = query.nonzero_count() as i64;
         let per_shard = self.scan_shards(|range| {
             range
-                .map(|i| query.dot_words(self.item_words(i), nonzero))
+                .map(|i| query.dot_words(self.item_words(i), nonzero, kernel))
                 .collect::<Vec<i64>>()
         });
         per_shard.concat()
+    }
+
+    /// [`PackedShards::dots`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a reused buffer makes the warm scan
+    /// allocation-free. Always single-threaded (the zero-allocation
+    /// serving path); results are identical to [`PackedShards::dots`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn dots_into(&self, query: PackedQuery<'_>, out: &mut Vec<i64>) {
+        self.check_query(&query);
+        out.clear();
+        out.reserve(self.len);
+        let kernel = kernels::selected_kernel();
+        let nonzero = query.nonzero_count() as i64;
+        for i in 0..self.len {
+            out.push(query.dot_words(self.item_words(i), nonzero, kernel));
+        }
     }
 
     /// The `k` most similar items, sorted by descending similarity with
     /// ties broken by ascending item index — exactly the ordering of the
     /// scalar reference [`Codebook::top_k`].
     ///
-    /// Each shard keeps its local top `k` in a bounded min-heap; the
-    /// per-shard survivors are then merged, so the scan allocates
-    /// `O(shards · k)` instead of materializing all `M` similarities.
+    /// Tables below the parallel threshold are scanned through
+    /// [`PackedShards::top_k_into`] (thread-local scratch, zero
+    /// steady-state allocations beyond the returned `Vec`); larger tables
+    /// keep a bounded `k`-best heap per shard across the rayon pool and
+    /// merge the per-shard survivors, allocating `O(shards · k)` instead
+    /// of materializing all `M` similarities.
     ///
     /// # Panics
     ///
     /// Panics if the query dimension differs from the table's.
     pub fn top_k(&self, query: PackedQuery<'_>, k: usize) -> Vec<SearchHit> {
+        if !self.parallel() {
+            let mut out = Vec::with_capacity(k.min(self.len));
+            self.top_k_into(query, k, &mut out);
+            return out;
+        }
         self.check_query(&query);
         if k == 0 {
             return Vec::new();
         }
+        let kernel = kernels::selected_kernel();
         let nonzero = query.nonzero_count() as i64;
         let per_shard = self.scan_shards(|range| {
-            // Min-heap of the k best seen: `Reverse` puts the worst kept
-            // candidate on top. Ties order by ascending index, so the
-            // "worst" of two equal dots is the larger index. Once the
-            // heap is full, each item costs one comparison against the
-            // current worst; the sift only runs on an actual improvement.
-            let mut heap: TopKHeap = BinaryHeap::with_capacity(k);
+            let cap = k.min(range.len());
+            let mut heap = vec![(0i64, 0usize); cap];
+            let mut len = 0usize;
             for i in range {
-                let dot = query.dot_words(self.item_words(i), nonzero);
-                let entry = Reverse((dot, Reverse(i)));
-                if heap.len() < k {
-                    heap.push(entry);
-                } else if let Some(mut worst) = heap.peek_mut() {
-                    if entry < *worst {
-                        *worst = entry;
-                    }
-                }
+                let dot = query.dot_words(self.item_words(i), nonzero, kernel);
+                heap_offer(&mut heap, &mut len, cap, (dot, i));
             }
-            heap.into_vec()
+            heap.truncate(len);
+            heap
         });
-        let mut merged: Vec<(i64, usize)> = per_shard
-            .into_iter()
-            .flatten()
-            .map(|Reverse((dot, Reverse(index)))| (dot, index))
-            .collect();
-        merged.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut merged: Vec<(i64, usize)> = per_shard.concat();
+        sort_candidates(&mut merged);
         merged.truncate(k);
         merged
             .into_iter()
@@ -710,10 +729,49 @@ impl PackedShards {
             .collect()
     }
 
-    /// [`PackedShards::top_k`] for a whole batch of queries in one table
-    /// traversal: shards are walked in the outer loop and queries in the
-    /// inner loop, so each shard's words are loaded into cache once and
-    /// scanned by every query before the next shard is touched — the
+    /// [`PackedShards::top_k`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, the bounded candidate heap lives in the
+    /// thread-local scan scratch, and the final ordering uses an
+    /// allocation-free unstable sort — a warm call with a reused `out`
+    /// performs **zero heap allocations**. Always single-threaded;
+    /// results are identical to [`PackedShards::top_k`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn top_k_into(&self, query: PackedQuery<'_>, k: usize, out: &mut Vec<SearchHit>) {
+        self.check_query(&query);
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        let kernel = kernels::selected_kernel();
+        let nonzero = query.nonzero_count() as i64;
+        let cap = k.min(self.len);
+        with_scratch(|scratch| {
+            let cand = &mut scratch.cand;
+            cand.clear();
+            cand.resize(cap, (0, 0));
+            let mut len = 0usize;
+            for i in 0..self.len {
+                let dot = query.dot_words(self.item_words(i), nonzero, kernel);
+                heap_offer(cand, &mut len, cap, (dot, i));
+            }
+            cand.truncate(len);
+            sort_candidates(cand);
+            out.extend(cand.iter().map(|&(dot, index)| SearchHit {
+                index,
+                sim: self.sim_of(dot),
+            }));
+        });
+    }
+
+    /// [`PackedShards::top_k`] for a whole batch of queries in one tiled
+    /// table traversal: shards are walked in the outer loop and, within
+    /// each shard, queries run in register blocks of four — an
+    /// L1-sized tile of codebook words is scanned by up to four queries
+    /// before the next tile is touched, so each tile's cache lines are
+    /// loaded once per block instead of once per query. This is the
     /// amortization a serving planner relies on when it groups requests
     /// against one codebook.
     ///
@@ -727,51 +785,83 @@ impl PackedShards {
     ///
     /// Panics if any query dimension differs from the table's.
     pub fn top_k_many(&self, queries: &[PackedQuery<'_>], k: usize) -> Vec<Vec<SearchHit>> {
+        let mut outs = Vec::with_capacity(queries.len());
+        self.top_k_many_into(queries, k, &mut outs);
+        outs
+    }
+
+    /// [`PackedShards::top_k_many`] into caller-owned buffers: `outs` is
+    /// resized to one inner `Vec` per query (inner buffers are cleared
+    /// and reused, extras truncated away), the per-query bounded heaps
+    /// live flat in the thread-local scan scratch, and the final ordering
+    /// uses an allocation-free unstable sort — a warm call with reused
+    /// buffers performs **zero heap allocations**. Results are identical
+    /// to [`PackedShards::top_k_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from the table's.
+    pub fn top_k_many_into(
+        &self,
+        queries: &[PackedQuery<'_>],
+        k: usize,
+        outs: &mut Vec<Vec<SearchHit>>,
+    ) {
         for query in queries {
             self.check_query(query);
         }
-        if k == 0 {
-            return vec![Vec::new(); queries.len()];
+        outs.truncate(queries.len());
+        for out in outs.iter_mut() {
+            out.clear();
         }
-        let nonzero: Vec<i64> = queries.iter().map(|q| q.nonzero_count() as i64).collect();
-        // One bounded min-heap per query, fed in ascending item order —
-        // the same candidate-retention policy as the single-query scan.
-        let mut heaps: Vec<TopKHeap> = queries
-            .iter()
-            .map(|_| BinaryHeap::with_capacity(k))
-            .collect();
-        for s in 0..self.num_shards() {
-            for i in self.shard_range(s) {
-                let item = self.item_words(i);
-                for ((query, &nz), heap) in queries.iter().zip(&nonzero).zip(&mut heaps) {
-                    let entry = Reverse((query.dot_words(item, nz), Reverse(i)));
-                    if heap.len() < k {
-                        heap.push(entry);
-                    } else if let Some(mut worst) = heap.peek_mut() {
-                        if entry < *worst {
-                            *worst = entry;
+        while outs.len() < queries.len() {
+            outs.push(Vec::new());
+        }
+        if k == 0 || queries.is_empty() {
+            return;
+        }
+        let kernel = kernels::selected_kernel();
+        let cap = k.min(self.len);
+        with_scratch(|scratch| {
+            let ScanScratch {
+                heap_data,
+                heap_lens,
+                nonzero,
+                ..
+            } = scratch;
+            nonzero.clear();
+            nonzero.extend(queries.iter().map(|q| q.nonzero_count() as i64));
+            heap_data.clear();
+            heap_data.resize(queries.len() * cap, (0, 0));
+            heap_lens.clear();
+            heap_lens.resize(queries.len(), 0);
+            for s in 0..self.num_shards() {
+                let range = self.shard_range(s);
+                // Register-blocked inner loop: every item of this tile is
+                // scanned by up to QUERY_BLOCK queries before eviction,
+                // in ascending item order per query — the same
+                // candidate-retention policy as the single-query scan.
+                for block_start in (0..queries.len()).step_by(QUERY_BLOCK) {
+                    let block_end = (block_start + QUERY_BLOCK).min(queries.len());
+                    for i in range.clone() {
+                        let item = self.item_words(i);
+                        for q in block_start..block_end {
+                            let dot = queries[q].dot_words(item, nonzero[q], kernel);
+                            let segment = &mut heap_data[q * cap..(q + 1) * cap];
+                            heap_offer(segment, &mut heap_lens[q], cap, (dot, i));
                         }
                     }
                 }
             }
-        }
-        heaps
-            .into_iter()
-            .map(|heap| {
-                let mut kept: Vec<(i64, usize)> = heap
-                    .into_vec()
-                    .into_iter()
-                    .map(|Reverse((dot, Reverse(index)))| (dot, index))
-                    .collect();
-                kept.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-                kept.into_iter()
-                    .map(|(dot, index)| SearchHit {
-                        index,
-                        sim: self.sim_of(dot),
-                    })
-                    .collect()
-            })
-            .collect()
+            for (q, out) in outs.iter_mut().enumerate() {
+                let segment = &mut heap_data[q * cap..q * cap + heap_lens[q]];
+                sort_candidates(segment);
+                out.extend(segment.iter().map(|&(dot, index)| SearchHit {
+                    index,
+                    sim: self.sim_of(dot),
+                }));
+            }
+        });
     }
 
     /// The single most similar item (equivalent to `top_k(query, 1)`).
@@ -796,29 +886,77 @@ impl PackedShards {
     /// exactly the ordering of the scalar reference
     /// [`Codebook::above_threshold`].
     ///
+    /// Tables below the parallel threshold are scanned through
+    /// [`PackedShards::above_threshold_into`] (thread-local scratch, zero
+    /// steady-state allocations beyond the returned `Vec`); larger tables
+    /// fork across the rayon pool.
+    ///
     /// # Panics
     ///
     /// Panics if the query dimension differs from the table's.
     pub fn above_threshold(&self, query: PackedQuery<'_>, threshold: f64) -> Vec<SearchHit> {
+        if !self.parallel() {
+            let mut out = Vec::new();
+            self.above_threshold_into(query, threshold, &mut out);
+            return out;
+        }
         self.check_query(&query);
+        let kernel = kernels::selected_kernel();
         let nonzero = query.nonzero_count() as i64;
         let per_shard = self.scan_shards(|range| {
             range
                 .filter_map(|i| {
-                    let dot = query.dot_words(self.item_words(i), nonzero);
+                    let dot = query.dot_words(self.item_words(i), nonzero, kernel);
                     let sim = self.sim_of(dot);
                     (sim > threshold).then_some((dot, i))
                 })
                 .collect::<Vec<(i64, usize)>>()
         });
         let mut hits: Vec<(i64, usize)> = per_shard.concat();
-        hits.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        sort_candidates(&mut hits);
         hits.into_iter()
             .map(|(dot, index)| SearchHit {
                 index,
                 sim: self.sim_of(dot),
             })
             .collect()
+    }
+
+    /// [`PackedShards::above_threshold`] into a caller-owned buffer:
+    /// `out` is cleared and refilled, candidates accumulate in the
+    /// thread-local scan scratch, and the final ordering uses an
+    /// allocation-free unstable sort — a warm call with a reused `out`
+    /// performs **zero heap allocations**. Always single-threaded;
+    /// results are identical to [`PackedShards::above_threshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the table's.
+    pub fn above_threshold_into(
+        &self,
+        query: PackedQuery<'_>,
+        threshold: f64,
+        out: &mut Vec<SearchHit>,
+    ) {
+        self.check_query(&query);
+        out.clear();
+        let kernel = kernels::selected_kernel();
+        let nonzero = query.nonzero_count() as i64;
+        with_scratch(|scratch| {
+            let cand = &mut scratch.cand;
+            cand.clear();
+            for i in 0..self.len {
+                let dot = query.dot_words(self.item_words(i), nonzero, kernel);
+                if self.sim_of(dot) > threshold {
+                    cand.push((dot, i));
+                }
+            }
+            sort_candidates(cand);
+            out.extend(cand.iter().map(|&(dot, index)| SearchHit {
+                index,
+                sim: self.sim_of(dot),
+            }));
+        });
     }
 
     #[inline]
@@ -862,6 +1000,18 @@ pub trait CodebookScan: Similarity {
     /// similarity (ties by ascending index).
     fn scan_top_k(&self, codebook: &Codebook, k: usize) -> Vec<SearchHit>;
 
+    /// [`CodebookScan::scan_top_k`] into a caller-owned buffer: `out` is
+    /// cleared and refilled with identical hits. Packed query types
+    /// route through [`PackedShards::top_k_into`] — thread-local scratch,
+    /// zero steady-state allocations when `out` is reused — which is what
+    /// the factorizer's per-class and beam-descent scans run on; the
+    /// default implementation is the allocating reference loop (what
+    /// [`AccumHv`] uses, having no packed form).
+    fn scan_top_k_into(&self, codebook: &Codebook, k: usize, out: &mut Vec<SearchHit>) {
+        out.clear();
+        out.extend(self.scan_top_k(codebook, k));
+    }
+
     /// All items of `codebook` whose similarity strictly exceeds
     /// `threshold`, sorted by descending similarity (ties by ascending
     /// index).
@@ -899,6 +1049,15 @@ macro_rules! impl_codebook_scan_packed {
         impl CodebookScan for $ty {
             fn scan_top_k(&self, codebook: &Codebook, k: usize) -> Vec<SearchHit> {
                 codebook.packed_view().top_k(self.packed_query(), k)
+            }
+
+            fn scan_top_k_into(
+                &self,
+                codebook: &Codebook,
+                k: usize,
+                out: &mut Vec<SearchHit>,
+            ) {
+                codebook.packed_view().top_k_into(self.packed_query(), k, out)
             }
 
             fn scan_above_threshold(
@@ -949,37 +1108,23 @@ mod tests {
     }
 
     #[test]
-    fn harley_seal_matches_naive_popcount_sum() {
-        // Every length around the 16-word block boundary, on adversarial
-        // word patterns (all-ones stresses every carry level).
-        for n in 0..50usize {
-            let a: Vec<u64> = (0..n)
-                .map(|i| crate::derive_seed(&[0xC0DE, i as u64]))
-                .collect();
-            let b: Vec<u64> = (0..n)
-                .map(|i| crate::derive_seed(&[0xFADE, i as u64]))
-                .collect();
-            let m: Vec<u64> = (0..n)
-                .map(|i| crate::derive_seed(&[0x3A5E, i as u64]))
-                .collect();
-            let naive_xor: u64 = a
-                .iter()
-                .zip(&b)
-                .map(|(x, y)| (x ^ y).count_ones() as u64)
-                .sum();
-            assert_eq!(xor_popcount(&a, &b), naive_xor, "n {n}");
-            let naive_masked: u64 = a
-                .iter()
-                .zip(&m)
-                .zip(&b)
-                .map(|((x, y), z)| ((x ^ z) & y).count_ones() as u64)
-                .sum();
-            assert_eq!(xor_and_popcount(&a, &m, &b), naive_masked, "n {n}");
-            // All-ones stresses every carry level of the ladder.
-            let ones = vec![u64::MAX; n];
-            let zeros = vec![0u64; n];
-            assert_eq!(xor_popcount(&ones, &zeros), 64 * n as u64, "ones n {n}");
-            assert_eq!(xor_popcount(&ones, &ones), 0, "zeros n {n}");
+    fn bounded_heap_keeps_the_k_best() {
+        // Adversarial stream with heavy ties: the kept set must be the k
+        // candidates ranking highest under (dot desc, index asc).
+        let entries: Vec<(i64, usize)> = (0..40).map(|i| ((i % 5) as i64, i)).collect();
+        for k in [1usize, 3, 7, 40, 50] {
+            let cap = k.min(entries.len());
+            let mut heap = vec![(0i64, 0usize); cap];
+            let mut len = 0usize;
+            for &e in &entries {
+                heap_offer(&mut heap, &mut len, cap, e);
+            }
+            heap.truncate(len);
+            sort_candidates(&mut heap);
+            let mut expected = entries.clone();
+            sort_candidates(&mut expected);
+            expected.truncate(cap);
+            assert_eq!(heap, expected, "k {k}");
         }
     }
 
@@ -1141,8 +1286,9 @@ mod tests {
         let q = t.packed_query();
         // Sequential reference over the same table.
         let nonzero = q.nonzero_count() as i64;
+        let kernel = kernels::selected_kernel();
         let seq: Vec<i64> = (0..view.len())
-            .map(|i| q.dot_words(view.item_words(i), nonzero))
+            .map(|i| q.dot_words(view.item_words(i), nonzero, kernel))
             .collect();
         assert_eq!(view.dots(q), seq);
         assert_eq!(view.top_k(q, 7), cb.top_k(&t, 7));
@@ -1184,5 +1330,84 @@ mod tests {
         let cb = Codebook::derive(52, 4, 64);
         assert!(!format!("{:?}", cb.packed_view()).is_empty());
         assert!(!format!("{:?}", PackedHv::from_bipolar(cb.item(0))).is_empty());
+    }
+
+    #[test]
+    fn into_variants_match_plain_scans_across_reuses() {
+        // The caller-buffer variants must agree with the plain scans and
+        // stay correct when their buffers are reused (smaller and larger
+        // follow-up scans, stale contents cleared).
+        let cb = Codebook::derive(70, 96, 192);
+        let view = cb.packed_view();
+        let mut hits = Vec::new();
+        let mut dots = Vec::new();
+        let mut th_hits = Vec::new();
+        let mut many = Vec::new();
+        for round in 0..3 {
+            for (i, k) in [(1usize, 1usize), (5, 4), (9, 96), (13, 200)].into_iter() {
+                let t = random_ternary(192, 71 + i as u64 + round);
+                let q = t.packed_query();
+                view.top_k_into(q, k, &mut hits);
+                assert_eq!(hits, view.top_k(q, k), "k {k} round {round}");
+                view.dots_into(q, &mut dots);
+                assert_eq!(dots, view.dots(q), "round {round}");
+                view.above_threshold_into(q, 0.05, &mut th_hits);
+                assert_eq!(th_hits, view.above_threshold(q, 0.05), "round {round}");
+            }
+            let queries: Vec<TernaryHv> = (0..7 - round as usize)
+                .map(|i| random_ternary(192, 80 + round * 10 + i as u64))
+                .collect();
+            let packed: Vec<PackedQuery<'_>> = queries.iter().map(|q| q.packed_query()).collect();
+            view.top_k_many_into(&packed, 5, &mut many);
+            assert_eq!(many.len(), packed.len());
+            assert_eq!(many, view.top_k_many(&packed, 5), "round {round}");
+        }
+        // k = 0 clears every buffer.
+        let t = random_ternary(192, 99);
+        view.top_k_into(t.packed_query(), 0, &mut hits);
+        assert!(hits.is_empty());
+        view.top_k_many_into(&[t.packed_query()], 0, &mut many);
+        assert_eq!(many, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn batched_scan_exceeding_query_block_matches_per_query() {
+        // More queries than one register block (QUERY_BLOCK) and more
+        // items than one shard: the tiled traversal must stay
+        // bit-identical to the one-at-a-time scans.
+        let cb = Codebook::derive(72, 300, 2048);
+        let view = cb.packed_view();
+        assert!(view.num_shards() > 1, "geometry must span multiple tiles");
+        let queries: Vec<TernaryHv> = (0..QUERY_BLOCK as u64 * 3 + 1)
+            .map(|i| random_ternary(2048, 73 + i))
+            .collect();
+        let packed: Vec<PackedQuery<'_>> = queries.iter().map(|q| q.packed_query()).collect();
+        let many = view.top_k_many(&packed, 6);
+        for (q, hits) in queries.iter().zip(&many) {
+            assert_eq!(hits, &view.top_k(q.packed_query(), 6));
+            assert_eq!(hits, &cb.top_k(q, 6));
+        }
+    }
+
+    #[test]
+    fn every_available_kernel_scans_bit_identically() {
+        // Small dim forces exact ties; every dispatchable kernel must
+        // keep the reference candidate set and tie ordering.
+        let _guard = kernels::selection_test_lock();
+        let cb = Codebook::derive(74, 80, 48);
+        let view = cb.packed_view();
+        let t = random_ternary(48, 75);
+        let reference = cb.top_k(&t, 10);
+        let original = kernels::selected_kernel();
+        for kernel in kernels::available_kernels() {
+            kernels::force_kernel(kernel.name()).expect("available");
+            assert_eq!(
+                view.top_k(t.packed_query(), 10),
+                reference,
+                "kernel {}",
+                kernel.name()
+            );
+        }
+        kernels::force_kernel(original.name()).expect("restore");
     }
 }

@@ -1,0 +1,139 @@
+//! Kernel exactness suite: every scan kernel the running CPU can
+//! dispatch must be **bit-identical** to the scalar reference oracle —
+//! on raw word buffers (`hamming_words` / `masked_hamming_words`) across
+//! lengths straddling every SIMD lane width and the Harley–Seal 16-word
+//! block, and end to end through `PackedShards::top_k`, where small
+//! dimensions force exact similarity ties and the tie *ordering* must
+//! survive a forced-kernel override.
+//!
+//! CI runs the whole test suite once more with `FACTORHD_KERNEL=scalar`
+//! and once with `RUSTFLAGS="-C target-cpu=native"`, so both dispatch
+//! extremes are exercised on every push; this file is the per-kernel
+//! sweep in between.
+
+use hdc::kernels::{self, SCALAR};
+use hdc::{AsPackedQuery, Bundle, Codebook, TernaryHv};
+use proptest::prelude::*;
+
+/// Word-buffer families: pseudorandom, all-zero (empty masks), all-ones
+/// (every carry level of the ladder), and alternating signs.
+fn arb_buffer(len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u64>(), len),
+        Just(vec![0u64; len]),
+        Just(vec![u64::MAX; len]),
+        Just(vec![0xAAAA_AAAA_AAAA_AAAAu64; len]),
+        Just(vec![0x5555_5555_5555_5555u64; len]),
+    ]
+}
+
+/// Lengths 0..=257: empty buffers, every lane-width boundary (4, 8, 16
+/// words) with its off-by-one neighbors, and multi-block tails.
+fn arb_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        0usize..=17,
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        Just(127usize),
+        Just(128usize),
+        Just(129usize),
+        Just(255usize),
+        Just(256usize),
+        Just(257usize),
+        0usize..=257,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_words_matches_scalar_for_every_kernel(
+        (a, b) in arb_len().prop_flat_map(|n| (arb_buffer(n), arb_buffer(n)))
+    ) {
+        let expected = SCALAR.hamming_words(&a, &b);
+        for kernel in kernels::available_kernels() {
+            prop_assert_eq!(
+                kernel.hamming_words(&a, &b),
+                expected,
+                "kernel {} diverged at {} words",
+                kernel.name(),
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn masked_hamming_words_matches_scalar_for_every_kernel(
+        (s, m, w) in arb_len().prop_flat_map(|n| (arb_buffer(n), arb_buffer(n), arb_buffer(n)))
+    ) {
+        let expected = SCALAR.masked_hamming_words(&s, &m, &w);
+        for kernel in kernels::available_kernels() {
+            prop_assert_eq!(
+                kernel.masked_hamming_words(&s, &m, &w),
+                expected,
+                "kernel {} diverged at {} words",
+                kernel.name(),
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_tie_ordering_survives_forced_kernel_override(
+        (seed, m, k) in (any::<u64>(), 2usize..64, 1usize..80)
+    ) {
+        // Tiny dimension ⇒ a handful of distinct dot values over up to 64
+        // items ⇒ guaranteed exact ties; the scalar reference ordering
+        // (descending similarity, ties by ascending index) must be
+        // reproduced under every forced kernel.
+        let dim = 16;
+        let cb = Codebook::derive(seed, m, dim);
+        let query = {
+            let mut rng = hdc::rng_from_seed(seed ^ 0xD15A);
+            let a = hdc::BipolarHv::random(dim, &mut rng);
+            let b = hdc::BipolarHv::random(dim, &mut rng);
+            a.bundle(&b).clip_ternary()
+        };
+        let reference = cb.top_k(&query, k);
+        let original = kernels::selected_kernel();
+        for kernel in kernels::available_kernels() {
+            kernels::force_kernel(kernel.name()).expect("available kernel");
+            let packed = cb.packed_view().top_k(query.packed_query(), k);
+            prop_assert_eq!(
+                &packed,
+                &reference,
+                "kernel {} changed top-{} ordering",
+                kernel.name(),
+                k
+            );
+        }
+        kernels::force_kernel(original.name()).expect("restore selection");
+    }
+
+    #[test]
+    fn ternary_scan_queries_agree_across_kernels(
+        (seed, dim) in (any::<u64>(), 1usize..300)
+    ) {
+        // End-to-end dot products (dense + masked planes) through the
+        // packed query path, every kernel against the scalar oracle.
+        let mut rng = hdc::rng_from_seed(seed);
+        let item = hdc::BipolarHv::random(dim, &mut rng);
+        let t: TernaryHv = {
+            let a = hdc::BipolarHv::random(dim, &mut rng);
+            let b = hdc::BipolarHv::random(dim, &mut rng);
+            a.bundle(&b).clip_ternary()
+        };
+        let expected = t.dot_bipolar(&item);
+        let original = kernels::selected_kernel();
+        for kernel in kernels::available_kernels() {
+            kernels::force_kernel(kernel.name()).expect("available kernel");
+            let cb = Codebook::from_items(vec![item.clone()]).expect("one item");
+            let mut dots = Vec::new();
+            cb.packed_view().dots_into(t.packed_query(), &mut dots);
+            prop_assert_eq!(dots[0], expected, "kernel {}", kernel.name());
+        }
+        kernels::force_kernel(original.name()).expect("restore selection");
+    }
+}

@@ -1,0 +1,54 @@
+//! Prints the scan-kernel dispatch state of this machine: the CPU
+//! features the dispatcher detected, the kernel it selected (or was
+//! forced to via `FACTORHD_KERNEL`), and a three-line micro-timing of
+//! the selected kernel against the portable Harley–Seal fallback —
+//! measured with the same `factorhd_bench::measure_kernel` harness that
+//! produces `BENCH_kernels.json`, so the numbers agree.
+//!
+//! ```text
+//! cargo run --release --example kernel_info
+//! FACTORHD_KERNEL=harley-seal cargo run --release --example kernel_info
+//! ```
+
+use factorhd::hdc::kernels;
+
+fn main() {
+    let features = kernels::cpu_features();
+    let selected = kernels::selected_kernel();
+    println!(
+        "detected cpu features : {}",
+        if features.is_empty() {
+            "(none)"
+        } else {
+            &features
+        }
+    );
+    println!(
+        "available kernels     : {}",
+        kernels::available_kernels()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "selected kernel       : {} (override with FACTORHD_KERNEL=<name|auto>)\n",
+        selected.name()
+    );
+
+    // Three-line micro-timing: the selected kernel vs the portable
+    // ladder at one hypervector-plane size (D = 32768 → 512 words),
+    // through the shared bench harness.
+    let words = 512;
+    let reps = (1usize << 24) / words;
+    let (selected_rate, _) = factorhd_bench::measure_kernel(selected, words, reps);
+    let (ladder_rate, _) = factorhd_bench::measure_kernel(&kernels::HARLEY_SEAL, words, reps);
+    println!("micro-timing ({words} words per scan, hamming_words):");
+    println!("  {:<12} {:>10.3e} words/s", selected.name(), selected_rate);
+    println!(
+        "  {:<12} {:>10.3e} words/s  (selected kernel is {:.2}x faster)",
+        "harley-seal",
+        ladder_rate,
+        selected_rate / ladder_rate
+    );
+}
