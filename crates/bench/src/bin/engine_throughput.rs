@@ -1,13 +1,20 @@
-//! Serving-engine throughput: batched warm-cache requests/sec at batch
-//! sizes 1/8/64/512 against the naive rebuild-per-request baseline, plus
-//! the artifact round-trip bit-identity check.
+//! Serving-engine throughput: the threads × batch scaling grid — warm
+//! batched requests/sec at pool sizes 1/2/4/all and batch sizes
+//! 1/8/64/512 against the naive rebuild-per-request baseline — plus the
+//! artifact round-trip bit-identity check.
 //!
 //! Prints the human-readable table and writes the machine-readable
 //! `BENCH_engine.json` (schema in docs/SERVING.md) to the working
-//! directory. Run with `--quick` for a single repetition per point.
+//! directory. Flags:
+//!
+//! * `--quick` — three repetitions per grid point instead of five.
+//! * `--gate` — after the sweep, fail (exit 1) if warm batch-512
+//!   throughput fell below the noise margin of warm batch-64 at any
+//!   thread count: the batch-512 rollover, encoded as a regression gate.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let gate = std::env::args().any(|a| a == "--gate");
     let compared = factorhd_bench::verify_artifact_round_trip();
     println!("artifact save→load→factorize: bit-identical across {compared} responses");
     let points = factorhd_bench::engine_throughput_points(quick);
@@ -16,4 +23,13 @@ fn main() {
     let path = "BENCH_engine.json";
     std::fs::write(path, json + "\n").expect("write BENCH_engine.json");
     println!("\nwrote {path}");
+    if gate {
+        match factorhd_bench::throughput_gate(&points) {
+            Ok(()) => println!("gate: warm batch-512 holds above warm batch-64 — no rollover"),
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,5 +1,6 @@
-//! Serving-engine throughput: batched warm-cache execution vs the naive
-//! per-request rebuild the engine replaces.
+//! Serving-engine throughput: a **threads × batch scaling grid** of
+//! batched warm-cache execution vs the naive per-request rebuild the
+//! engine replaces.
 //!
 //! Three modes run the *same* deterministic typed-op stream:
 //!
@@ -13,9 +14,23 @@
 //! * **warm/s** — the same engine planning the batch again with every
 //!   cache hot.
 //!
-//! All three produce bit-identical outputs; the table reports requests
-//! per second and the warm÷naive speedup, and
-//! [`engine_throughput_json`] renders the same points as the
+//! The sweep measures every batch size of [`BATCH_SIZES`] at every pool
+//! size of [`thread_grid`] (resizing the worker pool through
+//! `rayon::configure_pool`, the in-process equivalent of re-running under
+//! different `RAYON_NUM_THREADS`). At **every** grid point the planned
+//! batch is asserted bit-identical to a sequential loop over the same
+//! ops, and the naive baseline — which has no batch or thread dimension —
+//! is measured once per batch size on a single-lane pool.
+//!
+//! Timing is **best-of-reps** (the minimum wall-clock across
+//! repetitions): throughput noise is one-sided — a run can only be slowed
+//! down by interference, never sped up — so the minimum is the stablest
+//! estimator of the machine's actual capability, which matters for the
+//! scaling-cliff regression gate ([`throughput_gate`]).
+//!
+//! The table reports requests per second, the warm÷naive speedup, and
+//! warm efficiency vs linear scaling (warm ÷ (threads × single-lane
+//! warm)); [`engine_throughput_json`] renders the same points as the
 //! machine-readable `BENCH_engine.json` (schema in docs/SERVING.md).
 
 use crate::json::JsonValue;
@@ -36,6 +51,22 @@ const WORKLOAD_SEED: u64 = 0xBA7C_4ED5;
 const CATALOG: usize = 32;
 /// The batch sizes the sweep measures.
 pub const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+/// Margin the scaling-cliff gate allows for run-to-run noise: warm
+/// batch-512 must reach at least this fraction of warm batch-64. The
+/// rollover this gate guards against was an ≈18% drop; a 10% allowance
+/// catches that class of regression without tripping on scheduler noise.
+pub const GATE_MARGIN: f64 = 0.9;
+
+/// The pool sizes the scaling grid sweeps: 1, 2, 4, and every available
+/// core (deduplicated — on a machine with ≤ 4 cores the grid just stops
+/// at the core count, plus the oversubscribed rows 2/4 which measure
+/// timesharing honestly rather than being skipped).
+pub fn thread_grid() -> Vec<usize> {
+    let mut grid = vec![1, 2, 4, rayon::env_num_threads()];
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
 
 /// The benchmark's model: one hierarchical class plus two flat ones.
 pub fn bench_taxonomy() -> Taxonomy {
@@ -133,17 +164,24 @@ fn unwrap_all(results: Vec<Result<AnyOutput, factorhd_engine::EngineError>>) -> 
         .collect()
 }
 
-/// One measured row of the throughput table.
+/// One measured grid point of the throughput sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputPoint {
     /// Requests per batch.
     pub batch: usize,
-    /// Naive sequential cold-path requests/second.
+    /// Worker-pool compute lanes this row ran on.
+    pub threads: usize,
+    /// Naive sequential cold-path requests/second (thread-independent;
+    /// measured once per batch size on a single-lane pool).
     pub naive_per_sec: f64,
-    /// Cold-engine batched requests/second.
+    /// Cold-engine batched requests/second (construction + first batch).
     pub cold_per_sec: f64,
     /// Warm-engine batched requests/second.
     pub warm_per_sec: f64,
+    /// Warm throughput ÷ (threads × single-lane warm throughput at the
+    /// same batch): 1.0 is perfect linear scaling, 1/threads is no
+    /// scaling at all (e.g. more lanes than cores).
+    pub efficiency_vs_linear: f64,
 }
 
 impl ThroughputPoint {
@@ -153,79 +191,193 @@ impl ThroughputPoint {
     }
 }
 
-/// Measures one batch size, verifying that all three execution modes
-/// return bit-identical outputs before timing them.
+/// Times `run` `reps` times and returns the best (minimum) wall-clock in
+/// seconds — the stablest throughput estimator, since interference only
+/// ever slows a run down.
+fn best_of(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn per_sec(requests: usize, secs: f64) -> f64 {
+    requests as f64 / secs.max(f64::MIN_POSITIVE)
+}
+
+/// Measures the naive rebuild-per-request baseline for `ops`, returning
+/// its outputs (the bit-identity reference) and requests/second.
+fn measure_naive(ops: &[AnyOp], reps: usize) -> (Vec<AnyOutput>, f64) {
+    let outputs: Vec<AnyOutput> = ops.iter().map(execute_naive).collect();
+    let secs = best_of(reps, || {
+        for op in ops {
+            std::hint::black_box(execute_naive(op));
+        }
+    });
+    (outputs, per_sec(ops.len(), secs))
+}
+
+/// Measures planned batch execution of `ops` on the current worker pool:
+/// asserts the planned outputs bit-identical to a sequential loop (fresh
+/// engines, no shared caches), then times the cold path (construction +
+/// first batch) and the warm path (every cache hot). Returns the planned
+/// outputs and (cold, warm) requests/second.
+fn measure_engine(ops: &[AnyOp], reps: usize) -> (Vec<AnyOutput>, f64, f64) {
+    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
+    let planned = unwrap_all(engine.run_mixed(ops));
+    let sequential = unwrap_all(
+        FactorEngine::new(bench_taxonomy(), bench_engine_config())
+            .expect("valid config")
+            .run_mixed_sequential(ops),
+    );
+    assert_eq!(
+        planned, sequential,
+        "planned batch must be bit-identical to the sequential loop"
+    );
+
+    let cold_secs = best_of(reps, || {
+        let fresh =
+            FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
+        std::hint::black_box(fresh.run_mixed(ops));
+    });
+
+    // `engine` already served one batch above: every cache is hot.
+    let warm_reference = unwrap_all(engine.run_mixed(ops));
+    assert_eq!(planned, warm_reference, "warm cache changed results");
+    let warm_secs = best_of(reps, || {
+        std::hint::black_box(engine.run_mixed(ops));
+    });
+
+    (
+        planned,
+        per_sec(ops.len(), cold_secs),
+        per_sec(ops.len(), warm_secs),
+    )
+}
+
+/// Measures one batch size on the **current** worker pool, verifying that
+/// naive, cold-planned, warm-planned, and sequential execution all return
+/// bit-identical outputs before timing them. When the pool has more than
+/// one lane, the single-lane warm reference (for the efficiency column)
+/// is measured by temporarily shrinking the pool, which is restored
+/// before returning.
 pub fn measure_batch(batch: usize, reps: usize) -> ThroughputPoint {
     let taxonomy = bench_taxonomy();
     let ops = build_ops(&taxonomy, batch);
+    let threads = rayon::current_num_threads();
 
-    let engine = FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
-    // Correctness first: naive, cold-planned, and warm-planned agree.
-    let naive: Vec<AnyOutput> = ops.iter().map(execute_naive).collect();
-    let cold = unwrap_all(engine.run_mixed(&ops));
-    assert_eq!(naive, cold, "engine must be bit-identical to naive path");
+    let (naive, naive_per_sec) = measure_naive(&ops, reps);
+    let (planned, cold_per_sec, warm_per_sec) = measure_engine(&ops, reps);
+    assert_eq!(naive, planned, "engine must be bit-identical to naive path");
 
-    // Timed naive baseline (sequential, rebuild per op).
-    let reps = reps.max(1);
-    let start = Instant::now();
-    for _ in 0..reps {
-        for op in &ops {
-            std::hint::black_box(execute_naive(op));
-        }
-    }
-    let naive_secs = start.elapsed().as_secs_f64() / reps as f64;
-
-    // Timed cold engine: construction + first planned batch, fresh each
-    // rep.
-    let start = Instant::now();
-    for _ in 0..reps {
-        let fresh =
-            FactorEngine::new(bench_taxonomy(), bench_engine_config()).expect("valid config");
-        std::hint::black_box(fresh.run_mixed(&ops));
-    }
-    let cold_secs = start.elapsed().as_secs_f64() / reps as f64;
-
-    // Timed warm engine: every cache already hot.
-    let warm_reference = unwrap_all(engine.run_mixed(&ops));
-    assert_eq!(cold, warm_reference, "warm cache changed results");
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(engine.run_mixed(&ops));
-    }
-    let warm_secs = start.elapsed().as_secs_f64() / reps as f64;
-
-    let per_sec = |secs: f64| batch as f64 / secs.max(f64::MIN_POSITIVE);
+    let warm_single = if threads == 1 {
+        warm_per_sec
+    } else {
+        rayon::configure_pool(1);
+        let (_, _, warm_single) = measure_engine(&ops, reps);
+        rayon::configure_pool(threads);
+        warm_single
+    };
     ThroughputPoint {
         batch,
-        naive_per_sec: per_sec(naive_secs),
-        cold_per_sec: per_sec(cold_secs),
-        warm_per_sec: per_sec(warm_secs),
+        threads,
+        naive_per_sec,
+        cold_per_sec,
+        warm_per_sec,
+        efficiency_vs_linear: warm_per_sec / (threads as f64 * warm_single),
     }
 }
 
-/// Runs the full sweep over [`BATCH_SIZES`]. `quick` runs one repetition
-/// per point instead of three.
+/// Runs the full [`thread_grid`] × [`BATCH_SIZES`] sweep. `quick` runs
+/// three repetitions per point instead of five — still best-of, because
+/// a single repetition is noisy enough on a shared container to trip the
+/// [`throughput_gate`] spuriously. Every grid point's planned outputs
+/// are asserted bit-identical to sequential execution; the pool is
+/// restored to its entry size before returning.
 pub fn engine_throughput_points(quick: bool) -> Vec<ThroughputPoint> {
-    let reps = if quick { 1 } else { 3 };
-    BATCH_SIZES
-        .iter()
-        .map(|&batch| measure_batch(batch, reps))
-        .collect()
+    let reps = if quick { 3 } else { 5 };
+    let initial = rayon::current_num_threads();
+    let taxonomy = bench_taxonomy();
+    let mut points = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let ops = build_ops(&taxonomy, batch);
+        // The naive baseline has no batch planner and no parallelism:
+        // measure it once per batch size on a single-lane pool.
+        rayon::configure_pool(1);
+        let (naive, naive_per_sec) = measure_naive(&ops, reps);
+        let mut warm_single = f64::NAN;
+        for &threads in &thread_grid() {
+            rayon::configure_pool(threads);
+            let (planned, cold_per_sec, warm_per_sec) = measure_engine(&ops, reps);
+            assert_eq!(
+                naive, planned,
+                "grid point (threads {threads}, batch {batch}) diverged from the naive path"
+            );
+            if threads == 1 {
+                warm_single = warm_per_sec;
+            }
+            points.push(ThroughputPoint {
+                batch,
+                threads,
+                naive_per_sec,
+                cold_per_sec,
+                warm_per_sec,
+                efficiency_vs_linear: warm_per_sec / (threads as f64 * warm_single),
+            });
+        }
+    }
+    rayon::configure_pool(initial);
+    points
+}
+
+/// The scaling-cliff regression gate: at every measured thread count,
+/// warm batch-512 throughput must reach at least [`GATE_MARGIN`] × warm
+/// batch-64 throughput — the batch-512 rollover, re-encoded as a failure.
+///
+/// # Errors
+///
+/// A human-readable description of the first failing thread count, or of
+/// a grid missing the batches the gate compares.
+pub fn throughput_gate(points: &[ThroughputPoint]) -> Result<(), String> {
+    let mut checked = 0usize;
+    for p512 in points.iter().filter(|p| p.batch == 512) {
+        let p64 = points
+            .iter()
+            .find(|p| p.batch == 64 && p.threads == p512.threads)
+            .ok_or_else(|| format!("gate: no batch-64 row at {} threads", p512.threads))?;
+        if p512.warm_per_sec < GATE_MARGIN * p64.warm_per_sec {
+            return Err(format!(
+                "gate: warm batch-512 ({:.0}/s) fell below {GATE_MARGIN} × warm batch-64 \
+                 ({:.0}/s) at {} threads — the batch-512 rollover is back",
+                p512.warm_per_sec, p64.warm_per_sec, p512.threads
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("gate: no batch-512 rows to check".into());
+    }
+    Ok(())
 }
 
 /// Renders the sweep as the human-readable table.
 pub fn engine_throughput_table(points: &[ThroughputPoint]) -> Table {
     let mut table = Table::new(
-        "engine_throughput: requests/sec, cold vs warm cache (1 rebuild-per-request naive baseline)",
-        &["batch", "naive/s", "cold/s", "warm/s", "warm÷naive"],
+        "engine_throughput: requests/sec over the threads × batch grid (rebuild-per-request naive baseline; eff = warm ÷ threads·single-lane warm)",
+        &["batch", "threads", "naive/s", "cold/s", "warm/s", "warm÷naive", "eff"],
     );
     for point in points {
         table.row(&[
             point.batch.to_string(),
+            point.threads.to_string(),
             format!("{:.0}", point.naive_per_sec),
             format!("{:.0}", point.cold_per_sec),
             format!("{:.0}", point.warm_per_sec),
             format!("{:.2}x", point.speedup()),
+            format!("{:.2}", point.efficiency_vs_linear),
         ]);
     }
     table
@@ -237,12 +389,16 @@ pub fn engine_throughput_table(points: &[ThroughputPoint]) -> Table {
 /// the CPU features the dispatcher saw.
 pub fn engine_throughput_json(points: &[ThroughputPoint], quick: bool) -> String {
     let kernel = hdc::kernels::selected_kernel().name();
+    let available_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     JsonValue::obj(vec![
         ("bench", JsonValue::Str("engine_throughput".into())),
-        ("schema_version", JsonValue::Uint(1)),
+        ("schema_version", JsonValue::Uint(2)),
         ("quick", JsonValue::Bool(quick)),
         ("unit", JsonValue::Str("requests_per_second".into())),
         ("cpu_features", JsonValue::Str(hdc::kernels::cpu_features())),
+        ("available_cores", JsonValue::Uint(available_cores as u64)),
         (
             "points",
             JsonValue::Arr(
@@ -251,11 +407,16 @@ pub fn engine_throughput_json(points: &[ThroughputPoint], quick: bool) -> String
                     .map(|p| {
                         JsonValue::obj(vec![
                             ("batch", JsonValue::Uint(p.batch as u64)),
+                            ("threads", JsonValue::Uint(p.threads as u64)),
                             ("kernel", JsonValue::Str(kernel.into())),
                             ("naive_per_sec", JsonValue::Num(p.naive_per_sec)),
                             ("cold_per_sec", JsonValue::Num(p.cold_per_sec)),
                             ("warm_per_sec", JsonValue::Num(p.warm_per_sec)),
                             ("warm_over_naive", JsonValue::Num(p.speedup())),
+                            (
+                                "efficiency_vs_linear",
+                                JsonValue::Num(p.efficiency_vs_linear),
+                            ),
                         ])
                     })
                     .collect(),
@@ -298,8 +459,52 @@ mod tests {
     fn small_batch_modes_agree_and_speed_up() {
         let point = measure_batch(8, 1);
         assert_eq!(point.batch, 8);
+        assert!(point.threads >= 1);
         assert!(point.naive_per_sec > 0.0);
         assert!(point.warm_per_sec > 0.0);
+        assert!(point.efficiency_vs_linear > 0.0);
+    }
+
+    #[test]
+    fn thread_grid_is_sorted_deduped_and_starts_at_one() {
+        let grid = thread_grid();
+        assert_eq!(grid[0], 1, "single-lane reference row must come first");
+        assert!(grid.windows(2).all(|w| w[0] < w[1]), "sorted, no repeats");
+        assert!(grid.contains(&rayon::env_num_threads()));
+    }
+
+    fn gate_point(batch: usize, threads: usize, warm: f64) -> ThroughputPoint {
+        ThroughputPoint {
+            batch,
+            threads,
+            naive_per_sec: 1.0,
+            cold_per_sec: warm,
+            warm_per_sec: warm,
+            efficiency_vs_linear: 1.0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_flat_and_rising_grids_and_fails_the_rollover() {
+        // Rising: batch 512 beats batch 64 at both thread counts.
+        let rising = [
+            gate_point(64, 1, 100.0),
+            gate_point(512, 1, 110.0),
+            gate_point(64, 2, 180.0),
+            gate_point(512, 2, 200.0),
+        ];
+        assert!(throughput_gate(&rising).is_ok());
+        // Within the noise margin: a hair below batch 64 still passes.
+        let flat = [gate_point(64, 1, 100.0), gate_point(512, 1, 95.0)];
+        assert!(throughput_gate(&flat).is_ok());
+        // The recorded rollover (21.1k → 17.3k, ≈18% drop) must fail.
+        let rollover = [gate_point(64, 1, 21131.0), gate_point(512, 1, 17372.0)];
+        let err = throughput_gate(&rollover).expect_err("rollover must fail the gate");
+        assert!(err.contains("batch-512"), "{err}");
+        // A grid with no batch-512 rows cannot vacuously pass.
+        assert!(throughput_gate(&[gate_point(64, 1, 100.0)]).is_err());
+        // A batch-512 row with no matching batch-64 row is an error too.
+        assert!(throughput_gate(&[gate_point(512, 3, 100.0)]).is_err());
     }
 
     #[test]
@@ -311,20 +516,25 @@ mod tests {
     fn json_document_has_the_documented_shape() {
         let points = [ThroughputPoint {
             batch: 64,
+            threads: 2,
             naive_per_sec: 100.0,
             cold_per_sec: 200.0,
             warm_per_sec: 300.0,
+            efficiency_vs_linear: 0.75,
         }];
         let doc = engine_throughput_json(&points, true);
         for needle in [
             r#""bench":"engine_throughput""#,
-            r#""schema_version":1"#,
+            r#""schema_version":2"#,
             r#""quick":true"#,
             r#""cpu_features":"#,
+            r#""available_cores":"#,
             r#""batch":64"#,
+            r#""threads":2"#,
             r#""kernel":"#,
             r#""warm_per_sec":300"#,
             r#""warm_over_naive":3"#,
+            r#""efficiency_vs_linear":0.75"#,
         ] {
             assert!(doc.contains(needle), "{needle} missing from {doc}");
         }

@@ -22,7 +22,7 @@ pub mod table;
 
 pub use engine_bench::{
     engine_throughput_json, engine_throughput_points, engine_throughput_table, measure_batch,
-    verify_artifact_round_trip, ThroughputPoint,
+    thread_grid, throughput_gate, verify_artifact_round_trip, ThroughputPoint,
 };
 pub use json::JsonValue;
 pub use kernel_bench::{

@@ -728,14 +728,19 @@ impl<'a> Factorizer<'a> {
             })
             .collect();
 
-        // Level-1 candidate selection per class.
+        // Level-1 candidate selection per class. Scan hits land in one
+        // buffer reused across classes, through the explicitly sequential
+        // `_into` route — a planned batch may already be running this
+        // whole decode inside a parallel region, and the scan must not
+        // fork again under it.
         let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(f);
+        let mut hits: Vec<hdc::SearchHit> = Vec::new();
         for (class, unbound_class) in unbound.iter().enumerate() {
             let top = self.taxonomy.codebook(class, &[])?;
-            let hits = unbound_class.scan_above_threshold(&top, th);
+            unbound_class.scan_above_threshold_into(&top, th, &mut hits);
             stats.similarity_checks += top.len() as u64;
             let mut cands: Vec<Candidate> = hits
-                .into_iter()
+                .iter()
                 .map(|hit| Candidate {
                     path: Some(ItemPath::top(hit.index as u16)),
                     item: top.item(hit.index).clone(),
@@ -820,6 +825,9 @@ impl<'a> Factorizer<'a> {
         stats: &mut FactorizeStats,
     ) -> Result<Vec<Combo>, FactorHdError> {
         let mut per_class: Vec<Vec<Candidate>> = Vec::with_capacity(combo.slots.len());
+        // One hits buffer reused across classes, scanned through the
+        // explicitly sequential `_into` route (see `find_one_object_in`).
+        let mut hits: Vec<hdc::SearchHit> = Vec::new();
         for (class, slot) in combo.slots.iter().enumerate() {
             if slot.exhausted || slot.path.is_none() {
                 per_class.push(vec![slot.clone()]);
@@ -834,13 +842,13 @@ impl<'a> Factorizer<'a> {
                 continue;
             }
             let children = self.taxonomy.codebook(class, path.indices())?;
-            let hits = unbound[class].scan_above_threshold(&children, th);
+            unbound[class].scan_above_threshold_into(&children, th, &mut hits);
             stats.similarity_checks += children.len() as u64;
             if hits.is_empty() {
                 return Ok(Vec::new());
             }
             let cands = hits
-                .into_iter()
+                .iter()
                 .map(|hit| {
                     let child_path = path.child(hit.index as u16);
                     let exhausted = child_path.depth() >= self.depth_limit(class);

@@ -157,10 +157,11 @@ impl FactorEngine {
 
     /// Executes a homogeneous typed batch across the worker pool, results
     /// in op order, bit-identical to calling [`FactorEngine::run`] per
-    /// op. Groupable ops ([`Op::groupable`]) are chunked at
-    /// [`EngineConfig::batch_chunk`] ops per task so each chunk amortizes
-    /// its level-1 codebook scans ([`Op::run_many`]); other ops run one
-    /// per task.
+    /// op. Groupable ops ([`Op::groupable`]) are chunked adaptively —
+    /// about two tasks per pool lane, never below the
+    /// [`EngineConfig::batch_chunk`] amortization floor — so each chunk
+    /// amortizes its level-1 codebook scans ([`Op::run_many`]); other ops
+    /// run one per task. Chunk boundaries never affect results.
     pub fn run_batch<O>(&self, ops: &[O]) -> Vec<Result<O::Output, EngineError>>
     where
         O: Op + Sync,
@@ -168,7 +169,7 @@ impl FactorEngine {
     {
         let model = self.model.as_ref();
         if O::groupable() {
-            let chunk = model.config().batch_chunk.max(1);
+            let chunk = plan::task_chunk(true, ops.len(), model.config().batch_chunk);
             let chunks: Vec<&[O]> = ops.chunks(chunk).collect();
             let per_chunk: Vec<Vec<Result<O::Output, EngineError>>> = chunks
                 .par_iter()

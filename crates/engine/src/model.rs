@@ -29,10 +29,17 @@ pub struct EngineConfig {
     /// Capacity (in objects) of the Rep-3 reconstruction memo; 0 disables
     /// it.
     pub reconstruction_capacity: usize,
-    /// How many groupable ops the batch planner hands to one grouped-scan
-    /// task (Rep-1/Rep-2 level-1 scans amortize codebook traversal across
-    /// the chunk). Must be ≥ 1; larger chunks amortize more but reduce
-    /// parallelism on multi-core hosts.
+    /// The **minimum** number of groupable ops the batch planner hands to
+    /// one grouped-scan task (Rep-1/Rep-2 level-1 scans amortize codebook
+    /// traversal across the chunk). The actual chunk size is adaptive —
+    /// the planner targets about two tasks per worker-pool lane and never
+    /// goes below this floor — so this knob bounds amortization, not the
+    /// task count. Must be ≥ 1.
+    ///
+    /// [`EngineConfig::validate`] is the single point of truth for that
+    /// invariant: every execution path consumes the value unclamped, so an
+    /// unvalidated 0 here would panic in `slice::chunks` rather than be
+    /// silently corrected.
     pub batch_chunk: usize,
 }
 

@@ -8,10 +8,12 @@
 //! would call, and the grouped Rep-1/Rep-2 kernel is itself bit-identical
 //! to its per-op form ([`factorhd_core::Factorizer::factorize_single_many`]),
 //! so the plan can only change *when* work happens, never *what* it
-//! produces. Groupable kinds are chunked at
-//! [`crate::EngineConfig::batch_chunk`] ops per task (each chunk
-//! amortizes one codebook traversal); other kinds run one op per task to
-//! keep the pool saturated with their coarser work items.
+//! produces. Groupable kinds are chunked **adaptively** (see
+//! [`task_chunk`]): the group splits into about two tasks per pool lane,
+//! never below the [`crate::EngineConfig::batch_chunk`] amortization
+//! floor, and a single-lane pool keeps the whole group as one task so one
+//! tiled codebook traversal serves the entire batch. Other kinds run one
+//! op per task to keep the pool saturated with their coarser work items.
 //!
 //! Scratch plumbing: the codebook scans under every task run on `hdc`'s
 //! per-thread scan scratch (`PackedShards::top_k_into` /
@@ -30,6 +32,34 @@ use std::sync::Arc;
 /// One planned task's scatter payload: the op indices it covered and
 /// their results, in matching order.
 type TaskOutput = (Vec<usize>, Vec<Result<AnyOutput, EngineError>>);
+
+/// Ops per task for a group of `len` ops of one kind.
+///
+/// Non-groupable ops run one per task (their per-op cost is coarse enough
+/// to keep the pool busy, and finer tasks balance better under the pool's
+/// claim-based scheduling). Groupable groups split into about **two tasks
+/// per pool lane** — adaptive to both the batch size and the pool size —
+/// so a big batch never shatters into hundreds of tiny fixed-size chunks
+/// whose scatter overhead outgrows their scan work (the batch-512
+/// rollover), while still leaving enough tasks for the claim counter to
+/// balance lanes. `batch_chunk` acts as the amortization floor: a chunk
+/// is never smaller, so each task still amortizes one tiled codebook
+/// traversal. On a single-lane pool the whole group is one task — one
+/// traversal serves the entire batch.
+///
+/// Chunk boundaries never affect results: the grouped kernels are
+/// bit-identical to their per-op forms at any chunk size, so this is
+/// purely a scheduling decision.
+pub(crate) fn task_chunk(groupable: bool, len: usize, batch_chunk: usize) -> usize {
+    if !groupable {
+        return 1;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return len.max(1);
+    }
+    len.div_ceil(threads * 2).max(batch_chunk)
+}
 
 /// Executes `ops` — each tagged with the slot of the model it targets —
 /// grouped by `(slot, kind)`. `states[slot]` is the resolved model for
@@ -54,15 +84,14 @@ pub(crate) fn execute_batch_planned(
         groups.entry((*slot, op.kind())).or_default().push(i);
     }
 
-    // One task per chunk of a groupable group, one per op otherwise.
+    // One task per adaptive chunk of a groupable group, one per op
+    // otherwise. `batch_chunk` is already validated ≥ 1
+    // ([`crate::EngineConfig::validate`] is the single point of truth —
+    // no defensive clamping here).
     let mut tasks: Vec<(usize, OpKind, Vec<usize>)> = Vec::new();
     for ((slot, kind), indices) in groups {
         let state = states[slot].as_ref().expect("grouped slots are resolved");
-        let chunk = if kind.groupable() {
-            state.config().batch_chunk.max(1)
-        } else {
-            1
-        };
+        let chunk = task_chunk(kind.groupable(), indices.len(), state.config().batch_chunk);
         for piece in indices.chunks(chunk) {
             tasks.push((slot, kind, piece.to_vec()));
         }

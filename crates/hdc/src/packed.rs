@@ -603,9 +603,21 @@ impl PackedShards {
 
     /// `true` when a batched search over this table is worth forking
     /// across the rayon pool.
+    ///
+    /// Beyond the size threshold this also checks the pool itself: a
+    /// single-lane pool has nothing to fork to, and a scan issued from
+    /// **inside** a parallel region (a batch planner already fanning op
+    /// chunks across the pool) must not fork again — nested forking
+    /// oversubscribes the pool with tasks that steal lanes from the
+    /// batch level, which is what caused the batch-512 throughput
+    /// rollover. In both cases the scan takes its sequential `_into`
+    /// path instead.
     #[inline]
     fn parallel(&self) -> bool {
-        self.words.len() >= PAR_MIN_WORDS && self.num_shards() > 1
+        self.words.len() >= PAR_MIN_WORDS
+            && self.num_shards() > 1
+            && !rayon::in_parallel_region()
+            && rayon::current_num_threads() > 1
     }
 
     /// The item index range of shard `s`.
@@ -1017,6 +1029,25 @@ pub trait CodebookScan: Similarity {
     /// index).
     fn scan_above_threshold(&self, codebook: &Codebook, threshold: f64) -> Vec<SearchHit>;
 
+    /// [`CodebookScan::scan_above_threshold`] into a caller-owned buffer:
+    /// `out` is cleared and refilled with identical hits. Packed query
+    /// types route through [`PackedShards::above_threshold_into`] — the
+    /// **explicitly sequential** zero-alloc path — making this the safe
+    /// entry point for callers that may already be running inside a
+    /// parallel region (the factorizer's per-class and descent scans
+    /// under planned batch execution). The default implementation is the
+    /// allocating reference loop (what [`AccumHv`] uses, having no packed
+    /// form).
+    fn scan_above_threshold_into(
+        &self,
+        codebook: &Codebook,
+        threshold: f64,
+        out: &mut Vec<SearchHit>,
+    ) {
+        out.clear();
+        out.extend(self.scan_above_threshold(codebook, threshold));
+    }
+
     /// The single most similar item of `codebook`.
     ///
     /// # Errors
@@ -1068,6 +1099,17 @@ macro_rules! impl_codebook_scan_packed {
                 codebook
                     .packed_view()
                     .above_threshold(self.packed_query(), threshold)
+            }
+
+            fn scan_above_threshold_into(
+                &self,
+                codebook: &Codebook,
+                threshold: f64,
+                out: &mut Vec<SearchHit>,
+            ) {
+                codebook
+                    .packed_view()
+                    .above_threshold_into(self.packed_query(), threshold, out)
             }
 
             fn scan_top_k_many(
@@ -1276,9 +1318,19 @@ mod tests {
         assert!(seen.into_iter().all(|b| b));
     }
 
+    /// Serializes tests that resize the global worker pool.
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn parallel_scan_is_bit_identical_to_sequential() {
-        // Big enough to clear PAR_MIN_WORDS (4096 items × 128 words).
+        let _guard = pool_test_lock();
+        let before = rayon::current_num_threads();
+        // Multi-lane pool so the size gate is the only question…
+        rayon::configure_pool(2);
+        // …and big enough to clear PAR_MIN_WORDS (4096 items × 128 words).
         let cb = Codebook::derive(50, 4096, 8192);
         let view = cb.packed_view();
         assert!(view.parallel(), "table must take the parallel route");
@@ -1292,6 +1344,7 @@ mod tests {
             .collect();
         assert_eq!(view.dots(q), seq);
         assert_eq!(view.top_k(q, 7), cb.top_k(&t, 7));
+        rayon::configure_pool(before);
     }
 
     #[test]
@@ -1368,6 +1421,39 @@ mod tests {
         assert!(hits.is_empty());
         view.top_k_many_into(&[t.packed_query()], 0, &mut many);
         assert_eq!(many, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn scan_above_threshold_into_matches_plain_scan() {
+        // The explicit sequential entry point must agree with the
+        // parallel-capable scan for both packed queries and the accum
+        // default, and inside a parallel region the gated scan must stay
+        // bit-identical (the nested-suppression path).
+        let cb = Codebook::derive(76, 64, 256);
+        let t = random_ternary(256, 77);
+        let mut out = Vec::new();
+        t.scan_above_threshold_into(&cb, 0.03, &mut out);
+        assert_eq!(out, t.scan_above_threshold(&cb, 0.03));
+        let accum = t.to_accum();
+        accum.scan_above_threshold_into(&cb, 0.03, &mut out);
+        assert_eq!(out, accum.scan_above_threshold(&cb, 0.03));
+        // From inside a region the gate forces the sequential path; the
+        // hits must stay bit-identical. (Two items on a two-lane pool so
+        // the closure genuinely runs in-region.)
+        let _guard = pool_test_lock();
+        let before = rayon::current_num_threads();
+        rayon::configure_pool(2);
+        let reference = t.scan_above_threshold(&cb, 0.03);
+        let nested: Vec<Vec<SearchHit>> = vec![0u64, 1]
+            .into_par_iter()
+            .map(|_| {
+                assert!(rayon::in_parallel_region());
+                t.scan_above_threshold(&cb, 0.03)
+            })
+            .collect();
+        rayon::configure_pool(before);
+        assert_eq!(nested[0], reference);
+        assert_eq!(nested[1], reference);
     }
 
     #[test]

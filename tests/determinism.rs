@@ -256,6 +256,42 @@ fn engine_batch_is_bit_identical_to_sequential_loop() {
 }
 
 #[test]
+fn engine_batch_is_thread_count_invariant() {
+    // The worker pool's size must be unobservable in results: the same
+    // mixed-op batch served on 1-, 2-, and 4-lane pools (the in-process
+    // equivalent of RAYON_NUM_THREADS=1/2/4) returns bit-identical
+    // outputs in the same stable input order, and each pool size matches
+    // the sequential reference loop.
+    let ops = mixed_ops(&build_taxonomy(70), 24, 71);
+    let engine =
+        FactorEngine::new(build_taxonomy(70), EngineConfig::default()).expect("valid config");
+    let unwrap = |results: Vec<Result<AnyOutput, EngineError>>| -> Vec<AnyOutput> {
+        results
+            .into_iter()
+            .map(|r| r.expect("op succeeds"))
+            .collect()
+    };
+    let initial = rayon::current_num_threads();
+    let mut reference: Option<Vec<AnyOutput>> = None;
+    for threads in [1usize, 2, 4] {
+        rayon::configure_pool(threads);
+        let batched = unwrap(engine.run_mixed(&ops));
+        let sequential = unwrap(engine.run_mixed_sequential(&ops));
+        assert_eq!(
+            batched, sequential,
+            "planned vs sequential at {threads} lanes"
+        );
+        match &reference {
+            None => reference = Some(batched),
+            Some(expected) => {
+                assert_eq!(&batched, expected, "pool size {threads} changed results")
+            }
+        }
+    }
+    rayon::configure_pool(initial);
+}
+
+#[test]
 fn registry_batch_is_bit_identical_to_sequential_loop() {
     // The multi-model planner must match its own sequential reference
     // while serving two different taxonomies from one batch.

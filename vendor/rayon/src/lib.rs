@@ -1,21 +1,336 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Implements the `into_par_iter().map(..).collect()/.sum()` shape the
-//! workspace's trial runners use, with real data parallelism via
-//! `std::thread::scope` and a shared work queue. Results are written back
-//! by item index, so `collect()` preserves input order exactly like rayon's
-//! indexed parallel iterators — parallel scheduling can never reorder
-//! (or otherwise perturb) deterministic outputs.
+//! workspace's trial runners and the serving engine's batch planner use,
+//! with real data parallelism on a **persistent worker-per-core thread
+//! pool**:
+//!
+//! * Workers are spawned **once** (lazily, at the first parallel call)
+//!   and serve every subsequent parallel region — no per-call thread
+//!   spawns, so worker thread-locals (e.g. `hdc`'s scan scratch) stay
+//!   warm across batches instead of being rebuilt per region.
+//! * The pool size honors **`RAYON_NUM_THREADS`** (like real rayon),
+//!   falling back to [`std::thread::available_parallelism`]. A pool of
+//!   one thread never spawns anything: every region runs inline on the
+//!   caller.
+//! * The submitting caller **participates** in its own region (it is one
+//!   of the pool's compute lanes), which both uses the core it already
+//!   owns and guarantees progress even when every worker is busy with
+//!   another region.
+//! * **Nested parallelism is suppressed**: a parallel call issued from
+//!   inside a pool region runs inline on that worker instead of
+//!   re-forking, so an already-saturated pool can never oversubscribe
+//!   itself (the batch-level parallelism wins; see
+//!   [`in_parallel_region`]).
+//!
+//! Work items are claimed from a shared atomic counter and results are
+//! written back by item index, so `collect()` preserves input order
+//! exactly like rayon's indexed parallel iterators — parallel scheduling
+//! can never reorder (or otherwise perturb) deterministic outputs, and a
+//! pool of any size produces bit-identical results to a sequential loop.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 pub mod prelude {
     //! Glob-importable traits, mirroring `rayon::prelude`.
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    /// `true` while this thread is executing pool work: always for pool
+    /// workers, and for submitting callers while they participate in
+    /// their own region. Parallel calls made while the flag is set run
+    /// inline (nested-parallelism suppression).
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when the current thread is already executing inside a parallel
+/// region (a pool worker, or a caller participating in its own region).
+///
+/// Library code can use this as a parallelism gate: when it returns
+/// `true`, the pool is already saturated at an outer level, so an inner
+/// scan should take its sequential path instead of forking again.
+pub fn in_parallel_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+/// The number of compute lanes parallel regions currently run on (the
+/// submitting caller counts as one). Initializes the global pool on first
+/// use: `RAYON_NUM_THREADS` if set and positive, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// Replaces the global pool with one of exactly `threads` compute lanes
+/// (the submitting caller counts as one; `threads == 1` spawns no worker
+/// threads at all and runs every region inline).
+///
+/// This is the benchmarking/testing hook behind the cores × batch scaling
+/// grid: one process can measure `threads ∈ {1, 2, 4, …}` without
+/// re-execing under different `RAYON_NUM_THREADS` values. Outstanding
+/// regions on the old pool finish on their own workers (the old pool
+/// drains before its workers exit); callers that want a quiet swap should
+/// not have regions in flight.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn configure_pool(threads: usize) {
+    assert!(threads >= 1, "pool must keep at least one compute lane");
+    let mut slot = POOL.lock().expect("pool registry");
+    if let Some(old) = slot.take() {
+        old.shared.shutdown.store(true, Ordering::Release);
+        old.shared.work.notify_all();
+    }
+    *slot = Some(Arc::new(Pool::new(threads)));
+}
+
+/// The pool size the environment asks for: `RAYON_NUM_THREADS` if set and
+/// positive, otherwise [`std::thread::available_parallelism`].
+pub fn env_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The lazily initialized global pool.
+static POOL: Mutex<Option<Arc<Pool>>> = Mutex::new(None);
+
+fn pool() -> Arc<Pool> {
+    let mut slot = POOL.lock().expect("pool registry");
+    if slot.is_none() {
+        *slot = Some(Arc::new(Pool::new(env_num_threads())));
+    }
+    Arc::clone(slot.as_ref().expect("just installed"))
+}
+
+/// A persistent worker pool: `threads - 1` parked OS threads plus the
+/// submitting caller, fed from one shared region queue.
+struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+struct Shared {
+    /// Pending region handles. A region enqueues one handle per worker it
+    /// can use; a worker that pops a handle helps with that region until
+    /// its items run out.
+    queue: Mutex<VecDeque<Arc<job::Job>>>,
+    work: Condvar,
+    /// Set by [`configure_pool`] when this pool is replaced: workers
+    /// drain the queue, then exit instead of parking.
+    shutdown: AtomicBool,
+}
+
+impl Pool {
+    fn new(threads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        // The caller participates in every region it submits, so a pool
+        // of `threads` lanes needs only `threads - 1` OS workers.
+        for index in 1..threads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, threads }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_REGION.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.work.wait(queue).expect("pool queue");
+            }
+        };
+        match job {
+            Some(job) => job.execute(),
+            None => return,
+        }
+    }
+}
+
+mod job {
+    //! The lifetime-erased unit of pool work.
+    //!
+    //! A [`Job`] hands a **borrowed** task closure to 'static worker
+    //! threads, which needs a raw pointer and therefore `unsafe`. The
+    //! argument for soundness is short and local:
+    //!
+    //! * The closure pointer is dereferenced **only after a successful
+    //!   item claim** (`next.fetch_add() < n` in [`Job::execute`]).
+    //! * The submitting caller blocks in [`Job::wait`] until `completed ==
+    //!   n`, i.e. until every successfully claimed item has **finished
+    //!   running** — so the closure (on the caller's stack) outlives every
+    //!   dereference.
+    //! * After `wait` returns, stale queue entries for the job can still
+    //!   be popped by workers, but their claims fail (`next` is already
+    //!   `>= n`) and they touch only the job's atomics, which stay alive
+    //!   through the `Arc` — never the closure pointer. The submitting
+    //!   caller additionally drains its own stale entries before
+    //!   returning ([`super::run_region`]).
+    //! * A panicking task is caught (`catch_unwind`), counted as
+    //!   completed so the caller always wakes, and its payload is
+    //!   re-thrown on the **caller** thread — a worker never unwinds
+    //!   through the pool loop.
+    #![allow(unsafe_code)]
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Type-erased pointer to the caller's task closure.
+    struct RawTask(*const (dyn Fn(usize) + Sync));
+
+    // SAFETY: the pointee is `Sync` (calling it through `&` from any
+    // thread is safe), and the module invariants above guarantee the
+    // pointer is only dereferenced while the caller keeps the closure
+    // alive.
+    #[allow(unsafe_code)]
+    unsafe impl Send for RawTask {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for RawTask {}
+
+    /// One parallel region: `n` items claimed from a shared counter.
+    pub(crate) struct Job {
+        task: RawTask,
+        n: usize,
+        next: AtomicUsize,
+        completed: AtomicUsize,
+        state: Mutex<State>,
+        done: Condvar,
+    }
+
+    struct State {
+        done: bool,
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    impl Job {
+        /// Wraps `task` for `n` items. The returned job holds a raw
+        /// pointer to `task`; the caller must keep `task` alive until
+        /// [`Job::wait`] returns (see the module safety argument).
+        pub(crate) fn new(task: &(dyn Fn(usize) + Sync), n: usize) -> Arc<Job> {
+            // SAFETY: pure lifetime erasure; the pointer is only ever
+            // dereferenced under the module invariants documented above,
+            // which keep the pointee alive across every dereference.
+            let task: *const (dyn Fn(usize) + Sync) =
+                unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+            Arc::new(Job {
+                task: RawTask(task),
+                n,
+                next: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                state: Mutex::new(State {
+                    done: n == 0,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            })
+        }
+
+        /// Claims and runs items until the job has none left. Safe to
+        /// call on an already-drained job (the claim fails immediately).
+        pub(crate) fn execute(&self) {
+            loop {
+                let index = self.next.fetch_add(1, Ordering::Relaxed);
+                if index >= self.n {
+                    return;
+                }
+                // SAFETY: `index < n`, so the submitting caller is still
+                // blocked in `wait` (it cannot observe `completed == n`
+                // until this item finishes below), keeping the closure
+                // alive for the duration of this call.
+                let task = unsafe { &*self.task.0 };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+                    let mut state = self.state.lock().expect("job state");
+                    if state.panic.is_none() {
+                        state.panic = Some(payload);
+                    }
+                }
+                if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                    let mut state = self.state.lock().expect("job state");
+                    state.done = true;
+                    self.done.notify_all();
+                }
+            }
+        }
+
+        /// Blocks until every item has finished, returning the first
+        /// captured panic payload (to be re-thrown on the caller).
+        pub(crate) fn wait(&self) -> Option<Box<dyn Any + Send>> {
+            let mut state = self.state.lock().expect("job state");
+            while !state.done {
+                state = self.done.wait(state).expect("job state");
+            }
+            state.panic.take()
+        }
+    }
+}
+
+/// Runs `task(0..n)` across the pool: the caller participates, up to
+/// `threads - 1` workers help, and the region completes before returning.
+/// Panics inside `task` are re-thrown here, on the calling thread.
+fn run_region<F: Fn(usize) + Sync>(pool: &Pool, n: usize, task: F) {
+    if n == 0 {
+        return;
+    }
+    let job = job::Job::new(&task, n);
+    // One queue entry per worker that could usefully help; the caller
+    // claims items itself, so a 2-item region needs at most 1 helper.
+    let helpers = (pool.threads - 1).min(n - 1);
+    if helpers > 0 {
+        let mut queue = pool.shared.queue.lock().expect("pool queue");
+        for _ in 0..helpers {
+            queue.push_back(Arc::clone(&job));
+        }
+        drop(queue);
+        pool.shared.work.notify_all();
+    }
+    // Participate: the caller is one of the region's compute lanes. Mark
+    // the thread as in-region so nested parallel calls run inline.
+    let was_in_region = IN_REGION.with(|flag| flag.replace(true));
+    job.execute();
+    IN_REGION.with(|flag| flag.set(was_in_region));
+    let panic = job.wait();
+    // Drop queue entries no worker got to before the region drained, so
+    // nothing can observe the job after the task closure is gone.
+    {
+        let mut queue = pool.shared.queue.lock().expect("pool queue");
+        queue.retain(|pending| !Arc::ptr_eq(pending, &job));
+    }
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
 }
 
 /// Types convertible into a parallel iterator.
@@ -128,41 +443,38 @@ impl<T: Send, F> ParMap<T, F> {
     }
 }
 
-/// Executes `f` over `items` on a scoped thread pool, returning results in
-/// the items' original order.
+/// Executes `f` over `items` on the persistent pool, returning results in
+/// the items' original order. Runs inline — no pool traffic at all — for
+/// trivial regions, single-lane pools, and calls issued from inside an
+/// already-running region (nested-parallelism suppression).
 fn run_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
+    if n <= 1 || in_parallel_region() {
         return items.into_iter().map(f).collect();
     }
-
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let pool = pool();
+    if pool.threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop_front();
-                match next {
-                    Some((index, item)) => {
-                        let value = f(item);
-                        *results[index].lock().expect("result lock") = Some(value);
-                    }
-                    None => break,
-                }
-            });
-        }
+    run_region(&pool, n, |index| {
+        let item = slots[index]
+            .lock()
+            .expect("item slot")
+            .take()
+            .expect("each index claimed exactly once");
+        let value = f(item);
+        *results[index].lock().expect("result slot") = Some(value);
     });
-
     results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result lock")
+                .expect("result slot")
                 .expect("every index computed")
         })
         .collect()
@@ -171,6 +483,10 @@ fn run_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that resize the global pool.
+    static POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn collect_preserves_order() {
@@ -196,5 +512,69 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u64> = (0..0u64).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_resize_keeps_results_bit_identical() {
+        let _guard = POOL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let reference: Vec<u64> = (0..500u64).map(|x| x.wrapping_mul(x) ^ 7).collect();
+        let initial = super::current_num_threads();
+        for threads in [1usize, 2, 4, 7] {
+            super::configure_pool(threads);
+            assert_eq!(super::current_num_threads(), threads);
+            let out: Vec<u64> = (0..500u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x) ^ 7)
+                .collect();
+            assert_eq!(out, reference, "threads {threads}");
+        }
+        super::configure_pool(initial);
+    }
+
+    #[test]
+    fn nested_regions_run_inline_and_stay_ordered() {
+        let _guard = POOL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let initial = super::current_num_threads();
+        super::configure_pool(3);
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|outer| {
+                assert!(super::in_parallel_region());
+                // Nested call: must run inline, preserving order.
+                (0..5usize)
+                    .into_par_iter()
+                    .map(|inner| outer * 10 + inner)
+                    .collect()
+            })
+            .collect();
+        for (outer, inner) in out.iter().enumerate() {
+            let expected: Vec<usize> = (0..5).map(|i| outer * 10 + i).collect();
+            assert_eq!(inner, &expected);
+        }
+        super::configure_pool(initial);
+    }
+
+    #[test]
+    fn region_panic_propagates_to_caller() {
+        let _guard = POOL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let initial = super::current_num_threads();
+        super::configure_pool(2);
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..64u32)
+                .into_par_iter()
+                .map(|x| if x == 33 { panic!("boom {x}") } else { x })
+                .collect();
+        });
+        assert!(result.is_err(), "panic must reach the submitting caller");
+        // The pool survives the panic and keeps serving.
+        let out: Vec<u32> = (0..16u32).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..17u32).collect::<Vec<_>>());
+        super::configure_pool(initial);
+    }
+
+    #[test]
+    fn caller_thread_is_not_marked_in_region_after_a_call() {
+        let _: Vec<u32> = (0..8u32).into_par_iter().map(|x| x).collect();
+        assert!(!super::in_parallel_region());
     }
 }
