@@ -1,0 +1,676 @@
+//! The SLO regression gate: diffs current `BENCH_*.json` documents
+//! against committed baselines and fails on throughput regressions and
+//! latency-tail inflation.
+//!
+//! This is the **single** gating code path — the `bench_gate` bin runs
+//! it in CI after the bench smoke runs regenerate the current documents
+//! (the per-bench bins only measure and emit; they no longer carry their
+//! own threshold flags). Three document families are understood, keyed
+//! by their `bench` field:
+//!
+//! * `engine_throughput` — per-(batch, threads) `warm_per_sec` must hold
+//!   within the margin of baseline; the current grid must also pass the
+//!   **scaling-cliff** check ([`CLIFF_MARGIN`]: warm batch-512 ≥ 0.9 ×
+//!   warm batch-64 at every thread count — the historical batch-512
+//!   rollover, re-encoded as a failure); and per-op-kind `p95_ns` from
+//!   the embedded metrics section must not inflate past one histogram
+//!   bucket of slack (see [`p95_limit`]).
+//! * `packed_scan` — per-(dim, items, shards) `packed_per_sec`.
+//! * `kernels` — per-(kernel, words) `hamming_per_sec`.
+//!
+//! Baseline points with no matching current point are **skipped with a
+//! note**, not failed — the grid legitimately varies with core count and
+//! ISA availability — but a gate that matched *zero* points fails, so a
+//! renamed field or emptied grid cannot pass vacuously.
+
+use crate::json::JsonValue;
+
+/// Margin the scaling-cliff check allows for run-to-run noise: warm
+/// batch-512 must reach at least this fraction of warm batch-64. The
+/// rollover this guards against was an ≈18% drop; a 10% allowance
+/// catches that class of regression without tripping on scheduler noise.
+pub const CLIFF_MARGIN: f64 = 0.9;
+
+/// Default fraction of baseline throughput a current run may lose before
+/// the gate fails (and the fractional p95 allowance on top of the
+/// one-bucket slack).
+pub const DEFAULT_GATE_MARGIN: f64 = 0.15;
+
+/// The result of gating one current document against its baseline.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// The document family (`bench` field) that was gated.
+    pub bench: String,
+    /// Number of comparisons actually performed.
+    pub checks: usize,
+    /// Human-readable failure descriptions; empty means the gate passed.
+    pub failures: Vec<String>,
+    /// Non-fatal observations (skipped points, absent metrics sections).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    fn new(bench: &str) -> Self {
+        GateOutcome {
+            bench: bench.to_owned(),
+            checks: 0,
+            failures: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether every performed check held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Parses and gates a (current, baseline) document pair; parse errors
+/// come back as gate failures so the bin treats corrupt artifacts as
+/// regressions rather than silently passing.
+pub fn gate_texts(current: &str, baseline: &str, margin: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::new("unparsed");
+    let current = match JsonValue::parse(current) {
+        Ok(doc) => doc,
+        Err(e) => {
+            outcome.failures.push(format!("current document: {e}"));
+            return outcome;
+        }
+    };
+    let baseline = match JsonValue::parse(baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            outcome.failures.push(format!("baseline document: {e}"));
+            return outcome;
+        }
+    };
+    gate_documents(&current, &baseline, margin)
+}
+
+/// Gates a parsed current document against its parsed baseline,
+/// dispatching on the baseline's `bench` field.
+pub fn gate_documents(current: &JsonValue, baseline: &JsonValue, margin: f64) -> GateOutcome {
+    let bench = baseline
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("");
+    let mut outcome = GateOutcome::new(bench);
+    let current_bench = current
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("");
+    if current_bench != bench {
+        outcome.failures.push(format!(
+            "bench mismatch: current is {current_bench:?}, baseline is {bench:?}"
+        ));
+        return outcome;
+    }
+    match bench {
+        "engine_throughput" => {
+            throughput_checks(
+                current,
+                baseline,
+                &["batch", "threads"],
+                "warm_per_sec",
+                margin,
+                &mut outcome,
+            );
+            scaling_cliff_check(current, &mut outcome);
+            p95_checks(current, baseline, margin, &mut outcome);
+        }
+        "packed_scan" => throughput_checks(
+            current,
+            baseline,
+            &["dim", "items", "shards"],
+            "packed_per_sec",
+            margin,
+            &mut outcome,
+        ),
+        "kernels" => throughput_checks(
+            current,
+            baseline,
+            &["kernel", "words"],
+            "hamming_per_sec",
+            margin,
+            &mut outcome,
+        ),
+        other => outcome
+            .failures
+            .push(format!("unknown bench family {other:?}")),
+    }
+    outcome
+}
+
+/// A baseline point's identity: its key fields, rendered. `None` when a
+/// key field is missing (the point cannot be matched).
+fn point_key(point: &JsonValue, key_fields: &[&str]) -> Option<String> {
+    let mut key = String::new();
+    for field in key_fields {
+        let value = point.get(field)?;
+        key.push_str(&format!("{field}={} ", value.render()));
+    }
+    Some(key.trim_end().to_owned())
+}
+
+fn points_of(doc: &JsonValue) -> &[JsonValue] {
+    doc.get("points")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[])
+}
+
+/// Per-point throughput comparison: every baseline point with a matching
+/// current point (same key fields) must hold `rate_field` within
+/// `margin` of baseline; unmatched baseline points are noted, and a gate
+/// that matched nothing fails.
+fn throughput_checks(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    key_fields: &[&str],
+    rate_field: &str,
+    margin: f64,
+    outcome: &mut GateOutcome,
+) {
+    let current_points = points_of(current);
+    for base_point in points_of(baseline) {
+        let Some(key) = point_key(base_point, key_fields) else {
+            outcome
+                .failures
+                .push(format!("baseline point missing key fields {key_fields:?}"));
+            continue;
+        };
+        let Some(base_rate) = base_point.get(rate_field).and_then(JsonValue::as_f64) else {
+            outcome
+                .failures
+                .push(format!("baseline point [{key}] has no {rate_field}"));
+            continue;
+        };
+        let matched = current_points
+            .iter()
+            .find(|p| point_key(p, key_fields).as_deref() == Some(&key));
+        let Some(current_point) = matched else {
+            outcome
+                .notes
+                .push(format!("[{key}] absent from current run; skipped"));
+            continue;
+        };
+        let Some(current_rate) = current_point.get(rate_field).and_then(JsonValue::as_f64) else {
+            outcome
+                .failures
+                .push(format!("current point [{key}] has no {rate_field}"));
+            continue;
+        };
+        outcome.checks += 1;
+        let floor = (1.0 - margin) * base_rate;
+        if current_rate < floor {
+            outcome.failures.push(format!(
+                "[{key}] {rate_field} regressed: {current_rate:.0}/s vs baseline \
+                 {base_rate:.0}/s (floor {floor:.0}/s at margin {margin})"
+            ));
+        }
+    }
+    if outcome.checks == 0 && outcome.failures.is_empty() {
+        outcome.failures.push(format!(
+            "no baseline point matched the current run (key fields {key_fields:?})"
+        ));
+    }
+}
+
+/// One parsed engine grid row, as much of it as the cliff check needs.
+struct EnginePoint {
+    batch: u64,
+    threads: u64,
+    warm_per_sec: f64,
+}
+
+fn engine_points(doc: &JsonValue) -> Vec<EnginePoint> {
+    points_of(doc)
+        .iter()
+        .filter_map(|p| {
+            Some(EnginePoint {
+                batch: p.get("batch").and_then(JsonValue::as_u64)?,
+                threads: p.get("threads").and_then(JsonValue::as_u64)?,
+                warm_per_sec: p.get("warm_per_sec").and_then(JsonValue::as_f64)?,
+            })
+        })
+        .collect()
+}
+
+/// The scaling-cliff check on the **current** grid: at every measured
+/// thread count, warm batch-512 throughput must reach at least
+/// [`CLIFF_MARGIN`] × warm batch-64 throughput — the batch-512 rollover,
+/// re-encoded as a failure. A grid with no batch-512 rows (or a
+/// batch-512 row with no batch-64 partner) fails rather than passing
+/// vacuously.
+fn scaling_cliff_check(current: &JsonValue, outcome: &mut GateOutcome) {
+    let points = engine_points(current);
+    let mut checked = 0usize;
+    for p512 in points.iter().filter(|p| p.batch == 512) {
+        let Some(p64) = points
+            .iter()
+            .find(|p| p.batch == 64 && p.threads == p512.threads)
+        else {
+            outcome.failures.push(format!(
+                "cliff: no batch-64 row at {} threads",
+                p512.threads
+            ));
+            continue;
+        };
+        outcome.checks += 1;
+        checked += 1;
+        if p512.warm_per_sec < CLIFF_MARGIN * p64.warm_per_sec {
+            outcome.failures.push(format!(
+                "cliff: warm batch-512 ({:.0}/s) fell below {CLIFF_MARGIN} × warm batch-64 \
+                 ({:.0}/s) at {} threads — the batch-512 rollover is back",
+                p512.warm_per_sec, p64.warm_per_sec, p512.threads
+            ));
+        }
+    }
+    if checked == 0 {
+        outcome
+            .failures
+            .push("cliff: no batch-512 rows to check".to_owned());
+    }
+}
+
+/// The p95 ceiling for a baseline value: one histogram bucket of slack
+/// plus the fractional margin. The log2 latency histograms quantize
+/// quantiles to bucket upper bounds (powers of two), so a value sitting
+/// near a bucket edge legitimately flips one bucket (2×) between runs;
+/// **two** buckets is a genuine tail regression, and that is what this
+/// ceiling fails.
+fn p95_limit(baseline_p95: u64, margin: f64) -> f64 {
+    baseline_p95 as f64 * 2.0 * (1.0 + margin)
+}
+
+/// Per-op-kind p95 latency comparison over the embedded `metrics`
+/// sections. Skipped (with a note) when either document has no metrics
+/// or the current build compiled the telemetry layer out; an op kind
+/// that had latency samples in the baseline but none in the current run
+/// fails, since that means the instrumentation went missing.
+fn p95_checks(current: &JsonValue, baseline: &JsonValue, margin: f64, outcome: &mut GateOutcome) {
+    let Some(base_metrics) = baseline.get("metrics") else {
+        outcome
+            .notes
+            .push("baseline has no metrics section; p95 checks skipped".to_owned());
+        return;
+    };
+    let Some(current_metrics) = current.get("metrics") else {
+        outcome
+            .notes
+            .push("current run has no metrics section; p95 checks skipped".to_owned());
+        return;
+    };
+    if current_metrics
+        .get("compiled_out")
+        .and_then(JsonValue::as_bool)
+        == Some(true)
+    {
+        outcome
+            .notes
+            .push("current build compiled metrics out; p95 checks skipped".to_owned());
+        return;
+    }
+    let base_ops = base_metrics.get("ops").and_then(JsonValue::as_array);
+    let current_ops = current_metrics.get("ops").and_then(JsonValue::as_array);
+    let (Some(base_ops), Some(current_ops)) = (base_ops, current_ops) else {
+        outcome
+            .failures
+            .push("metrics section has no ops array".to_owned());
+        return;
+    };
+    for base_op in base_ops {
+        let kind = base_op
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let base_count = base_op
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let base_p95 = base_op
+            .get("p95_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if base_count == 0 || base_p95 == 0 {
+            continue;
+        }
+        let matched = current_ops
+            .iter()
+            .find(|op| op.get("kind").and_then(JsonValue::as_str) == Some(kind));
+        let Some(current_op) = matched else {
+            outcome
+                .failures
+                .push(format!("p95: op kind {kind:?} absent from current metrics"));
+            continue;
+        };
+        let current_count = current_op
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let Some(current_p95) = current_op.get("p95_ns").and_then(JsonValue::as_u64) else {
+            outcome
+                .failures
+                .push(format!("p95: op kind {kind:?} has no p95_ns"));
+            continue;
+        };
+        outcome.checks += 1;
+        if current_count == 0 {
+            outcome.failures.push(format!(
+                "p95: op kind {kind:?} recorded no latency samples (baseline had {base_count}) \
+                 — instrumentation went missing"
+            ));
+            continue;
+        }
+        let limit = p95_limit(base_p95, margin);
+        if current_p95 as f64 > limit {
+            outcome.failures.push(format!(
+                "p95: op kind {kind:?} inflated to {current_p95}ns vs baseline {base_p95}ns \
+                 (ceiling {limit:.0}ns = one bucket + margin {margin})"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_doc(points: &[(u64, u64, f64)], ops: &[(&str, u64, u64)]) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bench", JsonValue::Str("engine_throughput".into())),
+            ("schema_version", JsonValue::Uint(3)),
+            (
+                "points",
+                JsonValue::Arr(
+                    points
+                        .iter()
+                        .map(|&(batch, threads, warm)| {
+                            JsonValue::obj(vec![
+                                ("batch", JsonValue::Uint(batch)),
+                                ("threads", JsonValue::Uint(threads)),
+                                ("warm_per_sec", JsonValue::Num(warm)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics",
+                JsonValue::obj(vec![
+                    ("compiled_out", JsonValue::Bool(false)),
+                    (
+                        "ops",
+                        JsonValue::Arr(
+                            ops.iter()
+                                .map(|&(kind, count, p95)| {
+                                    JsonValue::obj(vec![
+                                        ("kind", JsonValue::Str(kind.into())),
+                                        ("latency_count", JsonValue::Uint(count)),
+                                        ("p95_ns", JsonValue::Uint(p95)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// A healthy grid: batch 512 holds above batch 64 at both thread
+    /// counts, latencies steady.
+    fn healthy() -> JsonValue {
+        engine_doc(
+            &[
+                (64, 1, 100.0),
+                (512, 1, 110.0),
+                (64, 2, 180.0),
+                (512, 2, 200.0),
+            ],
+            &[("rep2", 1000, 2047), ("rep3", 100, 16383)],
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let outcome = gate_documents(&healthy(), &healthy(), DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        // 4 throughput + 2 cliff + 2 p95.
+        assert_eq!(outcome.checks, 8);
+    }
+
+    #[test]
+    fn within_margin_noise_passes() {
+        let current = engine_doc(
+            &[
+                (64, 1, 90.0), // 10% below baseline: inside the 15% margin
+                (512, 1, 99.0),
+                (64, 2, 170.0),
+                (512, 2, 185.0),
+            ],
+            &[("rep2", 900, 4095), ("rep3", 90, 16383)], // one bucket up: slack
+        );
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn synthetic_throughput_regression_fails() {
+        let current = engine_doc(
+            &[
+                (64, 1, 80.0), // 20% below baseline: past the 15% margin
+                (512, 1, 110.0),
+                (64, 2, 180.0),
+                (512, 2, 200.0),
+            ],
+            &[("rep2", 1000, 2047), ("rep3", 100, 16383)],
+        );
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("warm_per_sec regressed"), "{failure}");
+    }
+
+    #[test]
+    fn scaling_cliff_rollover_fails() {
+        // The recorded rollover (21.1k → 17.3k, ≈18% drop) on the current
+        // grid must fail even when the baseline shows the same shape.
+        let rollover = engine_doc(
+            &[(64, 1, 21131.0), (512, 1, 17372.0)],
+            &[("rep2", 1000, 2047)],
+        );
+        let outcome = gate_documents(&rollover, &rollover, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("batch-512 rollover"), "{failure}");
+        // A grid with no batch-512 rows cannot vacuously pass the cliff.
+        let no512 = engine_doc(&[(64, 1, 100.0)], &[("rep2", 1000, 2047)]);
+        let outcome = gate_documents(&no512, &no512, DEFAULT_GATE_MARGIN);
+        assert!(outcome.failures.iter().any(|f| f.contains("no batch-512")));
+        // A batch-512 row with no batch-64 partner is a failure too.
+        let orphan = engine_doc(&[(512, 3, 100.0)], &[("rep2", 1000, 2047)]);
+        let outcome = gate_documents(&orphan, &orphan, DEFAULT_GATE_MARGIN);
+        assert!(outcome.failures.iter().any(|f| f.contains("no batch-64")));
+    }
+
+    #[test]
+    fn p95_inflation_beyond_one_bucket_fails() {
+        let current = engine_doc(
+            &[
+                (64, 1, 100.0),
+                (512, 1, 110.0),
+                (64, 2, 180.0),
+                (512, 2, 200.0),
+            ],
+            // rep2 jumped two buckets (2047 → 8191ns): a real tail regression.
+            &[("rep2", 1000, 8191), ("rep3", 100, 16383)],
+        );
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(
+            failure.contains("p95: op kind \"rep2\" inflated"),
+            "{failure}"
+        );
+    }
+
+    #[test]
+    fn missing_current_samples_for_a_baseline_kind_fails() {
+        let current = engine_doc(
+            &[
+                (64, 1, 100.0),
+                (512, 1, 110.0),
+                (64, 2, 180.0),
+                (512, 2, 200.0),
+            ],
+            &[("rep2", 0, 0), ("rep3", 100, 16383)],
+        );
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("instrumentation went missing")));
+    }
+
+    #[test]
+    fn compiled_out_current_build_skips_p95_with_a_note() {
+        let mut current = healthy();
+        if let JsonValue::Obj(fields) = &mut current {
+            for (key, value) in fields.iter_mut() {
+                if key == "metrics" {
+                    if let JsonValue::Obj(metric_fields) = value {
+                        metric_fields[0].1 = JsonValue::Bool(true); // compiled_out
+                    }
+                }
+            }
+        }
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(outcome
+            .notes
+            .iter()
+            .any(|n| n.contains("compiled metrics out")));
+        assert_eq!(outcome.checks, 6, "p95 checks must be skipped");
+    }
+
+    #[test]
+    fn unmatched_baseline_points_are_noted_but_an_empty_match_fails() {
+        // Current grid measured fewer thread counts: skipped, not failed.
+        let current = engine_doc(
+            &[(64, 1, 100.0), (512, 1, 110.0)],
+            &[("rep2", 1000, 2047), ("rep3", 100, 16383)],
+        );
+        let outcome = gate_documents(&current, &healthy(), DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(
+            outcome
+                .notes
+                .iter()
+                .filter(|n| n.contains("skipped"))
+                .count(),
+            2
+        );
+        // No overlap at all: the gate must fail, not pass vacuously.
+        let disjoint = engine_doc(&[(8, 1, 50.0)], &[]);
+        let baseline = engine_doc(&[(64, 4, 100.0)], &[]);
+        let outcome = gate_documents(&disjoint, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("no baseline point matched")));
+    }
+
+    fn packed_doc(points: &[(u64, u64, u64, f64)]) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bench", JsonValue::Str("packed_scan".into())),
+            (
+                "points",
+                JsonValue::Arr(
+                    points
+                        .iter()
+                        .map(|&(dim, items, shards, rate)| {
+                            JsonValue::obj(vec![
+                                ("dim", JsonValue::Uint(dim)),
+                                ("items", JsonValue::Uint(items)),
+                                ("shards", JsonValue::Uint(shards)),
+                                ("packed_per_sec", JsonValue::Num(rate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn packed_scan_documents_gate_on_packed_per_sec() {
+        let baseline = packed_doc(&[(1024, 256, 1, 400000.0), (8192, 256, 8, 100000.0)]);
+        let good = packed_doc(&[(1024, 256, 1, 390000.0), (8192, 256, 8, 99000.0)]);
+        assert!(gate_documents(&good, &baseline, DEFAULT_GATE_MARGIN).passed());
+        let bad = packed_doc(&[(1024, 256, 1, 200000.0), (8192, 256, 8, 99000.0)]);
+        let outcome = gate_documents(&bad, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("packed_per_sec regressed"));
+    }
+
+    #[test]
+    fn kernel_documents_gate_on_hamming_per_sec_and_skip_absent_isas() {
+        let kernel_doc = |points: &[(&str, u64, f64)]| {
+            JsonValue::obj(vec![
+                ("bench", JsonValue::Str("kernels".into())),
+                (
+                    "points",
+                    JsonValue::Arr(
+                        points
+                            .iter()
+                            .map(|&(kernel, words, rate)| {
+                                JsonValue::obj(vec![
+                                    ("kernel", JsonValue::Str(kernel.into())),
+                                    ("words", JsonValue::Uint(words)),
+                                    ("hamming_per_sec", JsonValue::Num(rate)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let baseline = kernel_doc(&[("avx2", 512, 3.0e9), ("avx512", 512, 8.0e9)]);
+        // Current machine lacks avx512: that row is skipped, avx2 gates.
+        let current = kernel_doc(&[("avx2", 512, 2.9e9)]);
+        let outcome = gate_documents(&current, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(outcome.checks, 1);
+        assert!(outcome.notes[0].contains("skipped"));
+        let slow = kernel_doc(&[("avx2", 512, 1.0e9)]);
+        assert!(!gate_documents(&slow, &baseline, DEFAULT_GATE_MARGIN).passed());
+    }
+
+    #[test]
+    fn mismatched_and_unknown_bench_fields_fail() {
+        let packed = packed_doc(&[(1024, 256, 1, 1.0)]);
+        let outcome = gate_documents(&healthy(), &packed, DEFAULT_GATE_MARGIN);
+        assert!(outcome.failures[0].contains("bench mismatch"));
+        let unknown = JsonValue::obj(vec![("bench", JsonValue::Str("mystery".into()))]);
+        let outcome = gate_documents(&unknown, &unknown, DEFAULT_GATE_MARGIN);
+        assert!(outcome.failures[0].contains("unknown bench family"));
+    }
+
+    #[test]
+    fn parse_errors_surface_as_failures() {
+        let healthy_text = healthy().render();
+        assert!(
+            gate_texts("{", &healthy_text, DEFAULT_GATE_MARGIN).failures[0]
+                .contains("current document")
+        );
+        assert!(
+            gate_texts(&healthy_text, "[1,", DEFAULT_GATE_MARGIN).failures[0]
+                .contains("baseline document")
+        );
+        assert!(gate_texts(&healthy_text, &healthy_text, DEFAULT_GATE_MARGIN).passed());
+    }
+
+    #[test]
+    fn p95_limit_allows_exactly_one_bucket_jump() {
+        // Baseline edge 2047; next bucket edge 4095 passes, 8191 fails.
+        assert!((4095f64) <= p95_limit(2047, DEFAULT_GATE_MARGIN));
+        assert!((8191f64) > p95_limit(2047, DEFAULT_GATE_MARGIN));
+    }
+}

@@ -1,14 +1,19 @@
-//! Minimal hand-rolled JSON emission for the machine-readable
-//! `BENCH_*.json` artifacts (the build environment vendors no serde).
+//! Minimal hand-rolled JSON emission and parsing for the
+//! machine-readable `BENCH_*.json` artifacts (the build environment
+//! vendors no serde).
 //!
 //! Only what the bench schemas need: objects, arrays, strings, bools,
-//! and finite numbers. Non-finite numbers render as `null` (JSON has no
-//! NaN/Inf), and strings escape quotes, backslashes, and control bytes.
+//! nulls, and finite numbers. Non-finite numbers render as `null` (JSON
+//! has no NaN/Inf), and strings escape quotes, backslashes, and control
+//! bytes. [`JsonValue::parse`] is the matching recursive-descent reader
+//! used by the `bench_gate` bin to diff current BENCH files against
+//! committed baselines.
 
 use std::fmt::Write as _;
 
-/// A JSON value tree, rendered by [`JsonValue::render`].
-#[derive(Debug, Clone)]
+/// A JSON value tree, rendered by [`JsonValue::render`] and read back by
+/// [`JsonValue::parse`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// A finite number (non-finite values render as `null`).
     Num(f64),
@@ -22,6 +27,8 @@ pub enum JsonValue {
     Arr(Vec<JsonValue>),
     /// An object with ordered keys.
     Obj(Vec<(String, JsonValue)>),
+    /// The JSON `null` literal.
+    Null,
 }
 
 impl JsonValue {
@@ -87,7 +94,274 @@ impl JsonValue {
                 }
                 out.push('}');
             }
+            JsonValue::Null => out.push_str("null"),
         }
+    }
+
+    /// Parses `text` as one JSON document (trailing whitespace allowed).
+    ///
+    /// Integers without sign, fraction, or exponent that fit a `u64`
+    /// come back as [`JsonValue::Uint`]; every other number becomes
+    /// [`JsonValue::Num`] — matching what the emitter writes.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the byte offset of the first
+    /// syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number of either flavor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Uint(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer value, when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Uint(x) => Some(*x),
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent state over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // BENCH files never emit surrogate pairs; map
+                            // unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_owned())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8".to_owned())?;
+        if integral && !text.starts_with('-') {
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 }
 
@@ -123,5 +397,67 @@ mod tests {
         );
         assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
         assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let value = JsonValue::obj(vec![
+            ("bench", JsonValue::Str("engine_throughput".into())),
+            ("schema_version", JsonValue::Uint(3)),
+            ("quick", JsonValue::Bool(false)),
+            ("missing", JsonValue::Null),
+            (
+                "points",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("batch", JsonValue::Uint(64)),
+                    ("warm_per_sec", JsonValue::Num(21832.5)),
+                    ("scale", JsonValue::Num(-0.25)),
+                ])]),
+            ),
+        ]);
+        let parsed = JsonValue::parse(&value.render()).expect("parses");
+        assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_exponents() {
+        let parsed =
+            JsonValue::parse(" { \"a\\n\" : [ 1 , 2.5e3 , true , null , \"\\u0041\" ] } \n")
+                .expect("parses");
+        assert_eq!(
+            parsed,
+            JsonValue::Obj(vec![(
+                "a\n".to_owned(),
+                JsonValue::Arr(vec![
+                    JsonValue::Uint(1),
+                    JsonValue::Num(2500.0),
+                    JsonValue::Bool(true),
+                    JsonValue::Null,
+                    JsonValue::Str("A".to_owned()),
+                ]),
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_trees() {
+        let doc = JsonValue::parse(r#"{"n":4.0,"u":7,"s":"x","b":false,"a":[1]}"#).unwrap();
+        assert_eq!(doc.get("u").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(doc.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(doc.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(
+            doc.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(doc.get("zzz").is_none());
     }
 }

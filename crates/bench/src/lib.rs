@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod engine_bench;
+pub mod gate;
 pub mod json;
 pub mod kernel_bench;
 pub mod packed_bench;
@@ -21,9 +22,11 @@ pub mod runner;
 pub mod table;
 
 pub use engine_bench::{
-    engine_throughput_json, engine_throughput_points, engine_throughput_table, measure_batch,
-    thread_grid, throughput_gate, verify_artifact_round_trip, ThroughputPoint,
+    collect_metrics_report, engine_throughput_json, engine_throughput_points,
+    engine_throughput_table, measure_batch, metrics_snapshot_json, thread_grid,
+    verify_artifact_round_trip, MetricsReport, ThroughputPoint,
 };
+pub use gate::{gate_documents, gate_texts, GateOutcome, CLIFF_MARGIN, DEFAULT_GATE_MARGIN};
 pub use json::JsonValue;
 pub use kernel_bench::{
     kernel_bench_json, kernel_bench_table, kernel_points, measure_kernel,

@@ -18,6 +18,7 @@
 //!   "the problem of 2".
 
 use crate::{Encoder, FactorHdError, ItemPath, ObjectSpec, Scene, Taxonomy, ThresholdPolicy};
+use hdc::stage::{Stage, StageTimer};
 use hdc::{AccumHv, Bind, BipolarHv, CodebookScan, Similarity, TernaryHv};
 use std::sync::Arc;
 
@@ -373,6 +374,7 @@ impl<'a> Factorizer<'a> {
         &self,
         hv: &AccumHv,
     ) -> Result<(DecodedObject, FactorizeStats), FactorHdError> {
+        let _span = StageTimer::enter(Stage::Rerank);
         self.check_dim(hv.dim())?;
         let mut stats = FactorizeStats::default();
         let classes: Vec<usize> = (0..self.taxonomy.num_classes()).collect();
@@ -453,6 +455,7 @@ impl<'a> Factorizer<'a> {
         &self,
         queries: &[TernaryHv],
     ) -> Result<Vec<DecodedObject>, FactorHdError> {
+        let _span = StageTimer::enter(Stage::Rerank);
         let width = self.config.refine_width.max(1);
         let mut stats = FactorizeStats::default();
         let mut per_query: Vec<Vec<ClassDecode>> = queries
@@ -505,6 +508,7 @@ impl<'a> Factorizer<'a> {
         items: &[(usize, ItemPath)],
         absent: &[usize],
     ) -> Result<crate::QueryAnswer, FactorHdError> {
+        let _span = StageTimer::enter(Stage::Rerank);
         let mut query = crate::SceneQuery::new(self.taxonomy);
         for (class, path) in items {
             query = query.with_item(*class, path.clone())?;
@@ -528,6 +532,7 @@ impl<'a> Factorizer<'a> {
         hv: &AccumHv,
         classes: &[usize],
     ) -> Result<Vec<ClassDecode>, FactorHdError> {
+        let _span = StageTimer::enter(Stage::Rerank);
         self.check_dim(hv.dim())?;
         for &c in classes {
             if c >= self.taxonomy.num_classes() {
@@ -664,6 +669,7 @@ impl<'a> Factorizer<'a> {
     /// result (no object cleared `TH`) is returned as a [`DecodedScene`]
     /// with no objects, not as an error.
     pub fn factorize_multi(&self, hv: &AccumHv) -> Result<DecodedScene, FactorHdError> {
+        let _span = StageTimer::enter(Stage::Rerank);
         self.check_dim(hv.dim())?;
         let th = self.resolved_threshold();
         let mut stats = FactorizeStats::default();

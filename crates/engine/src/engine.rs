@@ -1,5 +1,6 @@
 //! The typed serving engine over one model.
 
+use crate::metrics::{self, MetricsSnapshot};
 use crate::ops::{AnyOp, AnyOutput, Op};
 use crate::{plan, CacheStats, EngineConfig, EngineError, ModelState};
 use factorhd_core::Taxonomy;
@@ -152,7 +153,16 @@ impl FactorEngine {
     ///
     /// The conditions of [`Op::run`].
     pub fn run<O: Op>(&self, op: &O) -> Result<O::Output, EngineError> {
-        op.run(&self.model)
+        let kind = op.kind();
+        metrics::record_submitted(kind, 1);
+        let started = metrics::now();
+        let result = op.run(&self.model);
+        if let Some(started) = started {
+            metrics::record_op_nanos(kind, started.elapsed().as_nanos() as u64);
+        }
+        metrics::record_outcomes(kind, result.is_ok() as u64, result.is_err() as u64);
+        metrics::record_model_ops(metrics::UNREGISTERED_GENERATION, 1);
+        result
     }
 
     /// Executes a homogeneous typed batch across the worker pool, results
@@ -168,19 +178,42 @@ impl FactorEngine {
         O::Output: Send,
     {
         let model = self.model.as_ref();
+        metrics::record_batch_size(ops.len() as u64);
+        if !ops.is_empty() {
+            metrics::record_model_ops(metrics::UNREGISTERED_GENERATION, ops.len() as u64);
+        }
         if O::groupable() {
             let chunk = plan::task_chunk(true, ops.len(), model.config().batch_chunk);
             let chunks: Vec<&[O]> = ops.chunks(chunk).collect();
             let per_chunk: Vec<Vec<Result<O::Output, EngineError>>> = chunks
                 .par_iter()
                 .map(|piece| {
+                    metrics::record_chunk_size(piece.len() as u64);
                     let refs: Vec<&O> = piece.iter().collect();
-                    O::run_many(model, &refs)
+                    if let Some(kind) = piece.first().map(Op::kind) {
+                        metrics::record_submitted(kind, piece.len() as u64);
+                    }
+                    let started = metrics::now();
+                    let results = O::run_many(model, &refs);
+                    record_slice_outcomes(piece, &results, started);
+                    results
                 })
                 .collect();
             per_chunk.into_iter().flatten().collect()
         } else {
-            ops.par_iter().map(|op| op.run(model)).collect()
+            ops.par_iter()
+                .map(|op| {
+                    let kind = op.kind();
+                    metrics::record_submitted(kind, 1);
+                    let started = metrics::now();
+                    let result = op.run(model);
+                    if let Some(started) = started {
+                        metrics::record_op_nanos(kind, started.elapsed().as_nanos() as u64);
+                    }
+                    metrics::record_outcomes(kind, result.is_ok() as u64, result.is_err() as u64);
+                    result
+                })
+                .collect()
         }
     }
 
@@ -189,13 +222,42 @@ impl FactorEngine {
     /// out across the pool. Results in input order, **bit-identical** to
     /// [`FactorEngine::run_mixed_sequential`].
     pub fn run_mixed(&self, ops: &[AnyOp]) -> Vec<Result<AnyOutput, EngineError>> {
+        metrics::record_model_ops(metrics::UNREGISTERED_GENERATION, ops.len() as u64);
         plan::execute_mixed(&self.model, ops)
     }
 
     /// The determinism reference for [`FactorEngine::run_mixed`]: one op
-    /// at a time on the calling thread, no grouping.
+    /// at a time on the calling thread, no grouping — and deliberately
+    /// uninstrumented, so reference comparisons never perturb the
+    /// telemetry they are checked against.
     pub fn run_mixed_sequential(&self, ops: &[AnyOp]) -> Vec<Result<AnyOutput, EngineError>> {
         ops.iter().map(|op| op.run(&self.model)).collect()
+    }
+
+    /// A copy-out of the process-global telemetry tables: per-op-kind
+    /// counters and latency quantiles, batch/chunk histograms, per-stage
+    /// timings, and per-model op counts. See [`crate::metrics`] and
+    /// docs/OBSERVABILITY.md.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        metrics::snapshot()
+    }
+}
+
+/// Records outcome counts and per-op latency shares for one executed
+/// chunk of a homogeneous batch.
+fn record_slice_outcomes<O: Op>(
+    ops: &[O],
+    results: &[Result<O::Output, EngineError>],
+    started: Option<std::time::Instant>,
+) {
+    let Some(kind) = ops.first().map(Op::kind) else {
+        return;
+    };
+    let completed = results.iter().filter(|r| r.is_ok()).count() as u64;
+    metrics::record_outcomes(kind, completed, results.len() as u64 - completed);
+    if let Some(started) = started {
+        let nanos = started.elapsed().as_nanos() as u64;
+        metrics::record_group_nanos(kind, results.len() as u64, nanos);
     }
 }
 

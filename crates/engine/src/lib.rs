@@ -93,6 +93,7 @@ pub mod artifact;
 pub mod cache;
 mod engine;
 mod error;
+pub mod metrics;
 mod model;
 pub mod ops;
 mod plan;
@@ -102,6 +103,10 @@ pub mod shim;
 pub use cache::{CacheStats, LruCache, ReconCache};
 pub use engine::FactorEngine;
 pub use error::EngineError;
+pub use metrics::{
+    set_metrics_recording, MetricsSnapshot, ModelMetrics, OpKindMetrics, Stage, StageTimer,
+    StageTotal,
+};
 pub use model::{EngineConfig, ModelState};
 pub use ops::{
     AnyOp, AnyOutput, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe,
@@ -115,7 +120,7 @@ pub use shim::{Request, Response};
 pub mod prelude {
     pub use crate::{
         AnyOp, AnyOutput, CacheStats, EncodeScene, EngineConfig, EngineError, FactorEngine,
-        FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe, ModelHandle, ModelId,
-        ModelRegistry, ModelState, Op, OpKind, PartialDecode,
+        FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe, MetricsSnapshot, ModelHandle,
+        ModelId, ModelRegistry, ModelState, Op, OpKind, PartialDecode, Stage, StageTimer,
     };
 }

@@ -67,6 +67,10 @@ pub trait Op {
     {
         false
     }
+
+    /// The [`OpKind`] discriminant of this op — the key the metrics layer
+    /// accounts counters and latency histograms under.
+    fn kind(&self) -> OpKind;
 }
 
 /// Rep-1 factorization: recover the single object of a scene vector at
@@ -158,6 +162,10 @@ impl Op for FactorizeRep1 {
     fn groupable() -> bool {
         true
     }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Rep1
+    }
 }
 
 impl Op for FactorizeRep2 {
@@ -180,6 +188,10 @@ impl Op for FactorizeRep2 {
     fn groupable() -> bool {
         true
     }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Rep2
+    }
 }
 
 impl Op for FactorizeRep3 {
@@ -187,6 +199,10 @@ impl Op for FactorizeRep3 {
 
     fn run(&self, model: &ModelState) -> Result<DecodedScene, EngineError> {
         Ok(model.factorizer().factorize_multi(&self.scene)?)
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Rep3
     }
 }
 
@@ -198,6 +214,10 @@ impl Op for PartialDecode {
             .factorizer()
             .factorize_classes(&self.scene, &self.classes)?)
     }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Partial
+    }
 }
 
 impl Op for MembershipProbe {
@@ -208,6 +228,10 @@ impl Op for MembershipProbe {
             .factorizer()
             .evaluate_membership(&self.scene, &self.items, &self.absent)?)
     }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Membership
+    }
 }
 
 impl Op for EncodeScene {
@@ -215,6 +239,10 @@ impl Op for EncodeScene {
 
     fn run(&self, model: &ModelState) -> Result<AccumHv, EngineError> {
         Ok(Encoder::new(model.taxonomy()).encode_scene(&self.scene)?)
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Encode
     }
 }
 
@@ -237,10 +265,48 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Number of op kinds (the width of per-kind metrics tables).
+    pub const COUNT: usize = 6;
+
+    /// All op kinds, in [`OpKind::index`] order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Rep1,
+        OpKind::Rep2,
+        OpKind::Rep3,
+        OpKind::Partial,
+        OpKind::Membership,
+        OpKind::Encode,
+    ];
+
     /// Whether ops of this kind share a grouped kernel (see
     /// [`Op::groupable`]).
     pub fn groupable(self) -> bool {
         matches!(self, OpKind::Rep1 | OpKind::Rep2)
+    }
+
+    /// Dense 0-based index of this kind (the metrics table slot).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Rep1 => 0,
+            OpKind::Rep2 => 1,
+            OpKind::Rep3 => 2,
+            OpKind::Partial => 3,
+            OpKind::Membership => 4,
+            OpKind::Encode => 5,
+        }
+    }
+
+    /// Lower-case stable name used in snapshots and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Rep1 => "rep1",
+            OpKind::Rep2 => "rep2",
+            OpKind::Rep3 => "rep3",
+            OpKind::Partial => "partial",
+            OpKind::Membership => "membership",
+            OpKind::Encode => "encode",
+        }
     }
 }
 
@@ -373,6 +439,10 @@ impl Op for AnyOp {
             AnyOp::Membership(op) => op.run(model).map(AnyOutput::Membership),
             AnyOp::Encode(op) => op.run(model).map(AnyOutput::Encoded),
         }
+    }
+
+    fn kind(&self) -> OpKind {
+        AnyOp::kind(self)
     }
 }
 

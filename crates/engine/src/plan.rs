@@ -23,6 +23,7 @@
 //! plan. Grouping same-kind ops onto one worker additionally keeps that
 //! worker's scratch sized for the op shape it keeps serving.
 
+use crate::metrics::{self, Stage, StageTimer};
 use crate::ops::{run_any_group, AnyOp, AnyOutput, OpKind};
 use crate::{EngineError, ModelState};
 use rayon::prelude::*;
@@ -70,6 +71,8 @@ pub(crate) fn execute_batch_planned(
     states: &[Option<Arc<ModelState>>],
     slot_names: &[String],
 ) -> Vec<Result<AnyOutput, EngineError>> {
+    metrics::record_batch_size(ops.len() as u64);
+    let plan_span = StageTimer::enter(Stage::Plan);
     let mut results: Vec<Option<Result<AnyOutput, EngineError>>> =
         ops.iter().map(|_| None).collect();
 
@@ -78,6 +81,8 @@ pub(crate) fn execute_batch_planned(
     let mut groups: BTreeMap<(usize, OpKind), Vec<usize>> = BTreeMap::new();
     for (i, (slot, op)) in ops.iter().enumerate() {
         if states[*slot].is_none() {
+            metrics::record_submitted(op.kind(), 1);
+            metrics::record_outcomes(op.kind(), 0, 1);
             results[i] = Some(Err(EngineError::UnknownModel(slot_names[*slot].clone())));
             continue;
         }
@@ -90,31 +95,47 @@ pub(crate) fn execute_batch_planned(
     // no defensive clamping here).
     let mut tasks: Vec<(usize, OpKind, Vec<usize>)> = Vec::new();
     for ((slot, kind), indices) in groups {
+        metrics::record_submitted(kind, indices.len() as u64);
         let state = states[slot].as_ref().expect("grouped slots are resolved");
         let chunk = task_chunk(kind.groupable(), indices.len(), state.config().batch_chunk);
         for piece in indices.chunks(chunk) {
+            if kind.groupable() {
+                metrics::record_chunk_size(piece.len() as u64);
+            }
             tasks.push((slot, kind, piece.to_vec()));
         }
     }
+    drop(plan_span);
 
     let outputs: Vec<TaskOutput> = tasks
         .par_iter()
         .map(|(slot, kind, indices)| {
             let state = states[*slot].as_ref().expect("resolved");
             let refs: Vec<&AnyOp> = indices.iter().map(|&i| ops[i].1).collect();
-            (indices.clone(), run_any_group(state, *kind, &refs))
+            let started = metrics::now();
+            let group_results = run_any_group(state, *kind, &refs);
+            let completed = group_results.iter().filter(|r| r.is_ok()).count() as u64;
+            metrics::record_outcomes(*kind, completed, indices.len() as u64 - completed);
+            if let Some(started) = started {
+                let nanos = started.elapsed().as_nanos() as u64;
+                metrics::record_group_nanos(*kind, indices.len() as u64, nanos);
+            }
+            (indices.clone(), group_results)
         })
         .collect();
 
+    let scatter_span = StageTimer::enter(Stage::Scatter);
     for (indices, group_results) in outputs {
         for (i, result) in indices.into_iter().zip(group_results) {
             results[i] = Some(result);
         }
     }
-    results
+    let gathered = results
         .into_iter()
         .map(|slot| slot.expect("every op planned exactly once"))
-        .collect()
+        .collect();
+    drop(scatter_span);
+    gathered
 }
 
 /// Single-model planner: every op targets `model`.

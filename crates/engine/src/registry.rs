@@ -8,6 +8,7 @@
 //! the old state alive until it finishes — no lock is held during
 //! serving, so a swap never blocks or corrupts a running batch.
 
+use crate::metrics::{self, MetricsSnapshot};
 use crate::ops::{AnyOp, AnyOutput, Op};
 use crate::plan::execute_batch_planned;
 use crate::{EngineConfig, EngineError, ModelState};
@@ -97,7 +98,16 @@ impl ModelHandle {
     ///
     /// The conditions of [`Op::run`].
     pub fn run<O: Op>(&self, op: &O) -> Result<O::Output, EngineError> {
-        op.run(&self.state)
+        let kind = op.kind();
+        metrics::record_submitted(kind, 1);
+        let started = metrics::now();
+        let result = op.run(&self.state);
+        if let Some(started) = started {
+            metrics::record_op_nanos(kind, started.elapsed().as_nanos() as u64);
+        }
+        metrics::record_outcomes(kind, result.is_ok() as u64, result.is_err() as u64);
+        metrics::record_model_ops(self.generation, 1);
+        result
     }
 }
 
@@ -258,17 +268,31 @@ impl ModelRegistry {
         let mut slot_of: HashMap<&ModelId, usize> = HashMap::new();
         let mut states: Vec<Option<Arc<ModelState>>> = Vec::new();
         let mut slot_names: Vec<String> = Vec::new();
+        let mut slot_generations: Vec<Option<u64>> = Vec::new();
         {
             let guard = self.models.read();
             for (id, _) in ops {
                 if !slot_of.contains_key(id) {
                     slot_of.insert(id, states.len());
-                    states.push(guard.get(id).map(|e| Arc::clone(&e.state)));
+                    let entry = guard.get(id);
+                    states.push(entry.map(|e| Arc::clone(&e.state)));
+                    slot_generations.push(entry.map(|e| e.generation));
                     slot_names.push(id.to_string());
                 }
             }
         }
         let tagged: Vec<(usize, &AnyOp)> = ops.iter().map(|(id, op)| (slot_of[id], op)).collect();
+        if metrics::metrics_recording() {
+            let mut counts = vec![0u64; states.len()];
+            for &(slot, _) in &tagged {
+                counts[slot] += 1;
+            }
+            for (slot, count) in counts.into_iter().enumerate() {
+                if let Some(generation) = slot_generations[slot] {
+                    metrics::record_model_ops(generation, count);
+                }
+            }
+        }
         execute_batch_planned(&tagged, &states, &slot_names)
     }
 
@@ -281,6 +305,13 @@ impl ModelRegistry {
         ops.iter()
             .map(|(id, op)| self.run(id.as_str(), op))
             .collect()
+    }
+
+    /// A copy-out of the process-global telemetry tables; the `models`
+    /// rows are keyed by the generation stamps this registry issued. See
+    /// [`crate::metrics`] and docs/OBSERVABILITY.md.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        metrics::snapshot()
     }
 }
 

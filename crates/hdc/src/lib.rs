@@ -63,6 +63,7 @@ mod ops;
 mod packed;
 mod rng;
 mod sim;
+pub mod stage;
 mod ternary;
 
 pub use accum::AccumHv;
@@ -74,6 +75,7 @@ pub use ops::{Bind, Bundle, Permute};
 pub use packed::{AsPackedQuery, CodebookScan, PackedHv, PackedQuery, PackedShards};
 pub use rng::{derive_seed, rng_from_seed, DEFAULT_SEED};
 pub use sim::{cosine, hamming_distance, normalized_dot, Similarity};
+pub use stage::{Stage, StageTimer, StageTotal};
 pub use ternary::TernaryHv;
 
 /// Convenient glob import of the most common substrate types and traits.

@@ -42,6 +42,7 @@
 use crate::codebook::{Codebook, SearchHit};
 use crate::kernels::{self, ScanKernel};
 use crate::sim::Similarity;
+use crate::stage::{Stage, StageTimer};
 use crate::{clear_padding, words_for, AccumHv, BipolarHv, HdcError, TernaryHv};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -682,6 +683,7 @@ impl PackedShards {
     ///
     /// Panics if the query dimension differs from the table's.
     pub fn dots_into(&self, query: PackedQuery<'_>, out: &mut Vec<i64>) {
+        let _span = StageTimer::enter(Stage::Scan);
         self.check_query(&query);
         out.clear();
         out.reserve(self.len);
@@ -752,6 +754,7 @@ impl PackedShards {
     ///
     /// Panics if the query dimension differs from the table's.
     pub fn top_k_into(&self, query: PackedQuery<'_>, k: usize, out: &mut Vec<SearchHit>) {
+        let _span = StageTimer::enter(Stage::Scan);
         self.check_query(&query);
         out.clear();
         if k == 0 {
@@ -819,6 +822,7 @@ impl PackedShards {
         k: usize,
         outs: &mut Vec<Vec<SearchHit>>,
     ) {
+        let _span = StageTimer::enter(Stage::Scan);
         for query in queries {
             self.check_query(query);
         }
@@ -950,6 +954,7 @@ impl PackedShards {
         threshold: f64,
         out: &mut Vec<SearchHit>,
     ) {
+        let _span = StageTimer::enter(Stage::Scan);
         self.check_query(&query);
         out.clear();
         let kernel = kernels::selected_kernel();

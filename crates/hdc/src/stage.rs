@@ -1,0 +1,319 @@
+//! Per-stage wall-clock accounting for the serving pipeline.
+//!
+//! The engine's execution path decomposes into four stages — **plan**
+//! (grouping and task building), **scan** (packed codebook similarity
+//! scans), **rerank** (the factorizer's decode/descend/reconstruct work
+//! around the scans), and **scatter** (writing grouped results back into
+//! submission order). This module keeps one global nanosecond total and
+//! span count per stage, fed by [`StageTimer`] guards placed at the
+//! stage boundaries in `plan.rs`, the factorizer entry points, and the
+//! `PackedShards` scan routines.
+//!
+//! Attribution is **exclusive** (self-time): when a scan span opens
+//! inside a rerank span, the elapsed time up to that point is flushed to
+//! *rerank* and the nested interval accrues to *scan*. Totals therefore
+//! partition wall-clock time instead of double-counting nested work.
+//! The bookkeeping is a fixed-depth per-thread stack of `Cell`s — no
+//! heap allocation, no locks, and two relaxed atomic adds per span.
+//!
+//! Recording can be disabled at runtime ([`set_metrics_recording`]) or
+//! compiled out entirely with the `metrics-off` cargo feature, which
+//! turns [`StageTimer::enter`] into a no-op that never reads the clock.
+//! Overhead budget and snapshot schema are documented in
+//! `docs/OBSERVABILITY.md`.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of pipeline stages tracked by this module.
+pub const STAGE_COUNT: usize = 4;
+
+/// Maximum tracked nesting depth of simultaneously open [`StageTimer`]s
+/// on one thread. Deeper spans still measure correctly in total; only
+/// their exclusive attribution folds into the depth-8 ancestor.
+const MAX_DEPTH: usize = 8;
+
+/// A pipeline stage of the batch execution path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Grouping, task building, and chunking in the batch planner.
+    Plan,
+    /// Packed codebook similarity scans (`PackedShards::*_into`).
+    Scan,
+    /// Factorizer decode work around the scans: label elimination,
+    /// beam descent, combination testing, reconstruct-and-exclude.
+    Rerank,
+    /// Writing grouped results back into submission order.
+    Scatter,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [Stage::Plan, Stage::Scan, Stage::Rerank, Stage::Scatter];
+
+    /// Dense index of this stage (0-based, pipeline order).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Plan => 0,
+            Stage::Scan => 1,
+            Stage::Rerank => 2,
+            Stage::Scatter => 3,
+        }
+    }
+
+    /// Lower-case stable name used in snapshots and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Plan => "plan",
+            Stage::Scan => "scan",
+            Stage::Rerank => "rerank",
+            Stage::Scatter => "scatter",
+        }
+    }
+}
+
+/// Aggregated totals for one stage, as returned by [`stage_totals`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Which stage the totals belong to.
+    pub stage: Stage,
+    /// Number of spans entered for this stage.
+    pub count: u64,
+    /// Exclusive (self-time) nanoseconds accumulated across all spans.
+    pub nanos: u64,
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+static STAGE_NANOS: [AtomicU64; STAGE_COUNT] = [const { AtomicU64::new(0) }; STAGE_COUNT];
+static STAGE_COUNTS: [AtomicU64; STAGE_COUNT] = [const { AtomicU64::new(0) }; STAGE_COUNT];
+
+/// Enables or disables metrics recording process-wide.
+///
+/// Affects stage timers here and the engine-level counters and
+/// histograms that consult the same switch. Disabling recording
+/// short-circuits every record path to a single relaxed atomic load;
+/// it never changes computation results. The switch defaults to **on**.
+pub fn set_metrics_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Returns `true` when metrics recording is active: the crate was built
+/// without the `metrics-off` feature and the runtime switch
+/// ([`set_metrics_recording`]) is on.
+#[inline]
+pub fn metrics_recording() -> bool {
+    !cfg!(feature = "metrics-off") && RECORDING.load(Ordering::Relaxed)
+}
+
+/// Returns `true` when the `metrics-off` cargo feature compiled the
+/// telemetry layer out entirely.
+#[inline]
+pub fn metrics_compiled_out() -> bool {
+    cfg!(feature = "metrics-off")
+}
+
+/// Per-thread stack of open spans for exclusive-time attribution.
+struct SpanStack {
+    depth: Cell<usize>,
+    stages: [Cell<u8>; MAX_DEPTH],
+    /// Instant of the most recent stage transition on this thread.
+    last: Cell<Option<Instant>>,
+}
+
+thread_local! {
+    static SPANS: SpanStack = const {
+        SpanStack {
+            depth: Cell::new(0),
+            stages: [const { Cell::new(0) }; MAX_DEPTH],
+            last: Cell::new(None),
+        }
+    };
+}
+
+#[inline]
+fn flush(stage_index: usize, since: Instant, now: Instant) {
+    let nanos = now.duration_since(since).as_nanos() as u64;
+    STAGE_NANOS[stage_index].fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// RAII guard measuring one span of a pipeline [`Stage`].
+///
+/// Created by [`StageTimer::enter`]; the interval from creation to drop
+/// accrues to the stage, minus any intervals spent inside nested
+/// `StageTimer` spans (exclusive attribution — see the module docs).
+/// The guard is `!Send`: spans must open and close on the same thread.
+#[must_use = "the span is measured from enter() until the guard drops"]
+pub struct StageTimer {
+    stage: Stage,
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl StageTimer {
+    /// Opens a span for `stage`. When recording is disabled (runtime
+    /// switch off or `metrics-off` build) this is a no-op that never
+    /// reads the clock.
+    #[inline]
+    pub fn enter(stage: Stage) -> StageTimer {
+        if !metrics_recording() {
+            return StageTimer {
+                stage,
+                active: false,
+                _not_send: PhantomData,
+            };
+        }
+        let now = Instant::now();
+        SPANS.with(|spans| {
+            let depth = spans.depth.get();
+            if depth > 0 && depth <= MAX_DEPTH {
+                if let Some(last) = spans.last.get() {
+                    flush(spans.stages[depth - 1].get() as usize, last, now);
+                }
+            }
+            if depth < MAX_DEPTH {
+                spans.stages[depth].set(stage.index() as u8);
+            }
+            spans.depth.set(depth + 1);
+            spans.last.set(Some(now));
+        });
+        STAGE_COUNTS[stage.index()].fetch_add(1, Ordering::Relaxed);
+        StageTimer {
+            stage,
+            active: true,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let now = Instant::now();
+        SPANS.with(|spans| {
+            let depth = spans.depth.get();
+            if depth == 0 {
+                return;
+            }
+            if let Some(last) = spans.last.get() {
+                flush(self.stage.index(), last, now);
+            }
+            spans.depth.set(depth - 1);
+            spans.last.set(if depth > 1 { Some(now) } else { None });
+        });
+    }
+}
+
+/// Copies out the accumulated per-stage totals, in pipeline order.
+pub fn stage_totals() -> [StageTotal; STAGE_COUNT] {
+    Stage::ALL.map(|stage| StageTotal {
+        stage,
+        count: STAGE_COUNTS[stage.index()].load(Ordering::Relaxed),
+        nanos: STAGE_NANOS[stage.index()].load(Ordering::Relaxed),
+    })
+}
+
+/// Resets all per-stage totals to zero.
+///
+/// Not linearizable against concurrent recording — intended for test
+/// and benchmark setup, not for sampling.
+pub fn reset_stage_totals() {
+    for i in 0..STAGE_COUNT {
+        STAGE_NANOS[i].store(0, Ordering::Relaxed);
+        STAGE_COUNTS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that read or toggle the global recording switch;
+    /// cargo runs tests on parallel threads within one process.
+    static RECORDING_LOCK: Mutex<()> = Mutex::new(());
+
+    fn totals_of(stage: Stage) -> StageTotal {
+        stage_totals()[stage.index()]
+    }
+
+    #[test]
+    fn spans_accumulate_counts_and_time() {
+        let _guard = RECORDING_LOCK.lock().unwrap();
+        if !metrics_recording() {
+            return; // metrics-off build: nothing to observe
+        }
+        let before = totals_of(Stage::Plan);
+        {
+            let _t = StageTimer::enter(Stage::Plan);
+            std::hint::black_box(1 + 1);
+        }
+        let after = totals_of(Stage::Plan);
+        assert_eq!(after.count, before.count + 1);
+        assert!(after.nanos >= before.nanos);
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusive_time() {
+        let _guard = RECORDING_LOCK.lock().unwrap();
+        if !metrics_recording() {
+            return;
+        }
+        let scan_before = totals_of(Stage::Scan).count;
+        let rerank_before = totals_of(Stage::Rerank).count;
+        {
+            let _outer = StageTimer::enter(Stage::Rerank);
+            let _inner = StageTimer::enter(Stage::Scan);
+        }
+        assert_eq!(totals_of(Stage::Scan).count, scan_before + 1);
+        assert_eq!(totals_of(Stage::Rerank).count, rerank_before + 1);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_panic() {
+        let _guard = RECORDING_LOCK.lock().unwrap();
+        if !metrics_recording() {
+            return;
+        }
+        fn nest(levels: usize) {
+            if levels == 0 {
+                return;
+            }
+            let _t = StageTimer::enter(Stage::Scan);
+            nest(levels - 1);
+        }
+        nest(2 * MAX_DEPTH);
+    }
+
+    #[test]
+    fn disabled_recording_skips_spans() {
+        let _guard = RECORDING_LOCK.lock().unwrap();
+        if metrics_compiled_out() {
+            return;
+        }
+        set_metrics_recording(false);
+        let before = totals_of(Stage::Scatter).count;
+        {
+            let _t = StageTimer::enter(Stage::Scatter);
+        }
+        let after = totals_of(Stage::Scatter).count;
+        set_metrics_recording(true);
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn stage_names_and_indices_are_stable() {
+        assert_eq!(
+            Stage::ALL.map(Stage::name),
+            ["plan", "scan", "rerank", "scatter"]
+        );
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+}

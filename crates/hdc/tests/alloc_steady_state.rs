@@ -9,6 +9,12 @@
 //! the process increments a counter, and the steady-state scan loop must
 //! leave it untouched. This file holds exactly one test so no sibling
 //! test thread can allocate concurrently and blur the measurement.
+//!
+//! The loop runs with **metrics recording enabled**: the scan stage
+//! timers (`hdc::stage`) sit inside every `_into` scan, so this test
+//! also proves the telemetry layer keeps the zero-allocation guarantee
+//! (its tables are statically allocated atomics; see
+//! docs/OBSERVABILITY.md).
 
 use hdc::{AsPackedQuery, Bundle, Codebook, PackedQuery, TernaryHv};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -47,6 +53,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Completed-span count of the scan stage (`hdc::stage::Stage::Scan`).
+fn scan_stage_count() -> u64 {
+    hdc::stage::stage_totals()
+        .iter()
+        .find(|total| total.stage == hdc::Stage::Scan)
+        .expect("scan stage present")
+        .count
+}
 
 #[test]
 fn steady_state_scans_perform_zero_heap_allocations() {
@@ -95,6 +110,11 @@ fn steady_state_scans_perform_zero_heap_allocations() {
     let expected_dots = dots.clone();
     let expected_th = th_hits.clone();
 
+    // The measured rounds run with stage-timer recording on (the
+    // default; re-asserted here in case a sibling build flipped it).
+    hdc::stage::set_metrics_recording(true);
+    let scans_before = scan_stage_count();
+
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..25 {
         run_all(&mut hits, &mut many, &mut dots, &mut th_hits);
@@ -106,6 +126,20 @@ fn steady_state_scans_perform_zero_heap_allocations() {
         "steady-state scans must not allocate (saw {} allocations over 25 warm rounds)",
         after - before
     );
+
+    // Recording was live during the allocation-free rounds: the scan
+    // stage must have counted every timed span (25 rounds × 8 queries ×
+    // 3 per-query scans + 25 many-scans), unless the telemetry layer was
+    // compiled out, in which case the timers are inert by design.
+    if hdc::stage::metrics_recording() {
+        assert_eq!(
+            scan_stage_count() - scans_before,
+            25 * (8 * 3 + 1),
+            "scan stage timer must record every steady-state scan"
+        );
+    } else {
+        assert!(hdc::stage::metrics_compiled_out());
+    }
 
     // The allocation-free rounds still computed the right answers.
     assert_eq!(hits, expected_hits);

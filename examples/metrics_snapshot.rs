@@ -1,0 +1,124 @@
+//! Engine telemetry: serve a mixed batch, then read the zero-allocation
+//! metrics tables back as a `MetricsSnapshot` — per-op counters and
+//! latency quantiles, batch/chunk-size histograms, per-stage timing,
+//! and per-model op counts (docs/OBSERVABILITY.md).
+//!
+//! ```sh
+//! cargo run --release --example metrics_snapshot
+//! ```
+
+use factorhd::metrics;
+use factorhd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Start from clean tables so the printout reflects only this run
+    // (the tables are process-global and cumulative by design).
+    metrics::reset();
+
+    // 1. A model and a mixed typed-op batch, as in `serve_batch`.
+    let taxonomy = TaxonomyBuilder::new(2048)
+        .seed(2025)
+        .class("animal", &[16, 4])
+        .class("color", &[16])
+        .class("size", &[16])
+        .build()?;
+    let encoder = Encoder::new(&taxonomy);
+    let mut rng = hdc::rng_from_seed(7);
+    let mut ops = Vec::new();
+    for i in 0..48 {
+        let object = taxonomy.sample_object(&mut rng);
+        match i % 4 {
+            3 => {
+                let scene = taxonomy.sample_scene(2, true, &mut rng);
+                ops.push(AnyOp::Rep3(FactorizeRep3 {
+                    scene: encoder.encode_scene(&scene)?,
+                }));
+            }
+            2 => ops.push(AnyOp::Encode(EncodeScene {
+                scene: Scene::single(object),
+            })),
+            _ => ops.push(AnyOp::Rep2(FactorizeRep2 {
+                scene: encoder.encode_scene(&Scene::single(object))?,
+            })),
+        }
+    }
+
+    // 2. Serve the batch twice: the cold pass fills the caches, the warm
+    //    pass shows steady-state latencies.
+    let engine = FactorEngine::new(taxonomy, EngineConfig::default())?;
+    for result in engine.run_mixed(&ops) {
+        result?;
+    }
+    for result in engine.run_mixed(&ops) {
+        result?;
+    }
+
+    // 3. Read the tables back. Every number below was recorded without a
+    //    single heap allocation on the serving path.
+    let snapshot = engine.metrics_snapshot();
+    if snapshot.compiled_out {
+        println!("telemetry compiled out (metrics-off feature); nothing to report");
+        return Ok(());
+    }
+    println!("per-op counters and latency quantiles (conservative bucket edges):");
+    for op in &snapshot.ops {
+        if op.submitted == 0 {
+            continue;
+        }
+        println!(
+            "  {:<10} submitted {:>3}  completed {:>3}  failed {:>2}  \
+             p50 {:>7}ns  p95 {:>7}ns  p99 {:>7}ns",
+            op.kind.name(),
+            op.submitted,
+            op.completed,
+            op.failed,
+            op.latency_ns.p50,
+            op.latency_ns.p95,
+            op.latency_ns.p99,
+        );
+    }
+    println!(
+        "\nbatch sizes: {} batches, p50 ≤ {}  |  planner chunks: {}, p50 ≤ {}",
+        snapshot.batch_sizes.count,
+        snapshot.batch_sizes.p50,
+        snapshot.chunk_sizes.count,
+        snapshot.chunk_sizes.p50,
+    );
+
+    println!("\nexclusive per-stage wall clock (plan → scan → rerank → scatter):");
+    let total: u64 = snapshot.stages.iter().map(|s| s.nanos).sum();
+    for stage in &snapshot.stages {
+        println!(
+            "  {:<8} {:>5} spans  {:>9}ns  ({:>4.1}%)",
+            stage.stage.name(),
+            stage.count,
+            stage.nanos,
+            100.0 * stage.nanos as f64 / total.max(1) as f64,
+        );
+    }
+
+    println!(
+        "\nmodel table: {:?} (generation 0 = engines outside a registry), overflow {}",
+        snapshot
+            .models
+            .iter()
+            .map(|m| (m.generation, m.ops))
+            .collect::<Vec<_>>(),
+        snapshot.model_overflow,
+    );
+
+    // 4. The recording switch turns the whole layer off at runtime —
+    //    outputs stay bit-identical (tests/determinism.rs), the clock is
+    //    never read, and every record path short-circuits.
+    metrics::set_metrics_recording(false);
+    let submitted =
+        |snap: &MetricsSnapshot| -> u64 { snap.ops.iter().map(|op| op.submitted).sum() };
+    let before = submitted(&engine.metrics_snapshot());
+    for result in engine.run_mixed(&ops) {
+        result?;
+    }
+    let after = submitted(&engine.metrics_snapshot());
+    metrics::set_metrics_recording(true);
+    println!("\nwith recording off: total submitted {before} → {after} (unchanged)");
+    Ok(())
+}

@@ -51,6 +51,9 @@
 pub use factorhd_baselines as baselines;
 pub use factorhd_core as core;
 pub use factorhd_engine as engine;
+/// The engine telemetry layer (counters, histograms, stage timing);
+/// see docs/OBSERVABILITY.md.
+pub use factorhd_engine::metrics;
 pub use factorhd_neural as neural;
 pub use hdc;
 
@@ -63,8 +66,8 @@ pub mod prelude {
     };
     pub use factorhd_engine::{
         AnyOp, AnyOutput, EncodeScene, EngineConfig, EngineError, FactorEngine, FactorizeRep1,
-        FactorizeRep2, FactorizeRep3, MembershipProbe, ModelHandle, ModelId, ModelRegistry,
-        ModelState, Op, OpKind, PartialDecode,
+        FactorizeRep2, FactorizeRep3, MembershipProbe, MetricsSnapshot, ModelHandle, ModelId,
+        ModelRegistry, ModelState, Op, OpKind, PartialDecode, Stage, StageTimer,
     };
     pub use hdc::prelude::*;
 }

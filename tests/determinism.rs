@@ -256,6 +256,41 @@ fn engine_batch_is_bit_identical_to_sequential_loop() {
 }
 
 #[test]
+fn metrics_recording_state_is_unobservable_in_outputs() {
+    // Telemetry must never influence computation: the same mixed-op
+    // batch served with metrics recording on, off, and on again (and
+    // under the `metrics-off` feature, where the switch is inert)
+    // returns bit-identical outputs, batched and sequential alike.
+    let ops = mixed_ops(&build_taxonomy(72), 20, 73);
+    let engine =
+        FactorEngine::new(build_taxonomy(72), EngineConfig::default()).expect("valid config");
+    let unwrap = |results: Vec<Result<AnyOutput, EngineError>>| -> Vec<AnyOutput> {
+        results
+            .into_iter()
+            .map(|r| r.expect("op succeeds"))
+            .collect()
+    };
+    let was_recording = factorhd::metrics::metrics_recording();
+
+    factorhd::metrics::set_metrics_recording(true);
+    let recorded = unwrap(engine.run_mixed(&ops));
+    let recorded_sequential = unwrap(engine.run_mixed_sequential(&ops));
+
+    factorhd::metrics::set_metrics_recording(false);
+    let unrecorded = unwrap(engine.run_mixed(&ops));
+    let unrecorded_sequential = unwrap(engine.run_mixed_sequential(&ops));
+
+    factorhd::metrics::set_metrics_recording(true);
+    let recorded_again = unwrap(engine.run_mixed(&ops));
+    factorhd::metrics::set_metrics_recording(was_recording);
+
+    assert_eq!(recorded, unrecorded, "recording switch changed outputs");
+    assert_eq!(recorded, recorded_again);
+    assert_eq!(recorded, recorded_sequential);
+    assert_eq!(recorded, unrecorded_sequential);
+}
+
+#[test]
 fn engine_batch_is_thread_count_invariant() {
     // The worker pool's size must be unobservable in results: the same
     // mixed-op batch served on 1-, 2-, and 4-lane pools (the in-process
