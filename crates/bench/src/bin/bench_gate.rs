@@ -1,14 +1,18 @@
 //! The SLO regression gate: diffs the current `BENCH_engine.json`,
-//! `BENCH_packed_scan.json`, and `BENCH_kernels.json` against the
-//! committed `baselines/*.json` and exits non-zero on any throughput
-//! regression past the margin, on the batch-512 scaling cliff, or on
-//! per-op p95 latency inflation (see docs/OBSERVABILITY.md, "The SLO
-//! gate"). Run it after the bench bins regenerate the current documents:
+//! `BENCH_packed_scan.json`, `BENCH_kernels.json`, and
+//! `BENCH_serving.json` against the committed `baselines/*.json` and
+//! exits non-zero on any throughput regression past the margin, on the
+//! batch-512 scaling cliff, on per-op p95 latency inflation (see
+//! docs/OBSERVABILITY.md, "The SLO gate"), or on the serving front end
+//! dropping below its floor fraction of direct-engine throughput (see
+//! docs/SERVING.md, "Network front end"). Run it after the bench bins
+//! regenerate the current documents:
 //!
 //! ```text
 //! cargo run --release --bin engine_throughput -- --quick
 //! cargo run --release --bin packed_scan -- --quick
 //! cargo run --release --bin kernel_bench -- --quick
+//! cargo run --release --bin serving_bench -- --quick
 //! cargo run --release --bin bench_gate
 //! ```
 //!
@@ -25,10 +29,11 @@ use factorhd_bench::gate::{gate_texts, DEFAULT_GATE_MARGIN};
 use std::path::Path;
 use std::process::ExitCode;
 
-const GATED_FILES: [&str; 3] = [
+const GATED_FILES: [&str; 4] = [
     "BENCH_engine.json",
     "BENCH_packed_scan.json",
     "BENCH_kernels.json",
+    "BENCH_serving.json",
 ];
 
 struct Args {

@@ -14,9 +14,16 @@
 //!   warm batch-64 at every thread count — the historical batch-512
 //!   rollover, re-encoded as a failure); and per-op-kind `p95_ns` from
 //!   the embedded metrics section must not inflate past one histogram
-//!   bucket of slack (see [`p95_limit`]).
+//!   bucket of slack (see `p95_limit`).
 //! * `packed_scan` — per-(dim, items, shards) `packed_per_sec`.
 //! * `kernels` — per-(kernel, words) `hamming_per_sec`.
+//! * `serving` — per-(clients, pipeline) `throughput_per_sec` for the
+//!   network front end; the current document's top-line
+//!   `serving_fraction` (best ≥ 8-client loopback throughput ÷ direct
+//!   warm batch-64) must also hold above [`SERVING_FLOOR`] — an
+//!   absolute SLO, not a diff — and per-point end-to-end `p95_ns` gets
+//!   the same one-bucket-of-slack ceiling as the engine op latencies
+//!   (skipped when either run had the metrics gate off).
 //!
 //! Baseline points with no matching current point are **skipped with a
 //! note**, not failed — the grid legitimately varies with core count and
@@ -35,6 +42,14 @@ pub const CLIFF_MARGIN: f64 = 0.9;
 /// the gate fails (and the fractional p95 allowance on top of the
 /// one-bucket slack).
 pub const DEFAULT_GATE_MARGIN: f64 = 0.15;
+
+/// Minimum fraction of the direct warm batch-64 throughput the network
+/// front end must sustain at ≥ 8 concurrent clients. Below this, the
+/// serving layer's per-request overhead (framing, checksums, batching,
+/// scatter) is eating more than a fifth of the engine — an absolute
+/// serving SLO, checked against the **current** document rather than
+/// diffed against the baseline.
+pub const SERVING_FLOOR: f64 = 0.8;
 
 /// The result of gating one current document against its baseline.
 #[derive(Debug)]
@@ -134,6 +149,18 @@ pub fn gate_documents(current: &JsonValue, baseline: &JsonValue, margin: f64) ->
             margin,
             &mut outcome,
         ),
+        "serving" => {
+            throughput_checks(
+                current,
+                baseline,
+                &["clients", "pipeline"],
+                "throughput_per_sec",
+                margin,
+                &mut outcome,
+            );
+            serving_floor_check(current, &mut outcome);
+            serving_p95_checks(current, baseline, margin, &mut outcome);
+        }
         other => outcome
             .failures
             .push(format!("unknown bench family {other:?}")),
@@ -365,6 +392,95 @@ fn p95_checks(current: &JsonValue, baseline: &JsonValue, margin: f64, outcome: &
         if current_p95 as f64 > limit {
             outcome.failures.push(format!(
                 "p95: op kind {kind:?} inflated to {current_p95}ns vs baseline {base_p95}ns \
+                 (ceiling {limit:.0}ns = one bucket + margin {margin})"
+            ));
+        }
+    }
+}
+
+/// The absolute serving SLO on the **current** document: its
+/// `serving_fraction` (best ≥ 8-client loopback throughput as a
+/// fraction of the in-run direct warm batch-64 reference) must reach
+/// [`SERVING_FLOOR`]. A document without the field fails rather than
+/// passing vacuously.
+fn serving_floor_check(current: &JsonValue, outcome: &mut GateOutcome) {
+    let Some(fraction) = current.get("serving_fraction").and_then(JsonValue::as_f64) else {
+        outcome
+            .failures
+            .push("serving: current document has no serving_fraction".to_owned());
+        return;
+    };
+    outcome.checks += 1;
+    if fraction < SERVING_FLOOR {
+        outcome.failures.push(format!(
+            "serving: fraction of direct warm batch-64 fell to {fraction:.2} at >=8 clients \
+             (floor {SERVING_FLOOR}) — the front end is eating the engine"
+        ));
+    }
+}
+
+/// Per-point end-to-end p95 latency comparison, same one-bucket-plus-
+/// margin ceiling as the engine's per-op-kind check. Skipped with a
+/// note when either run recorded with the metrics gate off (the
+/// histograms are empty zeros, not measurements); a point that had
+/// latency samples in the baseline but none in the current run fails.
+fn serving_p95_checks(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    margin: f64,
+    outcome: &mut GateOutcome,
+) {
+    for (doc, who) in [(baseline, "baseline"), (current, "current run")] {
+        if doc.get("metrics_recording").and_then(JsonValue::as_bool) != Some(true) {
+            outcome
+                .notes
+                .push(format!("{who} had metrics off; serving p95 checks skipped"));
+            return;
+        }
+    }
+    let key_fields = &["clients", "pipeline"];
+    let current_points = points_of(current);
+    for base_point in points_of(baseline) {
+        let Some(key) = point_key(base_point, key_fields) else {
+            continue;
+        };
+        let base_count = base_point
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let base_p95 = base_point
+            .get("p95_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if base_count == 0 || base_p95 == 0 {
+            continue;
+        }
+        let Some(current_point) = current_points
+            .iter()
+            .find(|p| point_key(p, key_fields).as_deref() == Some(&key))
+        else {
+            continue; // throughput_checks already noted the absence
+        };
+        outcome.checks += 1;
+        let current_count = current_point
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if current_count == 0 {
+            outcome.failures.push(format!(
+                "serving p95: [{key}] recorded no latency samples (baseline had {base_count}) \
+                 — instrumentation went missing"
+            ));
+            continue;
+        }
+        let current_p95 = current_point
+            .get("p95_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let limit = p95_limit(base_p95, margin);
+        if current_p95 as f64 > limit {
+            outcome.failures.push(format!(
+                "serving p95: [{key}] inflated to {current_p95}ns vs baseline {base_p95}ns \
                  (ceiling {limit:.0}ns = one bucket + margin {margin})"
             ));
         }
@@ -672,5 +788,99 @@ mod tests {
         // Baseline edge 2047; next bucket edge 4095 passes, 8191 fails.
         assert!((4095f64) <= p95_limit(2047, DEFAULT_GATE_MARGIN));
         assert!((8191f64) > p95_limit(2047, DEFAULT_GATE_MARGIN));
+    }
+
+    fn serving_doc(
+        fraction: f64,
+        recording: bool,
+        points: &[(u64, u64, f64, u64, u64)],
+    ) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bench", JsonValue::Str("serving".into())),
+            ("schema_version", JsonValue::Uint(1)),
+            ("metrics_recording", JsonValue::Bool(recording)),
+            ("serving_fraction", JsonValue::Num(fraction)),
+            (
+                "points",
+                JsonValue::Arr(
+                    points
+                        .iter()
+                        .map(|&(clients, pipeline, rate, count, p95)| {
+                            JsonValue::obj(vec![
+                                ("clients", JsonValue::Uint(clients)),
+                                ("pipeline", JsonValue::Uint(pipeline)),
+                                ("throughput_per_sec", JsonValue::Num(rate)),
+                                ("latency_count", JsonValue::Uint(count)),
+                                ("p95_ns", JsonValue::Uint(p95)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn serving_identical_documents_pass() {
+        let doc = serving_doc(
+            0.93,
+            true,
+            &[(1, 8, 5e3, 512, 2047), (8, 32, 18e3, 2048, 4095)],
+        );
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        // 2 throughput + 1 floor + 2 p95.
+        assert_eq!(outcome.checks, 5);
+    }
+
+    #[test]
+    fn serving_fraction_below_floor_fails() {
+        let doc = serving_doc(0.7, true, &[(8, 32, 18e3, 2048, 4095)]);
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("fell to 0.70"), "{failure}");
+        // A document that dropped the field cannot pass vacuously.
+        let missing = JsonValue::obj(vec![
+            ("bench", JsonValue::Str("serving".into())),
+            ("metrics_recording", JsonValue::Bool(true)),
+            (
+                "points",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("clients", JsonValue::Uint(8)),
+                    ("pipeline", JsonValue::Uint(32)),
+                    ("throughput_per_sec", JsonValue::Num(18e3)),
+                ])]),
+            ),
+        ]);
+        let outcome = gate_documents(&missing, &missing, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("no serving_fraction")));
+    }
+
+    #[test]
+    fn serving_throughput_regression_fails() {
+        let baseline = serving_doc(0.93, true, &[(8, 32, 18e3, 2048, 4095)]);
+        let current = serving_doc(0.93, true, &[(8, 32, 14e3, 2048, 4095)]);
+        let outcome = gate_documents(&current, &baseline, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(
+            failure.contains("throughput_per_sec regressed"),
+            "{failure}"
+        );
+    }
+
+    #[test]
+    fn serving_p95_two_bucket_inflation_fails_and_metrics_off_skips() {
+        let baseline = serving_doc(0.93, true, &[(8, 32, 18e3, 2048, 2047)]);
+        let inflated = serving_doc(0.93, true, &[(8, 32, 18e3, 2048, 8191)]);
+        let outcome = gate_documents(&inflated, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome.failures.iter().any(|f| f.contains("serving p95")));
+        // Either side recorded with metrics off → p95 skipped, noted.
+        let off = serving_doc(0.93, false, &[(8, 32, 18e3, 0, 0)]);
+        let outcome = gate_documents(&off, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("metrics off")));
     }
 }

@@ -19,6 +19,7 @@ pub mod json;
 pub mod kernel_bench;
 pub mod packed_bench;
 pub mod runner;
+pub mod serving_bench;
 pub mod table;
 
 pub use engine_bench::{
@@ -26,7 +27,9 @@ pub use engine_bench::{
     engine_throughput_table, measure_batch, metrics_snapshot_json, thread_grid,
     verify_artifact_round_trip, MetricsReport, ThroughputPoint,
 };
-pub use gate::{gate_documents, gate_texts, GateOutcome, CLIFF_MARGIN, DEFAULT_GATE_MARGIN};
+pub use gate::{
+    gate_documents, gate_texts, GateOutcome, CLIFF_MARGIN, DEFAULT_GATE_MARGIN, SERVING_FLOOR,
+};
 pub use json::JsonValue;
 pub use kernel_bench::{
     kernel_bench_json, kernel_bench_table, kernel_points, measure_kernel,
@@ -39,6 +42,10 @@ pub use packed_bench::{
 pub use runner::{
     run_ci_model, run_factorhd_rep1, run_factorhd_rep23, run_imc, run_resonator, th_sweep,
     MethodResult, Rep23Setting, SweepPoint,
+};
+pub use serving_bench::{
+    serving_json, serving_points, serving_table, ServingPoint, ServingReport, CLIENT_GRID,
+    PIPELINE_GRID,
 };
 pub use table::Table;
 

@@ -180,6 +180,15 @@ impl DecodedObject {
     pub fn confidence(&self) -> f64 {
         self.confidence
     }
+
+    /// Reassembles a decode from its parts. Factorization is the only
+    /// producer of decodes inside this crate; this constructor exists
+    /// for transport layers (e.g. the network protocol) that serialize
+    /// a decode on one side and must rebuild the identical value on the
+    /// other.
+    pub fn from_parts(object: ObjectSpec, confidence: f64) -> Self {
+        DecodedObject { object, confidence }
+    }
 }
 
 /// The result of multi-object factorization.

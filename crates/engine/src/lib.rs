@@ -104,8 +104,8 @@ pub use cache::{CacheStats, LruCache, ReconCache};
 pub use engine::FactorEngine;
 pub use error::EngineError;
 pub use metrics::{
-    set_metrics_recording, MetricsSnapshot, ModelMetrics, OpKindMetrics, Stage, StageTimer,
-    StageTotal,
+    set_metrics_recording, HistogramSnapshot, LogHistogram, MetricsSnapshot, ModelMetrics,
+    OpKindMetrics, Stage, StageTimer, StageTotal,
 };
 pub use model::{EngineConfig, ModelState};
 pub use ops::{

@@ -174,6 +174,51 @@ impl Histogram {
     }
 }
 
+/// A standalone log2 histogram sharing the engine's bucket scheme and
+/// recording switch, for subsystems layered on top of the engine (the
+/// network front end records coalesced-batch sizes and end-to-end
+/// latencies through one of these per server). Recording honors the
+/// same gate as the global tables: a no-op under the `metrics-off`
+/// feature or after [`set_metrics_recording`]`(false)`; snapshots stay
+/// readable either way.
+pub struct LogHistogram {
+    inner: Histogram,
+}
+
+impl LogHistogram {
+    /// A new, empty histogram. Const so it can live in statics.
+    pub const fn new() -> Self {
+        LogHistogram {
+            inner: Histogram::new(),
+        }
+    }
+
+    /// Records one observation of `value` (no-op while recording is
+    /// disabled or compiled out).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if metrics_recording() {
+            self.inner.record(value);
+        }
+    }
+
+    /// Copies the buckets out and extracts the p50/p95/p99 quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        self.inner.reset();
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
 /// Per-[`OpKind`] counters and latency histogram.
 struct OpTable {
     submitted: ShardedCounter,

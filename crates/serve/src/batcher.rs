@@ -1,0 +1,457 @@
+//! The deadline-or-full adaptive batcher: coalesces in-flight requests
+//! from many connections into engine batches.
+//!
+//! Requests enqueue into a shared queue; a dedicated worker thread
+//! dispatches the queue to [`ModelRegistry::execute_batch`] when either
+//! trigger fires, whichever comes first:
+//!
+//! * **full** — the queue holds `max_batch` requests, or
+//! * **deadline** — the oldest queued request has waited `max_delay`.
+//!
+//! Bigger coalesced batches are strictly better warm (the engine's
+//! planner groups same-shape ops into contiguous packed-shard scans),
+//! so under load the batcher converges on full `max_batch` dispatches;
+//! under trickle traffic the deadline bounds each request's queueing
+//! delay. Shutdown flushes: every queued request is dispatched (in
+//! `max_batch` chunks) before the worker exits, so no accepted request
+//! is ever dropped.
+//!
+//! The queue uses `std::sync` primitives (the vendored `parking_lot`
+//! shim has no condvar) — one mutex + condvar pair, with the worker
+//! sleeping on `wait_timeout` until the oldest request's deadline.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use factorhd_engine::{AnyOp, EngineError, ModelId, ModelRegistry};
+
+use crate::error::ErrorCode;
+use crate::metrics::ServeMetrics;
+use crate::protocol::Response;
+
+/// Knobs for the deadline-or-full dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Dispatch as soon as this many requests are queued. `1` degrades
+    /// to pass-through (every request is its own engine batch).
+    pub max_batch: usize,
+    /// Dispatch when the oldest queued request has waited this long,
+    /// even if the batch is not full. `Duration::ZERO` dispatches on
+    /// every enqueue.
+    pub max_delay: Duration,
+}
+
+impl Default for BatcherConfig {
+    /// `max_batch` 64 (the warm sweet spot in BENCH_engine.json),
+    /// `max_delay` 2 ms.
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One queued request: the op, its routing metadata, and the channel
+/// its response travels back on.
+pub(crate) struct Pending {
+    /// Registry name of the target model.
+    pub model: String,
+    /// The op to execute.
+    pub op: AnyOp,
+    /// Client-chosen request id, echoed in the response.
+    pub request_id: u64,
+    /// When the request's frame finished decoding (anchors both the
+    /// dispatch deadline and the end-to-end latency histogram).
+    pub received_at: Instant,
+    /// Where the response goes (a connection's writer queue).
+    pub reply: mpsc::Sender<Outgoing>,
+}
+
+/// One response ready to be written back to a connection.
+pub(crate) struct Outgoing {
+    /// Echoed request id.
+    pub request_id: u64,
+    /// Latency anchor (see [`Pending::received_at`]).
+    pub received_at: Instant,
+    /// The typed response.
+    pub response: Response,
+}
+
+struct Queue {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wake: Condvar,
+    config: BatcherConfig,
+}
+
+/// The batcher: a shared queue plus the worker thread draining it into
+/// [`ModelRegistry::execute_batch`].
+pub(crate) struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<thread::JoinHandle<()>>>,
+    /// Batches dispatched so far; read by the unit tests (the
+    /// user-facing count lives in [`ServeMetrics`]).
+    #[cfg_attr(not(test), allow(dead_code))]
+    dispatched: Arc<AtomicU64>,
+}
+
+impl Batcher {
+    pub(crate) fn new(
+        registry: Arc<ModelRegistry>,
+        config: BatcherConfig,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            config: BatcherConfig {
+                max_batch: config.max_batch.max(1),
+                max_delay: config.max_delay,
+            },
+        });
+        let dispatched = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let dispatched = Arc::clone(&dispatched);
+            thread::Builder::new()
+                .name("factorhd-batcher".into())
+                .spawn(move || worker_loop(&shared, &registry, &metrics, &dispatched))
+                .expect("spawn batcher worker")
+        };
+        Batcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+            dispatched,
+        }
+    }
+
+    /// Enqueues one request. Returns `false` (and drops the request)
+    /// if the batcher has already shut down.
+    pub(crate) fn submit(&self, pending: Pending) -> bool {
+        let mut queue = self.shared.queue.lock().expect("batcher lock");
+        if queue.shutdown {
+            return false;
+        }
+        queue.pending.push_back(pending);
+        // Wake the worker: it either dispatches (batch now full) or
+        // re-arms its deadline timer for the new oldest request.
+        self.shared.wake.notify_one();
+        true
+    }
+
+    /// Engine batches dispatched so far (test observability).
+    #[cfg(test)]
+    pub(crate) fn batches_dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Flushes every queued request and stops the worker. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            queue.shutdown = true;
+            self.shared.wake.notify_one();
+        }
+        if let Some(worker) = self.worker.lock().expect("batcher worker lock").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    dispatched: &AtomicU64,
+) {
+    let max_batch = shared.config.max_batch;
+    let max_delay = shared.config.max_delay;
+    loop {
+        let batch: Vec<Pending> = {
+            let mut queue = shared.queue.lock().expect("batcher lock");
+            loop {
+                if queue.pending.len() >= max_batch || queue.shutdown {
+                    break;
+                }
+                match queue.pending.front() {
+                    None => {
+                        queue = shared.wake.wait(queue).expect("batcher lock");
+                    }
+                    Some(oldest) => {
+                        let deadline = oldest.received_at + max_delay;
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, _) = shared
+                            .wake
+                            .wait_timeout(queue, deadline - now)
+                            .expect("batcher lock");
+                        queue = guard;
+                    }
+                }
+            }
+            if queue.pending.is_empty() {
+                debug_assert!(queue.shutdown, "woke with empty queue outside shutdown");
+                return;
+            }
+            let take = queue.pending.len().min(max_batch);
+            queue.pending.drain(..take).collect()
+        };
+        // Count before dispatching so an observer that has already
+        // received a reply sees the batch that produced it.
+        dispatched.fetch_add(1, Ordering::Relaxed);
+        dispatch(registry, metrics, batch);
+    }
+}
+
+/// Runs one coalesced batch through the engine and scatters the typed
+/// results back to each request's connection by request id.
+fn dispatch(registry: &ModelRegistry, metrics: &ServeMetrics, batch: Vec<Pending>) {
+    metrics.batch_dispatched(batch.len() as u64);
+    let mut ops = Vec::with_capacity(batch.len());
+    let mut routes = Vec::with_capacity(batch.len());
+    for pending in batch {
+        ops.push((ModelId::new(&pending.model), pending.op));
+        routes.push((pending.request_id, pending.received_at, pending.reply));
+    }
+    let results = registry.execute_batch(&ops);
+    for ((request_id, received_at, reply), result) in routes.into_iter().zip(results) {
+        let response = match result {
+            Ok(output) => Response::Output(output),
+            Err(err) => Response::Error {
+                code: engine_error_code(&err),
+                message: err.to_string(),
+            },
+        };
+        // A send error means the connection is gone; the response is
+        // dropped, matching what TCP would do to it anyway.
+        let _ = reply.send(Outgoing {
+            request_id,
+            received_at,
+            response,
+        });
+    }
+}
+
+/// Maps an engine failure onto its wire error code.
+fn engine_error_code(err: &EngineError) -> ErrorCode {
+    match err {
+        EngineError::UnknownModel(_) => ErrorCode::UnknownModel,
+        _ => ErrorCode::Engine,
+    }
+}
+
+/// The result of draining one reply receiver after `n` submissions.
+#[cfg(test)]
+fn expect_outputs(rx: &mpsc::Receiver<Outgoing>, n: usize) -> Vec<Outgoing> {
+    (0..n)
+        .map(|_| {
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("response within timeout")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use factorhd_core::TaxonomyBuilder;
+    use factorhd_engine::{EncodeScene, EngineConfig, ModelState};
+
+    fn test_registry() -> Arc<ModelRegistry> {
+        let registry = Arc::new(ModelRegistry::new());
+        let taxonomy = TaxonomyBuilder::new(256)
+            .seed(11)
+            .class("animal", &[4])
+            .class("color", &[4])
+            .build()
+            .expect("valid taxonomy");
+        registry.install(
+            "m",
+            ModelState::new(taxonomy, EngineConfig::default()).expect("valid model"),
+        );
+        registry
+    }
+
+    fn encode_op(registry: &ModelRegistry) -> AnyOp {
+        let mut rng = hdc::rng_from_seed(3);
+        let object = registry
+            .get("m")
+            .expect("installed")
+            .state()
+            .taxonomy()
+            .sample_object(&mut rng);
+        AnyOp::Encode(EncodeScene {
+            scene: factorhd_core::Scene::single(object),
+        })
+    }
+
+    fn pending(op: &AnyOp, id: u64, reply: &mpsc::Sender<Outgoing>) -> Pending {
+        Pending {
+            model: "m".into(),
+            op: op.clone(),
+            request_id: id,
+            received_at: Instant::now(),
+            reply: reply.clone(),
+        }
+    }
+
+    /// Full trigger: `max_batch` requests with a far-off deadline
+    /// dispatch as one batch, without waiting out the delay.
+    #[test]
+    fn full_batch_dispatches_without_deadline() {
+        let registry = test_registry();
+        let batcher = Batcher::new(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 4,
+                max_delay: Duration::from_secs(3600),
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        for id in 0..4 {
+            assert!(batcher.submit(pending(&op, id, &tx)));
+        }
+        let replies = expect_outputs(&rx, 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(600),
+            "dispatch must not wait out the one-hour deadline"
+        );
+        assert_eq!(batcher.batches_dispatched(), 1, "one coalesced batch");
+        let mut ids: Vec<u64> = replies.iter().map(|o| o.request_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        for reply in &replies {
+            assert!(matches!(reply.response, Response::Output(_)));
+        }
+    }
+
+    /// Deadline trigger: a lone request dispatches once `max_delay`
+    /// elapses, even though the batch never fills.
+    #[test]
+    fn lone_request_dispatches_at_deadline() {
+        let registry = test_registry();
+        let batcher = Batcher::new(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 64,
+                max_delay: Duration::from_millis(20),
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        let submitted = Instant::now();
+        assert!(batcher.submit(pending(&op, 42, &tx)));
+        let reply = expect_outputs(&rx, 1).pop().expect("one reply");
+        assert!(
+            submitted.elapsed() >= Duration::from_millis(20),
+            "lone request must wait for the deadline, not dispatch eagerly"
+        );
+        assert_eq!(reply.request_id, 42);
+        assert!(matches!(reply.response, Response::Output(_)));
+    }
+
+    /// Shutdown flush: requests still queued (deadline far away, batch
+    /// not full) are all dispatched before the worker exits.
+    #[test]
+    fn shutdown_flushes_queued_requests() {
+        let registry = test_registry();
+        let batcher = Batcher::new(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(3600),
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        for id in 0..5 {
+            assert!(batcher.submit(pending(&op, id, &tx)));
+        }
+        batcher.shutdown();
+        let mut ids: Vec<u64> = expect_outputs(&rx, 5)
+            .iter()
+            .map(|o| o.request_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "flush may not drop requests");
+        // After shutdown, submissions are refused.
+        assert!(!batcher.submit(pending(&op, 99, &tx)));
+    }
+
+    /// `max_batch = 1` degenerates to pass-through: every request is
+    /// its own engine batch.
+    #[test]
+    fn max_batch_one_is_pass_through() {
+        let registry = test_registry();
+        let batcher = Batcher::new(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 1,
+                max_delay: Duration::from_secs(3600),
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        for id in 0..3 {
+            assert!(batcher.submit(pending(&op, id, &tx)));
+            let reply = expect_outputs(&rx, 1).pop().expect("one reply");
+            assert_eq!(reply.request_id, id);
+        }
+        assert_eq!(
+            batcher.batches_dispatched(),
+            3,
+            "pass-through means one batch per request"
+        );
+    }
+
+    /// Unknown models come back as typed error responses, not dropped
+    /// requests.
+    #[test]
+    fn unknown_model_yields_typed_error() {
+        let registry = test_registry();
+        let batcher = Batcher::new(
+            Arc::clone(&registry),
+            BatcherConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        let mut missing = pending(&op, 7, &tx);
+        missing.model = "no-such-model".into();
+        assert!(batcher.submit(missing));
+        let reply = expect_outputs(&rx, 1).pop().expect("one reply");
+        match &reply.response {
+            Response::Error { code, .. } => assert_eq!(*code, ErrorCode::UnknownModel),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! A blocking TCP client for the wire protocol.
+//!
+//! [`Client`] owns one connection. [`Client::run`] is the simple path
+//! (one op in flight); [`Client::run_pipelined`] keeps a whole burst of
+//! ops in flight at once — the shape that lets the server's adaptive
+//! batcher coalesce work from few connections, and what the loopback
+//! load generator uses.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use factorhd_engine::{AnyOp, AnyOutput};
+
+use crate::error::ServeError;
+use crate::metrics::ServingStats;
+use crate::protocol::{
+    append_frame, decode_response, encode_request, read_frame, write_frame, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// One blocking protocol connection.
+///
+/// ```no_run
+/// use factorhd_serve::Client;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut client = Client::connect("127.0.0.1:9191")?;
+/// client.ping()?;
+/// println!("{:?}", client.stats()?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a server (with `TCP_NODELAY`, matching the server
+    /// side).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        // Sized above a typical scene-op frame, matching the server's
+        // per-connection buffers, so bursts coalesce into few syscalls.
+        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::with_capacity(1 << 16, stream),
+            next_id: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    fn send(&mut self, request_id: u64, request: &Request) -> Result<(), ServeError> {
+        let payload = encode_request(request_id, request);
+        write_frame(&mut self.writer, &payload)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<(u64, Response), ServeError> {
+        let payload =
+            read_frame(&mut self.reader, self.max_frame_bytes)?.ok_or(ServeError::Closed)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Sends one request and waits for its response, checking the
+    /// echoed request id.
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let request_id = self.fresh_id();
+        self.send(request_id, request)?;
+        let (echoed, response) = self.recv()?;
+        if echoed != request_id {
+            return Err(ServeError::UnexpectedResponse(format!(
+                "response for request {echoed}, expected {request_id}"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Runs one typed op against a named model and returns its typed
+    /// output; a typed server error becomes [`ServeError::Remote`].
+    pub fn run(&mut self, model: &str, op: &AnyOp) -> Result<AnyOutput, ServeError> {
+        match self.call(&Request::Op {
+            model: model.to_owned(),
+            op: op.clone(),
+        })? {
+            Response::Output(output) => Ok(output),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's [`ServingStats`].
+    pub fn stats(&mut self) -> Result<ServingStats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs a burst of ops with all of them in flight at once: encodes
+    /// every request into one buffer, writes it in a single syscall,
+    /// then collects responses (which may arrive in any order) and
+    /// returns them in op order. Each slot is `Ok(output)` or the typed
+    /// error the server sent for that op; a transport failure fails the
+    /// whole call.
+    pub fn run_pipelined(
+        &mut self,
+        model: &str,
+        ops: &[AnyOp],
+    ) -> Result<Vec<Result<AnyOutput, ServeError>>, ServeError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_id;
+        self.next_id = self.next_id.wrapping_add(ops.len() as u64);
+        let mut burst = Vec::new();
+        for (offset, op) in ops.iter().enumerate() {
+            let request = Request::Op {
+                model: model.to_owned(),
+                op: op.clone(),
+            };
+            append_frame(
+                &mut burst,
+                &encode_request(base.wrapping_add(offset as u64), &request),
+            );
+        }
+        self.writer.write_all(&burst)?;
+        self.writer.flush()?;
+
+        let mut results: Vec<Option<Result<AnyOutput, ServeError>>> =
+            (0..ops.len()).map(|_| None).collect();
+        for _ in 0..ops.len() {
+            let (request_id, response) = self.recv()?;
+            let offset = request_id.wrapping_sub(base) as usize;
+            let slot = results.get_mut(offset).ok_or_else(|| {
+                ServeError::UnexpectedResponse(format!("response for unknown request {request_id}"))
+            })?;
+            if slot.is_some() {
+                return Err(ServeError::UnexpectedResponse(format!(
+                    "duplicate response for request {request_id}"
+                )));
+            }
+            *slot = Some(match response {
+                Response::Output(output) => Ok(output),
+                Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+                other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("all slots filled"))
+            .collect())
+    }
+}

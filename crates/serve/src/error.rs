@@ -1,0 +1,232 @@
+//! Error types for the network front end.
+//!
+//! Two layers of failure exist and the types keep them apart:
+//!
+//! * [`WireError`] — the bytes themselves are bad (truncated frame, bad
+//!   magic, checksum mismatch, …). Mirrors the typed corruption errors
+//!   of the `.fhd` artifact codec: every malformed input maps to a
+//!   variant, never a panic.
+//! * [`ServeError`] — everything a client call can fail with: transport
+//!   I/O, a [`WireError`] from decoding, a typed error the server sent
+//!   back ([`ServeError::Remote`]), or a closed connection.
+
+use std::fmt;
+use std::io;
+
+/// Maximum bytes a decoded error message may occupy on the wire; longer
+/// messages are truncated by the encoder so a malicious peer cannot
+/// force unbounded allocation.
+pub const MAX_ERROR_MESSAGE_BYTES: usize = 4096;
+
+/// A malformed wire payload. Every variant is a typed decode failure —
+/// corrupt input can never panic the codec (property-tested in
+/// `tests/protocol_proptest.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field could be read.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// The payload does not start with the protocol magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The payload declares a protocol version this build cannot speak.
+    UnsupportedVersion(u16),
+    /// The FNV-1a checksum trailer does not match the payload bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The kind byte names no known request or response.
+    UnknownKind(u8),
+    /// A length prefix exceeds the configured frame cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// A structurally invalid field (bad UTF-8, zero-depth path,
+    /// out-of-range count, trailing bytes, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated payload: needed {needed} more bytes, {remaining} remaining"
+            ),
+            WireError::BadMagic { found } => write!(f, "bad protocol magic {found:02x?}"),
+            WireError::UnsupportedVersion(version) => {
+                write!(f, "unsupported protocol version {version}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WireError::UnknownKind(kind) => write!(f, "unknown message kind {kind:#04x}"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds cap of {max}")
+            }
+            WireError::Corrupt(message) => write!(f, "corrupt payload: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Error codes a server-side failure travels under on the wire. The
+/// numeric values are part of the protocol; new codes may be appended
+/// but existing ones never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request payload failed to decode (the server echoes what it
+    /// could parse of the request id).
+    Protocol,
+    /// The named model is not installed in the registry.
+    UnknownModel,
+    /// The engine rejected or failed the op (encode/factorize error,
+    /// invalid config, artifact failure, …).
+    Engine,
+    /// The server is shutting down and did not execute the op.
+    Shutdown,
+    /// A code minted by a newer peer; carried through verbatim.
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// The wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::UnknownModel => 2,
+            ErrorCode::Engine => 3,
+            ErrorCode::Shutdown => 4,
+            ErrorCode::Other(code) => code,
+        }
+    }
+
+    /// Decodes a wire code; unknown values become [`ErrorCode::Other`]
+    /// so version skew in codes is never a decode failure.
+    pub fn from_u16(code: u16) -> Self {
+        match code {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::UnknownModel,
+            3 => ErrorCode::Engine,
+            4 => ErrorCode::Shutdown,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::Protocol => write!(f, "protocol"),
+            ErrorCode::UnknownModel => write!(f, "unknown-model"),
+            ErrorCode::Engine => write!(f, "engine"),
+            ErrorCode::Shutdown => write!(f, "shutdown"),
+            ErrorCode::Other(code) => write!(f, "other({code})"),
+        }
+    }
+}
+
+/// Anything a serving call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level I/O failure.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode.
+    Wire(WireError),
+    /// The server answered with a typed error response.
+    Remote {
+        /// The server's error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The connection closed before a response arrived.
+    Closed,
+    /// The response decoded but was not the shape the call expected
+    /// (e.g. a pong where an output was due).
+    UnexpectedResponse(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(err) => write!(f, "i/o error: {err}"),
+            ServeError::Wire(err) => write!(f, "wire error: {err}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ServeError::Closed => write!(f, "connection closed"),
+            ServeError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(err) => Some(err),
+            ServeError::Wire(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(err: io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(err: WireError) -> Self {
+        ServeError::Wire(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::UnknownModel,
+            ErrorCode::Engine,
+            ErrorCode::Shutdown,
+            ErrorCode::Other(900),
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.to_u16()), code);
+        }
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        let err = WireError::Truncated {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(err.to_string().contains("needed 8"));
+        let err = ServeError::Remote {
+            code: ErrorCode::UnknownModel,
+            message: "no model 'x'".into(),
+        };
+        assert!(err.to_string().contains("unknown-model"));
+    }
+}

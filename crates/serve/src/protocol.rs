@@ -1,0 +1,871 @@
+//! The binary wire protocol: length-prefixed frames carrying
+//! checksummed, versioned payloads that map 1:1 onto the engine's typed
+//! op API (docs/SERVING.md, "Network front end").
+//!
+//! # Frame
+//!
+//! ```text
+//! [ u32 LE payload length ][ payload bytes ]
+//! ```
+//!
+//! # Payload (both directions)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  0x89 'F' 'H' 'N'
+//! 4       2     version (u16 LE, currently 1)
+//! 6       1     kind byte
+//! 7       1     reserved (0)
+//! 8       8     request id (u64 LE)
+//! 16      …     body (kind-specific)
+//! end-8   8     FNV-1a 64 checksum over payload[0 .. len-8]
+//! ```
+//!
+//! The same magic/version/checksum discipline as the `.fhd` artifact
+//! codec: decoding is fully bounds-checked, every malformed input maps
+//! to a typed [`WireError`], and a flipped bit anywhere is caught by
+//! the checksum before the body is interpreted.
+//!
+//! Request kinds `0..=5` are [`OpKind::index`] values (the body is a
+//! model name plus the op payload); `0x10` is `Stats`, `0x11` is
+//! `Ping`. Response kinds reuse `0..=5` for the matching outputs, plus
+//! `0x10` stats, `0x11` pong, and `0x7F` for a typed error. All
+//! multi-byte integers are little-endian; floats travel as IEEE-754
+//! bit patterns ([`f64::to_bits`]), so a decoded response is
+//! bit-identical to what the server computed.
+
+use std::io::{self, Read, Write};
+
+use factorhd_core::{
+    ClassDecode, DecodedObject, DecodedScene, FactorizeStats, ItemPath, ObjectSpec, QueryAnswer,
+    Scene,
+};
+use factorhd_engine::{
+    AnyOp, AnyOutput, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe,
+    OpKind, PartialDecode,
+};
+use hdc::AccumHv;
+
+use crate::error::{ErrorCode, ServeError, WireError, MAX_ERROR_MESSAGE_BYTES};
+use crate::metrics::{HistogramSummary, ServingStats};
+
+/// Payload magic: 0x89 (non-ASCII guard) + "FHN" (FactorHD Network).
+pub const MAGIC: [u8; 4] = [0x89, b'F', b'H', b'N'];
+
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+
+/// Default cap on a single payload (16 MiB) — far above any realistic
+/// op at the dimensions this repo runs, low enough that a hostile
+/// length prefix cannot force an absurd allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Fixed header bytes before the body.
+const HEADER_BYTES: usize = 16;
+/// Checksum trailer bytes after the body.
+const TRAILER_BYTES: usize = 8;
+/// Smallest well-formed payload (empty body).
+const MIN_PAYLOAD_BYTES: usize = HEADER_BYTES + TRAILER_BYTES;
+
+/// Request kind byte for a `Stats` request.
+const KIND_STATS: u8 = 0x10;
+/// Request kind byte for a `Ping` request.
+const KIND_PING: u8 = 0x11;
+/// Response kind byte for a typed error. Public so load generators can
+/// cheaply reject error frames (byte 6 of the payload) without a full
+/// decode on the hot path.
+pub const KIND_ERROR: u8 = 0x7F;
+
+/// One decoded client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one typed op against a named model.
+    Op {
+        /// Registry name of the model to run against.
+        model: String,
+        /// The op itself.
+        op: AnyOp,
+    },
+    /// Fetch the server's [`ServingStats`].
+    Stats,
+    /// Liveness probe; answered inline with [`Response::Pong`].
+    Ping,
+}
+
+/// One decoded server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The typed output of a successfully executed op.
+    Output(AnyOutput),
+    /// Answer to [`Request::Stats`].
+    Stats(ServingStats),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A typed failure (protocol error, unknown model, engine error).
+    Error {
+        /// What failed.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// FNV-1a 64 over `bytes` — same function the `.fhd` artifact codec
+/// uses for its trailer.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Bounded reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked reader over a payload body; every read that would
+/// pass the end returns [`WireError::Truncated`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after body",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body encoders
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, value: u16) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, value: f64) {
+    put_u64(out, value.to_bits());
+}
+
+/// Accumulators travel at the narrowest component width that fits the
+/// whole vector (1, 2, or 4 bytes, little-endian two's complement). The
+/// scene vectors this protocol actually carries are sums of a handful
+/// of ±1 vectors, so components almost always fit in one byte — a 4–8×
+/// cut in frame size, checksum work, and loopback bytes on the serving
+/// hot path, while arbitrary `i32` accumulators still round-trip at
+/// full width.
+fn accum_width(hv: &AccumHv) -> u8 {
+    let mut width = 1u8;
+    for &component in hv.components() {
+        if i8::try_from(component).is_ok() {
+            continue;
+        }
+        if i16::try_from(component).is_ok() {
+            width = width.max(2);
+        } else {
+            return 4;
+        }
+    }
+    width
+}
+
+fn put_accum(out: &mut Vec<u8>, hv: &AccumHv) {
+    put_u32(out, hv.dim() as u32);
+    let width = accum_width(hv);
+    out.push(width);
+    match width {
+        1 => {
+            for &component in hv.components() {
+                out.push(component as i8 as u8);
+            }
+        }
+        2 => {
+            for &component in hv.components() {
+                out.extend_from_slice(&(component as i16).to_le_bytes());
+            }
+        }
+        _ => {
+            for &component in hv.components() {
+                out.extend_from_slice(&component.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn put_path(out: &mut Vec<u8>, path: &ItemPath) {
+    put_u16(out, path.depth() as u16);
+    for &index in path.indices() {
+        put_u16(out, index);
+    }
+}
+
+fn put_object(out: &mut Vec<u8>, object: &ObjectSpec) {
+    put_u16(out, object.assignments().len() as u16);
+    for assignment in object.assignments() {
+        match assignment {
+            Some(path) => {
+                out.push(1);
+                put_path(out, path);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+fn put_scene(out: &mut Vec<u8>, scene: &Scene) {
+    put_u16(out, scene.objects().len() as u16);
+    for object in scene.objects() {
+        put_object(out, object);
+    }
+}
+
+fn put_decoded_object(out: &mut Vec<u8>, decoded: &DecodedObject) {
+    put_object(out, decoded.object());
+    put_f64(out, decoded.confidence());
+}
+
+fn put_op_body(out: &mut Vec<u8>, op: &AnyOp) {
+    match op {
+        AnyOp::Rep1(FactorizeRep1 { scene })
+        | AnyOp::Rep2(FactorizeRep2 { scene })
+        | AnyOp::Rep3(FactorizeRep3 { scene }) => put_accum(out, scene),
+        AnyOp::Partial(PartialDecode { scene, classes }) => {
+            put_accum(out, scene);
+            put_u16(out, classes.len() as u16);
+            for &class in classes {
+                put_u32(out, class as u32);
+            }
+        }
+        AnyOp::Membership(MembershipProbe {
+            scene,
+            items,
+            absent,
+        }) => {
+            put_accum(out, scene);
+            put_u16(out, items.len() as u16);
+            for (class, path) in items {
+                put_u32(out, *class as u32);
+                put_path(out, path);
+            }
+            put_u16(out, absent.len() as u16);
+            for &class in absent {
+                put_u32(out, class as u32);
+            }
+        }
+        AnyOp::Encode(EncodeScene { scene }) => put_scene(out, scene),
+    }
+}
+
+fn put_output_body(out: &mut Vec<u8>, output: &AnyOutput) {
+    match output {
+        AnyOutput::Rep1(decoded) | AnyOutput::Rep2(decoded) => put_decoded_object(out, decoded),
+        AnyOutput::Rep3(scene) => {
+            put_u16(out, scene.objects.len() as u16);
+            for decoded in &scene.objects {
+                put_decoded_object(out, decoded);
+            }
+            put_u64(out, scene.stats.similarity_checks);
+            put_u64(out, scene.stats.combination_tests);
+            put_u64(out, scene.stats.unbind_ops);
+            put_u64(out, scene.stats.objects_found as u64);
+            out.push(u8::from(scene.stats.truncated_combinations));
+            put_f64(out, scene.residual_norm);
+        }
+        AnyOutput::Partial(decodes) => {
+            put_u16(out, decodes.len() as u16);
+            for decode in decodes {
+                put_u32(out, decode.class as u32);
+                match &decode.path {
+                    Some(path) => {
+                        out.push(1);
+                        put_path(out, path);
+                    }
+                    None => out.push(0),
+                }
+                put_f64(out, decode.sim);
+            }
+        }
+        AnyOutput::Membership(answer) => {
+            out.push(u8::from(answer.present));
+            put_f64(out, answer.evidence);
+            put_f64(out, answer.threshold);
+        }
+        AnyOutput::Encoded(hv) => put_accum(out, hv),
+    }
+}
+
+fn put_histogram_summary(out: &mut Vec<u8>, summary: &HistogramSummary) {
+    put_u64(out, summary.count);
+    put_u64(out, summary.p50);
+    put_u64(out, summary.p95);
+    put_u64(out, summary.p99);
+}
+
+fn put_stats_body(out: &mut Vec<u8>, stats: &ServingStats) {
+    put_u64(out, stats.connections_accepted);
+    put_u64(out, stats.connections_closed);
+    put_u64(out, stats.requests_received);
+    put_u64(out, stats.responses_sent);
+    put_u64(out, stats.protocol_errors);
+    put_u64(out, stats.batches_dispatched);
+    put_histogram_summary(out, &stats.coalesced_batch);
+    put_histogram_summary(out, &stats.e2e_latency_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Body decoders
+// ---------------------------------------------------------------------------
+
+fn get_accum(cursor: &mut Cursor<'_>) -> Result<AccumHv, WireError> {
+    let dim = cursor.u32()? as usize;
+    let width = cursor.u8()? as usize;
+    if !matches!(width, 1 | 2 | 4) {
+        return Err(WireError::Corrupt(format!(
+            "accumulator component width {width} (must be 1, 2, or 4)"
+        )));
+    }
+    let byte_len = dim
+        .checked_mul(width)
+        .ok_or_else(|| WireError::Corrupt(format!("accumulator dimension {dim} overflows")))?;
+    let bytes = cursor.take(byte_len)?;
+    let components: Vec<i32> = match width {
+        1 => bytes.iter().map(|&b| b as i8 as i32).collect(),
+        2 => bytes
+            .chunks_exact(2)
+            .map(|pair| i16::from_le_bytes([pair[0], pair[1]]) as i32)
+            .collect(),
+        _ => bytes
+            .chunks_exact(4)
+            .map(|quad| i32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]))
+            .collect(),
+    };
+    if components.is_empty() {
+        return Err(WireError::Corrupt("zero-dimension accumulator".into()));
+    }
+    Ok(AccumHv::from_components(components))
+}
+
+fn get_path(cursor: &mut Cursor<'_>) -> Result<ItemPath, WireError> {
+    let depth = cursor.u16()? as usize;
+    if depth == 0 {
+        return Err(WireError::Corrupt("zero-depth item path".into()));
+    }
+    let mut indices = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        indices.push(cursor.u16()?);
+    }
+    Ok(ItemPath::new(indices))
+}
+
+fn get_presence(cursor: &mut Cursor<'_>) -> Result<bool, WireError> {
+    match cursor.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::Corrupt(format!("presence byte {other}"))),
+    }
+}
+
+fn get_object(cursor: &mut Cursor<'_>) -> Result<ObjectSpec, WireError> {
+    let classes = cursor.u16()? as usize;
+    let mut assignments = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        assignments.push(if get_presence(cursor)? {
+            Some(get_path(cursor)?)
+        } else {
+            None
+        });
+    }
+    Ok(ObjectSpec::new(assignments))
+}
+
+fn get_scene(cursor: &mut Cursor<'_>) -> Result<Scene, WireError> {
+    let count = cursor.u16()? as usize;
+    let mut objects = Vec::with_capacity(count);
+    for _ in 0..count {
+        objects.push(get_object(cursor)?);
+    }
+    Ok(Scene::new(objects))
+}
+
+fn get_decoded_object(cursor: &mut Cursor<'_>) -> Result<DecodedObject, WireError> {
+    let object = get_object(cursor)?;
+    let confidence = cursor.f64()?;
+    Ok(DecodedObject::from_parts(object, confidence))
+}
+
+fn get_op_body(kind: OpKind, cursor: &mut Cursor<'_>) -> Result<AnyOp, WireError> {
+    Ok(match kind {
+        OpKind::Rep1 => AnyOp::Rep1(FactorizeRep1 {
+            scene: get_accum(cursor)?,
+        }),
+        OpKind::Rep2 => AnyOp::Rep2(FactorizeRep2 {
+            scene: get_accum(cursor)?,
+        }),
+        OpKind::Rep3 => AnyOp::Rep3(FactorizeRep3 {
+            scene: get_accum(cursor)?,
+        }),
+        OpKind::Partial => {
+            let scene = get_accum(cursor)?;
+            let count = cursor.u16()? as usize;
+            let mut classes = Vec::with_capacity(count);
+            for _ in 0..count {
+                classes.push(cursor.u32()? as usize);
+            }
+            AnyOp::Partial(PartialDecode { scene, classes })
+        }
+        OpKind::Membership => {
+            let scene = get_accum(cursor)?;
+            let item_count = cursor.u16()? as usize;
+            let mut items = Vec::with_capacity(item_count);
+            for _ in 0..item_count {
+                let class = cursor.u32()? as usize;
+                items.push((class, get_path(cursor)?));
+            }
+            let absent_count = cursor.u16()? as usize;
+            let mut absent = Vec::with_capacity(absent_count);
+            for _ in 0..absent_count {
+                absent.push(cursor.u32()? as usize);
+            }
+            AnyOp::Membership(MembershipProbe {
+                scene,
+                items,
+                absent,
+            })
+        }
+        OpKind::Encode => AnyOp::Encode(EncodeScene {
+            scene: get_scene(cursor)?,
+        }),
+    })
+}
+
+fn get_output_body(kind: OpKind, cursor: &mut Cursor<'_>) -> Result<AnyOutput, WireError> {
+    Ok(match kind {
+        OpKind::Rep1 => AnyOutput::Rep1(get_decoded_object(cursor)?),
+        OpKind::Rep2 => AnyOutput::Rep2(get_decoded_object(cursor)?),
+        OpKind::Rep3 => {
+            let count = cursor.u16()? as usize;
+            let mut objects = Vec::with_capacity(count);
+            for _ in 0..count {
+                objects.push(get_decoded_object(cursor)?);
+            }
+            let stats = FactorizeStats {
+                similarity_checks: cursor.u64()?,
+                combination_tests: cursor.u64()?,
+                unbind_ops: cursor.u64()?,
+                objects_found: cursor.u64()? as usize,
+                truncated_combinations: get_presence(cursor)?,
+            };
+            let residual_norm = cursor.f64()?;
+            AnyOutput::Rep3(DecodedScene {
+                objects,
+                stats,
+                residual_norm,
+            })
+        }
+        OpKind::Partial => {
+            let count = cursor.u16()? as usize;
+            let mut decodes = Vec::with_capacity(count);
+            for _ in 0..count {
+                let class = cursor.u32()? as usize;
+                let path = if get_presence(cursor)? {
+                    Some(get_path(cursor)?)
+                } else {
+                    None
+                };
+                let sim = cursor.f64()?;
+                decodes.push(ClassDecode { class, path, sim });
+            }
+            AnyOutput::Partial(decodes)
+        }
+        OpKind::Membership => AnyOutput::Membership(QueryAnswer {
+            present: get_presence(cursor)?,
+            evidence: cursor.f64()?,
+            threshold: cursor.f64()?,
+        }),
+        OpKind::Encode => AnyOutput::Encoded(get_accum(cursor)?),
+    })
+}
+
+fn get_histogram_summary(cursor: &mut Cursor<'_>) -> Result<HistogramSummary, WireError> {
+    Ok(HistogramSummary {
+        count: cursor.u64()?,
+        p50: cursor.u64()?,
+        p95: cursor.u64()?,
+        p99: cursor.u64()?,
+    })
+}
+
+fn get_stats_body(cursor: &mut Cursor<'_>) -> Result<ServingStats, WireError> {
+    Ok(ServingStats {
+        connections_accepted: cursor.u64()?,
+        connections_closed: cursor.u64()?,
+        requests_received: cursor.u64()?,
+        responses_sent: cursor.u64()?,
+        protocol_errors: cursor.u64()?,
+        batches_dispatched: cursor.u64()?,
+        coalesced_batch: get_histogram_summary(cursor)?,
+        e2e_latency_ns: get_histogram_summary(cursor)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Payload assembly
+// ---------------------------------------------------------------------------
+
+fn op_kind_from_byte(byte: u8) -> Option<OpKind> {
+    OpKind::ALL
+        .into_iter()
+        .find(|kind| kind.index() as u8 == byte)
+}
+
+/// Builds a full payload: header, body, checksum trailer.
+fn seal(kind: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(MIN_PAYLOAD_BYTES + body.len());
+    payload.extend_from_slice(&MAGIC);
+    payload.extend_from_slice(&VERSION.to_le_bytes());
+    payload.push(kind);
+    payload.push(0); // reserved
+    payload.extend_from_slice(&request_id.to_le_bytes());
+    payload.extend_from_slice(body);
+    let checksum = fnv1a(&payload);
+    payload.extend_from_slice(&checksum.to_le_bytes());
+    payload
+}
+
+/// Verifies magic, version, and checksum; returns `(kind, request id,
+/// body)` on success.
+fn open(payload: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
+    if payload.len() < MIN_PAYLOAD_BYTES {
+        return Err(WireError::Truncated {
+            needed: MIN_PAYLOAD_BYTES,
+            remaining: payload.len(),
+        });
+    }
+    let found: [u8; 4] = payload[..4].try_into().expect("4 bytes");
+    if found != MAGIC {
+        return Err(WireError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let split = payload.len() - TRAILER_BYTES;
+    let stored = u64::from_le_bytes(payload[split..].try_into().expect("8 bytes"));
+    let computed = fnv1a(&payload[..split]);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    let kind = payload[6];
+    let request_id = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    Ok((kind, request_id, &payload[HEADER_BYTES..split]))
+}
+
+/// Encodes one request into a payload (frame it with [`write_frame`] or
+/// [`append_frame`]).
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    let (kind, body) = match request {
+        Request::Op { model, op } => {
+            let mut body = Vec::new();
+            put_u16(&mut body, model.len() as u16);
+            body.extend_from_slice(model.as_bytes());
+            put_op_body(&mut body, op);
+            (op.kind().index() as u8, body)
+        }
+        Request::Stats => (KIND_STATS, Vec::new()),
+        Request::Ping => (KIND_PING, Vec::new()),
+    };
+    seal(kind, request_id, &body)
+}
+
+/// Decodes one request payload into `(request id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
+    let (kind, request_id, body) = open(payload)?;
+    let mut cursor = Cursor::new(body);
+    let request = match kind {
+        KIND_STATS => Request::Stats,
+        KIND_PING => Request::Ping,
+        byte => {
+            let op_kind = op_kind_from_byte(byte).ok_or(WireError::UnknownKind(byte))?;
+            let name_len = cursor.u16()? as usize;
+            let name_bytes = cursor.take(name_len)?;
+            let model = std::str::from_utf8(name_bytes)
+                .map_err(|_| WireError::Corrupt("model name is not UTF-8".into()))?
+                .to_owned();
+            let op = get_op_body(op_kind, &mut cursor)?;
+            Request::Op { model, op }
+        }
+    };
+    cursor.done()?;
+    Ok((request_id, request))
+}
+
+/// Encodes one response into a payload.
+pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
+    let (kind, body) = match response {
+        Response::Output(output) => {
+            let mut body = Vec::new();
+            put_output_body(&mut body, output);
+            (output.kind().index() as u8, body)
+        }
+        Response::Stats(stats) => {
+            let mut body = Vec::new();
+            put_stats_body(&mut body, stats);
+            (KIND_STATS, body)
+        }
+        Response::Pong => (KIND_PING, Vec::new()),
+        Response::Error { code, message } => {
+            let mut body = Vec::new();
+            put_u16(&mut body, code.to_u16());
+            let end = message
+                .char_indices()
+                .map(|(at, ch)| at + ch.len_utf8())
+                .take_while(|&end| end <= MAX_ERROR_MESSAGE_BYTES)
+                .last()
+                .unwrap_or(0);
+            let clipped = &message[..end];
+            put_u16(&mut body, clipped.len() as u16);
+            body.extend_from_slice(clipped.as_bytes());
+            (KIND_ERROR, body)
+        }
+    };
+    seal(kind, request_id, &body)
+}
+
+/// Decodes one response payload into `(request id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
+    let (kind, request_id, body) = open(payload)?;
+    let mut cursor = Cursor::new(body);
+    let response = match kind {
+        KIND_STATS => Response::Stats(get_stats_body(&mut cursor)?),
+        KIND_PING => Response::Pong,
+        KIND_ERROR => {
+            let code = ErrorCode::from_u16(cursor.u16()?);
+            let message_len = cursor.u16()? as usize;
+            let message_bytes = cursor.take(message_len)?;
+            let message = std::str::from_utf8(message_bytes)
+                .map_err(|_| WireError::Corrupt("error message is not UTF-8".into()))?
+                .to_owned();
+            Response::Error { code, message }
+        }
+        byte => {
+            let op_kind = op_kind_from_byte(byte).ok_or(WireError::UnknownKind(byte))?;
+            Response::Output(get_output_body(op_kind, &mut cursor)?)
+        }
+    };
+    cursor.done()?;
+    Ok((request_id, response))
+}
+
+/// Best-effort request-id extraction from a payload that may fail full
+/// decoding, so a typed error response can still be routed. `None` when
+/// the payload is too short to contain the id field.
+pub fn peek_request_id(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(8..16)
+        .map(|bytes| u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame. Does not flush.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Appends one length-prefixed frame to a buffer — how the load
+/// generator pre-assembles a whole burst into a single write.
+pub fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at
+/// a frame boundary; EOF mid-frame is an I/O error, and a length prefix
+/// above `max_payload_bytes` is [`WireError::FrameTooLarge`] (the
+/// payload is not read).
+pub fn read_frame(
+    reader: &mut impl Read,
+    max_payload_bytes: usize,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(ServeError::Io(err)),
+        }
+    }
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > max_payload_bytes {
+        return Err(ServeError::Wire(WireError::FrameTooLarge {
+            declared,
+            max: max_payload_bytes,
+        }));
+    }
+    let mut payload = vec![0u8; declared];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let payload = seal(KIND_PING, 7, &[]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut appended = Vec::new();
+        append_frame(&mut appended, &payload);
+        assert_eq!(buf, appended);
+
+        let mut reader = &buf[..];
+        let read = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(read, payload);
+        assert!(read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..], 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Wire(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_inside_prefix_is_an_io_error() {
+        let buf = [1u8, 0];
+        let err = read_frame(&mut &buf[..], 1024).unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)));
+    }
+
+    #[test]
+    fn ping_and_stats_round_trip() {
+        for (id, request) in [(0u64, Request::Ping), (u64::MAX, Request::Stats)] {
+            let payload = encode_request(id, &request);
+            assert_eq!(decode_request(&payload).unwrap(), (id, request));
+        }
+        let stats = ServingStats {
+            requests_received: 17,
+            coalesced_batch: HistogramSummary {
+                count: 3,
+                p50: 63,
+                p95: 63,
+                p99: 63,
+            },
+            ..ServingStats::default()
+        };
+        let payload = encode_response(9, &Response::Stats(stats));
+        assert_eq!(
+            decode_response(&payload).unwrap(),
+            (9, Response::Stats(stats))
+        );
+    }
+
+    #[test]
+    fn error_message_is_clipped_at_the_cap() {
+        let long = "é".repeat(MAX_ERROR_MESSAGE_BYTES); // 2 bytes per char
+        let payload = encode_response(
+            1,
+            &Response::Error {
+                code: ErrorCode::Engine,
+                message: long,
+            },
+        );
+        let (_, decoded) = decode_response(&payload).unwrap();
+        match decoded {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Engine);
+                assert!(message.len() <= MAX_ERROR_MESSAGE_BYTES);
+                assert_eq!(message.len(), MAX_ERROR_MESSAGE_BYTES); // even split
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_request_id_matches_decode() {
+        let payload = encode_request(0xDEAD_BEEF, &Request::Ping);
+        assert_eq!(peek_request_id(&payload), Some(0xDEAD_BEEF));
+        assert_eq!(peek_request_id(&payload[..12]), None);
+    }
+}

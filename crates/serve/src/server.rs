@@ -1,0 +1,377 @@
+//! The threaded TCP server: accept loop, per-connection reader/writer
+//! threads, and the shared adaptive batcher.
+//!
+//! # Thread anatomy
+//!
+//! ```text
+//! accept loop ──► reader thread (per connection)
+//!                   │  decode frame → Request
+//!                   │    op    → batcher queue ─► batcher worker
+//!                   │    stats │ ping → answered inline    │
+//!                   ▼                                      │
+//!                 writer thread ◄──── responses by id ◄────┘
+//!                   encode frame, write, record e2e latency
+//! ```
+//!
+//! Each connection gets one reader and one writer thread joined by an
+//! mpsc channel; the batcher worker holds a clone of that channel's
+//! sender for every in-flight op, so responses are scattered back to
+//! the right connection by construction. The writer drains its channel
+//! greedily and flushes once per drain, so a coalesced batch's worth of
+//! responses to one client goes out in few syscalls.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] (also run on drop) is graceful: stop accepting,
+//! half-close every connection's read side (clients see their writes
+//! rejected, queued responses still deliverable), flush the batcher so
+//! every accepted op is answered, then join every thread. No accepted
+//! request is dropped; clients observe clean EOF after their last
+//! response.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use factorhd_engine::ModelRegistry;
+
+use crate::batcher::{Batcher, BatcherConfig, Outgoing, Pending};
+use crate::error::{ErrorCode, ServeError};
+use crate::metrics::{ServeMetrics, ServingStats};
+use crate::protocol::{
+    self, peek_request_id, read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Per-connection read/write buffer capacity — above a typical scene-op
+/// frame at the dimensions this repo runs, so pipelined traffic costs
+/// few syscalls per burst rather than one-plus per frame.
+const CONNECTION_BUFFER_BYTES: usize = 1 << 16;
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// The adaptive batcher's dispatch policy.
+    pub batcher: BatcherConfig,
+    /// Per-frame payload cap; oversized frames close the connection.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batcher: BatcherConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Shared state every server thread holds an `Arc` to.
+struct Shared {
+    metrics: Arc<ServeMetrics>,
+    shutting_down: AtomicBool,
+    max_frame_bytes: usize,
+    /// Read-half clones of live connections keyed by a token, so
+    /// shutdown can unblock every reader thread; each entry is removed
+    /// when its connection closes (no fd retention).
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_token: AtomicU64,
+    /// Reader-thread handles, joined on shutdown.
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running network front end over a [`ModelRegistry`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use factorhd_engine::ModelRegistry;
+/// use factorhd_serve::{Server, ServerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = Arc::new(ModelRegistry::new());
+/// let server = Server::start(registry, "127.0.0.1:0", ServerConfig::default())?;
+/// println!("serving on {}", server.local_addr());
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    batcher: Arc<Batcher>,
+    accept_worker: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop and batcher worker.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let shared = Arc::new(Shared {
+            metrics: Arc::clone(&metrics),
+            shutting_down: AtomicBool::new(false),
+            max_frame_bytes: config.max_frame_bytes,
+            connections: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let batcher = Arc::new(Batcher::new(registry, config.batcher, metrics));
+        let accept_worker = {
+            let shared = Arc::clone(&shared);
+            let batcher = Arc::clone(&batcher);
+            thread::Builder::new()
+                .name("factorhd-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &batcher))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            batcher,
+            accept_worker: Mutex::new(Some(accept_worker)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the server's telemetry, as the `Stats` op reports it.
+    pub fn stats(&self) -> ServingStats {
+        self.shared.metrics.stats()
+    }
+
+    /// The server's metrics block (full histogram snapshots for bench
+    /// documents).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, flush the batcher so every
+    /// accepted request is answered, then join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a wake-up connection; it checks
+        // the flag before handing the connection to a reader.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(worker) = self
+            .accept_worker
+            .lock()
+            .expect("accept worker lock")
+            .take()
+        {
+            let _ = worker.join();
+        }
+        // Half-close every connection's read side: readers unblock with
+        // EOF and stop feeding the batcher; queued responses can still
+        // be written.
+        for connection in self
+            .shared
+            .connections
+            .lock()
+            .expect("connections lock")
+            .values()
+        {
+            let _ = connection.shutdown(Shutdown::Read);
+        }
+        // Flush the batcher: every queued op executes and its response
+        // lands in some writer's queue before the worker exits.
+        self.batcher.shutdown();
+        // Readers have EOF'd and the batcher released its reply
+        // senders, so writers drain and exit; join everything.
+        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("workers lock"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, batcher: &Arc<Batcher>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (fd pressure, aborted
+                // handshake); back off briefly instead of spinning.
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        shared.metrics.connection_accepted();
+        let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared
+                .connections
+                .lock()
+                .expect("connections lock")
+                .insert(token, read_half);
+        }
+        let worker = {
+            let shared = Arc::clone(shared);
+            let batcher = Arc::clone(batcher);
+            thread::Builder::new()
+                .name("factorhd-conn".into())
+                .spawn(move || serve_connection(stream, token, &shared, &batcher))
+        };
+        match worker {
+            Ok(handle) => shared.workers.lock().expect("workers lock").push(handle),
+            Err(_) => {
+                shared
+                    .connections
+                    .lock()
+                    .expect("connections lock")
+                    .remove(&token);
+                shared.metrics.connection_closed();
+            }
+        }
+    }
+}
+
+/// Reader side of one connection; spawns and joins its writer.
+fn serve_connection(stream: TcpStream, token: u64, shared: &Arc<Shared>, batcher: &Arc<Batcher>) {
+    let (reply_tx, reply_rx) = mpsc::channel::<Outgoing>();
+    let writer_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            shared.metrics.connection_closed();
+            return;
+        }
+    };
+    let writer = {
+        let shared = Arc::clone(shared);
+        thread::Builder::new()
+            .name("factorhd-conn-writer".into())
+            .spawn(move || write_loop(writer_stream, &reply_rx, &shared))
+            .expect("spawn connection writer")
+    };
+
+    // Sized above a typical scene-op frame so pipelined bursts coalesce
+    // into few syscalls instead of one-plus per frame.
+    let mut reader = BufReader::with_capacity(CONNECTION_BUFFER_BYTES, stream);
+    // Stop reading on clean EOF, I/O failure, or an oversized frame
+    // (the only wire error framing can't recover from — the stream
+    // offset is lost).
+    while let Ok(Some(payload)) = read_frame(&mut reader, shared.max_frame_bytes) {
+        match protocol::decode_request(&payload) {
+            Ok((request_id, request)) => {
+                shared.metrics.request_received();
+                let received_at = Instant::now();
+                match request {
+                    Request::Op { model, op } => {
+                        let accepted = batcher.submit(Pending {
+                            model,
+                            op,
+                            request_id,
+                            received_at,
+                            reply: reply_tx.clone(),
+                        });
+                        if !accepted {
+                            let _ = reply_tx.send(Outgoing {
+                                request_id,
+                                received_at,
+                                response: Response::Error {
+                                    code: ErrorCode::Shutdown,
+                                    message: "server is shutting down".into(),
+                                },
+                            });
+                        }
+                    }
+                    Request::Stats => {
+                        let _ = reply_tx.send(Outgoing {
+                            request_id,
+                            received_at,
+                            response: Response::Stats(shared.metrics.stats()),
+                        });
+                    }
+                    Request::Ping => {
+                        let _ = reply_tx.send(Outgoing {
+                            request_id,
+                            received_at,
+                            response: Response::Pong,
+                        });
+                    }
+                }
+            }
+            Err(wire_err) => {
+                // The frame was intact (length prefix honored) but the
+                // payload is malformed: answer with a typed protocol
+                // error on the salvaged request id and keep serving.
+                shared.metrics.protocol_error();
+                let _ = reply_tx.send(Outgoing {
+                    request_id: peek_request_id(&payload).unwrap_or(0),
+                    received_at: Instant::now(),
+                    response: Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: wire_err.to_string(),
+                    },
+                });
+            }
+        }
+    }
+    // Dropping our sender lets the writer exit once the batcher has
+    // delivered (or dropped) every in-flight reply for this connection.
+    drop(reply_tx);
+    let _ = writer.join();
+    shared
+        .connections
+        .lock()
+        .expect("connections lock")
+        .remove(&token);
+    shared.metrics.connection_closed();
+}
+
+/// Writer side of one connection: drain the reply queue greedily,
+/// flush once per drain, record end-to-end latency at write time.
+fn write_loop(stream: TcpStream, replies: &mpsc::Receiver<Outgoing>, shared: &Arc<Shared>) {
+    let mut writer = BufWriter::with_capacity(CONNECTION_BUFFER_BYTES, stream);
+    while let Ok(first) = replies.recv() {
+        let mut wrote = write_reply(&mut writer, &first, shared);
+        while let Ok(next) = replies.try_recv() {
+            wrote &= write_reply(&mut writer, &next, shared);
+        }
+        if !wrote || writer.flush().is_err() {
+            // The client is gone; keep draining so batcher sends don't
+            // pile up, but stop writing.
+            for _ in replies.iter() {}
+            return;
+        }
+    }
+}
+
+fn write_reply(writer: &mut impl Write, outgoing: &Outgoing, shared: &Arc<Shared>) -> bool {
+    let payload = protocol::encode_response(outgoing.request_id, &outgoing.response);
+    if write_frame(writer, &payload).is_err() {
+        return false;
+    }
+    shared.metrics.response_sent();
+    shared
+        .metrics
+        .e2e_latency(outgoing.received_at.elapsed().as_nanos() as u64);
+    true
+}

@@ -13,6 +13,11 @@
 //!   batches over named, hot-swappable models (`ModelRegistry`), with
 //!   memoized label-elimination masks and reconstructions and the
 //!   persisted `.fhd` model-artifact format.
+//! * [`serve`] — the network front end: a threaded TCP server speaking a
+//!   length-prefixed, checksummed binary protocol over the typed op API,
+//!   with a deadline-or-full adaptive batcher coalescing requests from
+//!   many connections into engine batches (docs/SERVING.md, "Network
+//!   front end").
 //! * [`baselines`] — the comparison systems from the paper's evaluation
 //!   (resonator network, IMC stochastic factorizer, class-instance model).
 //! * [`neural`] — the simulated ResNet-18 front-end, synthetic RAVEN /
@@ -55,6 +60,7 @@ pub use factorhd_engine as engine;
 /// see docs/OBSERVABILITY.md.
 pub use factorhd_engine::metrics;
 pub use factorhd_neural as neural;
+pub use factorhd_serve as serve;
 pub use hdc;
 
 /// One-stop import for the types used in typical FactorHD workflows.
@@ -68,6 +74,9 @@ pub mod prelude {
         AnyOp, AnyOutput, EncodeScene, EngineConfig, EngineError, FactorEngine, FactorizeRep1,
         FactorizeRep2, FactorizeRep3, MembershipProbe, MetricsSnapshot, ModelHandle, ModelId,
         ModelRegistry, ModelState, Op, OpKind, PartialDecode, Stage, StageTimer,
+    };
+    pub use factorhd_serve::{
+        BatcherConfig, Client, ServeError, Server, ServerConfig, ServingStats,
     };
     pub use hdc::prelude::*;
 }
