@@ -1,18 +1,20 @@
 //! The SLO regression gate: diffs the current `BENCH_engine.json`,
-//! `BENCH_packed_scan.json`, `BENCH_kernels.json`, and
-//! `BENCH_serving.json` against the committed `baselines/*.json` and
+//! `BENCH_packed_scan.json`, `BENCH_kernels.json`, `BENCH_serving.json`,
+//! and `BENCH_learn.json` against the committed `baselines/*.json` and
 //! exits non-zero on any throughput regression past the margin, on the
 //! batch-512 scaling cliff, on per-op p95 latency inflation (see
-//! docs/OBSERVABILITY.md, "The SLO gate"), or on the serving front end
+//! docs/OBSERVABILITY.md, "The SLO gate"), on the serving front end
 //! dropping below its floor fraction of direct-engine throughput (see
-//! docs/SERVING.md, "Network front end"). Run it after the bench bins
-//! regenerate the current documents:
+//! docs/SERVING.md, "Network front end"), or on the online-learning
+//! subsystem losing throughput or CIFAR accuracy (see docs/LEARNING.md).
+//! Run it after the bench bins regenerate the current documents:
 //!
 //! ```text
 //! cargo run --release --bin engine_throughput -- --quick
 //! cargo run --release --bin packed_scan -- --quick
 //! cargo run --release --bin kernel_bench -- --quick
 //! cargo run --release --bin serving_bench -- --quick
+//! cargo run --release --bin learn_bench -- --quick
 //! cargo run --release --bin bench_gate
 //! ```
 //!
@@ -29,11 +31,12 @@ use factorhd_bench::gate::{gate_texts, DEFAULT_GATE_MARGIN};
 use std::path::Path;
 use std::process::ExitCode;
 
-const GATED_FILES: [&str; 4] = [
+const GATED_FILES: [&str; 5] = [
     "BENCH_engine.json",
     "BENCH_packed_scan.json",
     "BENCH_kernels.json",
     "BENCH_serving.json",
+    "BENCH_learn.json",
 ];
 
 struct Args {

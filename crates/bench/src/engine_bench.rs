@@ -653,8 +653,11 @@ mod tests {
                 models: vec![ModelMetrics {
                     generation: 0,
                     ops: 99,
+                    train_ops: 0,
+                    classify_ops: 0,
                 }],
                 model_overflow: 0,
+                retrain_epochs: histogram(vec![0; 5]),
             },
             warm_on_per_sec: 980.0,
             warm_off_per_sec: 1000.0,

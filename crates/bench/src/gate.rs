@@ -24,6 +24,10 @@
 //!   absolute SLO, not a diff — and per-point end-to-end `p95_ns` gets
 //!   the same one-bucket-of-slack ceiling as the engine op latencies
 //!   (skipped when either run had the metrics gate off).
+//! * `learn` — per-dim `train_per_sec` and `classify_per_sec` for the
+//!   online-learning subsystem, classify `classify_p95_ns` under the
+//!   one-doubling-of-slack ceiling, and the CIFAR `final_accuracy`
+//!   held within [`ACCURACY_SLACK`] of the baseline's.
 //!
 //! Baseline points with no matching current point are **skipped with a
 //! note**, not failed — the grid legitimately varies with core count and
@@ -50,6 +54,15 @@ pub const DEFAULT_GATE_MARGIN: f64 = 0.15;
 /// serving SLO, checked against the **current** document rather than
 /// diffed against the baseline.
 pub const SERVING_FLOOR: f64 = 0.8;
+
+/// Absolute accuracy loss the learning gate tolerates on the CIFAR
+/// retraining curve's final held-out accuracy. The simulated front end
+/// and the prototype updates are seeded, so run-to-run variation is
+/// zero on one build; the slack absorbs legitimate cross-platform
+/// float-ordering differences without letting a real learning
+/// regression (a broken update rule classifies near chance, an ~0.8
+/// drop) through.
+pub const ACCURACY_SLACK: f64 = 0.05;
 
 /// The result of gating one current document against its baseline.
 #[derive(Debug)]
@@ -160,6 +173,26 @@ pub fn gate_documents(current: &JsonValue, baseline: &JsonValue, margin: f64) ->
             );
             serving_floor_check(current, &mut outcome);
             serving_p95_checks(current, baseline, margin, &mut outcome);
+        }
+        "learn" => {
+            throughput_checks(
+                current,
+                baseline,
+                &["dim"],
+                "train_per_sec",
+                margin,
+                &mut outcome,
+            );
+            throughput_checks(
+                current,
+                baseline,
+                &["dim"],
+                "classify_per_sec",
+                margin,
+                &mut outcome,
+            );
+            learn_p95_checks(current, baseline, margin, &mut outcome);
+            learn_accuracy_check(current, baseline, &mut outcome);
         }
         other => outcome
             .failures
@@ -484,6 +517,94 @@ fn serving_p95_checks(
                  (ceiling {limit:.0}ns = one bucket + margin {margin})"
             ));
         }
+    }
+}
+
+/// Per-dim classify-p95 comparison for the learning documents. The
+/// latencies are exact order statistics (not histogram buckets), but a
+/// value near a scheduler hiccup still legitimately doubles between
+/// runs, so the same one-doubling-plus-margin ceiling applies; a point
+/// that had latency samples in the baseline but none in the current
+/// run fails.
+fn learn_p95_checks(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    margin: f64,
+    outcome: &mut GateOutcome,
+) {
+    let key_fields = &["dim"];
+    let current_points = points_of(current);
+    for base_point in points_of(baseline) {
+        let Some(key) = point_key(base_point, key_fields) else {
+            continue;
+        };
+        let base_count = base_point
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let base_p95 = base_point
+            .get("classify_p95_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if base_count == 0 || base_p95 == 0 {
+            continue;
+        }
+        let Some(current_point) = current_points
+            .iter()
+            .find(|p| point_key(p, key_fields).as_deref() == Some(&key))
+        else {
+            continue; // throughput_checks already noted the absence
+        };
+        outcome.checks += 1;
+        let current_count = current_point
+            .get("latency_count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if current_count == 0 {
+            outcome.failures.push(format!(
+                "learn p95: [{key}] recorded no latency samples (baseline had {base_count})"
+            ));
+            continue;
+        }
+        let current_p95 = current_point
+            .get("classify_p95_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        let limit = p95_limit(base_p95, margin);
+        if current_p95 as f64 > limit {
+            outcome.failures.push(format!(
+                "learn p95: [{key}] classify p95 inflated to {current_p95}ns vs baseline \
+                 {base_p95}ns (ceiling {limit:.0}ns = one doubling + margin {margin})"
+            ));
+        }
+    }
+}
+
+/// The learning-quality check: the current CIFAR retraining curve's
+/// `final_accuracy` must hold within [`ACCURACY_SLACK`] of the
+/// baseline's. A document that dropped the field fails rather than
+/// passing vacuously.
+fn learn_accuracy_check(current: &JsonValue, baseline: &JsonValue, outcome: &mut GateOutcome) {
+    let Some(base_accuracy) = baseline.get("final_accuracy").and_then(JsonValue::as_f64) else {
+        outcome
+            .failures
+            .push("learn: baseline document has no final_accuracy".to_owned());
+        return;
+    };
+    let Some(current_accuracy) = current.get("final_accuracy").and_then(JsonValue::as_f64) else {
+        outcome
+            .failures
+            .push("learn: current document has no final_accuracy".to_owned());
+        return;
+    };
+    outcome.checks += 1;
+    let floor = base_accuracy - ACCURACY_SLACK;
+    if current_accuracy < floor {
+        outcome.failures.push(format!(
+            "learn: final CIFAR accuracy fell to {current_accuracy:.3} vs baseline \
+             {base_accuracy:.3} (floor {floor:.3} at slack {ACCURACY_SLACK}) — \
+             the retraining loop stopped learning"
+        ));
     }
 }
 
@@ -869,6 +990,99 @@ mod tests {
             failure.contains("throughput_per_sec regressed"),
             "{failure}"
         );
+    }
+
+    fn learn_doc(final_accuracy: f64, points: &[(u64, f64, f64, u64, u64)]) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bench", JsonValue::Str("learn".into())),
+            ("schema_version", JsonValue::Uint(1)),
+            ("final_accuracy", JsonValue::Num(final_accuracy)),
+            (
+                "points",
+                JsonValue::Arr(
+                    points
+                        .iter()
+                        .map(|&(dim, train, classify, count, p95)| {
+                            JsonValue::obj(vec![
+                                ("dim", JsonValue::Uint(dim)),
+                                ("train_per_sec", JsonValue::Num(train)),
+                                ("classify_per_sec", JsonValue::Num(classify)),
+                                ("latency_count", JsonValue::Uint(count)),
+                                ("classify_p95_ns", JsonValue::Uint(p95)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn learn_identical_documents_pass() {
+        let doc = learn_doc(
+            0.92,
+            &[(1024, 5e4, 8e4, 4000, 12000), (4096, 2e4, 3e4, 4000, 40000)],
+        );
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        // 2 train + 2 classify + 2 p95 + 1 accuracy.
+        assert_eq!(outcome.checks, 7);
+    }
+
+    #[test]
+    fn learn_throughput_regressions_fail() {
+        let baseline = learn_doc(0.92, &[(1024, 5e4, 8e4, 4000, 12000)]);
+        let slow_train = learn_doc(0.92, &[(1024, 3e4, 8e4, 4000, 12000)]);
+        let outcome = gate_documents(&slow_train, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("train_per_sec regressed")));
+        let slow_classify = learn_doc(0.92, &[(1024, 5e4, 4e4, 4000, 12000)]);
+        let outcome = gate_documents(&slow_classify, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("classify_per_sec regressed")));
+    }
+
+    #[test]
+    fn learn_p95_inflation_and_accuracy_drop_fail() {
+        let baseline = learn_doc(0.92, &[(1024, 5e4, 8e4, 4000, 12000)]);
+        // One doubling passes (noise), past it fails.
+        let doubled = learn_doc(0.92, &[(1024, 5e4, 8e4, 4000, 24000)]);
+        assert!(gate_documents(&doubled, &baseline, DEFAULT_GATE_MARGIN).passed());
+        let inflated = learn_doc(0.92, &[(1024, 5e4, 8e4, 4000, 60000)]);
+        let outcome = gate_documents(&inflated, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("classify p95 inflated")));
+        // Accuracy: within the slack passes, past it fails.
+        let noisy = learn_doc(0.89, &[(1024, 5e4, 8e4, 4000, 12000)]);
+        assert!(gate_documents(&noisy, &baseline, DEFAULT_GATE_MARGIN).passed());
+        let broken = learn_doc(0.70, &[(1024, 5e4, 8e4, 4000, 12000)]);
+        let outcome = gate_documents(&broken, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("stopped learning")));
+        // A current document that dropped the field cannot pass.
+        let missing = learn_doc(f64::NAN, &[(1024, 5e4, 8e4, 4000, 12000)]);
+        let missing = match missing {
+            JsonValue::Obj(fields) => JsonValue::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "final_accuracy")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let outcome = gate_documents(&missing, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("no final_accuracy")));
     }
 
     #[test]

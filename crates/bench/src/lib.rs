@@ -17,6 +17,7 @@ pub mod engine_bench;
 pub mod gate;
 pub mod json;
 pub mod kernel_bench;
+pub mod learn_bench;
 pub mod packed_bench;
 pub mod runner;
 pub mod serving_bench;
@@ -34,6 +35,10 @@ pub use json::JsonValue;
 pub use kernel_bench::{
     kernel_bench_json, kernel_bench_table, kernel_points, measure_kernel,
     verify_kernel_equivalence, KernelPoint,
+};
+pub use learn_bench::{
+    learn_json, learn_points, learn_table, EpochPoint, LearnPoint, LearnReport, DIM_GRID,
+    LEARN_CLASSES,
 };
 pub use packed_bench::{
     measure_scan, packed_scan_json, packed_scan_points, packed_scan_table,

@@ -1,12 +1,13 @@
 //! The `.fhd` model-artifact codec: a hand-rolled, versioned, checksummed
-//! binary format persisting a [`Taxonomy`] and its codebooks.
+//! binary format persisting a [`Taxonomy`], its codebooks, and (since
+//! version 3) trained class prototypes.
 //!
-//! # Layout (version 2, all integers little-endian)
+//! # Layout (version 3, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  = 89 46 48 44 0D 0A 1A 0A  ("\x89FHD\r\n\x1a\n")
-//! 8       2     version (u16) = 2
+//! 8       2     version (u16) = 3
 //! 10      2     flags   (u16) = 0 (reserved)
 //! 12      8     dim     (u64)
 //! 20      8     seed    (u64)
@@ -21,6 +22,14 @@
 //!                 item count m (u32)
 //!                 m × ⌈dim/64⌉ packed sign words (u64 each)
 //!                 packed-shard geometry: items per shard (u32, ≥ 1)   [v2]
+//!         1     prototype presence (u8, 0 or 1)                       [v3]
+//!         —     when present, the prototype section:                  [v3]
+//!                 prototype dim (u64) + class count C (u32)
+//!                 max retained examples (u64)
+//!                 retraining epoch counter (u64)
+//!                 C × class prototype:
+//!                   observation count (u64)
+//!                   dim × i32 accumulator components
 //! end-8   8     FNV-1a 64 checksum over every preceding byte
 //! ```
 //!
@@ -41,10 +50,23 @@
 //! serves packed scans warm from the first request instead of rebuilding
 //! shard tables lazily. Version-1 artifacts still load; their overrides
 //! fall back to lazy table construction on first scan.
+//!
+//! ## Trained prototypes (version 3)
+//!
+//! Version 3 appends an optional prototype section persisting the
+//! *staging* state of an online-learned model
+//! ([`factorhd_learn::PrototypeModel`]): the exact integer accumulators,
+//! per-class observation counts, and the epoch counter, so a reloaded
+//! model classifies — and continues retraining — bit-identically to the
+//! saved one. The replay buffer of retained examples is deliberately
+//! **not** persisted (it is transient training state, potentially far
+//! larger than the model); a reloaded model retrains from an empty
+//! retained set. Version-1/2 artifacts still load (no prototypes).
 
 use crate::EngineError;
 use factorhd_core::{Taxonomy, TaxonomyBuilder};
-use hdc::Codebook;
+use factorhd_learn::{LearnConfig, PrototypeModel};
+use hdc::{AccumHv, Codebook};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -54,12 +76,13 @@ pub const MAGIC: [u8; 8] = *b"\x89FHD\r\n\x1a\n";
 
 /// The artifact format version this build writes. Readers also accept
 /// every version in [`SUPPORTED_VERSIONS`].
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
-/// Format versions [`parse_taxonomy`] accepts: version 1 (no packed-shard
-/// geometry; tables rebuild lazily on first scan) and version 2 (shard
-/// geometry persisted; tables primed at load).
-pub const SUPPORTED_VERSIONS: [u16; 2] = [1, 2];
+/// Format versions [`parse_model`] accepts: version 1 (no packed-shard
+/// geometry; tables rebuild lazily on first scan), version 2 (shard
+/// geometry persisted; tables primed at load), and version 3 (optional
+/// trained-prototype section).
+pub const SUPPORTED_VERSIONS: [u16; 3] = [1, 2, 3];
 
 /// Sanity caps rejecting absurd allocations from corrupt headers.
 const MAX_DIM: u64 = 1 << 26;
@@ -76,6 +99,13 @@ const MAX_SHARD_LEN: usize = 1 << 20;
 /// product (2^28 bits = 32 MiB of packed labels) so a crafted artifact
 /// with a valid checksum cannot OOM the loader.
 const MAX_MODEL_BITS: u64 = 1 << 28;
+/// Cap on the prototype section's eager allocation: `classes × dim`
+/// 32-bit accumulator components (2^23 components = 32 MiB).
+const MAX_PROTO_COMPONENTS: u64 = 1 << 23;
+/// Cap on the persisted replay-buffer bound; the value only bounds
+/// future retention (nothing is allocated from it), so the cap just
+/// rejects obviously corrupt headers.
+const MAX_PROTO_RETAINED: u64 = 1 << 32;
 
 /// FNV-1a 64-bit checksum.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -120,16 +150,53 @@ fn check_serializable(taxonomy: &Taxonomy) -> Result<(), EngineError> {
     Ok(())
 }
 
-/// Serializes `taxonomy` into the `.fhd` wire format.
+/// The prototype-section analogue of [`check_serializable`].
+fn check_serializable_prototypes(prototypes: &PrototypeModel) -> Result<(), EngineError> {
+    let reject = |what: String| Err(EngineError::Corrupt(what));
+    let dim = prototypes.dim() as u64;
+    let classes = prototypes.classes() as u64;
+    if dim > MAX_DIM {
+        return reject(format!(
+            "prototype dimension {dim} exceeds the format cap {MAX_DIM}"
+        ));
+    }
+    if classes > MAX_CLASSES as u64 {
+        return reject(format!(
+            "{classes} prototype classes exceed the format cap {MAX_CLASSES}"
+        ));
+    }
+    if classes * dim > MAX_PROTO_COMPONENTS {
+        return reject(format!(
+            "{classes} prototype classes × {dim} dimensions exceed the loader's allocation bound"
+        ));
+    }
+    if prototypes.config().max_retained as u64 > MAX_PROTO_RETAINED {
+        return reject(format!(
+            "prototype max_retained {} exceeds the format cap {MAX_PROTO_RETAINED}",
+            prototypes.config().max_retained
+        ));
+    }
+    Ok(())
+}
+
+/// Serializes `taxonomy` — and, when given, trained prototypes — into
+/// the `.fhd` wire format.
 ///
 /// # Errors
 ///
 /// [`EngineError::Io`] on write failure, or [`EngineError::Corrupt`] when
-/// the taxonomy exceeds a format cap (a model that would save but then
+/// the model exceeds a format cap (a model that would save but then
 /// refuse to load is rejected up front — write-success guarantees
 /// load-success).
-pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(), EngineError> {
+pub fn write_model<W: Write>(
+    writer: &mut W,
+    taxonomy: &Taxonomy,
+    prototypes: Option<&PrototypeModel>,
+) -> Result<(), EngineError> {
     check_serializable(taxonomy)?;
+    if let Some(prototypes) = prototypes {
+        check_serializable_prototypes(prototypes)?;
+    }
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -165,10 +232,51 @@ pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(
         buf.extend_from_slice(&(codebook.packed_shard_len() as u32).to_le_bytes());
     }
 
+    // v3: the optional trained-prototype section.
+    match prototypes {
+        None => buf.push(0u8),
+        Some(prototypes) => {
+            buf.push(1u8);
+            buf.extend_from_slice(&(prototypes.dim() as u64).to_le_bytes());
+            buf.extend_from_slice(&(prototypes.classes() as u32).to_le_bytes());
+            buf.extend_from_slice(&(prototypes.config().max_retained as u64).to_le_bytes());
+            buf.extend_from_slice(&prototypes.epoch().to_le_bytes());
+            for (count, accum) in prototypes.counts().iter().zip(prototypes.accumulators()) {
+                buf.extend_from_slice(&count.to_le_bytes());
+                buf.extend_from_slice(&accum.to_le_bytes());
+            }
+        }
+    }
+
     let checksum = fnv1a(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
     writer.write_all(&buf)?;
     Ok(())
+}
+
+/// Serializes `taxonomy` alone (no prototype section) into the `.fhd`
+/// wire format.
+///
+/// # Errors
+///
+/// Same conditions as [`write_model`].
+pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(), EngineError> {
+    write_model(writer, taxonomy, None)
+}
+
+/// Saves a model — taxonomy plus optional trained prototypes — to a
+/// `.fhd` file at `path`.
+///
+/// # Errors
+///
+/// [`EngineError::Io`] on filesystem failure.
+pub fn save_model<P: AsRef<Path>>(
+    path: P,
+    taxonomy: &Taxonomy,
+    prototypes: Option<&PrototypeModel>,
+) -> Result<(), EngineError> {
+    let mut file = std::fs::File::create(path)?;
+    write_model(&mut file, taxonomy, prototypes)
 }
 
 /// Saves `taxonomy` to a `.fhd` file at `path`.
@@ -177,13 +285,13 @@ pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(
 ///
 /// [`EngineError::Io`] on filesystem failure.
 pub fn save_taxonomy<P: AsRef<Path>>(path: P, taxonomy: &Taxonomy) -> Result<(), EngineError> {
-    let mut file = std::fs::File::create(path)?;
-    write_taxonomy(&mut file, taxonomy)
+    save_model(path, taxonomy, None)
 }
 
-/// Deserializes a taxonomy from `.fhd` bytes produced by
-/// [`write_taxonomy`], verifying magic, version, and checksum before
-/// touching the payload.
+/// Deserializes a model from `.fhd` bytes produced by [`write_model`],
+/// verifying magic, version, and checksum before touching the payload.
+/// The second tuple element carries the trained prototypes of a
+/// version-3 artifact that has them, `None` otherwise.
 ///
 /// # Errors
 ///
@@ -193,10 +301,36 @@ pub fn save_taxonomy<P: AsRef<Path>>(path: P, taxonomy: &Taxonomy) -> Result<(),
 /// [`EngineError::ChecksumMismatch`] / [`EngineError::Truncated`],
 /// structurally invalid contents → [`EngineError::Corrupt`] or
 /// [`EngineError::Core`].
-pub fn read_taxonomy<R: Read>(reader: &mut R) -> Result<Taxonomy, EngineError> {
+pub fn read_model<R: Read>(
+    reader: &mut R,
+) -> Result<(Taxonomy, Option<PrototypeModel>), EngineError> {
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes)?;
-    parse_taxonomy(&bytes)
+    parse_model(&bytes)
+}
+
+/// Loads a model — taxonomy plus optional trained prototypes — from a
+/// `.fhd` file at `path`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_model`], plus [`EngineError::Io`] on
+/// filesystem failure.
+pub fn load_model<P: AsRef<Path>>(
+    path: P,
+) -> Result<(Taxonomy, Option<PrototypeModel>), EngineError> {
+    let mut file = std::fs::File::open(path)?;
+    read_model(&mut file)
+}
+
+/// Deserializes a taxonomy from `.fhd` bytes, discarding any prototype
+/// section; see [`read_model`].
+///
+/// # Errors
+///
+/// Same conditions as [`read_model`].
+pub fn read_taxonomy<R: Read>(reader: &mut R) -> Result<Taxonomy, EngineError> {
+    Ok(read_model(reader)?.0)
 }
 
 /// Loads a taxonomy from a `.fhd` file at `path`.
@@ -206,16 +340,26 @@ pub fn read_taxonomy<R: Read>(reader: &mut R) -> Result<Taxonomy, EngineError> {
 /// Same conditions as [`read_taxonomy`], plus [`EngineError::Io`] on
 /// filesystem failure.
 pub fn load_taxonomy<P: AsRef<Path>>(path: P) -> Result<Taxonomy, EngineError> {
-    let mut file = std::fs::File::open(path)?;
-    read_taxonomy(&mut file)
+    Ok(load_model(path)?.0)
 }
 
-/// Parses an in-memory `.fhd` byte buffer.
+/// Parses an in-memory `.fhd` byte buffer, discarding any prototype
+/// section; see [`parse_model`].
 ///
 /// # Errors
 ///
-/// Same conditions as [`read_taxonomy`].
+/// Same conditions as [`parse_model`].
 pub fn parse_taxonomy(bytes: &[u8]) -> Result<Taxonomy, EngineError> {
+    Ok(parse_model(bytes)?.0)
+}
+
+/// Parses an in-memory `.fhd` byte buffer into a taxonomy and, when the
+/// artifact carries one, the trained prototype model.
+///
+/// # Errors
+///
+/// Same conditions as [`read_model`].
+pub fn parse_model(bytes: &[u8]) -> Result<(Taxonomy, Option<PrototypeModel>), EngineError> {
     if bytes.len() < MAGIC.len() {
         return Err(EngineError::Truncated {
             needed: MAGIC.len() - bytes.len(),
@@ -340,13 +484,71 @@ pub fn parse_taxonomy(bytes: &[u8]) -> Result<Taxonomy, EngineError> {
         taxonomy.set_codebook(class, &parent, codebook)?;
     }
 
+    // v3: the optional trained-prototype section.
+    let prototypes = if version >= 3 {
+        match cursor.take(1)?[0] {
+            0 => None,
+            1 => Some(parse_prototypes(&mut cursor)?),
+            other => {
+                return Err(EngineError::Corrupt(format!(
+                    "prototype presence flag {other} (must be 0 or 1)"
+                )))
+            }
+        }
+    } else {
+        None
+    };
+
     if cursor.pos != body.len() {
         return Err(EngineError::Corrupt(format!(
-            "{} trailing bytes after the last override",
+            "{} trailing bytes after the last section",
             body.len() - cursor.pos
         )));
     }
-    Ok(taxonomy)
+    Ok((taxonomy, prototypes))
+}
+
+/// Parses the version-3 prototype section at `cursor`.
+fn parse_prototypes(cursor: &mut Cursor<'_>) -> Result<PrototypeModel, EngineError> {
+    let dim = cursor.u64()?;
+    if dim == 0 || dim > MAX_DIM {
+        return Err(EngineError::Corrupt(format!(
+            "prototype dimension {dim} out of range"
+        )));
+    }
+    let classes = cursor.u32()?;
+    if classes == 0 || classes > MAX_CLASSES {
+        return Err(EngineError::Corrupt(format!(
+            "prototype class count {classes} out of range"
+        )));
+    }
+    if classes as u64 * dim > MAX_PROTO_COMPONENTS {
+        return Err(EngineError::Corrupt(format!(
+            "declared prototype section of {classes} classes × {dim} dimensions \
+             exceeds the loader's allocation bound"
+        )));
+    }
+    let max_retained = cursor.u64()?;
+    if max_retained > MAX_PROTO_RETAINED {
+        return Err(EngineError::Corrupt(format!(
+            "prototype max_retained {max_retained} out of range"
+        )));
+    }
+    let epoch = cursor.u64()?;
+    let mut counts = Vec::with_capacity(classes as usize);
+    let mut accums = Vec::with_capacity(classes as usize);
+    for _ in 0..classes {
+        counts.push(cursor.u64()?);
+        let payload = cursor.take(AccumHv::byte_len(dim as usize))?;
+        accums.push(AccumHv::from_le_bytes(dim as usize, payload)?);
+    }
+    let config = LearnConfig {
+        classes: classes as usize,
+        dim: dim as usize,
+        max_retained: max_retained as usize,
+    };
+    PrototypeModel::from_parts(config, accums, counts, epoch)
+        .map_err(|e| EngineError::Corrupt(format!("prototype section: {e}")))
 }
 
 /// Bounds-checked little-endian reader over the artifact body.
@@ -577,12 +779,24 @@ mod tests {
         assert!(buf.is_empty(), "nothing may be written on rejection");
     }
 
-    /// Strips the per-override shard-geometry fields and rewrites the
-    /// version to 1, producing a valid version-1 artifact from a
-    /// version-2 one. The sample taxonomy has exactly one override, so
-    /// the geometry field is the last 4 body bytes.
+    /// Strips the v3 prototype-presence byte (the last body byte of a
+    /// prototype-free artifact) and rewrites the version to 2, producing
+    /// a valid version-2 artifact from a version-3 one.
+    fn downgrade_to_v2(bytes: &[u8]) -> Vec<u8> {
+        let mut body = bytes[..bytes.len() - 8 - 1].to_vec();
+        body[8..10].copy_from_slice(&2u16.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        body
+    }
+
+    /// Additionally strips the per-override shard-geometry fields and
+    /// rewrites the version to 1, producing a valid version-1 artifact.
+    /// The sample taxonomy has exactly one override, so the geometry
+    /// field is the last 4 bytes of the version-2 body.
     fn downgrade_to_v1(bytes: &[u8]) -> Vec<u8> {
-        let mut body = bytes[..bytes.len() - 8 - 4].to_vec();
+        let v2 = downgrade_to_v2(bytes);
+        let mut body = v2[..v2.len() - 8 - 4].to_vec();
         body[8..10].copy_from_slice(&1u16.to_le_bytes());
         let checksum = fnv1a(&body);
         body.extend_from_slice(&checksum.to_le_bytes());
@@ -614,10 +828,11 @@ mod tests {
 
     #[test]
     fn corrupt_shard_geometry_rejected() {
+        // The geometry field sits just before the v3 presence byte.
         let bytes = to_bytes(&sample_taxonomy());
         let mut body = bytes[..bytes.len() - 8].to_vec();
-        let geometry_at = body.len() - 4;
-        body[geometry_at..].copy_from_slice(&0u32.to_le_bytes());
+        let geometry_at = body.len() - 1 - 4;
+        body[geometry_at..geometry_at + 4].copy_from_slice(&0u32.to_le_bytes());
         let checksum = fnv1a(&body);
         body.extend_from_slice(&checksum.to_le_bytes());
         assert!(matches!(
@@ -633,6 +848,138 @@ mod tests {
         save_taxonomy(&path, &original).expect("saves");
         let loaded = load_taxonomy(&path).expect("loads");
         assert_eq!(loaded.label(0), original.label(0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A trained prototype model with non-trivial accumulators.
+    fn sample_prototypes() -> PrototypeModel {
+        let mut model = PrototypeModel::new(LearnConfig::new(3, 64)).expect("valid");
+        let mut rng = hdc::rng_from_seed(99);
+        use rand::Rng;
+        for sample in 0..30u64 {
+            let class = (sample % 3) as usize;
+            let example = AccumHv::from_components(
+                (0..64)
+                    .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                    .collect(),
+            );
+            model.observe(class, sample, &example, true).expect("valid");
+        }
+        model.retrain(3);
+        model
+    }
+
+    fn model_to_bytes(taxonomy: &Taxonomy, prototypes: Option<&PrototypeModel>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_model(&mut buf, taxonomy, prototypes).expect("write to vec");
+        buf
+    }
+
+    #[test]
+    fn prototype_round_trip_is_bit_identical() {
+        let taxonomy = sample_taxonomy();
+        let prototypes = sample_prototypes();
+        let bytes = model_to_bytes(&taxonomy, Some(&prototypes));
+        let (loaded_taxonomy, loaded_prototypes) = parse_model(&bytes).expect("parses");
+        let loaded_prototypes = loaded_prototypes.expect("prototype section present");
+        assert_eq!(loaded_taxonomy.label(0), taxonomy.label(0));
+        assert_eq!(loaded_prototypes.accumulators(), prototypes.accumulators());
+        assert_eq!(loaded_prototypes.counts(), prototypes.counts());
+        assert_eq!(loaded_prototypes.epoch(), prototypes.epoch());
+        assert_eq!(loaded_prototypes.config(), prototypes.config());
+        // The replay buffer is transient state and is not persisted.
+        assert_eq!(loaded_prototypes.retained(), 0);
+        // Re-serializing reproduces the bytes exactly.
+        assert_eq!(
+            model_to_bytes(&loaded_taxonomy, Some(&loaded_prototypes)),
+            bytes
+        );
+    }
+
+    #[test]
+    fn prototype_free_v3_artifacts_parse_to_none() {
+        let (_, prototypes) = parse_model(&to_bytes(&sample_taxonomy())).expect("parses");
+        assert!(prototypes.is_none());
+    }
+
+    #[test]
+    fn v2_and_v1_artifacts_parse_to_no_prototypes() {
+        let bytes = to_bytes(&sample_taxonomy());
+        for old in [downgrade_to_v2(&bytes), downgrade_to_v1(&bytes)] {
+            let (taxonomy, prototypes) = parse_model(&old).expect("old version parses");
+            assert_eq!(taxonomy.num_classes(), 2);
+            assert!(prototypes.is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_presence_flag_rejected() {
+        let bytes = to_bytes(&sample_taxonomy());
+        let mut body = bytes[..bytes.len() - 8].to_vec();
+        let presence_at = body.len() - 1;
+        body[presence_at] = 7;
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(parse_model(&body), Err(EngineError::Corrupt(_))));
+    }
+
+    #[test]
+    fn prototype_truncation_is_typed_at_every_length() {
+        let bytes = model_to_bytes(&sample_taxonomy(), Some(&sample_prototypes()));
+        for cut in 0..bytes.len() {
+            let err = parse_model(&bytes[..cut]).expect_err("truncated artifact must fail");
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Truncated { .. } | EngineError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prototype_flipped_byte_fails_checksum() {
+        let mut bytes = model_to_bytes(&sample_taxonomy(), Some(&sample_prototypes()));
+        // Flip a byte inside the prototype section (last 16 bytes of the
+        // body are deep inside the final accumulator).
+        let inside = bytes.len() - 8 - 16;
+        bytes[inside] ^= 0x20;
+        assert!(matches!(
+            parse_model(&bytes),
+            Err(EngineError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_prototype_section_rejected_at_write_time() {
+        // classes × dim passes the per-field caps but exceeds the
+        // allocation bound; writing must refuse up front.
+        let config = LearnConfig {
+            classes: 1 << 12,
+            dim: 1 << 12,
+            max_retained: 16,
+        };
+        let prototypes = PrototypeModel::new(config).expect("valid in memory");
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_model(&mut buf, &sample_taxonomy(), Some(&prototypes)),
+            Err(EngineError::Corrupt(_))
+        ));
+        assert!(buf.is_empty(), "nothing may be written on rejection");
+    }
+
+    #[test]
+    fn model_file_round_trip() {
+        let taxonomy = sample_taxonomy();
+        let prototypes = sample_prototypes();
+        let path = std::env::temp_dir().join("factorhd_artifact_proto_test.fhd");
+        save_model(&path, &taxonomy, Some(&prototypes)).expect("saves");
+        let (_, loaded) = load_model(&path).expect("loads");
+        assert_eq!(
+            loaded.expect("present").accumulators(),
+            prototypes.accumulators()
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,6 +1,7 @@
 //! Error types for the serving engine and the `.fhd` artifact codec.
 
 use factorhd_core::FactorHdError;
+use factorhd_learn::LearnError;
 use std::error::Error;
 use std::fmt;
 use std::io;
@@ -42,7 +43,19 @@ pub enum EngineError {
     /// or cache size; see [`crate::EngineConfig::validate`]).
     InvalidConfig(String),
     /// A registry operation named a model id that is not installed.
-    UnknownModel(String),
+    UnknownModel {
+        /// The model id the caller asked for.
+        name: String,
+        /// The ids actually installed at lookup time, sorted.
+        registered: Vec<String>,
+    },
+    /// A `Train` / `Retrain` / `Classify` op reached a model with no
+    /// attached learner (the model was built without
+    /// [`crate::ModelState::new_learnable`]).
+    NotTrainable,
+    /// An error bubbled up from the learning subsystem (bad class
+    /// label, dimension mismatch, invalid learner configuration).
+    Learn(LearnError),
     /// An error bubbled up from the FactorHD core while rebuilding or
     /// querying the model.
     Core(FactorHdError),
@@ -74,7 +87,25 @@ impl fmt::Display for EngineError {
             EngineError::InvalidConfig(reason) => {
                 write!(f, "invalid engine configuration: {reason}")
             }
-            EngineError::UnknownModel(id) => write!(f, "unknown model {id:?}"),
+            EngineError::UnknownModel { name, registered } => {
+                write!(f, "unknown model {name:?} ")?;
+                if registered.is_empty() {
+                    write!(f, "(no models registered)")
+                } else {
+                    write!(f, "(registered: ")?;
+                    for (i, id) in registered.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{id:?}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            EngineError::NotTrainable => {
+                write!(f, "model has no learner attached (not trainable)")
+            }
+            EngineError::Learn(e) => write!(f, "learn error: {e}"),
             EngineError::Core(e) => write!(f, "model error: {e}"),
         }
     }
@@ -85,6 +116,7 @@ impl Error for EngineError {
         match self {
             EngineError::Io(e) => Some(e),
             EngineError::Core(e) => Some(e),
+            EngineError::Learn(e) => Some(e),
             _ => None,
         }
     }
@@ -108,6 +140,12 @@ impl From<hdc::HdcError> for EngineError {
     }
 }
 
+impl From<LearnError> for EngineError {
+    fn from(value: LearnError) -> Self {
+        EngineError::Learn(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,7 +166,15 @@ mod tests {
             },
             EngineError::Corrupt("trailing garbage".into()),
             EngineError::InvalidConfig("batch_chunk must be at least 1".into()),
-            EngineError::UnknownModel("fruit".into()),
+            EngineError::UnknownModel {
+                name: "fruit".into(),
+                registered: vec!["animal".into(), "color".into()],
+            },
+            EngineError::NotTrainable,
+            EngineError::Learn(LearnError::UnknownClass {
+                class: 7,
+                classes: 3,
+            }),
             EngineError::Core(FactorHdError::NoClasses),
         ];
         for err in cases {
@@ -136,6 +182,26 @@ mod tests {
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn unknown_model_display_names_the_request_and_the_registry() {
+        let empty = EngineError::UnknownModel {
+            name: "typo".into(),
+            registered: vec![],
+        };
+        assert_eq!(
+            empty.to_string(),
+            "unknown model \"typo\" (no models registered)"
+        );
+        let populated = EngineError::UnknownModel {
+            name: "typo".into(),
+            registered: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(
+            populated.to_string(),
+            "unknown model \"typo\" (registered: \"a\", \"b\")"
+        );
     }
 
     #[test]
@@ -157,19 +223,25 @@ mod tests {
             },
             EngineError::Corrupt("c".into()),
             EngineError::InvalidConfig("i".into()),
-            EngineError::UnknownModel("m".into()),
+            EngineError::UnknownModel {
+                name: "m".into(),
+                registered: vec![],
+            },
+            EngineError::NotTrainable,
+            EngineError::Learn(LearnError::InvalidConfig("zero classes".into())),
             EngineError::Core(FactorHdError::EmptyScene),
         ];
         for err in &all {
             let has_source = match err {
-                EngineError::Io(_) | EngineError::Core(_) => true,
+                EngineError::Io(_) | EngineError::Core(_) | EngineError::Learn(_) => true,
                 EngineError::BadMagic { .. }
                 | EngineError::UnsupportedVersion(_)
                 | EngineError::ChecksumMismatch { .. }
                 | EngineError::Truncated { .. }
                 | EngineError::Corrupt(_)
                 | EngineError::InvalidConfig(_)
-                | EngineError::UnknownModel(_) => false,
+                | EngineError::UnknownModel { .. }
+                | EngineError::NotTrainable => false,
             };
             assert_eq!(Error::source(err).is_some(), has_source, "{err}");
         }
@@ -183,5 +255,12 @@ mod tests {
         assert!(matches!(core_err, EngineError::Core(_)));
         let hdc_err: EngineError = hdc::HdcError::EmptyCodebook.into();
         assert!(matches!(hdc_err, EngineError::Core(FactorHdError::Hdc(_))));
+        let learn_err: EngineError = LearnError::DimMismatch {
+            expected: 8,
+            found: 4,
+        }
+        .into();
+        assert!(Error::source(&learn_err).is_some());
+        assert!(matches!(learn_err, EngineError::Learn(_)));
     }
 }

@@ -11,6 +11,13 @@
 //!   type, so `engine.run(op)` returns exactly what the op produces
 //!   instead of an enum to destructure. Heterogeneous batches travel as
 //!   [`AnyOp`] / [`AnyOutput`].
+//! * **Online learning** ([`Train`] / [`Retrain`] / [`Classify`], built
+//!   on `factorhd-learn`): learnable models carry per-class prototype
+//!   accumulators; `Train` bundles labelled examples in, `Retrain` runs
+//!   misclassification-driven correction epochs over the replay buffer,
+//!   and `Classify` scans a ternary/packed snapshot published
+//!   atomically by the registry after every successful training op —
+//!   readers never block on a retrain (see docs/LEARNING.md).
 //! * **Models** ([`ModelState`] / [`ModelRegistry`]): a model bundles a
 //!   taxonomy with its memoized parts (label-elimination masks, shared
 //!   codebooks and clauses, the Rep-3 reconstruction memo). A registry
@@ -109,18 +116,24 @@ pub use metrics::{
 };
 pub use model::{EngineConfig, ModelState};
 pub use ops::{
-    AnyOp, AnyOutput, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe,
-    Op, OpKind, PartialDecode,
+    AnyOp, AnyOutput, Classify, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3,
+    MembershipProbe, Op, OpKind, PartialDecode, Retrain, Train,
 };
-pub use registry::{ModelHandle, ModelId, ModelRegistry};
+pub use registry::{ModelHandle, ModelId, ModelInfo, ModelRegistry};
+
+pub use factorhd_learn::{
+    ClassHit, Classification, LearnConfig, LearnError, Learner, PrototypeModel, PrototypeSnapshot,
+    RetrainReport, TrainAck,
+};
 #[allow(deprecated)]
 pub use shim::{Request, Response};
 
 /// Convenient glob import of the serving-engine types.
 pub mod prelude {
     pub use crate::{
-        AnyOp, AnyOutput, CacheStats, EncodeScene, EngineConfig, EngineError, FactorEngine,
-        FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe, MetricsSnapshot, ModelHandle,
-        ModelId, ModelRegistry, ModelState, Op, OpKind, PartialDecode, Stage, StageTimer,
+        AnyOp, AnyOutput, CacheStats, Classify, EncodeScene, EngineConfig, EngineError,
+        FactorEngine, FactorizeRep1, FactorizeRep2, FactorizeRep3, LearnConfig, MembershipProbe,
+        MetricsSnapshot, ModelHandle, ModelId, ModelInfo, ModelRegistry, ModelState, Op, OpKind,
+        PartialDecode, Retrain, Stage, StageTimer, Train,
     };
 }

@@ -238,11 +238,14 @@ impl OpTable {
     }
 }
 
-/// One slot of the fixed per-model table: a registry generation and its
-/// completed-op count. `generation == EMPTY_SLOT` means unclaimed.
+/// One slot of the fixed per-model table: a registry generation, its
+/// completed-op count, and its learning-op counts. `generation ==
+/// EMPTY_SLOT` means unclaimed.
 struct ModelSlot {
     generation: AtomicU64,
     ops: AtomicU64,
+    train_ops: AtomicU64,
+    classify_ops: AtomicU64,
 }
 
 /// The process-global metrics tables. Construct-free: everything is
@@ -252,6 +255,7 @@ struct EngineMetrics {
     ops: [OpTable; OpKind::COUNT],
     batch_sizes: Histogram,
     chunk_sizes: Histogram,
+    retrain_epochs: Histogram,
     models: [ModelSlot; MODEL_SLOTS],
     model_overflow: AtomicU64,
 }
@@ -260,10 +264,13 @@ static GLOBAL: EngineMetrics = EngineMetrics {
     ops: [const { OpTable::new() }; OpKind::COUNT],
     batch_sizes: Histogram::new(),
     chunk_sizes: Histogram::new(),
+    retrain_epochs: Histogram::new(),
     models: [const {
         ModelSlot {
             generation: AtomicU64::new(EMPTY_SLOT),
             ops: AtomicU64::new(0),
+            train_ops: AtomicU64::new(0),
+            classify_ops: AtomicU64::new(0),
         }
     }; MODEL_SLOTS],
     model_overflow: AtomicU64::new(0),
@@ -341,6 +348,55 @@ pub fn record_chunk_size(size: u64) {
     }
 }
 
+/// Records the number of epochs one `Retrain` op actually ran (its
+/// `epochs_run`, which early-stops below the request on an error-free
+/// pass).
+#[inline]
+pub fn record_retrain_epochs(epochs: u64) {
+    if metrics_recording() {
+        GLOBAL.retrain_epochs.record(epochs);
+    }
+}
+
+/// Adds `n` to one counter of `generation`'s slot, claiming a free slot
+/// by compare-and-swap when the generation has none yet. When every
+/// slot belongs to other generations the count lands in
+/// `model_overflow` iff `count_overflow` (only the total-ops counter
+/// feeds the overflow cell, so it stays a plain op count).
+#[inline]
+fn model_slot_add(
+    generation: u64,
+    n: u64,
+    field: fn(&ModelSlot) -> &AtomicU64,
+    count_overflow: bool,
+) {
+    for slot in &GLOBAL.models {
+        let claimed = slot.generation.load(Ordering::Relaxed);
+        if claimed == generation {
+            field(slot).fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        if claimed == EMPTY_SLOT
+            && slot
+                .generation
+                .compare_exchange(EMPTY_SLOT, generation, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            field(slot).fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        // Slot belongs to another generation (or a racer claimed it for
+        // one); fall through to the next slot.
+        if slot.generation.load(Ordering::Relaxed) == generation {
+            field(slot).fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+    }
+    if count_overflow {
+        GLOBAL.model_overflow.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// Counts `n` completed ops against a model `generation` (a registry
 /// stamp, or [`UNREGISTERED_GENERATION`] for plain engines). The table
 /// is fixed-size; once all [`MODEL_SLOTS`] are claimed by other
@@ -350,29 +406,28 @@ pub fn record_model_ops(generation: u64, n: u64) {
     if n == 0 || !metrics_recording() {
         return;
     }
-    for slot in &GLOBAL.models {
-        let claimed = slot.generation.load(Ordering::Relaxed);
-        if claimed == generation {
-            slot.ops.fetch_add(n, Ordering::Relaxed);
-            return;
-        }
-        if claimed == EMPTY_SLOT
-            && slot
-                .generation
-                .compare_exchange(EMPTY_SLOT, generation, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-        {
-            slot.ops.fetch_add(n, Ordering::Relaxed);
-            return;
-        }
-        // Slot belongs to another generation (or a racer claimed it for
-        // one); fall through to the next slot.
-        if slot.generation.load(Ordering::Relaxed) == generation {
-            slot.ops.fetch_add(n, Ordering::Relaxed);
-            return;
-        }
+    model_slot_add(generation, n, |slot| &slot.ops, true);
+}
+
+/// Counts `n` Train/Retrain ops against `generation`. Overflow past the
+/// slot table is only tallied by [`record_model_ops`] (these ops are
+/// already in its `n`), so nothing is double-counted.
+#[inline]
+pub fn record_model_train_ops(generation: u64, n: u64) {
+    if n == 0 || !metrics_recording() {
+        return;
     }
-    GLOBAL.model_overflow.fetch_add(n, Ordering::Relaxed);
+    model_slot_add(generation, n, |slot| &slot.train_ops, false);
+}
+
+/// Counts `n` Classify ops against `generation`; same overflow rule as
+/// [`record_model_train_ops`].
+#[inline]
+pub fn record_model_classify_ops(generation: u64, n: u64) {
+    if n == 0 || !metrics_recording() {
+        return;
+    }
+    model_slot_add(generation, n, |slot| &slot.classify_ops, false);
 }
 
 /// A copied-out histogram with pre-extracted quantiles. Quantiles are
@@ -445,6 +500,11 @@ pub struct ModelMetrics {
     pub generation: u64,
     /// Ops completed against that generation.
     pub ops: u64,
+    /// Train/Retrain ops counted against that generation (a subset of
+    /// `ops`).
+    pub train_ops: u64,
+    /// Classify ops counted against that generation (a subset of `ops`).
+    pub classify_ops: u64,
 }
 
 /// A cheap plain-data copy of every metrics table, taken with relaxed
@@ -461,6 +521,8 @@ pub struct MetricsSnapshot {
     pub batch_sizes: HistogramSnapshot,
     /// Histogram of coalesced planner chunk sizes.
     pub chunk_sizes: HistogramSnapshot,
+    /// Histogram of epochs actually run per `Retrain` op.
+    pub retrain_epochs: HistogramSnapshot,
     /// Exclusive per-stage wall-clock totals, in pipeline order.
     pub stages: Vec<StageTotal>,
     /// Per-model completed-op counts, sorted by ascending generation.
@@ -492,6 +554,8 @@ pub fn snapshot() -> MetricsSnapshot {
             (generation != EMPTY_SLOT).then(|| ModelMetrics {
                 generation,
                 ops: slot.ops.load(Ordering::Relaxed),
+                train_ops: slot.train_ops.load(Ordering::Relaxed),
+                classify_ops: slot.classify_ops.load(Ordering::Relaxed),
             })
         })
         .collect();
@@ -502,6 +566,7 @@ pub fn snapshot() -> MetricsSnapshot {
         ops,
         batch_sizes: GLOBAL.batch_sizes.snapshot(),
         chunk_sizes: GLOBAL.chunk_sizes.snapshot(),
+        retrain_epochs: GLOBAL.retrain_epochs.snapshot(),
         stages: stage_totals().to_vec(),
         models,
         model_overflow: GLOBAL.model_overflow.load(Ordering::Relaxed),
@@ -521,9 +586,12 @@ pub fn reset() {
     }
     GLOBAL.batch_sizes.reset();
     GLOBAL.chunk_sizes.reset();
+    GLOBAL.retrain_epochs.reset();
     for slot in &GLOBAL.models {
         slot.generation.store(EMPTY_SLOT, Ordering::Relaxed);
         slot.ops.store(0, Ordering::Relaxed);
+        slot.train_ops.store(0, Ordering::Relaxed);
+        slot.classify_ops.store(0, Ordering::Relaxed);
     }
     GLOBAL.model_overflow.store(0, Ordering::Relaxed);
     reset_stage_totals();
@@ -611,17 +679,23 @@ mod tests {
         record_model_ops(UNREGISTERED_GENERATION, 3);
         record_model_ops(7, 2);
         record_model_ops(7, 2);
+        record_model_train_ops(7, 3);
+        record_model_classify_ops(7, 1);
         let snap = snapshot();
         assert_eq!(
             snap.models,
             vec![
                 ModelMetrics {
                     generation: UNREGISTERED_GENERATION,
-                    ops: 3
+                    ops: 3,
+                    train_ops: 0,
+                    classify_ops: 0
                 },
                 ModelMetrics {
                     generation: 7,
-                    ops: 4
+                    ops: 4,
+                    train_ops: 3,
+                    classify_ops: 1
                 },
             ]
         );
@@ -638,6 +712,22 @@ mod tests {
     }
 
     #[test]
+    fn retrain_epoch_histogram_round_trips() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        if !metrics_recording() {
+            return;
+        }
+        reset();
+        record_retrain_epochs(3);
+        record_retrain_epochs(10);
+        let snap = snapshot();
+        assert_eq!(snap.retrain_epochs.count, 2);
+        assert!(snap.retrain_epochs.p95 >= 10);
+        reset();
+        assert_eq!(snapshot().retrain_epochs.count, 0);
+    }
+
+    #[test]
     fn disabled_recording_skips_every_record_path() {
         let _guard = METRICS_LOCK.lock().unwrap();
         if metrics_compiled_out() {
@@ -651,11 +741,15 @@ mod tests {
         record_batch_size(8);
         record_chunk_size(8);
         record_model_ops(3, 1);
+        record_model_train_ops(3, 1);
+        record_model_classify_ops(3, 1);
+        record_retrain_epochs(4);
         assert!(now().is_none());
         set_metrics_recording(true);
         let snap = snapshot();
         assert_eq!(snap.ops[OpKind::Rep1.index()].submitted, 0);
         assert_eq!(snap.batch_sizes.count, 0);
+        assert_eq!(snap.retrain_epochs.count, 0);
         assert!(snap.models.is_empty());
     }
 }

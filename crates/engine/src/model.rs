@@ -4,6 +4,7 @@
 use crate::cache::{CacheStats, ReconCache};
 use crate::{artifact, EngineError};
 use factorhd_core::{build_unbind_keys, FactorizeConfig, Factorizer, Taxonomy};
+use factorhd_learn::{LearnConfig, Learner, PrototypeModel, PrototypeSnapshot};
 use hdc::BipolarHv;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -117,6 +118,13 @@ pub struct ModelState {
     config: EngineConfig,
     unbind_keys: Arc<Vec<BipolarHv>>,
     reconstruction: Arc<ReconCache>,
+    /// The staging prototype model `Train`/`Retrain` ops mutate; `None`
+    /// on read-only models. Shared across hot-swap publishes so staged
+    /// examples survive snapshot installs.
+    learner: Option<Arc<Learner>>,
+    /// The published classification snapshot `Classify` ops read.
+    /// Immutable — publishing installs a whole new `ModelState`.
+    prototypes: Option<Arc<PrototypeSnapshot>>,
 }
 
 impl ModelState {
@@ -146,9 +154,68 @@ impl ModelState {
             config,
             unbind_keys,
             reconstruction,
+            learner: None,
+            prototypes: None,
         };
         state.warm_scan_tables();
         Ok(state)
+    }
+
+    /// [`ModelState::new`] plus an empty online-learning model: `Train`
+    /// / `Retrain` / `Classify` ops become available, with the initial
+    /// published snapshot taken from the empty prototypes.
+    ///
+    /// The prototype dimensionality (`learn.dim`) is independent of the
+    /// taxonomy's — classification queries are arbitrary encoded
+    /// examples, not scene vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when `config` fails validation;
+    /// [`EngineError::Learn`] when `learn` does.
+    pub fn new_learnable(
+        taxonomy: Taxonomy,
+        config: EngineConfig,
+        learn: LearnConfig,
+    ) -> Result<Self, EngineError> {
+        let learner = Arc::new(Learner::new(learn)?);
+        ModelState::with_learner(Arc::new(taxonomy), config, learner)
+    }
+
+    /// [`ModelState::from_arc`] with an existing learner attached; the
+    /// published snapshot is taken from the learner's current staging
+    /// state. This is the publish path: the registry re-wraps the same
+    /// shared learner with a fresh snapshot.
+    pub(crate) fn with_learner(
+        taxonomy: Arc<Taxonomy>,
+        config: EngineConfig,
+        learner: Arc<Learner>,
+    ) -> Result<Self, EngineError> {
+        let snapshot = Arc::new(learner.snapshot()?);
+        let mut state = ModelState::from_arc(taxonomy, config)?;
+        state.learner = Some(learner);
+        state.prototypes = Some(snapshot);
+        Ok(state)
+    }
+
+    /// A new `ModelState` sharing every memoized part of this one but
+    /// carrying a *fresh* snapshot of the learner's staging prototypes
+    /// — the value the registry installs on publish. `None` when the
+    /// model has no learner.
+    pub(crate) fn publish_prototypes(&self) -> Option<Result<ModelState, EngineError>> {
+        let learner = self.learner.as_ref()?;
+        let snapshot = match learner.snapshot() {
+            Ok(snapshot) => Arc::new(snapshot),
+            Err(e) => return Some(Err(EngineError::Learn(e))),
+        };
+        Some(Ok(ModelState {
+            taxonomy: Arc::clone(&self.taxonomy),
+            config: self.config,
+            unbind_keys: Arc::clone(&self.unbind_keys),
+            reconstruction: Arc::clone(&self.reconstruction),
+            learner: Some(Arc::clone(learner)),
+            prototypes: Some(snapshot),
+        }))
     }
 
     /// Primes the packed scan tables of every top-level codebook —
@@ -170,42 +237,74 @@ impl ModelState {
         }
     }
 
-    /// Loads a model from a `.fhd` artifact at `path`.
+    /// Loads a model from a `.fhd` artifact at `path`. Version-3
+    /// artifacts carrying trained prototypes come back learnable (the
+    /// replay buffer is not persisted; retraining restarts from an
+    /// empty retained set).
     ///
     /// # Errors
     ///
-    /// The conditions of [`artifact::load_taxonomy`] and
+    /// The conditions of [`artifact::load_model`] and
     /// [`EngineConfig::validate`].
     pub fn load<P: AsRef<Path>>(path: P, config: EngineConfig) -> Result<Self, EngineError> {
-        ModelState::new(artifact::load_taxonomy(path)?, config)
+        let (taxonomy, prototypes) = artifact::load_model(path)?;
+        ModelState::from_loaded(taxonomy, prototypes, config)
     }
 
-    /// Loads a model from `.fhd` bytes supplied by `reader`.
+    /// Loads a model from `.fhd` bytes supplied by `reader`; see
+    /// [`ModelState::load`].
     ///
     /// # Errors
     ///
-    /// The conditions of [`artifact::read_taxonomy`] and
+    /// The conditions of [`artifact::read_model`] and
     /// [`EngineConfig::validate`].
     pub fn load_from<R: Read>(reader: &mut R, config: EngineConfig) -> Result<Self, EngineError> {
-        ModelState::new(artifact::read_taxonomy(reader)?, config)
+        let (taxonomy, prototypes) = artifact::read_model(reader)?;
+        ModelState::from_loaded(taxonomy, prototypes, config)
     }
 
-    /// Saves the model as a `.fhd` artifact at `path`.
+    fn from_loaded(
+        taxonomy: Taxonomy,
+        prototypes: Option<PrototypeModel>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        match prototypes {
+            None => ModelState::new(taxonomy, config),
+            Some(model) => {
+                let learner = Arc::new(Learner::from_model(model));
+                ModelState::with_learner(Arc::new(taxonomy), config, learner)
+            }
+        }
+    }
+
+    /// Saves the model as a `.fhd` artifact at `path`, including the
+    /// staging prototypes when the model is learnable.
     ///
     /// # Errors
     ///
     /// [`EngineError::Io`] on filesystem failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
-        artifact::save_taxonomy(path, &self.taxonomy)
+        let staged = self.staged_prototypes();
+        artifact::save_model(path, &self.taxonomy, staged.as_ref())
     }
 
-    /// Writes the model as `.fhd` bytes to `writer`.
+    /// Writes the model as `.fhd` bytes to `writer`, including the
+    /// staging prototypes when the model is learnable.
     ///
     /// # Errors
     ///
     /// [`EngineError::Io`] on write failure.
     pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), EngineError> {
-        artifact::write_taxonomy(writer, &self.taxonomy)
+        let staged = self.staged_prototypes();
+        artifact::write_model(writer, &self.taxonomy, staged.as_ref())
+    }
+
+    /// A point-in-time clone of the staging prototype model (one lock
+    /// acquisition), `None` on read-only models.
+    fn staged_prototypes(&self) -> Option<PrototypeModel> {
+        self.learner
+            .as_ref()
+            .map(|learner| learner.with_model(|m| m.clone()))
     }
 
     /// The taxonomy this model serves.
@@ -221,6 +320,23 @@ impl ModelState {
     /// Usage counters of the Rep-3 reconstruction memo.
     pub fn reconstruction_stats(&self) -> CacheStats {
         self.reconstruction.stats()
+    }
+
+    /// The staging learner `Train`/`Retrain` ops mutate, `None` on
+    /// read-only models.
+    pub fn learner(&self) -> Option<&Learner> {
+        self.learner.as_deref()
+    }
+
+    /// The published classification snapshot, `None` on read-only
+    /// models.
+    pub fn prototypes(&self) -> Option<&PrototypeSnapshot> {
+        self.prototypes.as_deref()
+    }
+
+    /// Whether the model accepts `Train`/`Retrain`/`Classify` ops.
+    pub fn is_learnable(&self) -> bool {
+        self.learner.is_some()
     }
 
     /// A factorizer assembled from the model's memoized parts — no
@@ -251,6 +367,7 @@ impl std::fmt::Debug for ModelState {
             .field("dim", &self.taxonomy.dim())
             .field("classes", &self.taxonomy.num_classes())
             .field("config", &self.config)
+            .field("learnable", &self.is_learnable())
             .finish()
     }
 }

@@ -16,6 +16,15 @@
 //! | [`PartialDecode`] | per-class partial factorization | `Vec<ClassDecode>` |
 //! | [`MembershipProbe`] | scene membership query | [`QueryAnswer`] |
 //! | [`EncodeScene`] | symbolic → hypervector encoding | [`AccumHv`] |
+//! | [`Train`] | online learning: bundle one labelled example | [`TrainAck`] |
+//! | [`Retrain`] | misclassification-driven retraining epochs | [`RetrainReport`] |
+//! | [`Classify`] | score a query against the class prototypes | [`Classification`] |
+//!
+//! The learning ops (docs/LEARNING.md) only work on models built with
+//! [`crate::ModelState::new_learnable`]; on read-only models they
+//! return [`EngineError::NotTrainable`]. `Train`/`Retrain` mutate the
+//! model's *staging* prototypes; readers keep classifying against the
+//! last published snapshot until the registry publishes a new one.
 //!
 //! [`AnyOp`] / [`AnyOutput`] are the transport form for *heterogeneous*
 //! batches (the planner groups them by [`OpKind`]); homogeneous batches
@@ -26,6 +35,7 @@ use factorhd_core::{
     ClassDecode, DecodedObject, DecodedScene, Encoder, FactorizeConfig, ItemPath, QueryAnswer,
     Scene,
 };
+use factorhd_learn::{Classification, RetrainReport, TrainAck};
 use hdc::AccumHv;
 
 /// A typed engine operation: the request shape and its output type in one
@@ -129,6 +139,50 @@ pub struct MembershipProbe {
 pub struct EncodeScene {
     /// The symbolic scene to encode.
     pub scene: Scene,
+}
+
+/// Online learning: bundle one labelled example into its class's
+/// staging prototype.
+///
+/// The returned [`TrainAck`]'s running totals reflect the moment the
+/// example was bundled, which depends on how a parallel batch
+/// interleaves; the resulting *prototypes* do not (integer bundling is
+/// commutative), so trained models are bit-identical across thread
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Train {
+    /// The class label of the example.
+    pub class: usize,
+    /// Caller-assigned example id, keying the replay buffer (see
+    /// [`factorhd_learn::PrototypeModel::observe`]).
+    pub sample: u64,
+    /// The encoded example.
+    pub example: AccumHv,
+    /// Whether to retain the example for retraining.
+    pub retain: bool,
+}
+
+/// Misclassification-driven retraining: up to `epochs` passes over the
+/// retained examples, each subtracting misclassified examples from the
+/// wrong prototype and adding them to the right one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retrain {
+    /// Maximum epochs to run (retraining stops early after an
+    /// error-free pass).
+    pub epochs: u32,
+}
+
+/// Score a query against the model's *published* prototype snapshot.
+///
+/// Classification never sees staging updates: it reads the snapshot the
+/// registry last published, so concurrent `Train`/`Retrain` traffic is
+/// invisible until the next publish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classify {
+    /// The encoded query.
+    pub query: AccumHv,
+    /// How many classes to return (clamped to `[1, classes]`).
+    pub top_k: usize,
 }
 
 /// The Rep-1 depth cap: decode level 1 only, whatever the model's
@@ -246,6 +300,68 @@ impl Op for EncodeScene {
     }
 }
 
+impl Op for Train {
+    type Output = TrainAck;
+
+    fn run(&self, model: &ModelState) -> Result<TrainAck, EngineError> {
+        let learner = model.learner().ok_or(EngineError::NotTrainable)?;
+        Ok(learner.observe(self.class, self.sample, &self.example, self.retain)?)
+    }
+
+    fn run_many(model: &ModelState, ops: &[&Self]) -> Vec<Result<TrainAck, EngineError>> {
+        // One lock acquisition for the whole chunk instead of one per
+        // example.
+        let Some(learner) = model.learner() else {
+            return ops.iter().map(|_| Err(EngineError::NotTrainable)).collect();
+        };
+        learner.with_model(|staged| {
+            ops.iter()
+                .map(|op| {
+                    staged
+                        .observe(op.class, op.sample, &op.example, op.retain)
+                        .map_err(EngineError::from)
+                })
+                .collect()
+        })
+    }
+
+    fn groupable() -> bool {
+        true
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Train
+    }
+}
+
+impl Op for Retrain {
+    type Output = RetrainReport;
+
+    fn run(&self, model: &ModelState) -> Result<RetrainReport, EngineError> {
+        let learner = model.learner().ok_or(EngineError::NotTrainable)?;
+        let report = learner.retrain(self.epochs);
+        crate::metrics::record_retrain_epochs(report.epochs_run as u64);
+        Ok(report)
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Retrain
+    }
+}
+
+impl Op for Classify {
+    type Output = Classification;
+
+    fn run(&self, model: &ModelState) -> Result<Classification, EngineError> {
+        let snapshot = model.prototypes().ok_or(EngineError::NotTrainable)?;
+        Ok(snapshot.classify(&self.query, self.top_k)?)
+    }
+
+    fn kind(&self) -> OpKind {
+        OpKind::Classify
+    }
+}
+
 /// The discriminant of an [`AnyOp`] — the planner's grouping key (ops of
 /// one kind against one model scan the same codebooks back to back).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -262,11 +378,17 @@ pub enum OpKind {
     Membership,
     /// [`EncodeScene`]
     Encode,
+    /// [`Train`]
+    Train,
+    /// [`Retrain`]
+    Retrain,
+    /// [`Classify`]
+    Classify,
 }
 
 impl OpKind {
     /// Number of op kinds (the width of per-kind metrics tables).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 9;
 
     /// All op kinds, in [`OpKind::index`] order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -276,12 +398,15 @@ impl OpKind {
         OpKind::Partial,
         OpKind::Membership,
         OpKind::Encode,
+        OpKind::Train,
+        OpKind::Retrain,
+        OpKind::Classify,
     ];
 
     /// Whether ops of this kind share a grouped kernel (see
     /// [`Op::groupable`]).
     pub fn groupable(self) -> bool {
-        matches!(self, OpKind::Rep1 | OpKind::Rep2)
+        matches!(self, OpKind::Rep1 | OpKind::Rep2 | OpKind::Train)
     }
 
     /// Dense 0-based index of this kind (the metrics table slot).
@@ -294,6 +419,9 @@ impl OpKind {
             OpKind::Partial => 3,
             OpKind::Membership => 4,
             OpKind::Encode => 5,
+            OpKind::Train => 6,
+            OpKind::Retrain => 7,
+            OpKind::Classify => 8,
         }
     }
 
@@ -306,6 +434,9 @@ impl OpKind {
             OpKind::Partial => "partial",
             OpKind::Membership => "membership",
             OpKind::Encode => "encode",
+            OpKind::Train => "train",
+            OpKind::Retrain => "retrain",
+            OpKind::Classify => "classify",
         }
     }
 }
@@ -328,6 +459,12 @@ pub enum AnyOp {
     Membership(MembershipProbe),
     /// An [`EncodeScene`] op.
     Encode(EncodeScene),
+    /// A [`Train`] op.
+    Train(Train),
+    /// A [`Retrain`] op.
+    Retrain(Retrain),
+    /// A [`Classify`] op.
+    Classify(Classify),
 }
 
 impl AnyOp {
@@ -340,6 +477,9 @@ impl AnyOp {
             AnyOp::Partial(_) => OpKind::Partial,
             AnyOp::Membership(_) => OpKind::Membership,
             AnyOp::Encode(_) => OpKind::Encode,
+            AnyOp::Train(_) => OpKind::Train,
+            AnyOp::Retrain(_) => OpKind::Retrain,
+            AnyOp::Classify(_) => OpKind::Classify,
         }
     }
 }
@@ -380,6 +520,24 @@ impl From<EncodeScene> for AnyOp {
     }
 }
 
+impl From<Train> for AnyOp {
+    fn from(op: Train) -> Self {
+        AnyOp::Train(op)
+    }
+}
+
+impl From<Retrain> for AnyOp {
+    fn from(op: Retrain) -> Self {
+        AnyOp::Retrain(op)
+    }
+}
+
+impl From<Classify> for AnyOp {
+    fn from(op: Classify) -> Self {
+        AnyOp::Classify(op)
+    }
+}
+
 /// The output of an [`AnyOp`], variant-matched to the op's [`OpKind`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnyOutput {
@@ -395,6 +553,12 @@ pub enum AnyOutput {
     Membership(QueryAnswer),
     /// Output of [`AnyOp::Encode`].
     Encoded(AccumHv),
+    /// Output of [`AnyOp::Train`].
+    Trained(TrainAck),
+    /// Output of [`AnyOp::Retrain`].
+    Retrained(RetrainReport),
+    /// Output of [`AnyOp::Classify`].
+    Classified(Classification),
 }
 
 impl AnyOutput {
@@ -407,6 +571,9 @@ impl AnyOutput {
             AnyOutput::Partial(_) => OpKind::Partial,
             AnyOutput::Membership(_) => OpKind::Membership,
             AnyOutput::Encoded(_) => OpKind::Encode,
+            AnyOutput::Trained(_) => OpKind::Train,
+            AnyOutput::Retrained(_) => OpKind::Retrain,
+            AnyOutput::Classified(_) => OpKind::Classify,
         }
     }
 
@@ -438,6 +605,9 @@ impl Op for AnyOp {
             AnyOp::Partial(op) => op.run(model).map(AnyOutput::Partial),
             AnyOp::Membership(op) => op.run(model).map(AnyOutput::Membership),
             AnyOp::Encode(op) => op.run(model).map(AnyOutput::Encoded),
+            AnyOp::Train(op) => op.run(model).map(AnyOutput::Trained),
+            AnyOp::Retrain(op) => op.run(model).map(AnyOutput::Retrained),
+            AnyOp::Classify(op) => op.run(model).map(AnyOutput::Classified),
         }
     }
 
@@ -484,6 +654,19 @@ pub(crate) fn run_any_group(
             FactorizeRep2::run_many(model, &typed)
                 .into_iter()
                 .map(|r| r.map(AnyOutput::Rep2))
+                .collect()
+        }
+        OpKind::Train => {
+            let typed: Vec<&Train> = ops
+                .iter()
+                .map(|op| match op {
+                    AnyOp::Train(inner) => inner,
+                    other => panic!("mixed group: expected Train, got {:?}", other.kind()),
+                })
+                .collect();
+            Train::run_many(model, &typed)
+                .into_iter()
+                .map(|r| r.map(AnyOutput::Trained))
                 .collect()
         }
         _ => ops.iter().map(|op| op.run(model)).collect(),

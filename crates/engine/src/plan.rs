@@ -65,11 +65,13 @@ pub(crate) fn task_chunk(groupable: bool, len: usize, batch_chunk: usize) -> usi
 /// Executes `ops` — each tagged with the slot of the model it targets —
 /// grouped by `(slot, kind)`. `states[slot]` is the resolved model for
 /// that slot (`None` → every op of the slot fails with
-/// [`EngineError::UnknownModel`] naming `slot_names[slot]`).
+/// [`EngineError::UnknownModel`] naming `slot_names[slot]` and listing
+/// `registered`, the ids installed when the batch was snapshotted).
 pub(crate) fn execute_batch_planned(
     ops: &[(usize, &AnyOp)],
     states: &[Option<Arc<ModelState>>],
     slot_names: &[String],
+    registered: &[String],
 ) -> Vec<Result<AnyOutput, EngineError>> {
     metrics::record_batch_size(ops.len() as u64);
     let plan_span = StageTimer::enter(Stage::Plan);
@@ -83,7 +85,10 @@ pub(crate) fn execute_batch_planned(
         if states[*slot].is_none() {
             metrics::record_submitted(op.kind(), 1);
             metrics::record_outcomes(op.kind(), 0, 1);
-            results[i] = Some(Err(EngineError::UnknownModel(slot_names[*slot].clone())));
+            results[i] = Some(Err(EngineError::UnknownModel {
+                name: slot_names[*slot].clone(),
+                registered: registered.to_vec(),
+            }));
             continue;
         }
         groups.entry((*slot, op.kind())).or_default().push(i);
@@ -144,5 +149,5 @@ pub(crate) fn execute_mixed(
     ops: &[AnyOp],
 ) -> Vec<Result<AnyOutput, EngineError>> {
     let tagged: Vec<(usize, &AnyOp)> = ops.iter().map(|op| (0usize, op)).collect();
-    execute_batch_planned(&tagged, &[Some(Arc::clone(model))], &[String::new()])
+    execute_batch_planned(&tagged, &[Some(Arc::clone(model))], &[String::new()], &[])
 }

@@ -9,7 +9,7 @@
 //! serving, so a swap never blocks or corrupts a running batch.
 
 use crate::metrics::{self, MetricsSnapshot};
-use crate::ops::{AnyOp, AnyOutput, Op};
+use crate::ops::{AnyOp, AnyOutput, Op, OpKind};
 use crate::plan::execute_batch_planned;
 use crate::{EngineConfig, EngineError, ModelState};
 use parking_lot::RwLock;
@@ -107,8 +107,25 @@ impl ModelHandle {
         }
         metrics::record_outcomes(kind, result.is_ok() as u64, result.is_err() as u64);
         metrics::record_model_ops(self.generation, 1);
+        match kind {
+            OpKind::Train | OpKind::Retrain => {
+                metrics::record_model_train_ops(self.generation, 1);
+            }
+            OpKind::Classify => metrics::record_model_classify_ops(self.generation, 1),
+            _ => {}
+        }
         result
     }
+}
+
+/// One row of [`ModelRegistry::models_info`]: a registered model's name
+/// and the generation currently installed under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The model's registered id.
+    pub name: String,
+    /// The generation stamp of the currently-installed state.
+    pub generation: u64,
 }
 
 struct Entry {
@@ -216,7 +233,59 @@ impl ModelRegistry {
                 state: Arc::clone(&entry.state),
                 generation: entry.generation,
             }),
-            None => Err(EngineError::UnknownModel(id.to_owned())),
+            None => {
+                let mut registered: Vec<String> =
+                    guard.keys().map(|k| k.as_str().to_owned()).collect();
+                registered.sort();
+                Err(EngineError::UnknownModel {
+                    name: id.to_owned(),
+                    registered,
+                })
+            }
+        }
+    }
+
+    /// Re-snapshots `id`'s staged prototypes and hot-swaps the published
+    /// state, returning the generation now installed. Readers keep
+    /// scanning the old snapshot until the swap commits — they never
+    /// block on an in-progress snapshot build. If a concurrent install
+    /// replaced the model while the snapshot was being built, the newer
+    /// install wins and its generation is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] when `id` is not installed,
+    /// [`EngineError::NotTrainable`] when it has no learner, or the
+    /// conditions of building a snapshot from the staged model.
+    pub fn publish_prototypes(&self, id: &str) -> Result<u64, EngineError> {
+        // Build the snapshot outside the write lock: binarizing every
+        // accumulator is the expensive part and must not stall readers.
+        let handle = self.get(id)?;
+        let published = match handle.state().publish_prototypes() {
+            None => return Err(EngineError::NotTrainable),
+            Some(result) => Arc::new(result?),
+        };
+        let mut guard = self.models.write();
+        match guard.get_mut(&ModelId::new(id)) {
+            Some(entry) if Arc::ptr_eq(&entry.state, handle.state_arc()) => {
+                let generation = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.state = published;
+                entry.generation = generation;
+                Ok(generation)
+            }
+            // A concurrent install won the slot while we snapshotted;
+            // the learner is shared, so its next publish will carry any
+            // training this snapshot saw — drop ours.
+            Some(entry) => Ok(entry.generation),
+            None => {
+                let mut registered: Vec<String> =
+                    guard.keys().map(|k| k.as_str().to_owned()).collect();
+                registered.sort();
+                Err(EngineError::UnknownModel {
+                    name: id.to_owned(),
+                    registered,
+                })
+            }
         }
     }
 
@@ -235,6 +304,22 @@ impl ModelRegistry {
         ids
     }
 
+    /// Every installed model's name and current generation, sorted by
+    /// name — the payload of the wire protocol's `ListModels` op.
+    pub fn models_info(&self) -> Vec<ModelInfo> {
+        let mut infos: Vec<ModelInfo> = self
+            .models
+            .read()
+            .iter()
+            .map(|(id, entry)| ModelInfo {
+                name: id.as_str().to_owned(),
+                generation: entry.generation,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
     /// Number of installed models.
     pub fn len(&self) -> usize {
         self.models.read().len()
@@ -251,8 +336,18 @@ impl ModelRegistry {
     /// # Errors
     ///
     /// [`EngineError::UnknownModel`], or the conditions of [`Op::run`].
+    ///
+    /// A successful `Train`/`Retrain` auto-publishes a fresh prototype
+    /// snapshot under a new generation, so classification lookups that
+    /// follow the ack observe the training.
     pub fn run<O: Op>(&self, id: &str, op: &O) -> Result<O::Output, EngineError> {
-        self.get(id)?.run(op)
+        let result = self.get(id)?.run(op);
+        if result.is_ok() && matches!(op.kind(), OpKind::Train | OpKind::Retrain) {
+            // Best-effort: a concurrent remove between run and publish
+            // only skips the snapshot, it never fails the op itself.
+            let _ = self.publish_prototypes(id);
+        }
+        result
     }
 
     /// Executes a heterogeneous multi-model batch: ops are grouped by
@@ -269,6 +364,7 @@ impl ModelRegistry {
         let mut states: Vec<Option<Arc<ModelState>>> = Vec::new();
         let mut slot_names: Vec<String> = Vec::new();
         let mut slot_generations: Vec<Option<u64>> = Vec::new();
+        let mut registered: Vec<String> = Vec::new();
         {
             let guard = self.models.read();
             for (id, _) in ops {
@@ -280,20 +376,53 @@ impl ModelRegistry {
                     slot_names.push(id.to_string());
                 }
             }
+            // Only unknown-model errors name the registered set; snapshot
+            // it under the same lock so the error list matches the batch's
+            // resolution view.
+            if states.iter().any(|s| s.is_none()) {
+                registered = guard.keys().map(|k| k.as_str().to_owned()).collect();
+                registered.sort();
+            }
         }
         let tagged: Vec<(usize, &AnyOp)> = ops.iter().map(|(id, op)| (slot_of[id], op)).collect();
         if metrics::metrics_recording() {
-            let mut counts = vec![0u64; states.len()];
-            for &(slot, _) in &tagged {
-                counts[slot] += 1;
+            let mut counts = vec![(0u64, 0u64, 0u64); states.len()];
+            for &(slot, op) in &tagged {
+                let entry = &mut counts[slot];
+                entry.0 += 1;
+                match op.kind() {
+                    OpKind::Train | OpKind::Retrain => entry.1 += 1,
+                    OpKind::Classify => entry.2 += 1,
+                    _ => {}
+                }
             }
-            for (slot, count) in counts.into_iter().enumerate() {
+            for (slot, (total, train, classify)) in counts.into_iter().enumerate() {
                 if let Some(generation) = slot_generations[slot] {
-                    metrics::record_model_ops(generation, count);
+                    metrics::record_model_ops(generation, total);
+                    if train > 0 {
+                        metrics::record_model_train_ops(generation, train);
+                    }
+                    if classify > 0 {
+                        metrics::record_model_classify_ops(generation, classify);
+                    }
                 }
             }
         }
-        execute_batch_planned(&tagged, &states, &slot_names)
+        let results = execute_batch_planned(&tagged, &states, &slot_names, &registered);
+        // Auto-publish: every model that absorbed at least one successful
+        // Train/Retrain gets a fresh snapshot under a new generation.
+        let mut trained = vec![false; states.len()];
+        for (&(slot, op), result) in tagged.iter().zip(&results) {
+            if matches!(op.kind(), OpKind::Train | OpKind::Retrain) && result.is_ok() {
+                trained[slot] = true;
+            }
+        }
+        for (slot, trained) in trained.into_iter().enumerate() {
+            if trained {
+                let _ = self.publish_prototypes(&slot_names[slot]);
+            }
+        }
+        results
     }
 
     /// The determinism reference for [`ModelRegistry::execute_batch`]:
@@ -353,7 +482,8 @@ mod tests {
         assert_eq!(registry.get("a").unwrap().generation(), gen1);
         assert!(matches!(
             registry.get("missing"),
-            Err(EngineError::UnknownModel(name)) if name == "missing"
+            Err(EngineError::UnknownModel { name, registered })
+                if name == "missing" && registered == vec!["a".to_owned()]
         ));
         assert!(registry.remove("a"));
         assert!(!registry.remove("a"));
@@ -411,9 +541,16 @@ mod tests {
         for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
             match (b, s) {
                 (Ok(x), Ok(y)) => assert_eq!(x, y, "op {i}"),
-                (Err(EngineError::UnknownModel(x)), Err(EngineError::UnknownModel(y))) => {
+                (
+                    Err(EngineError::UnknownModel {
+                        name: x,
+                        registered: rx,
+                    }),
+                    Err(EngineError::UnknownModel { name: y, .. }),
+                ) => {
                     assert_eq!(x, y, "op {i}");
                     assert_eq!(x, "gone");
+                    assert_eq!(rx, &["left".to_owned(), "right".to_owned()]);
                 }
                 other => panic!("op {i}: mismatched results {other:?}"),
             }
@@ -421,6 +558,78 @@ mod tests {
         // Exactly the op routed at the missing model failed.
         assert!(batched[3].is_err());
         assert_eq!(batched.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn models_info_lists_names_and_generations_sorted() {
+        let registry = ModelRegistry::new();
+        let gen_b = registry.install("beta", state(60));
+        let gen_a = registry.install("alpha", state(61));
+        assert_eq!(
+            registry.models_info(),
+            vec![
+                ModelInfo {
+                    name: "alpha".to_owned(),
+                    generation: gen_a
+                },
+                ModelInfo {
+                    name: "beta".to_owned(),
+                    generation: gen_b
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn train_auto_publishes_a_fresh_snapshot_generation() {
+        use crate::ops::{Classify, Train};
+        use factorhd_learn::LearnConfig;
+
+        let registry = ModelRegistry::new();
+        let learnable = ModelState::new_learnable(
+            taxonomy(70),
+            EngineConfig::default(),
+            LearnConfig::new(2, 64),
+        )
+        .expect("valid learnable state");
+        let gen1 = registry.install("tenant", learnable);
+
+        let mut rng = hdc::rng_from_seed(71);
+        let mut example = hdc::AccumHv::zeros(64);
+        example.add_bipolar(&hdc::BipolarHv::random(64, &mut rng), 1);
+        let ack = registry
+            .run(
+                "tenant",
+                &Train {
+                    class: 1,
+                    sample: 0,
+                    example: example.clone(),
+                    retain: true,
+                },
+            )
+            .expect("train succeeds");
+        assert_eq!(ack.class, 1);
+        // The successful Train hot-swapped a republished snapshot…
+        let gen2 = registry.generation_of("tenant").expect("still installed");
+        assert!(gen2 > gen1);
+        // …and a fresh Classify sees the trained prototype.
+        let classified = registry
+            .run(
+                "tenant",
+                &Classify {
+                    query: example,
+                    top_k: 1,
+                },
+            )
+            .expect("classify succeeds");
+        assert_eq!(classified.hits[0].class, 1);
+
+        // Untrainable models reject publishing with a typed error.
+        registry.install("plain", state(72));
+        assert!(matches!(
+            registry.publish_prototypes("plain"),
+            Err(EngineError::NotTrainable)
+        ));
     }
 
     #[test]

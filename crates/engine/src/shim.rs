@@ -111,6 +111,12 @@ impl From<AnyOutput> for Response {
             AnyOutput::Partial(decodes) => Response::Classes(decodes),
             AnyOutput::Membership(answer) => Response::Membership(answer),
             AnyOutput::Encoded(hv) => Response::Encoded(hv),
+            // The legacy Request enum predates the learning subsystem and
+            // maps to no learning op, so no shim execution can produce
+            // these outputs.
+            AnyOutput::Trained(_) | AnyOutput::Retrained(_) | AnyOutput::Classified(_) => {
+                unreachable!("legacy requests never map to learning ops")
+            }
         }
     }
 }

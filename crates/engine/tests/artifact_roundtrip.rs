@@ -1,11 +1,13 @@
 //! Property coverage for the `.fhd` artifact codec: encode → decode is
-//! identity for random taxonomies and dimensions, and corrupted bytes
-//! (truncation, bad magic, flipped checksum/payload bits) fail with a
-//! typed [`EngineError`] instead of a panic.
+//! identity for random taxonomies and dimensions (with and without a
+//! trained-prototype section), corrupted bytes (truncation, bad magic,
+//! flipped checksum/payload bits) fail with a typed [`EngineError`]
+//! instead of a panic, and version skew behaves as documented — older
+//! versions still load, unknown versions are rejected.
 
 use factorhd_core::{Encoder, FactorizeConfig, Factorizer, Scene, Taxonomy, TaxonomyBuilder};
-use factorhd_engine::{artifact, EngineError};
-use hdc::Codebook;
+use factorhd_engine::{artifact, EngineError, LearnConfig, PrototypeModel};
+use hdc::{AccumHv, BipolarHv, Codebook};
 use proptest::prelude::*;
 
 /// The generated model description: dimension, seed, per-class level
@@ -42,6 +44,76 @@ fn to_bytes(taxonomy: &Taxonomy) -> Vec<u8> {
     let mut buf = Vec::new();
     artifact::write_taxonomy(&mut buf, taxonomy).expect("writing to a Vec cannot fail");
     buf
+}
+
+/// The generated prototype section: per-class `(count, bundle weight,
+/// noise seed)`, the hypervector dimension, the epoch counter, and the
+/// replay-buffer bound.
+type ProtoSpec = (Vec<(u64, i32, u64)>, usize, u64, usize);
+
+fn proto_strategy() -> impl Strategy<Value = ProtoSpec> {
+    (
+        proptest::collection::vec((0u64..1000, -8i32..9, any::<u64>()), 1..5),
+        8usize..100,
+        0u64..10_000,
+        0usize..(1 << 20),
+    )
+}
+
+fn build_prototypes(spec: &ProtoSpec) -> PrototypeModel {
+    let (classes, dim, epoch, max_retained) = spec;
+    let config = LearnConfig {
+        classes: classes.len(),
+        dim: *dim,
+        max_retained: *max_retained,
+    };
+    let mut accums = Vec::with_capacity(classes.len());
+    let mut counts = Vec::with_capacity(classes.len());
+    for (count, weight, seed) in classes {
+        let mut acc = AccumHv::zeros(*dim);
+        let mut rng = hdc::rng_from_seed(*seed);
+        acc.add_bipolar(&BipolarHv::random(*dim, &mut rng), *weight);
+        accums.push(acc);
+        counts.push(*count);
+    }
+    PrototypeModel::from_parts(config, accums, counts, *epoch).expect("generated spec is valid")
+}
+
+fn model_to_bytes(taxonomy: &Taxonomy, prototypes: &PrototypeModel) -> Vec<u8> {
+    let mut buf = Vec::new();
+    artifact::write_model(&mut buf, taxonomy, Some(prototypes))
+        .expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// FNV-1a 64-bit — the codec's checksum, reimplemented here so tests
+/// can forge artifacts with a rewritten version field.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Rewrites an artifact's version field (and optionally drops the v3
+/// prototype-presence byte, turning a prototype-free v3 body into a
+/// valid v1/v2 body), restamping the checksum so only the version skew
+/// itself is under test.
+fn rewrite_version(bytes: &[u8], version: u16, drop_presence_byte: bool) -> Vec<u8> {
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    body[8..10].copy_from_slice(&version.to_le_bytes());
+    if drop_presence_byte {
+        let presence = body.pop().expect("body is non-empty");
+        assert_eq!(
+            presence, 0,
+            "only prototype-free artifacts can drop the flag"
+        );
+    }
+    let checksum = fnv1a(&body);
+    body.extend_from_slice(&checksum.to_le_bytes());
+    body
 }
 
 proptest! {
@@ -140,6 +212,100 @@ proptest! {
         prop_assert!(matches!(
             artifact::parse_taxonomy(&bytes),
             Err(EngineError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn prototype_encode_decode_is_identity(spec in model_strategy(), proto in proto_strategy()) {
+        let taxonomy = build_model(&spec);
+        let prototypes = build_prototypes(&proto);
+        let bytes = model_to_bytes(&taxonomy, &prototypes);
+
+        let (loaded_taxonomy, loaded_prototypes) =
+            artifact::parse_model(&bytes).expect("valid artifact parses");
+        prop_assert_eq!(loaded_taxonomy.dim(), taxonomy.dim());
+        prop_assert_eq!(loaded_taxonomy.seed(), taxonomy.seed());
+        // `from_parts` starts with an empty replay buffer, exactly like a
+        // load (the buffer is deliberately not persisted), so the loaded
+        // model must be *equal* — accumulators, counts, epoch, config.
+        let loaded_prototypes = loaded_prototypes.expect("prototype section present");
+        prop_assert_eq!(&loaded_prototypes, &prototypes);
+        // Re-serializing reproduces the artifact byte-for-byte.
+        prop_assert_eq!(model_to_bytes(&loaded_taxonomy, &loaded_prototypes), bytes);
+    }
+
+    #[test]
+    fn prototype_truncation_never_panics(
+        spec in model_strategy(),
+        proto in proto_strategy(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = model_to_bytes(&build_model(&spec), &build_prototypes(&proto));
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let err = artifact::parse_model(&bytes[..cut])
+            .expect_err("truncated artifact must fail");
+        prop_assert!(matches!(
+            err,
+            EngineError::Truncated { .. } | EngineError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn prototype_flipped_bit_never_panics(
+        spec in model_strategy(),
+        proto in proto_strategy(),
+        pos_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = model_to_bytes(&build_model(&spec), &build_prototypes(&proto));
+        let pos = (pos_pick as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match artifact::parse_model(&bytes) {
+            Err(
+                EngineError::BadMagic { .. }
+                | EngineError::UnsupportedVersion(_)
+                | EngineError::ChecksumMismatch { .. }
+                | EngineError::Truncated { .. }
+                | EngineError::Corrupt(_)
+                | EngineError::Core(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "untyped error: {other:?}"),
+            Ok(_) => prop_assert!(false, "corrupted artifact parsed successfully"),
+        }
+    }
+
+    #[test]
+    fn version_skew_old_versions_still_load(
+        (dim, seed, classes, _) in model_strategy(),
+        old_version in 1u16..=2,
+    ) {
+        // Codebook overrides are excluded: version 1 has no per-override
+        // shard-geometry field, so only override-free bodies are valid
+        // under every old version.
+        let taxonomy = build_model(&(dim, seed, classes, None));
+        let bytes = to_bytes(&taxonomy);
+        // v1 bodies additionally lack the v3 prototype-presence byte.
+        let old = rewrite_version(&bytes, old_version, true);
+
+        let (loaded, prototypes) = artifact::parse_model(&old)
+            .expect("older supported versions must keep loading");
+        prop_assert!(prototypes.is_none(), "old versions cannot carry prototypes");
+        prop_assert_eq!(loaded.dim(), taxonomy.dim());
+        prop_assert_eq!(loaded.seed(), taxonomy.seed());
+        prop_assert_eq!(loaded.num_classes(), taxonomy.num_classes());
+    }
+
+    #[test]
+    fn version_skew_unknown_versions_rejected(
+        spec in model_strategy(),
+        proto in proto_strategy(),
+        future_version in 4u16..u16::MAX,
+    ) {
+        let bytes = model_to_bytes(&build_model(&spec), &build_prototypes(&proto));
+        let skewed = rewrite_version(&bytes, future_version, false);
+        prop_assert!(matches!(
+            artifact::parse_model(&skewed),
+            Err(EngineError::UnsupportedVersion(v)) if v == future_version
         ));
     }
 }

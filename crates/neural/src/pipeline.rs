@@ -240,6 +240,20 @@ impl CifarPipeline {
         Ok(object.to_accum())
     }
 
+    /// Samples one image of `class` (a fine label for CIFAR-100) and
+    /// returns its *feature-level* hypervector: the random projection
+    /// of the simulated network's feature vector, before any symbolic
+    /// binding. This is the representation online prototype learning
+    /// (`factorhd-learn`) bundles — bound scene encodings from
+    /// [`CifarPipeline::encode_image`] do not accumulate coherently
+    /// into class prototypes, feature encodings do.
+    pub fn encode_features<R: Rng + ?Sized>(&self, class: usize, rng: &mut R) -> AccumHv {
+        let query = self.projection.encode(&self.features.sample(class, rng));
+        let mut acc = AccumHv::zeros(self.config.dim);
+        acc.add_bipolar(&query, 1);
+        acc
+    }
+
     /// Factorizes out the image class (CIFAR-10) or the fine class
     /// (CIFAR-100).
     ///

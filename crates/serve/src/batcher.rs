@@ -255,7 +255,7 @@ fn dispatch(registry: &ModelRegistry, metrics: &ServeMetrics, batch: Vec<Pending
 /// Maps an engine failure onto its wire error code.
 fn engine_error_code(err: &EngineError) -> ErrorCode {
     match err {
-        EngineError::UnknownModel(_) => ErrorCode::UnknownModel,
+        EngineError::UnknownModel { .. } => ErrorCode::UnknownModel,
         _ => ErrorCode::Engine,
     }
 }

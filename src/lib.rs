@@ -13,6 +13,11 @@
 //!   batches over named, hot-swappable models (`ModelRegistry`), with
 //!   memoized label-elimination masks and reconstructions and the
 //!   persisted `.fhd` model-artifact format.
+//! * [`learn`] — the online learning subsystem: per-class prototype
+//!   accumulators ([`learn::PrototypeModel`]), misclassification-driven
+//!   retraining, and immutable ternary/packed snapshots
+//!   ([`learn::PrototypeSnapshot`]) served through the engine's
+//!   `Train`/`Retrain`/`Classify` ops (docs/LEARNING.md).
 //! * [`serve`] — the network front end: a threaded TCP server speaking a
 //!   length-prefixed, checksummed binary protocol over the typed op API,
 //!   with a deadline-or-full adaptive batcher coalescing requests from
@@ -59,6 +64,7 @@ pub use factorhd_engine as engine;
 /// The engine telemetry layer (counters, histograms, stage timing);
 /// see docs/OBSERVABILITY.md.
 pub use factorhd_engine::metrics;
+pub use factorhd_learn as learn;
 pub use factorhd_neural as neural;
 pub use factorhd_serve as serve;
 pub use hdc;
@@ -71,9 +77,10 @@ pub mod prelude {
         ThresholdPolicy,
     };
     pub use factorhd_engine::{
-        AnyOp, AnyOutput, EncodeScene, EngineConfig, EngineError, FactorEngine, FactorizeRep1,
-        FactorizeRep2, FactorizeRep3, MembershipProbe, MetricsSnapshot, ModelHandle, ModelId,
-        ModelRegistry, ModelState, Op, OpKind, PartialDecode, Stage, StageTimer,
+        AnyOp, AnyOutput, Classify, EncodeScene, EngineConfig, EngineError, FactorEngine,
+        FactorizeRep1, FactorizeRep2, FactorizeRep3, LearnConfig, MembershipProbe, MetricsSnapshot,
+        ModelHandle, ModelId, ModelInfo, ModelRegistry, ModelState, Op, OpKind, PartialDecode,
+        Retrain, Stage, StageTimer, Train,
     };
     pub use factorhd_serve::{
         BatcherConfig, Client, ServeError, Server, ServerConfig, ServingStats,

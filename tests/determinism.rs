@@ -327,6 +327,118 @@ fn engine_batch_is_thread_count_invariant() {
 }
 
 #[test]
+fn online_trained_prototypes_are_thread_count_invariant() {
+    // Online learning must be deterministic under the parallel planner:
+    // the same Train batch + Retrain + Classify stream executed on 1-,
+    // 2-, and 4-lane pools (the in-process equivalent of
+    // RAYON_NUM_THREADS=1/2/4) leaves bit-identical prototype
+    // accumulators, replay buffers, and classifications — integer
+    // bundling is commutative and the replay buffer is keyed by sample
+    // id, so chunking and scheduling are unobservable. (Train *acks*
+    // carry arrival-order-dependent running totals and are deliberately
+    // not compared.)
+    use factorhd::learn::PrototypeModel;
+    use hdc::{AccumHv, BipolarHv};
+
+    const CLASSES: usize = 3;
+    const DIM: usize = 512;
+
+    let example = |class: usize, sample: u64| -> AccumHv {
+        let mut anchor_rng = hdc::rng_from_seed(900 + class as u64);
+        let anchor = BipolarHv::random(DIM, &mut anchor_rng);
+        let mut noise_rng = hdc::rng_from_seed(7000 + sample);
+        let noise = BipolarHv::random(DIM, &mut noise_rng);
+        let mut acc = AccumHv::zeros(DIM);
+        acc.add_bipolar(&anchor, 1);
+        acc.add_bipolar(&noise, 2);
+        acc
+    };
+
+    let run_at = |threads: usize| -> (PrototypeModel, Vec<AnyOutput>) {
+        rayon::configure_pool(threads);
+        let registry = ModelRegistry::new();
+        let taxonomy = TaxonomyBuilder::new(DIM)
+            .class("shape", &[4])
+            .build()
+            .expect("valid taxonomy");
+        let state = ModelState::new_learnable(
+            taxonomy,
+            EngineConfig::default(),
+            LearnConfig::new(CLASSES, DIM),
+        )
+        .expect("valid learnable state");
+        registry.install("m", state);
+
+        // One parallel Train batch (groupable: chunked across the pool),
+        // then a Retrain, then classifications.
+        let train_batch: Vec<(ModelId, AnyOp)> = (0..60u64)
+            .map(|i| {
+                let class = i as usize % CLASSES;
+                (
+                    ModelId::new("m"),
+                    AnyOp::Train(Train {
+                        class,
+                        sample: i,
+                        example: example(class, i),
+                        retain: true,
+                    }),
+                )
+            })
+            .collect();
+        for result in registry.execute_batch(&train_batch) {
+            result.expect("train succeeds");
+        }
+        registry
+            .run("m", &Retrain { epochs: 5 })
+            .expect("retrain succeeds");
+        let classify_batch: Vec<(ModelId, AnyOp)> = (0..12u64)
+            .map(|i| {
+                (
+                    ModelId::new("m"),
+                    AnyOp::Classify(Classify {
+                        query: example(i as usize % CLASSES, 5000 + i),
+                        top_k: 2,
+                    }),
+                )
+            })
+            .collect();
+        let classifications = registry
+            .execute_batch(&classify_batch)
+            .into_iter()
+            .map(|r| r.expect("classify succeeds"))
+            .collect();
+
+        let handle = registry.get("m").expect("installed");
+        let model = handle
+            .state()
+            .learner()
+            .expect("learnable")
+            .with_model(|m| m.clone());
+        (model, classifications)
+    };
+
+    let initial = rayon::current_num_threads();
+    let mut reference: Option<(PrototypeModel, Vec<AnyOutput>)> = None;
+    for threads in [1usize, 2, 4] {
+        let run = run_at(threads);
+        match &reference {
+            None => reference = Some(run),
+            Some((expected_model, expected_outputs)) => {
+                assert_eq!(
+                    &run.0, expected_model,
+                    "pool size {threads} changed the trained model"
+                );
+                assert_eq!(
+                    &run.1, expected_outputs,
+                    "pool size {threads} changed classifications"
+                );
+            }
+        }
+    }
+    rayon::configure_pool(initial);
+}
+
+#[test]
 fn registry_batch_is_bit_identical_to_sequential_loop() {
     // The multi-model planner must match its own sequential reference
     // while serving two different taxonomies from one batch.
