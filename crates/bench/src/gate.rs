@@ -55,6 +55,14 @@ pub const DEFAULT_GATE_MARGIN: f64 = 0.15;
 /// diffed against the baseline.
 pub const SERVING_FLOOR: f64 = 0.8;
 
+/// Minimum fraction of the *cooperative* throughput the overload
+/// point's **admitted** requests must sustain at ≈4× offered load.
+/// Load shedding exists to protect the engine's useful work: a server
+/// that sheds is fine, a server whose admitted throughput collapses
+/// while shedding is prioritizing refusals over service
+/// (docs/ROBUSTNESS.md, "Overload behavior under measurement").
+pub const SERVING_OVERLOAD_FLOOR: f64 = 0.8;
+
 /// Absolute accuracy loss the learning gate tolerates on the CIFAR
 /// retraining curve's final held-out accuracy. The simulated front end
 /// and the prototype updates are seeded, so run-to-run variation is
@@ -173,6 +181,7 @@ pub fn gate_documents(current: &JsonValue, baseline: &JsonValue, margin: f64) ->
             );
             serving_floor_check(current, &mut outcome);
             serving_p95_checks(current, baseline, margin, &mut outcome);
+            serving_overload_checks(current, baseline, margin, &mut outcome);
         }
         "learn" => {
             throughput_checks(
@@ -517,6 +526,115 @@ fn serving_p95_checks(
                  (ceiling {limit:.0}ns = one bucket + margin {margin})"
             ));
         }
+    }
+}
+
+/// The schema-v2 overload checks (docs/ROBUSTNESS.md):
+///
+/// * cooperative grid points must not shed — `requests_shed` is only
+///   tolerable in the dedicated overload point;
+/// * the overload point must have actually been overloaded (nonzero
+///   sheds), must keep its admitted throughput above
+///   [`SERVING_OVERLOAD_FLOOR`] × the cooperative rate at the same
+///   grid point, and its **admitted-only** p95 must hold within one
+///   histogram bucket (plus margin) of the baseline's overload p95.
+///
+/// A v1 baseline (no `overload` object) downgrades the p95 diff to a
+/// note; a *current* document without the object fails — the schema
+/// bump is part of the robustness contract, and dropping it would
+/// silently retire the overload SLO.
+fn serving_overload_checks(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    margin: f64,
+    outcome: &mut GateOutcome,
+) {
+    // Cooperative points never shed.
+    for point in points_of(current) {
+        let Some(shed) = point.get("requests_shed").and_then(JsonValue::as_u64) else {
+            continue; // pre-v2 current document; the overload check below fails it
+        };
+        outcome.checks += 1;
+        if shed > 0 {
+            let key = point_key(point, &["clients", "pipeline"]).unwrap_or_default();
+            outcome.failures.push(format!(
+                "serving overload: cooperative point [{key}] shed {shed} requests — \
+                 the default queue depth must absorb cooperative load"
+            ));
+        }
+    }
+
+    let Some(overload) = current.get("overload") else {
+        outcome.failures.push(
+            "serving overload: current document has no overload object (schema v2) — \
+             the overload SLO cannot be retired by omission"
+                .to_owned(),
+        );
+        return;
+    };
+    let shed = overload
+        .get("requests_shed")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    outcome.checks += 1;
+    if shed == 0 {
+        outcome.failures.push(
+            "serving overload: the overload point shed nothing — the measurement \
+             never actually overloaded the admission queue"
+                .to_owned(),
+        );
+    }
+    let admitted = overload
+        .get("admitted_per_sec")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let cooperative = overload
+        .get("cooperative_per_sec")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    outcome.checks += 1;
+    if admitted < SERVING_OVERLOAD_FLOOR * cooperative {
+        outcome.failures.push(format!(
+            "serving overload: admitted throughput {admitted:.0} req/s fell below \
+             {SERVING_OVERLOAD_FLOOR} x the cooperative {cooperative:.0} req/s — \
+             shedding is cannibalizing useful work"
+        ));
+    }
+
+    // Admitted-p95 diff against the baseline's overload point.
+    for (doc, who) in [(baseline, "baseline"), (current, "current run")] {
+        if doc.get("metrics_recording").and_then(JsonValue::as_bool) != Some(true) {
+            outcome
+                .notes
+                .push(format!("{who} had metrics off; overload p95 check skipped"));
+            return;
+        }
+    }
+    let Some(base_overload) = baseline.get("overload") else {
+        outcome
+            .notes
+            .push("baseline predates the overload point; overload p95 check skipped".to_owned());
+        return;
+    };
+    let base_p95 = base_overload
+        .get("p95_ns")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    if base_p95 == 0 {
+        return;
+    }
+    let current_p95 = overload
+        .get("p95_ns")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    outcome.checks += 1;
+    if current_p95 as f64 > p95_limit(base_p95, margin) {
+        outcome.failures.push(format!(
+            "serving overload: admitted p95 inflated to {current_p95}ns vs baseline \
+             {base_p95}ns (ceiling {:.0}ns = one bucket + margin {margin}) — \
+             admission control stopped bounding queueing delay",
+            p95_limit(base_p95, margin)
+        ));
     }
 }
 
@@ -911,14 +1029,18 @@ mod tests {
         assert!((8191f64) > p95_limit(2047, DEFAULT_GATE_MARGIN));
     }
 
-    fn serving_doc(
+    /// `overload` is `(admitted, cooperative, shed, p95_ns)`; `None`
+    /// models a pre-v2 document with no overload object.
+    fn serving_doc_with(
         fraction: f64,
         recording: bool,
         points: &[(u64, u64, f64, u64, u64)],
+        point_shed: u64,
+        overload: Option<(f64, f64, u64, u64)>,
     ) -> JsonValue {
-        JsonValue::obj(vec![
+        let mut fields = vec![
             ("bench", JsonValue::Str("serving".into())),
-            ("schema_version", JsonValue::Uint(1)),
+            ("schema_version", JsonValue::Uint(2)),
             ("metrics_recording", JsonValue::Bool(recording)),
             ("serving_fraction", JsonValue::Num(fraction)),
             (
@@ -933,12 +1055,41 @@ mod tests {
                                 ("throughput_per_sec", JsonValue::Num(rate)),
                                 ("latency_count", JsonValue::Uint(count)),
                                 ("p95_ns", JsonValue::Uint(p95)),
+                                ("requests_shed", JsonValue::Uint(point_shed)),
                             ])
                         })
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some((admitted, cooperative, shed, p95)) = overload {
+            fields.push((
+                "overload",
+                JsonValue::obj(vec![
+                    ("clients", JsonValue::Uint(8)),
+                    ("pipeline", JsonValue::Uint(32)),
+                    ("admitted_per_sec", JsonValue::Num(admitted)),
+                    ("cooperative_per_sec", JsonValue::Num(cooperative)),
+                    ("requests_shed", JsonValue::Uint(shed)),
+                    ("p95_ns", JsonValue::Uint(p95)),
+                ]),
+            ));
+        }
+        JsonValue::obj(fields)
+    }
+
+    fn serving_doc(
+        fraction: f64,
+        recording: bool,
+        points: &[(u64, u64, f64, u64, u64)],
+    ) -> JsonValue {
+        serving_doc_with(
+            fraction,
+            recording,
+            points,
+            0,
+            Some((17e3, 18e3, 5000, 4095)),
+        )
     }
 
     #[test]
@@ -950,8 +1101,95 @@ mod tests {
         );
         let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
         assert!(outcome.passed(), "{:?}", outcome.failures);
-        // 2 throughput + 1 floor + 2 p95.
-        assert_eq!(outcome.checks, 5);
+        // 2 throughput + 1 floor + 2 p95 + 2 cooperative-shed
+        // + overload shed/floor/p95.
+        assert_eq!(outcome.checks, 10);
+    }
+
+    #[test]
+    fn serving_current_without_overload_object_fails() {
+        let baseline = serving_doc(0.93, true, &[(8, 32, 18e3, 2048, 4095)]);
+        let current = serving_doc_with(0.93, true, &[(8, 32, 18e3, 2048, 4095)], 0, None);
+        let outcome = gate_documents(&current, &baseline, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("no overload object"), "{failure}");
+    }
+
+    #[test]
+    fn serving_v1_baseline_downgrades_overload_p95_to_a_note() {
+        let baseline = serving_doc_with(0.93, true, &[(8, 32, 18e3, 2048, 4095)], 0, None);
+        // The baseline's points also predate requests_shed.
+        let current = serving_doc(0.93, true, &[(8, 32, 18e3, 2048, 4095)]);
+        let outcome = gate_documents(&current, &baseline, DEFAULT_GATE_MARGIN);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("predates")),
+            "{:?}",
+            outcome.notes
+        );
+    }
+
+    #[test]
+    fn serving_cooperative_shedding_fails() {
+        let doc = serving_doc_with(
+            0.93,
+            true,
+            &[(8, 32, 18e3, 2048, 4095)],
+            3,
+            Some((17e3, 18e3, 5000, 4095)),
+        );
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("cooperative point"), "{failure}");
+    }
+
+    #[test]
+    fn serving_overload_that_never_shed_fails() {
+        let doc = serving_doc_with(
+            0.93,
+            true,
+            &[(8, 32, 18e3, 2048, 4095)],
+            0,
+            Some((17e3, 18e3, 0, 4095)),
+        );
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("shed nothing"), "{failure}");
+    }
+
+    #[test]
+    fn serving_overload_admitted_collapse_fails() {
+        let doc = serving_doc_with(
+            0.93,
+            true,
+            &[(8, 32, 18e3, 2048, 4095)],
+            0,
+            Some((9e3, 18e3, 5000, 4095)),
+        );
+        let outcome = gate_documents(&doc, &doc, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("cannibalizing"), "{failure}");
+    }
+
+    #[test]
+    fn serving_overload_p95_inflation_fails() {
+        let baseline = serving_doc_with(
+            0.93,
+            true,
+            &[(8, 32, 18e3, 2048, 4095)],
+            0,
+            Some((17e3, 18e3, 5000, 2047)),
+        );
+        let current = serving_doc_with(
+            0.93,
+            true,
+            &[(8, 32, 18e3, 2048, 4095)],
+            0,
+            Some((17e3, 18e3, 5000, 16383)),
+        );
+        let outcome = gate_documents(&current, &baseline, DEFAULT_GATE_MARGIN);
+        let failure = outcome.failures.join("\n");
+        assert!(failure.contains("admitted p95 inflated"), "{failure}");
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub use runner::{
     MethodResult, Rep23Setting, SweepPoint,
 };
 pub use serving_bench::{
-    serving_json, serving_points, serving_table, ServingPoint, ServingReport, CLIENT_GRID,
-    PIPELINE_GRID,
+    overload_table, serving_json, serving_points, serving_table, OverloadPoint, ServingPoint,
+    ServingReport, CLIENT_GRID, PIPELINE_GRID,
 };
 pub use table::Table;
 

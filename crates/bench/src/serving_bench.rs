@@ -32,9 +32,10 @@ use crate::json::JsonValue;
 use crate::Table;
 use factorhd_engine::{AnyOp, ModelId, ModelRegistry, ModelState};
 use factorhd_serve::protocol::{self, Request, Response, DEFAULT_MAX_FRAME_BYTES, KIND_ERROR};
-use factorhd_serve::{BatcherConfig, HistogramSummary, Server, ServerConfig};
+use factorhd_serve::{BatcherConfig, ErrorCode, HistogramSummary, Server, ServerConfig};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -72,6 +73,43 @@ pub struct ServingPoint {
     pub batches_dispatched: u64,
     /// Mean coalesced batch size (requests ÷ batches).
     pub mean_coalesced: f64,
+    /// Admission refusals during this point. Cooperative load against
+    /// the default (deep) queue must never shed; the gate fails a
+    /// nonzero value here.
+    pub requests_shed: u64,
+}
+
+/// The measured overload point: the same closed-loop load generator
+/// driven against a server whose admission queue is capped at one
+/// batch, so most offered requests bounce with a typed `Overloaded`
+/// while admitted ones keep the engine fed with full batches
+/// (docs/ROBUSTNESS.md, "Overload behavior under measurement").
+#[derive(Debug, Clone)]
+pub struct OverloadPoint {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests in flight per connection.
+    pub pipeline: usize,
+    /// Requests offered per second — admitted *and* shed. Sheds answer
+    /// in microseconds, so the closed loop re-offers them immediately,
+    /// inflating the offered rate well past capacity (the ≈4× point:
+    /// in-flight requests ≈ 4 × queue depth).
+    pub offered_per_sec: f64,
+    /// Requests per second that were admitted and executed.
+    pub admitted_per_sec: f64,
+    /// `offered ÷ admitted` — how far past capacity the load ran.
+    pub overload_factor: f64,
+    /// Typed `Overloaded` refusals observed by the clients.
+    pub shed: u64,
+    /// The cooperative grid point at the same (clients, pipeline), for
+    /// the gate's admitted-throughput floor.
+    pub cooperative_per_sec: f64,
+    /// **Admitted-only** end-to-end latency (refused requests never
+    /// enter the histogram), so overload cannot masquerade as a
+    /// latency win.
+    pub latency: HistogramSummary,
+    /// Deadline expiries (zero: this load sends no deadlines).
+    pub deadline_expired: u64,
 }
 
 /// The full sweep result: every grid point plus the in-run direct
@@ -85,6 +123,8 @@ pub struct ServingReport {
     /// Best `fraction_of_direct` among points with ≥ 8 clients — the
     /// number the gate holds above [`crate::gate::SERVING_FLOOR`].
     pub serving_fraction: f64,
+    /// The shed-tolerant overload measurement.
+    pub overload: OverloadPoint,
 }
 
 fn build_registry() -> Arc<ModelRegistry> {
@@ -183,6 +223,7 @@ fn measure_point(
             batcher: BatcherConfig {
                 max_batch: MAX_BATCH,
                 max_delay: MAX_DELAY,
+                ..BatcherConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -201,6 +242,7 @@ fn measure_point(
             &Request::Op {
                 model: MODEL.to_owned(),
                 op: op.clone(),
+                deadline: None,
             },
         );
         protocol::append_frame(&mut burst, &payload);
@@ -236,6 +278,132 @@ fn measure_point(
         latency: stats.e2e_latency_ns,
         batches_dispatched: stats.batches_dispatched,
         mean_coalesced: stats.requests_received as f64 / stats.batches_dispatched.max(1) as f64,
+        requests_shed: stats.requests_shed,
+    }
+}
+
+/// One overload client: the same pre-encoded closed-loop burst as
+/// [`run_client`], but tolerating typed `Overloaded` refusals — and
+/// *only* those. Any other error frame is still a bench failure.
+fn run_overload_client(
+    addr: SocketAddr,
+    burst: &[u8],
+    pipeline: usize,
+    iters: usize,
+    barrier: &Barrier,
+    shed: &AtomicU64,
+) {
+    let mut stream = TcpStream::connect(addr).expect("overload generator connects");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::with_capacity(
+        1 << 16,
+        stream.try_clone().expect("clone stream for reading"),
+    );
+    barrier.wait();
+    let mut refused = 0u64;
+    for _ in 0..iters {
+        stream.write_all(burst).expect("burst writes");
+        for _ in 0..pipeline {
+            let payload = protocol::read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES)
+                .expect("response frame reads")
+                .expect("server keeps the connection open");
+            if payload[6] == KIND_ERROR {
+                match protocol::decode_response(&payload) {
+                    Ok((
+                        _,
+                        Response::Error {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        },
+                    )) => {
+                        refused += 1;
+                    }
+                    other => panic!("only Overloaded refusals are tolerated, got {other:?}"),
+                }
+            }
+        }
+    }
+    shed.fetch_add(refused, Ordering::Relaxed);
+    barrier.wait();
+}
+
+/// Measures the overload point: `clients × pipeline` requests kept in
+/// flight against a server whose admission queue holds exactly one
+/// batch, so the in-flight load runs ≈ `clients × pipeline ÷ max_queue`
+/// times past capacity (4× on the default 8 × 32 grid point). Admitted
+/// requests must keep flowing at near-cooperative throughput — load
+/// shedding protects the engine, it does not replace it.
+fn measure_overload(
+    registry: &Arc<ModelRegistry>,
+    clients: usize,
+    pipeline: usize,
+    iters: usize,
+    cooperative_per_sec: f64,
+) -> OverloadPoint {
+    let server = Server::start(
+        Arc::clone(registry),
+        "127.0.0.1:0",
+        ServerConfig {
+            batcher: BatcherConfig {
+                max_batch: MAX_BATCH,
+                max_delay: MAX_DELAY,
+                // One batch of queue: everything beyond it sheds.
+                max_queue: MAX_BATCH,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("overload server starts");
+    let addr = server.local_addr();
+
+    let handle = registry.get(MODEL).expect("bench model installed");
+    let ops = build_ops(handle.state().taxonomy(), pipeline);
+    let mut burst = Vec::new();
+    for (id, op) in ops.iter().enumerate() {
+        let payload = protocol::encode_request(
+            id as u64,
+            &Request::Op {
+                model: MODEL.to_owned(),
+                op: op.clone(),
+                deadline: None,
+            },
+        );
+        protocol::append_frame(&mut burst, &payload);
+    }
+
+    let barrier = Barrier::new(clients + 1);
+    let shed = AtomicU64::new(0);
+    let mut elapsed = Duration::ZERO;
+    thread::scope(|scope| {
+        for _ in 0..clients {
+            let burst = &burst;
+            let barrier = &barrier;
+            let shed = &shed;
+            scope.spawn(move || run_overload_client(addr, burst, pipeline, iters, barrier, shed));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        elapsed = start.elapsed();
+    });
+    let stats = server.stats();
+    server.shutdown();
+
+    let offered = (clients * pipeline * iters) as u64;
+    let shed = shed.load(Ordering::Relaxed);
+    let admitted = offered.saturating_sub(shed);
+    let offered_per_sec = offered as f64 / elapsed.as_secs_f64();
+    let admitted_per_sec = admitted as f64 / elapsed.as_secs_f64();
+    OverloadPoint {
+        clients,
+        pipeline,
+        offered_per_sec,
+        admitted_per_sec,
+        overload_factor: offered as f64 / admitted.max(1) as f64,
+        shed,
+        cooperative_per_sec,
+        latency: stats.e2e_latency_ns,
+        deadline_expired: stats.deadline_expired,
     }
 }
 
@@ -265,10 +433,27 @@ pub fn serving_points(quick: bool) -> ServingReport {
         .filter(|p| p.clients >= 8)
         .map(|p| p.fraction_of_direct)
         .fold(0.0, f64::max);
+    // Overload at the deepest grid point: 8 × 32 = 256 in flight vs a
+    // 64-slot queue is the ≈4× offered-load point.
+    let (clients, pipeline) = (8, 32);
+    let cooperative_per_sec = points
+        .iter()
+        .find(|p| p.clients == clients && p.pipeline == pipeline)
+        .map(|p| p.throughput_per_sec)
+        .unwrap_or(direct_warm64_per_sec);
+    let overload_iters = (target_ops / (clients * pipeline)).max(4) * 2;
+    let overload = measure_overload(
+        &registry,
+        clients,
+        pipeline,
+        overload_iters,
+        cooperative_per_sec,
+    );
     ServingReport {
         points,
         direct_warm64_per_sec,
         serving_fraction,
+        overload,
     }
 }
 
@@ -305,15 +490,46 @@ pub fn serving_table(report: &ServingReport) -> Table {
     table
 }
 
+/// Renders the overload point as its own small table.
+pub fn overload_table(report: &ServingReport) -> Table {
+    let o = &report.overload;
+    let mut table = Table::new(
+        &format!(
+            "overload point ({} clients x {} pipeline vs a {}-slot queue)",
+            o.clients, o.pipeline, MAX_BATCH
+        ),
+        &[
+            "offered req/s",
+            "admitted req/s",
+            "factor",
+            "shed",
+            "admitted p95 us",
+            "x cooperative",
+        ],
+    );
+    table.row(&[
+        format!("{:.0}", o.offered_per_sec),
+        format!("{:.0}", o.admitted_per_sec),
+        format!("{:.1}x", o.overload_factor),
+        o.shed.to_string(),
+        format!("{:.0}", o.latency.p95 as f64 / 1e3),
+        format!("{:.2}", o.admitted_per_sec / o.cooperative_per_sec.max(1.0)),
+    ]);
+    table
+}
+
 /// Renders the machine-readable `BENCH_serving.json` document (schema
-/// v1, documented in docs/SERVING.md, "Network front end").
+/// v2, documented in docs/SERVING.md, "Network front end"; v2 adds the
+/// per-point `requests_shed` counter and the top-level `overload`
+/// object, docs/ROBUSTNESS.md).
 pub fn serving_json(report: &ServingReport, quick: bool) -> String {
     let available_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let o = &report.overload;
     JsonValue::obj(vec![
         ("bench", JsonValue::Str("serving".into())),
-        ("schema_version", JsonValue::Uint(1)),
+        ("schema_version", JsonValue::Uint(2)),
         ("quick", JsonValue::Bool(quick)),
         ("unit", JsonValue::Str("requests_per_second".into())),
         ("cpu_features", JsonValue::Str(hdc::kernels::cpu_features())),
@@ -350,10 +566,28 @@ pub fn serving_json(report: &ServingReport, quick: bool) -> String {
                             ("p99_ns", JsonValue::Uint(p.latency.p99)),
                             ("batches_dispatched", JsonValue::Uint(p.batches_dispatched)),
                             ("mean_coalesced", JsonValue::Num(p.mean_coalesced)),
+                            ("requests_shed", JsonValue::Uint(p.requests_shed)),
                         ])
                     })
                     .collect(),
             ),
+        ),
+        (
+            "overload",
+            JsonValue::obj(vec![
+                ("clients", JsonValue::Uint(o.clients as u64)),
+                ("pipeline", JsonValue::Uint(o.pipeline as u64)),
+                ("offered_per_sec", JsonValue::Num(o.offered_per_sec)),
+                ("admitted_per_sec", JsonValue::Num(o.admitted_per_sec)),
+                ("overload_factor", JsonValue::Num(o.overload_factor)),
+                ("requests_shed", JsonValue::Uint(o.shed)),
+                ("deadline_expired", JsonValue::Uint(o.deadline_expired)),
+                ("cooperative_per_sec", JsonValue::Num(o.cooperative_per_sec)),
+                ("latency_count", JsonValue::Uint(o.latency.count)),
+                ("p50_ns", JsonValue::Uint(o.latency.p50)),
+                ("p95_ns", JsonValue::Uint(o.latency.p95)),
+                ("p99_ns", JsonValue::Uint(o.latency.p99)),
+            ]),
         ),
     ])
     .render()

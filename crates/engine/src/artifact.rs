@@ -264,8 +264,18 @@ pub fn write_taxonomy<W: Write>(writer: &mut W, taxonomy: &Taxonomy) -> Result<(
     write_model(writer, taxonomy, None)
 }
 
+/// Monotonic discriminator making concurrent temp-file names unique
+/// within the process (the pid makes them unique across processes).
+static SAVE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Saves a model — taxonomy plus optional trained prototypes — to a
-/// `.fhd` file at `path`.
+/// `.fhd` file at `path`, **crash-safely**: the artifact is written to a
+/// temp file in the same directory, fsynced, and atomically renamed over
+/// `path`. A crash (or error) at any point leaves `path` either absent
+/// or holding the previous complete artifact — a loader can never
+/// observe a torn file at `path` (docs/ROBUSTNESS.md, "Crash-safe
+/// artifacts"). An orphaned `*.fhd.tmp-*` sibling may survive a crash;
+/// it is inert (loads never look at it) and safe to delete.
 ///
 /// # Errors
 ///
@@ -275,8 +285,64 @@ pub fn save_model<P: AsRef<Path>>(
     taxonomy: &Taxonomy,
     prototypes: Option<&PrototypeModel>,
 ) -> Result<(), EngineError> {
-    let mut file = std::fs::File::create(path)?;
-    write_model(&mut file, taxonomy, prototypes)
+    let path = path.as_ref();
+    let mut buf: Vec<u8> = Vec::new();
+    write_model(&mut buf, taxonomy, prototypes)?;
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        SAVE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+
+    let mut simulated_crash = false;
+    let written: Result<(), EngineError> = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        if crate::failpoint::hit("engine/artifact_partial_write") {
+            // Chaos site: persist a torn prefix and bail before the
+            // rename, exactly what a crash mid-save would leave behind.
+            simulated_crash = true;
+            file.write_all(&buf[..buf.len() / 2])?;
+            file.sync_all()?;
+            return Err(EngineError::Io(std::io::Error::other(
+                "failpoint engine/artifact_partial_write: simulated crash mid-save",
+            )));
+        }
+        file.write_all(&buf)?;
+        // Data must be durable before the rename publishes it: rename
+        // before fsync could surface a complete-looking but unflushed
+        // file after a power cut.
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(err) = written {
+        // A simulated crash deliberately leaves its torn temp file (a
+        // real crash could not clean up either); ordinary failures tidy
+        // it. Either way `path` is untouched.
+        if !simulated_crash {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        return Err(err);
+    }
+    if let Err(err) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(EngineError::Io(err));
+    }
+    // Make the rename itself durable (best-effort: directory fsync is
+    // not supported everywhere, and the rename has already succeeded).
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = std::fs::File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Saves `taxonomy` to a `.fhd` file at `path`.
@@ -391,6 +457,8 @@ pub fn parse_model(bytes: &[u8]) -> Result<(Taxonomy, Option<PrototypeModel>), E
         )));
     }
     let body = &bytes[..bytes.len() - 8];
+    // Cannot fire: the length check above guarantees at least 8 bytes,
+    // and an 8-byte range slice always converts to `[u8; 8]`.
     let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
     let computed = fnv1a(body);
     if stored != computed {
@@ -570,6 +638,10 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         Ok(slice)
     }
+
+    // The `expect`s below cannot fire: `take(n)` either returns exactly
+    // `n` bytes or a typed `Truncated` error, so the slice length always
+    // matches the array the integer is built from.
 
     fn u16(&mut self) -> Result<u16, EngineError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))

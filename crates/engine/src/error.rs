@@ -59,6 +59,13 @@ pub enum EngineError {
     /// An error bubbled up from the FactorHD core while rebuilding or
     /// querying the model.
     Core(FactorHdError),
+    /// The op panicked during batch execution and the panic was
+    /// contained to this op (the rest of the batch completed; see
+    /// docs/ROBUSTNESS.md, "Panic containment").
+    OpPanicked {
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -107,6 +114,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Learn(e) => write!(f, "learn error: {e}"),
             EngineError::Core(e) => write!(f, "model error: {e}"),
+            EngineError::OpPanicked { message } => {
+                write!(f, "op panicked during batch execution: {message}")
+            }
         }
     }
 }
@@ -176,6 +186,9 @@ mod tests {
                 classes: 3,
             }),
             EngineError::Core(FactorHdError::NoClasses),
+            EngineError::OpPanicked {
+                message: "index out of bounds".into(),
+            },
         ];
         for err in cases {
             let msg = err.to_string();
@@ -230,6 +243,9 @@ mod tests {
             EngineError::NotTrainable,
             EngineError::Learn(LearnError::InvalidConfig("zero classes".into())),
             EngineError::Core(FactorHdError::EmptyScene),
+            EngineError::OpPanicked {
+                message: "poisoned".into(),
+            },
         ];
         for err in &all {
             let has_source = match err {
@@ -241,7 +257,8 @@ mod tests {
                 | EngineError::Corrupt(_)
                 | EngineError::InvalidConfig(_)
                 | EngineError::UnknownModel { .. }
-                | EngineError::NotTrainable => false,
+                | EngineError::NotTrainable
+                | EngineError::OpPanicked { .. } => false,
             };
             assert_eq!(Error::source(err).is_some(), has_source, "{err}");
         }

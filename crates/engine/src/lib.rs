@@ -100,6 +100,7 @@ pub mod artifact;
 pub mod cache;
 mod engine;
 mod error;
+pub mod failpoint;
 pub mod metrics;
 mod model;
 pub mod ops;

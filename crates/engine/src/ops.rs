@@ -482,6 +482,36 @@ impl AnyOp {
             AnyOp::Classify(_) => OpKind::Classify,
         }
     }
+
+    /// Whether re-executing this op is observably identical to running
+    /// it once. Everything except the training ops is a pure read of the
+    /// model, so a client may safely retry it after an ambiguous
+    /// transport failure; `Train`/`Retrain` mutate learner state and
+    /// must not be retried blindly (docs/ROBUSTNESS.md, "Retry
+    /// contract").
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, AnyOp::Train(_) | AnyOp::Retrain(_))
+    }
+
+    /// A cheap, deterministic tag for the `engine/op_panic` failpoint
+    /// ([`crate::failpoint`]): chaos tests arm `tag:V` to poison exactly
+    /// the ops whose tag is `V`, independent of execution order or
+    /// thread count. Derived from data the op already carries — distinct
+    /// per op for `Train` (the sample id) and `Classify` (`top_k`), a
+    /// kind-level constant for the scene ops.
+    pub fn chaos_tag(&self) -> u64 {
+        match self {
+            AnyOp::Rep1(_) => 1,
+            AnyOp::Rep2(_) => 2,
+            AnyOp::Rep3(_) => 3,
+            AnyOp::Partial(op) => 100 + op.classes.len() as u64,
+            AnyOp::Membership(op) => 200 + op.items.len() as u64,
+            AnyOp::Encode(op) => 300 + op.scene.objects().len() as u64,
+            AnyOp::Train(op) => 1_000_000 + op.sample,
+            AnyOp::Retrain(op) => 400 + u64::from(op.epochs),
+            AnyOp::Classify(op) => 500 + op.top_k as u64,
+        }
+    }
 }
 
 impl From<FactorizeRep1> for AnyOp {

@@ -15,6 +15,12 @@
 //! tiled codebook traversal serves the entire batch. Other kinds run one
 //! op per task to keep the pool saturated with their coarser work items.
 //!
+//! Every task runs under **panic containment** ([`run_contained_group`]):
+//! a panic inside an op never crosses the pool boundary — it becomes a
+//! typed [`EngineError::OpPanicked`] on that op alone while the rest of
+//! the batch completes, and costs one relaxed atomic load per group when
+//! no failpoint is armed.
+//!
 //! Scratch plumbing: the codebook scans under every task run on `hdc`'s
 //! per-thread scan scratch (`PackedShards::top_k_into` /
 //! `top_k_many_into`), so each rayon worker warms its own buffer set on
@@ -23,11 +29,13 @@
 //! plan. Grouping same-kind ops onto one worker additionally keeps that
 //! worker's scratch sized for the op shape it keeps serving.
 
+use crate::failpoint;
 use crate::metrics::{self, Stage, StageTimer};
-use crate::ops::{run_any_group, AnyOp, AnyOutput, OpKind};
+use crate::ops::{run_any_group, AnyOp, AnyOutput, Op, OpKind};
 use crate::{EngineError, ModelState};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// One planned task's scatter payload: the op indices it covered and
@@ -60,6 +68,69 @@ pub(crate) fn task_chunk(groupable: bool, len: usize, batch_chunk: usize) -> usi
         return len.max(1);
     }
     len.div_ceil(threads * 2).max(batch_chunk)
+}
+
+/// Extracts a human-readable message from a panic payload (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one op under panic containment: a panic anywhere in the op (or
+/// a matching `engine/op_panic` failpoint) becomes
+/// [`EngineError::OpPanicked`] for this op alone.
+fn run_contained_one(state: &ModelState, op: &AnyOp) -> Result<AnyOutput, EngineError> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        if failpoint::armed() && failpoint::hit_tag("engine/op_panic", op.chaos_tag()) {
+            panic!("failpoint engine/op_panic fired for tag {}", op.chaos_tag());
+        }
+        op.run(state)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::OpPanicked {
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// Runs a same-kind group under panic containment. The grouped kernel
+/// executes inside one `catch_unwind`; if anything in it panics, the
+/// group falls back to per-op execution with each op individually
+/// contained, so exactly the poisoned ops come back as
+/// [`EngineError::OpPanicked`] while their chunk-mates complete. The
+/// per-op fallback is bit-identical to the grouped kernel (the planner's
+/// standing guarantee), so containment never changes successful outputs.
+///
+/// The fallback re-runs the group's ops from scratch. Every kind except
+/// `Train`/`Retrain` is a pure read, so the re-run is invisible; a
+/// kernel panicking halfway through a *training* group may re-apply
+/// examples observed before the panic (at-least-once semantics under a
+/// mid-group panic — see docs/ROBUSTNESS.md, "Panic containment").
+fn run_contained_group(
+    state: &ModelState,
+    kind: OpKind,
+    refs: &[&AnyOp],
+) -> Vec<Result<AnyOutput, EngineError>> {
+    let group = catch_unwind(AssertUnwindSafe(|| {
+        if failpoint::armed() {
+            for op in refs {
+                if failpoint::hit_tag("engine/op_panic", op.chaos_tag()) {
+                    panic!("failpoint engine/op_panic fired for tag {}", op.chaos_tag());
+                }
+            }
+        }
+        run_any_group(state, kind, refs)
+    }));
+    match group {
+        Ok(results) => results,
+        Err(_) => refs.iter().map(|op| run_contained_one(state, op)).collect(),
+    }
 }
 
 /// Executes `ops` — each tagged with the slot of the model it targets —
@@ -118,7 +189,7 @@ pub(crate) fn execute_batch_planned(
             let state = states[*slot].as_ref().expect("resolved");
             let refs: Vec<&AnyOp> = indices.iter().map(|&i| ops[i].1).collect();
             let started = metrics::now();
-            let group_results = run_any_group(state, *kind, &refs);
+            let group_results = run_contained_group(state, *kind, &refs);
             let completed = group_results.iter().filter(|r| r.is_ok()).count() as u64;
             metrics::record_outcomes(*kind, completed, indices.len() as u64 - completed);
             if let Some(started) = started {
@@ -137,6 +208,9 @@ pub(crate) fn execute_batch_planned(
     }
     let gathered = results
         .into_iter()
+        // Cannot fire: the planner partitions `0..ops.len()` into task
+        // index lists exactly once, and every task writes back exactly
+        // its own indices, so each slot is `Some` after the scatter.
         .map(|slot| slot.expect("every op planned exactly once"))
         .collect();
     drop(scatter_span);

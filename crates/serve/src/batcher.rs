@@ -16,9 +16,25 @@
 //! `max_batch` chunks) before the worker exits, so no accepted request
 //! is ever dropped.
 //!
+//! Two robustness policies live here (docs/ROBUSTNESS.md):
+//!
+//! * **Admission control** — the queue is bounded at
+//!   [`BatcherConfig::max_queue`]; [`Batcher::submit`] refuses beyond
+//!   it ([`SubmitOutcome::Overloaded`]) so an overloaded server answers
+//!   a typed `Overloaded` error in microseconds instead of building an
+//!   unbounded backlog whose every entry times out.
+//! * **Deadline enforcement** — a request that carried a deadline and
+//!   is still queued when it expires is answered
+//!   `DeadlineExceeded` at dequeue, without executing: the client has
+//!   already given up, so running the op would only steal capacity from
+//!   requests that still have a waiter.
+//!
 //! The queue uses `std::sync` primitives (the vendored `parking_lot`
 //! shim has no condvar) — one mutex + condvar pair, with the worker
 //! sleeping on `wait_timeout` until the oldest request's deadline.
+//! Lock poisoning is recovered (`into_inner`): the queue is plain data
+//! that stays structurally valid, and the batcher must keep serving
+//! even if a thread panicked while holding the lock.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +43,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use factorhd_engine::{AnyOp, EngineError, ModelId, ModelRegistry};
+use factorhd_engine::{failpoint, AnyOp, EngineError, ModelId, ModelRegistry};
 
 use crate::error::ErrorCode;
 use crate::metrics::ServeMetrics;
@@ -43,17 +59,37 @@ pub struct BatcherConfig {
     /// even if the batch is not full. `Duration::ZERO` dispatches on
     /// every enqueue.
     pub max_delay: Duration,
+    /// Admission bound: [`Batcher::submit`] refuses
+    /// ([`SubmitOutcome::Overloaded`]) while this many requests are
+    /// already queued. Sized in requests, not bytes — the queue holds
+    /// decoded ops, so the byte bound is `max_queue × max_frame_bytes`.
+    pub max_queue: usize,
 }
 
 impl Default for BatcherConfig {
     /// `max_batch` 64 (the warm sweet spot in BENCH_engine.json),
-    /// `max_delay` 2 ms.
+    /// `max_delay` 2 ms, `max_queue` 1024 (16 full batches of headroom
+    /// before shedding).
     fn default() -> Self {
         BatcherConfig {
             max_batch: 64,
             max_delay: Duration::from_millis(2),
+            max_queue: 1024,
         }
     }
+}
+
+/// What [`Batcher::submit`] did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitOutcome {
+    /// Queued; a response will arrive on the reply channel.
+    Accepted,
+    /// Refused: the queue is at `max_queue`. The op did not execute and
+    /// no response will arrive — the caller answers `Overloaded`.
+    Overloaded,
+    /// Refused: the batcher has shut down. The caller answers
+    /// `Shutdown`.
+    ShuttingDown,
 }
 
 /// One queued request: the op, its routing metadata, and the channel
@@ -68,6 +104,9 @@ pub(crate) struct Pending {
     /// When the request's frame finished decoding (anchors both the
     /// dispatch deadline and the end-to-end latency histogram).
     pub received_at: Instant,
+    /// Absolute expiry (the wire budget anchored at `received_at`);
+    /// `None` means the request waits as long as it takes.
+    pub deadline: Option<Instant>,
     /// Where the response goes (a connection's writer queue).
     pub reply: mpsc::Sender<Outgoing>,
 }
@@ -93,6 +132,15 @@ struct Shared {
     config: BatcherConfig,
 }
 
+impl Shared {
+    /// Locks the queue, recovering from poisoning (see module docs).
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, Queue> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// The batcher: a shared queue plus the worker thread draining it into
 /// [`ModelRegistry::execute_batch`].
 pub(crate) struct Batcher {
@@ -105,11 +153,14 @@ pub(crate) struct Batcher {
 }
 
 impl Batcher {
+    /// Spawns the worker thread; fails only if the OS refuses a thread
+    /// (resource exhaustion), which the caller surfaces as an I/O error
+    /// instead of a panic.
     pub(crate) fn new(
         registry: Arc<ModelRegistry>,
         config: BatcherConfig,
         metrics: Arc<ServeMetrics>,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
@@ -119,6 +170,9 @@ impl Batcher {
             config: BatcherConfig {
                 max_batch: config.max_batch.max(1),
                 max_delay: config.max_delay,
+                // The queue must hold at least one full batch or the
+                // full trigger could never fire.
+                max_queue: config.max_queue.max(config.max_batch.max(1)),
             },
         });
         let dispatched = Arc::new(AtomicU64::new(0));
@@ -127,28 +181,31 @@ impl Batcher {
             let dispatched = Arc::clone(&dispatched);
             thread::Builder::new()
                 .name("factorhd-batcher".into())
-                .spawn(move || worker_loop(&shared, &registry, &metrics, &dispatched))
-                .expect("spawn batcher worker")
+                .spawn(move || worker_loop(&shared, &registry, &metrics, &dispatched))?
         };
-        Batcher {
+        Ok(Batcher {
             shared,
             worker: Mutex::new(Some(worker)),
             dispatched,
-        }
+        })
     }
 
-    /// Enqueues one request. Returns `false` (and drops the request)
-    /// if the batcher has already shut down.
-    pub(crate) fn submit(&self, pending: Pending) -> bool {
-        let mut queue = self.shared.queue.lock().expect("batcher lock");
+    /// Enqueues one request, refusing typed-ly when the queue is at its
+    /// admission bound or the batcher has shut down (the request is
+    /// dropped and no reply will arrive in either refusal case).
+    pub(crate) fn submit(&self, pending: Pending) -> SubmitOutcome {
+        let mut queue = self.shared.lock_queue();
         if queue.shutdown {
-            return false;
+            return SubmitOutcome::ShuttingDown;
+        }
+        if queue.pending.len() >= self.shared.config.max_queue {
+            return SubmitOutcome::Overloaded;
         }
         queue.pending.push_back(pending);
         // Wake the worker: it either dispatches (batch now full) or
         // re-arms its deadline timer for the new oldest request.
         self.shared.wake.notify_one();
-        true
+        SubmitOutcome::Accepted
     }
 
     /// Engine batches dispatched so far (test observability).
@@ -160,11 +217,16 @@ impl Batcher {
     /// Flushes every queued request and stops the worker. Idempotent.
     pub(crate) fn shutdown(&self) {
         {
-            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            let mut queue = self.shared.lock_queue();
             queue.shutdown = true;
             self.shared.wake.notify_one();
         }
-        if let Some(worker) = self.worker.lock().expect("batcher worker lock").take() {
+        let worker = self
+            .worker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(worker) = worker {
             let _ = worker.join();
         }
     }
@@ -186,14 +248,17 @@ fn worker_loop(
     let max_delay = shared.config.max_delay;
     loop {
         let batch: Vec<Pending> = {
-            let mut queue = shared.queue.lock().expect("batcher lock");
+            let mut queue = shared.lock_queue();
             loop {
                 if queue.pending.len() >= max_batch || queue.shutdown {
                     break;
                 }
                 match queue.pending.front() {
                     None => {
-                        queue = shared.wake.wait(queue).expect("batcher lock");
+                        queue = shared
+                            .wake
+                            .wait(queue)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                     }
                     Some(oldest) => {
                         let deadline = oldest.received_at + max_delay;
@@ -204,7 +269,7 @@ fn worker_loop(
                         let (guard, _) = shared
                             .wake
                             .wait_timeout(queue, deadline - now)
-                            .expect("batcher lock");
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                         queue = guard;
                     }
                 }
@@ -216,6 +281,10 @@ fn worker_loop(
             let take = queue.pending.len().min(max_batch);
             queue.pending.drain(..take).collect()
         };
+        // Chaos site: lets fault-injection tests hold the queue at its
+        // admission bound deterministically (the worker sleeps here,
+        // outside the lock, so `submit` keeps refusing typed-ly).
+        failpoint::sleep("serve/batcher_stall");
         // Count before dispatching so an observer that has already
         // received a reply sees the batch that produced it.
         dispatched.fetch_add(1, Ordering::Relaxed);
@@ -224,23 +293,47 @@ fn worker_loop(
 }
 
 /// Runs one coalesced batch through the engine and scatters the typed
-/// results back to each request's connection by request id.
+/// results back to each request's connection by request id. Requests
+/// whose deadline has already passed are answered `DeadlineExceeded`
+/// here, at dequeue, without executing.
 fn dispatch(registry: &ModelRegistry, metrics: &ServeMetrics, batch: Vec<Pending>) {
-    metrics.batch_dispatched(batch.len() as u64);
+    let now = Instant::now();
     let mut ops = Vec::with_capacity(batch.len());
     let mut routes = Vec::with_capacity(batch.len());
     for pending in batch {
+        if pending.deadline.is_some_and(|deadline| now >= deadline) {
+            metrics.deadline_expired();
+            let _ = pending.reply.send(Outgoing {
+                request_id: pending.request_id,
+                received_at: pending.received_at,
+                response: Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: "deadline expired while queued; op not executed".into(),
+                },
+            });
+            continue;
+        }
         ops.push((ModelId::new(&pending.model), pending.op));
         routes.push((pending.request_id, pending.received_at, pending.reply));
     }
+    if ops.is_empty() {
+        return;
+    }
+    metrics.batch_dispatched(ops.len() as u64);
     let results = registry.execute_batch(&ops);
     for ((request_id, received_at, reply), result) in routes.into_iter().zip(results) {
         let response = match result {
             Ok(output) => Response::Output(output),
-            Err(err) => Response::Error {
-                code: engine_error_code(&err),
-                message: err.to_string(),
-            },
+            Err(err) => {
+                let code = engine_error_code(&err);
+                if code == ErrorCode::OpPanicked {
+                    metrics.op_panicked();
+                }
+                Response::Error {
+                    code,
+                    message: err.to_string(),
+                }
+            }
         };
         // A send error means the connection is gone; the response is
         // dropped, matching what TCP would do to it anyway.
@@ -256,6 +349,7 @@ fn dispatch(registry: &ModelRegistry, metrics: &ServeMetrics, batch: Vec<Pending
 fn engine_error_code(err: &EngineError) -> ErrorCode {
     match err {
         EngineError::UnknownModel { .. } => ErrorCode::UnknownModel,
+        EngineError::OpPanicked { .. } => ErrorCode::OpPanicked,
         _ => ErrorCode::Engine,
     }
 }
@@ -311,8 +405,14 @@ mod tests {
             op: op.clone(),
             request_id: id,
             received_at: Instant::now(),
+            deadline: None,
             reply: reply.clone(),
         }
+    }
+
+    fn batcher(registry: &Arc<ModelRegistry>, config: BatcherConfig) -> Batcher {
+        Batcher::new(Arc::clone(registry), config, Arc::new(ServeMetrics::new()))
+            .expect("spawn batcher worker")
     }
 
     /// Full trigger: `max_batch` requests with a far-off deadline
@@ -320,19 +420,22 @@ mod tests {
     #[test]
     fn full_batch_dispatches_without_deadline() {
         let registry = test_registry();
-        let batcher = Batcher::new(
-            Arc::clone(&registry),
+        let batcher = batcher(
+            &registry,
             BatcherConfig {
                 max_batch: 4,
                 max_delay: Duration::from_secs(3600),
+                max_queue: 4096,
             },
-            Arc::new(ServeMetrics::new()),
         );
         let op = encode_op(&registry);
         let (tx, rx) = mpsc::channel();
         let start = Instant::now();
         for id in 0..4 {
-            assert!(batcher.submit(pending(&op, id, &tx)));
+            assert_eq!(
+                batcher.submit(pending(&op, id, &tx)),
+                SubmitOutcome::Accepted
+            );
         }
         let replies = expect_outputs(&rx, 4);
         assert!(
@@ -353,18 +456,21 @@ mod tests {
     #[test]
     fn lone_request_dispatches_at_deadline() {
         let registry = test_registry();
-        let batcher = Batcher::new(
-            Arc::clone(&registry),
+        let batcher = batcher(
+            &registry,
             BatcherConfig {
                 max_batch: 64,
                 max_delay: Duration::from_millis(20),
+                max_queue: 4096,
             },
-            Arc::new(ServeMetrics::new()),
         );
         let op = encode_op(&registry);
         let (tx, rx) = mpsc::channel();
         let submitted = Instant::now();
-        assert!(batcher.submit(pending(&op, 42, &tx)));
+        assert_eq!(
+            batcher.submit(pending(&op, 42, &tx)),
+            SubmitOutcome::Accepted
+        );
         let reply = expect_outputs(&rx, 1).pop().expect("one reply");
         assert!(
             submitted.elapsed() >= Duration::from_millis(20),
@@ -379,18 +485,21 @@ mod tests {
     #[test]
     fn shutdown_flushes_queued_requests() {
         let registry = test_registry();
-        let batcher = Batcher::new(
-            Arc::clone(&registry),
+        let batcher = batcher(
+            &registry,
             BatcherConfig {
                 max_batch: 64,
                 max_delay: Duration::from_secs(3600),
+                max_queue: 4096,
             },
-            Arc::new(ServeMetrics::new()),
         );
         let op = encode_op(&registry);
         let (tx, rx) = mpsc::channel();
         for id in 0..5 {
-            assert!(batcher.submit(pending(&op, id, &tx)));
+            assert_eq!(
+                batcher.submit(pending(&op, id, &tx)),
+                SubmitOutcome::Accepted
+            );
         }
         batcher.shutdown();
         let mut ids: Vec<u64> = expect_outputs(&rx, 5)
@@ -400,7 +509,10 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2, 3, 4], "flush may not drop requests");
         // After shutdown, submissions are refused.
-        assert!(!batcher.submit(pending(&op, 99, &tx)));
+        assert_eq!(
+            batcher.submit(pending(&op, 99, &tx)),
+            SubmitOutcome::ShuttingDown
+        );
     }
 
     /// `max_batch = 1` degenerates to pass-through: every request is
@@ -408,18 +520,21 @@ mod tests {
     #[test]
     fn max_batch_one_is_pass_through() {
         let registry = test_registry();
-        let batcher = Batcher::new(
-            Arc::clone(&registry),
+        let batcher = batcher(
+            &registry,
             BatcherConfig {
                 max_batch: 1,
                 max_delay: Duration::from_secs(3600),
+                max_queue: 4096,
             },
-            Arc::new(ServeMetrics::new()),
         );
         let op = encode_op(&registry);
         let (tx, rx) = mpsc::channel();
         for id in 0..3 {
-            assert!(batcher.submit(pending(&op, id, &tx)));
+            assert_eq!(
+                batcher.submit(pending(&op, id, &tx)),
+                SubmitOutcome::Accepted
+            );
             let reply = expect_outputs(&rx, 1).pop().expect("one reply");
             assert_eq!(reply.request_id, id);
         }
@@ -435,23 +550,119 @@ mod tests {
     #[test]
     fn unknown_model_yields_typed_error() {
         let registry = test_registry();
-        let batcher = Batcher::new(
-            Arc::clone(&registry),
+        let batcher = batcher(
+            &registry,
             BatcherConfig {
                 max_batch: 1,
                 max_delay: Duration::ZERO,
+                max_queue: 4096,
             },
-            Arc::new(ServeMetrics::new()),
         );
         let op = encode_op(&registry);
         let (tx, rx) = mpsc::channel();
         let mut missing = pending(&op, 7, &tx);
         missing.model = "no-such-model".into();
-        assert!(batcher.submit(missing));
+        assert_eq!(batcher.submit(missing), SubmitOutcome::Accepted);
         let reply = expect_outputs(&rx, 1).pop().expect("one reply");
         match &reply.response {
             Response::Error { code, .. } => assert_eq!(*code, ErrorCode::UnknownModel),
             other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    /// Admission control: with the worker stalled, submissions beyond
+    /// `max_queue` are refused as `Overloaded`, and every accepted
+    /// request is still answered once the stall clears.
+    /// Serializes the tests that arm the (process-global)
+    /// `serve/batcher_stall` failpoint.
+    static STALL_FAILPOINT: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn queue_at_capacity_refuses_overloaded() {
+        let _guard = STALL_FAILPOINT
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let registry = test_registry();
+        failpoint::arm(
+            "serve/batcher_stall",
+            factorhd_engine::failpoint::FailMode::Sleep(Duration::from_millis(100)),
+        );
+        let batcher = batcher(
+            &registry,
+            BatcherConfig {
+                max_batch: 2,
+                max_delay: Duration::ZERO,
+                max_queue: 3,
+            },
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        // The worker grabs up to max_batch then stalls 100 ms; keep
+        // submitting until the queue itself reports full.
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for id in 0..64 {
+            match batcher.submit(pending(&op, id, &tx)) {
+                SubmitOutcome::Accepted => accepted += 1,
+                SubmitOutcome::Overloaded => shed += 1,
+                SubmitOutcome::ShuttingDown => panic!("not shutting down"),
+            }
+        }
+        failpoint::disarm("serve/batcher_stall");
+        assert!(shed > 0, "64 submissions into a 3-deep queue must shed");
+        // Every *accepted* request is answered — sheds are the caller's
+        // to answer, and none of them ever reach the queue.
+        let replies = expect_outputs(&rx, accepted as usize);
+        assert_eq!(replies.len() as u64, accepted);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "no replies beyond the accepted count"
+        );
+    }
+
+    /// Deadline enforcement: a request whose deadline has passed by
+    /// dispatch time is answered `DeadlineExceeded` without executing;
+    /// a fresh one in the same batch still runs.
+    #[test]
+    fn expired_deadline_is_answered_at_dequeue() {
+        let _guard = STALL_FAILPOINT
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let registry = test_registry();
+        failpoint::arm(
+            "serve/batcher_stall",
+            factorhd_engine::failpoint::FailMode::Sleep(Duration::from_millis(30)),
+        );
+        let batcher = batcher(
+            &registry,
+            BatcherConfig {
+                max_batch: 2,
+                max_delay: Duration::ZERO,
+                max_queue: 4096,
+            },
+        );
+        let op = encode_op(&registry);
+        let (tx, rx) = mpsc::channel();
+        let mut expired = pending(&op, 1, &tx);
+        // Already expired when dispatched (the stall guarantees ≥30 ms
+        // in queue against a 1 ms budget).
+        expired.deadline = Some(Instant::now() + Duration::from_millis(1));
+        let fresh = pending(&op, 2, &tx);
+        assert_eq!(batcher.submit(expired), SubmitOutcome::Accepted);
+        assert_eq!(batcher.submit(fresh), SubmitOutcome::Accepted);
+        let replies = expect_outputs(&rx, 2);
+        failpoint::disarm("serve/batcher_stall");
+        for reply in &replies {
+            match reply.request_id {
+                1 => match &reply.response {
+                    Response::Error { code, .. } => {
+                        assert_eq!(*code, ErrorCode::DeadlineExceeded)
+                    }
+                    other => panic!("expected deadline error, got {other:?}"),
+                },
+                2 => assert!(matches!(reply.response, Response::Output(_))),
+                id => panic!("unexpected request id {id}"),
+            }
         }
     }
 }

@@ -1,0 +1,255 @@
+//! A loopback fault-injecting TCP proxy for the chaos test battery
+//! (docs/ROBUSTNESS.md, "Chaos harness").
+//!
+//! [`ChaosProxy`] sits between a [`Client`](crate::Client) and a
+//! [`Server`](crate::Server) on loopback and corrupts traffic in
+//! precisely controlled ways — truncate the byte stream mid-frame, flip
+//! a single bit, hard-drop the connection after N bytes, or delay every
+//! chunk. Each direction carries its own independent [`ChaosFault`], so
+//! a test can corrupt a request without touching responses (and vice
+//! versa).
+//!
+//! The point of proxy-level faults (vs. mocked streams) is that the
+//! real server and the real client see them through real sockets: the
+//! assertions in `tests/chaos.rs` — typed errors only, zero lost
+//! request ids, the server keeps answering — hold against the exact
+//! code that serves production traffic.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// One per-direction fault. Byte offsets count from the start of the
+/// connection's stream in that direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Forward only the first `n` bytes, then half-close the write
+    /// side: the receiver sees EOF, possibly mid-frame.
+    TruncateAfter(usize),
+    /// Invert one bit (`1 << (bit % 8)`) of the byte at stream offset
+    /// `offset`; everything else passes through untouched. The frame's
+    /// checksum must catch it.
+    FlipBit {
+        /// Stream offset of the byte to corrupt.
+        offset: usize,
+        /// Which bit of that byte to invert (taken modulo 8).
+        bit: u8,
+    },
+    /// Forward `n` bytes, then hard-close **both** directions of the
+    /// connection — a mid-flight disconnect.
+    DropAfter(usize),
+    /// Sleep this long before forwarding each chunk — a slow network
+    /// (or a deliberate drip-feed when combined with small writes).
+    DelayChunks(Duration),
+}
+
+struct ProxyShared {
+    shutting_down: AtomicBool,
+    /// Clones of every live stream (both legs of every connection), so
+    /// shutdown can unblock all pump threads.
+    streams: Mutex<Vec<TcpStream>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running loopback proxy; connect clients to
+/// [`local_addr`](ChaosProxy::local_addr) instead of the server.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_worker: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts proxying to
+    /// `upstream`, applying `client_to_server` to request bytes and
+    /// `server_to_client` to response bytes (either may be `None` for a
+    /// clean direction). Faults apply per connection.
+    pub fn start(
+        upstream: SocketAddr,
+        client_to_server: Option<ChaosFault>,
+        server_to_client: Option<ChaosFault>,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            shutting_down: AtomicBool::new(false),
+            streams: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept_worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("factorhd-chaos-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        upstream,
+                        client_to_server,
+                        server_to_client,
+                        &shared,
+                    )
+                })?
+        };
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_worker: Mutex::new(Some(accept_worker)),
+        })
+    }
+
+    /// The proxy's listening address — what the client under test dials.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every proxied connection, and joins all
+    /// pump threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(worker) = lock(&self.accept_worker).take() {
+            let _ = worker.join();
+        }
+        for stream in lock(&self.shared.streams).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let workers = std::mem::take(&mut *lock(&self.shared.workers));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Locks a mutex, recovering from poisoning — the proxy must keep
+/// tearing connections down even mid-chaos.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    client_to_server: Option<ChaosFault>,
+    server_to_client: Option<ChaosFault>,
+    shared: &Arc<ProxyShared>,
+) {
+    loop {
+        let downstream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(upstream_stream) = TcpStream::connect(upstream) else {
+            // Upstream refused; drop the client, keep accepting.
+            continue;
+        };
+        let _ = downstream.set_nodelay(true);
+        let _ = upstream_stream.set_nodelay(true);
+        {
+            let mut streams = lock(&shared.streams);
+            if let Ok(clone) = downstream.try_clone() {
+                streams.push(clone);
+            }
+            if let Ok(clone) = upstream_stream.try_clone() {
+                streams.push(clone);
+            }
+        }
+        let legs = [
+            (
+                downstream.try_clone(),
+                upstream_stream.try_clone(),
+                client_to_server,
+                "factorhd-chaos-c2s",
+            ),
+            (
+                Ok(upstream_stream),
+                Ok(downstream),
+                server_to_client,
+                "factorhd-chaos-s2c",
+            ),
+        ];
+        for (from, to, fault, name) in legs {
+            let (Ok(from), Ok(to)) = (from, to) else {
+                continue;
+            };
+            let spawned = thread::Builder::new()
+                .name(name.into())
+                .spawn(move || pump(from, to, fault));
+            if let Ok(handle) = spawned {
+                lock(&shared.workers).push(handle);
+            }
+        }
+    }
+}
+
+/// Copies bytes `from` → `to`, applying `fault`. Exits (closing its
+/// write side) on EOF, I/O failure, or a terminal fault.
+fn pump(mut from: TcpStream, to: TcpStream, fault: Option<ChaosFault>) {
+    let mut writer = to;
+    let mut buf = [0u8; 4096];
+    let mut offset = 0usize;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        match fault {
+            None => {}
+            Some(ChaosFault::DelayChunks(delay)) => thread::sleep(delay),
+            Some(ChaosFault::FlipBit { offset: at, bit }) if at >= offset && at < offset + n => {
+                chunk[at - offset] ^= 1 << (bit % 8);
+            }
+            Some(ChaosFault::FlipBit { .. }) => {}
+            Some(ChaosFault::TruncateAfter(limit)) => {
+                if offset >= limit {
+                    let _ = writer.shutdown(Shutdown::Write);
+                    return;
+                }
+                if offset + n > limit {
+                    let keep = limit - offset;
+                    let _ = writer.write_all(&chunk[..keep]);
+                    let _ = writer.flush();
+                    let _ = writer.shutdown(Shutdown::Write);
+                    return;
+                }
+            }
+            Some(ChaosFault::DropAfter(limit)) if offset + n > limit => {
+                let keep = limit.saturating_sub(offset);
+                let _ = writer.write_all(&chunk[..keep]);
+                let _ = writer.flush();
+                // A hard disconnect: both directions die at once.
+                let _ = writer.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return;
+            }
+            Some(ChaosFault::DropAfter(_)) => {}
+        }
+        offset += n;
+        if writer.write_all(chunk).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Write);
+}

@@ -5,18 +5,90 @@
 //! ops in flight at once — the shape that lets the server's adaptive
 //! batcher coalesce work from few connections, and what the loopback
 //! load generator uses.
+//!
+//! # Resilience
+//!
+//! (docs/ROBUSTNESS.md, "Client retry contract".) Configured via
+//! [`ClientConfig`]:
+//!
+//! * **Read timeout** — a response that never arrives fails the call
+//!   with a typed I/O error instead of hanging the caller forever.
+//! * **Reconnect + bounded retry** — transport failures (connection
+//!   reset, timeout, corrupt response stream) and typed `Overloaded`
+//!   refusals are retried with capped jittered exponential backoff,
+//!   **but only for idempotent ops** ([`AnyOp::is_idempotent`]):
+//!   `Train`/`Retrain` mutate model state, and a retry after a timeout
+//!   could apply them twice. Non-idempotent ops surface the first
+//!   failure to the caller, who owns the dedup decision.
+//! * **Default deadline** — attached to every op that doesn't carry its
+//!   own, so one slow request can't silently monopolize server queue
+//!   space.
+//!
+//! Retries are transparent to the result but visible in
+//! [`Client::retries`], so tests (and capacity planners) can tell a
+//! clean run from a stormy one.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use factorhd_engine::{AnyOp, AnyOutput, ModelInfo};
 
-use crate::error::ServeError;
+use crate::error::{ErrorCode, ServeError};
 use crate::metrics::ServingStats;
 use crate::protocol::{
     append_frame, decode_response, encode_request, read_frame, write_frame, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
+
+/// Bounded, jittered exponential backoff for transparent retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `3` means up to 4 attempts).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Backoff cap, reached after a few doublings.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries, 10 ms base, 500 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Client knobs; [`Default`] is the resilient configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Fail a blocking read that waits longer than this ([`None`]
+    /// waits forever, the pre-robustness behavior).
+    pub read_timeout: Option<Duration>,
+    /// Deadline attached to ops that don't carry their own ([`None`]
+    /// sends no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for idempotent ops; [`None`] disables retries.
+    pub retry: Option<RetryPolicy>,
+    /// Per-frame payload cap for responses.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    /// 30 s read timeout, no default deadline, default retries.
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            default_deadline: None,
+            retry: Some(RetryPolicy::default()),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
 
 /// One blocking protocol connection.
 ///
@@ -34,24 +106,76 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
-    max_frame_bytes: usize,
+    config: ClientConfig,
+    /// Where to reconnect after a transport failure.
+    peer: SocketAddr,
+    /// Transparent retries performed so far (all calls combined).
+    retries: u64,
+    /// Jitter state for backoff (xorshift64).
+    jitter: u64,
 }
 
 impl Client {
-    /// Connects to a server (with `TCP_NODELAY`, matching the server
-    /// side).
+    /// Connects with the default (resilient) [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server (with `TCP_NODELAY`, matching the server
+    /// side) under an explicit configuration.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        // Sized above a typical scene-op frame, matching the server's
-        // per-connection buffers, so bursts coalesce into few syscalls.
-        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        let peer = stream.peer_addr()?;
+        let (reader, writer) = split_stream(stream, &config)?;
+        // Any nonzero seed works for xorshift; derive one from the
+        // wall clock so concurrent clients don't march in lockstep.
+        let jitter = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15)
+            | 1;
         Ok(Client {
             reader,
-            writer: BufWriter::with_capacity(1 << 16, stream),
+            writer,
             next_id: 0,
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            config,
+            peer,
+            retries: 0,
+            jitter,
         })
+    }
+
+    /// Transparent retries performed so far, across every call on this
+    /// client.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Drops the broken connection and dials the same peer again.
+    fn reconnect(&mut self) -> Result<(), ServeError> {
+        let stream = TcpStream::connect(self.peer)?;
+        let (reader, writer) = split_stream(stream, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Next backoff: exponential in `attempt`, capped, then jittered to
+    /// 50–150% so a fleet of retrying clients doesn't stampede in sync.
+    fn backoff(&mut self, policy: &RetryPolicy, attempt: u32) -> Duration {
+        let doubled = policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(policy.max_backoff);
+        // xorshift64 step.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let percent = 50 + (self.jitter % 101); // 50..=150
+        doubled.saturating_mul(percent as u32) / 100
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -69,13 +193,13 @@ impl Client {
 
     fn recv(&mut self) -> Result<(u64, Response), ServeError> {
         let payload =
-            read_frame(&mut self.reader, self.max_frame_bytes)?.ok_or(ServeError::Closed)?;
+            read_frame(&mut self.reader, self.config.max_frame_bytes)?.ok_or(ServeError::Closed)?;
         Ok(decode_response(&payload)?)
     }
 
     /// Sends one request and waits for its response, checking the
     /// echoed request id.
-    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+    fn call_once(&mut self, request: &Request) -> Result<Response, ServeError> {
         let request_id = self.fresh_id();
         self.send(request_id, request)?;
         let (echoed, response) = self.recv()?;
@@ -87,13 +211,69 @@ impl Client {
         Ok(response)
     }
 
+    /// [`call_once`](Self::call_once) wrapped in the retry contract:
+    /// when `idempotent`, transport failures and typed `Overloaded`
+    /// refusals are retried (reconnecting first when the stream state
+    /// is unknown) up to the policy's cap with jittered backoff.
+    fn call(&mut self, request: &Request, idempotent: bool) -> Result<Response, ServeError> {
+        let Some(policy) = self.config.retry.filter(|_| idempotent) else {
+            return self.call_once(request);
+        };
+        let mut attempt = 0u32;
+        loop {
+            let outcome = match self.call_once(request) {
+                Ok(Response::Error { code, message }) if code == ErrorCode::Overloaded => {
+                    // The server refused at admission; the connection
+                    // itself is healthy, so back off without redialing.
+                    Err((ServeError::Remote { code, message }, false))
+                }
+                // Transport failures leave the stream state unknown
+                // (a response may be half-read); redial before retrying.
+                Err(err @ (ServeError::Io(_) | ServeError::Closed | ServeError::Wire(_))) => {
+                    Err((err, true))
+                }
+                other => Ok(other),
+            };
+            let (err, redial) = match outcome {
+                Ok(result) => return result,
+                Err(pair) => pair,
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            attempt += 1;
+            self.retries += 1;
+            std::thread::sleep(self.backoff(&policy, attempt - 1));
+            if redial {
+                // A failed redial is final: the server is unreachable,
+                // and further attempts would just re-dial again.
+                self.reconnect()?;
+            }
+        }
+    }
+
     /// Runs one typed op against a named model and returns its typed
     /// output; a typed server error becomes [`ServeError::Remote`].
+    /// Attaches the configured default deadline, and retries per the
+    /// retry contract when the op is idempotent.
     pub fn run(&mut self, model: &str, op: &AnyOp) -> Result<AnyOutput, ServeError> {
-        match self.call(&Request::Op {
+        self.run_with_deadline(model, op, self.config.default_deadline)
+    }
+
+    /// [`run`](Self::run) with an explicit per-call deadline budget
+    /// (`None` sends no deadline, overriding any configured default).
+    pub fn run_with_deadline(
+        &mut self,
+        model: &str,
+        op: &AnyOp,
+        deadline: Option<Duration>,
+    ) -> Result<AnyOutput, ServeError> {
+        let request = Request::Op {
             model: model.to_owned(),
             op: op.clone(),
-        })? {
+            deadline,
+        };
+        match self.call(&request, op.is_idempotent())? {
             Response::Output(output) => Ok(output),
             Response::Error { code, message } => Err(ServeError::Remote { code, message }),
             other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
@@ -102,7 +282,7 @@ impl Client {
 
     /// Fetches the server's [`ServingStats`].
     pub fn stats(&mut self) -> Result<ServingStats, ServeError> {
-        match self.call(&Request::Stats)? {
+        match self.call(&Request::Stats, true)? {
             Response::Stats(stats) => Ok(stats),
             Response::Error { code, message } => Err(ServeError::Remote { code, message }),
             other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
@@ -112,7 +292,7 @@ impl Client {
     /// Lists the server's registered models (name + generation, sorted
     /// by name).
     pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
-        match self.call(&Request::ListModels)? {
+        match self.call(&Request::ListModels, true)? {
             Response::Models(models) => Ok(models),
             Response::Error { code, message } => Err(ServeError::Remote { code, message }),
             other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
@@ -121,7 +301,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ServeError> {
-        match self.call(&Request::Ping)? {
+        match self.call(&Request::Ping, true)? {
             Response::Pong => Ok(()),
             Response::Error { code, message } => Err(ServeError::Remote { code, message }),
             other => Err(ServeError::UnexpectedResponse(format!("{other:?}"))),
@@ -133,7 +313,9 @@ impl Client {
     /// then collects responses (which may arrive in any order) and
     /// returns them in op order. Each slot is `Ok(output)` or the typed
     /// error the server sent for that op; a transport failure fails the
-    /// whole call.
+    /// whole call (no transparent retry — a burst may mix idempotent
+    /// and non-idempotent ops, so re-sending is the caller's decision).
+    /// Ops carry the configured default deadline.
     pub fn run_pipelined(
         &mut self,
         model: &str,
@@ -149,6 +331,7 @@ impl Client {
             let request = Request::Op {
                 model: model.to_owned(),
                 op: op.clone(),
+                deadline: self.config.default_deadline,
             };
             append_frame(
                 &mut burst,
@@ -179,7 +362,23 @@ impl Client {
         }
         Ok(results
             .into_iter()
+            // This `expect` cannot fire: the loop above fills exactly
+            // `ops.len()` distinct slots (duplicates and out-of-range
+            // ids error out), so every slot is `Some` here.
             .map(|slot| slot.expect("all slots filled"))
             .collect())
     }
+}
+
+/// Applies socket options and splits a stream into the buffered
+/// reader/writer halves (sized to match the server's per-connection
+/// buffers, so bursts coalesce into few syscalls).
+fn split_stream(
+    stream: TcpStream,
+    config: &ClientConfig,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), ServeError> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(config.read_timeout)?;
+    let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+    Ok((reader, BufWriter::with_capacity(1 << 16, stream)))
 }

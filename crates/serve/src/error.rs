@@ -99,6 +99,17 @@ pub enum ErrorCode {
     Engine,
     /// The server is shutting down and did not execute the op.
     Shutdown,
+    /// The server shed the request at admission: its in-flight budget
+    /// (the batcher's `max_queue`) was full. The op did not execute;
+    /// idempotent requests may be retried after backing off
+    /// (docs/ROBUSTNESS.md, "Load shedding").
+    Overloaded,
+    /// The request's deadline expired while it was queued; the op was
+    /// answered at dequeue without executing.
+    DeadlineExceeded,
+    /// The op panicked during batch execution; the panic was contained
+    /// to this request and the rest of the batch completed.
+    OpPanicked,
     /// A code minted by a newer peer; carried through verbatim.
     Other(u16),
 }
@@ -111,6 +122,9 @@ impl ErrorCode {
             ErrorCode::UnknownModel => 2,
             ErrorCode::Engine => 3,
             ErrorCode::Shutdown => 4,
+            ErrorCode::Overloaded => 5,
+            ErrorCode::DeadlineExceeded => 6,
+            ErrorCode::OpPanicked => 7,
             ErrorCode::Other(code) => code,
         }
     }
@@ -123,6 +137,9 @@ impl ErrorCode {
             2 => ErrorCode::UnknownModel,
             3 => ErrorCode::Engine,
             4 => ErrorCode::Shutdown,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::OpPanicked,
             other => ErrorCode::Other(other),
         }
     }
@@ -135,6 +152,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownModel => write!(f, "unknown-model"),
             ErrorCode::Engine => write!(f, "engine"),
             ErrorCode::Shutdown => write!(f, "shutdown"),
+            ErrorCode::Overloaded => write!(f, "overloaded"),
+            ErrorCode::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            ErrorCode::OpPanicked => write!(f, "op-panicked"),
             ErrorCode::Other(code) => write!(f, "other({code})"),
         }
     }
@@ -210,10 +230,25 @@ mod tests {
             ErrorCode::UnknownModel,
             ErrorCode::Engine,
             ErrorCode::Shutdown,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::OpPanicked,
             ErrorCode::Other(900),
         ] {
             assert_eq!(ErrorCode::from_u16(code.to_u16()), code);
         }
+    }
+
+    /// Version skew in codes: a peer that predates `Overloaded` /
+    /// `DeadlineExceeded` / `OpPanicked` decodes them as `Other(n)` —
+    /// a typed error, never a decode failure. (Pinned here by value so
+    /// renumbering, which would break old peers, fails a test.)
+    #[test]
+    fn new_codes_keep_their_appended_values() {
+        assert_eq!(ErrorCode::Overloaded.to_u16(), 5);
+        assert_eq!(ErrorCode::DeadlineExceeded.to_u16(), 6);
+        assert_eq!(ErrorCode::OpPanicked.to_u16(), 7);
+        assert_eq!(ErrorCode::from_u16(99), ErrorCode::Other(99));
     }
 
     #[test]

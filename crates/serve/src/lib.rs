@@ -23,6 +23,12 @@
 //!   inline; graceful shutdown that answers every accepted request.
 //!   Per-server telemetry ([`ServingStats`]) rides on the engine's
 //!   metrics machinery and is exposed over the wire via the `Stats` op.
+//! * **Robustness** (docs/ROBUSTNESS.md): bounded admission with typed
+//!   `Overloaded` shedding, optional per-request wire deadlines
+//!   enforced at dequeue, slowloris read budgets on the server,
+//!   reconnect + bounded jittered retry on the client
+//!   ([`ClientConfig`] / [`RetryPolicy`]), and a fault-injection
+//!   [`chaos`] proxy for the test battery.
 //!
 //! # Example
 //!
@@ -56,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod batcher;
+pub mod chaos;
 mod client;
 mod error;
 pub mod metrics;
@@ -63,7 +70,8 @@ pub mod protocol;
 mod server;
 
 pub use batcher::BatcherConfig;
-pub use client::Client;
+pub use chaos::{ChaosFault, ChaosProxy};
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use error::{ErrorCode, ServeError, WireError, MAX_ERROR_MESSAGE_BYTES};
 pub use metrics::{HistogramSummary, ServeMetrics, ServingStats};
 pub use protocol::{Request, Response};
@@ -72,7 +80,8 @@ pub use server::{Server, ServerConfig};
 /// Convenient glob import of the serving front-end types.
 pub mod prelude {
     pub use crate::{
-        BatcherConfig, Client, ErrorCode, HistogramSummary, Request, Response, ServeError,
-        ServeMetrics, Server, ServerConfig, ServingStats, WireError,
+        BatcherConfig, ChaosFault, ChaosProxy, Client, ClientConfig, ErrorCode, HistogramSummary,
+        Request, Response, RetryPolicy, ServeError, ServeMetrics, Server, ServerConfig,
+        ServingStats, WireError,
     };
 }

@@ -66,8 +66,20 @@ pub struct ServingStats {
     /// Distribution of coalesced engine-batch sizes.
     pub coalesced_batch: HistogramSummary,
     /// Distribution of end-to-end request latency (frame decoded →
-    /// response written), in nanoseconds.
+    /// response written), in nanoseconds. **Admitted requests only** —
+    /// shed and deadline-expired requests are answered in microseconds
+    /// and would drag the distribution into meaninglessness under
+    /// overload (docs/ROBUSTNESS.md, "Load shedding").
     pub e2e_latency_ns: HistogramSummary,
+    /// Requests refused at admission because the batcher queue was full
+    /// (answered with `ErrorCode::Overloaded`, never executed).
+    pub requests_shed: u64,
+    /// Requests whose deadline expired while queued (answered with
+    /// `ErrorCode::DeadlineExceeded` at dequeue, never executed).
+    pub deadline_expired: u64,
+    /// Ops whose execution panicked; the panic was contained to that
+    /// request (`ErrorCode::OpPanicked`) and the batch completed.
+    pub ops_panicked: u64,
 }
 
 /// One server's telemetry: construct-free counters plus the two
@@ -81,6 +93,9 @@ pub struct ServeMetrics {
     responses_sent: AtomicU64,
     protocol_errors: AtomicU64,
     batches_dispatched: AtomicU64,
+    requests_shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    ops_panicked: AtomicU64,
     coalesced_batch: LogHistogram,
     e2e_latency_ns: LogHistogram,
 }
@@ -120,6 +135,18 @@ impl ServeMetrics {
         self.e2e_latency_ns.record(nanos);
     }
 
+    pub(crate) fn request_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn op_panicked(&self) {
+        self.ops_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The full (bucketed) snapshot of the coalesced-batch-size
     /// distribution, for bench documents that want the buckets.
     pub fn coalesced_batch_snapshot(&self) -> HistogramSnapshot {
@@ -143,6 +170,9 @@ impl ServeMetrics {
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             coalesced_batch: HistogramSummary::from_snapshot(&self.coalesced_batch.snapshot()),
             e2e_latency_ns: HistogramSummary::from_snapshot(&self.e2e_latency_ns.snapshot()),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            ops_panicked: self.ops_panicked.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +192,10 @@ mod tests {
         metrics.batch_dispatched(2);
         metrics.batch_dispatched(64);
         metrics.e2e_latency(1_000);
+        metrics.request_shed();
+        metrics.deadline_expired();
+        metrics.deadline_expired();
+        metrics.op_panicked();
         metrics.connection_closed();
 
         let stats = metrics.stats();
@@ -171,6 +205,9 @@ mod tests {
         assert_eq!(stats.responses_sent, 1);
         assert_eq!(stats.protocol_errors, 1);
         assert_eq!(stats.batches_dispatched, 2);
+        assert_eq!(stats.requests_shed, 1);
+        assert_eq!(stats.deadline_expired, 2);
+        assert_eq!(stats.ops_panicked, 1);
         if factorhd_engine::metrics::snapshot().recording {
             assert_eq!(stats.coalesced_batch.count, 2);
             assert_eq!(stats.e2e_latency_ns.count, 1);

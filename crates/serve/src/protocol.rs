@@ -15,11 +15,24 @@
 //! 0       4     magic  0x89 'F' 'H' 'N'
 //! 4       2     version (u16 LE, currently 1)
 //! 6       1     kind byte
-//! 7       1     reserved (0)
+//! 7       1     flags (bit 0: deadline present; other bits reserved, must be 0)
 //! 8       8     request id (u64 LE)
-//! 16      …     body (kind-specific)
+//! [16     8     deadline budget in microseconds (u64 LE), only when flag bit 0 set]
+//! 16|24   …     body (kind-specific)
 //! end-8   8     FNV-1a 64 checksum over payload[0 .. len-8]
 //! ```
+//!
+//! The flags byte was the always-zero reserved byte before deadlines
+//! existed, which keeps version skew graceful: a frame that carries no
+//! deadline is **byte-identical** to the pre-deadline encoding, so old
+//! and new peers interoperate fully as long as deadlines are unused. A
+//! deadline-bearing frame sent to a pre-deadline server misparses into a
+//! typed error response (never a panic, never a desync — framing is
+//! length-prefixed), and unknown flag bits are rejected as
+//! [`WireError::Corrupt`] so a *future* flag can never be silently
+//! misread as body bytes. Deadlines are **relative budgets** (not
+//! absolute timestamps) so client and server clocks never need to
+//! agree; the server anchors the budget at frame-decode time.
 //!
 //! The same magic/version/checksum discipline as the `.fhd` artifact
 //! codec: decoding is fully bounds-checked, every malformed input maps
@@ -37,6 +50,7 @@
 //! bit-identical to what the server computed.
 
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 use factorhd_core::{
     ClassDecode, DecodedObject, DecodedScene, FactorizeStats, ItemPath, ObjectSpec, QueryAnswer,
@@ -81,6 +95,10 @@ const KIND_LIST_MODELS: u8 = 0x12;
 /// decode on the hot path.
 pub const KIND_ERROR: u8 = 0x7F;
 
+/// Header flag bit 0: the payload carries a deadline field after the
+/// request id.
+const FLAG_DEADLINE: u8 = 0x01;
+
 /// One decoded client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -90,6 +108,13 @@ pub enum Request {
         model: String,
         /// The op itself.
         op: AnyOp,
+        /// Optional deadline budget, anchored at server frame-decode
+        /// time: if the op is still queued when the budget expires, the
+        /// server answers [`crate::ErrorCode::DeadlineExceeded`] without
+        /// executing it. Travels with microsecond granularity (on the
+        /// wire only when set, keeping deadline-free frames
+        /// byte-identical to the pre-deadline encoding).
+        deadline: Option<Duration>,
     },
     /// Fetch the server's [`ServingStats`].
     Stats,
@@ -167,6 +192,10 @@ impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
+
+    // The `expect`s below cannot fire: `take(n)` either returns exactly
+    // `n` bytes or a typed `Truncated` error, so the slice length always
+    // matches the array the integer is built from.
 
     fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
@@ -427,6 +456,11 @@ fn put_stats_body(out: &mut Vec<u8>, stats: &ServingStats) {
     put_u64(out, stats.batches_dispatched);
     put_histogram_summary(out, &stats.coalesced_batch);
     put_histogram_summary(out, &stats.e2e_latency_ns);
+    // Robustness counters, appended after the original fields so an old
+    // client's decoder (which stops before them) still reads the rest.
+    put_u64(out, stats.requests_shed);
+    put_u64(out, stats.deadline_expired);
+    put_u64(out, stats.ops_panicked);
 }
 
 // ---------------------------------------------------------------------------
@@ -683,7 +717,7 @@ fn get_histogram_summary(cursor: &mut Cursor<'_>) -> Result<HistogramSummary, Wi
 }
 
 fn get_stats_body(cursor: &mut Cursor<'_>) -> Result<ServingStats, WireError> {
-    Ok(ServingStats {
+    let mut stats = ServingStats {
         connections_accepted: cursor.u64()?,
         connections_closed: cursor.u64()?,
         requests_received: cursor.u64()?,
@@ -692,7 +726,17 @@ fn get_stats_body(cursor: &mut Cursor<'_>) -> Result<ServingStats, WireError> {
         batches_dispatched: cursor.u64()?,
         coalesced_batch: get_histogram_summary(cursor)?,
         e2e_latency_ns: get_histogram_summary(cursor)?,
-    })
+        ..ServingStats::default()
+    };
+    // The robustness counters were appended to the body later; a stats
+    // frame from a server that predates them simply ends here, and they
+    // stay zero. (Tolerant decode = new client ↔ old server works.)
+    if cursor.remaining() > 0 {
+        stats.requests_shed = cursor.u64()?;
+        stats.deadline_expired = cursor.u64()?;
+        stats.ops_panicked = cursor.u64()?;
+    }
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -705,29 +749,52 @@ fn op_kind_from_byte(byte: u8) -> Option<OpKind> {
         .find(|kind| kind.index() as u8 == byte)
 }
 
-/// Builds a full payload: header, body, checksum trailer.
+/// Builds a full payload: header, body, checksum trailer. No deadline —
+/// the frame is byte-identical to the pre-deadline encoding.
 fn seal(kind: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(MIN_PAYLOAD_BYTES + body.len());
+    seal_with(kind, request_id, None, body)
+}
+
+/// Builds a full payload, optionally carrying a deadline budget (sets
+/// flag bit 0 and inserts the microsecond field after the request id).
+fn seal_with(kind: u8, request_id: u64, deadline_micros: Option<u64>, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(MIN_PAYLOAD_BYTES + 8 + body.len());
     payload.extend_from_slice(&MAGIC);
     payload.extend_from_slice(&VERSION.to_le_bytes());
     payload.push(kind);
-    payload.push(0); // reserved
+    payload.push(if deadline_micros.is_some() {
+        FLAG_DEADLINE
+    } else {
+        0
+    });
     payload.extend_from_slice(&request_id.to_le_bytes());
+    if let Some(micros) = deadline_micros {
+        payload.extend_from_slice(&micros.to_le_bytes());
+    }
     payload.extend_from_slice(body);
     let checksum = fnv1a(&payload);
     payload.extend_from_slice(&checksum.to_le_bytes());
     payload
 }
 
-/// Verifies magic, version, and checksum; returns `(kind, request id,
-/// body)` on success.
-fn open(payload: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
+/// A verified frame header: `(kind, request id, deadline budget in
+/// microseconds, body)`.
+type OpenedFrame<'a> = (u8, u64, Option<u64>, &'a [u8]);
+
+/// Verifies magic, version, checksum, and flags; returns the
+/// [`OpenedFrame`] on success. Any flag bit other than [`FLAG_DEADLINE`]
+/// is rejected as [`WireError::Corrupt`] so a future flag's extra field
+/// can never be misread as body bytes.
+fn open(payload: &[u8]) -> Result<OpenedFrame<'_>, WireError> {
     if payload.len() < MIN_PAYLOAD_BYTES {
         return Err(WireError::Truncated {
             needed: MIN_PAYLOAD_BYTES,
             remaining: payload.len(),
         });
     }
+    // The slice-to-array conversions below cannot fail: each slice is
+    // taken with a constant length that matches the array, and the
+    // length check above guarantees the bytes exist.
     let found: [u8; 4] = payload[..4].try_into().expect("4 bytes");
     if found != MAGIC {
         return Err(WireError::BadMagic { found });
@@ -742,37 +809,73 @@ fn open(payload: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
     if stored != computed {
         return Err(WireError::ChecksumMismatch { stored, computed });
     }
+    let flags = payload[7];
+    if flags & !FLAG_DEADLINE != 0 {
+        return Err(WireError::Corrupt(format!(
+            "unknown header flag bits {flags:#04x}"
+        )));
+    }
     let kind = payload[6];
     let request_id = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
-    Ok((kind, request_id, &payload[HEADER_BYTES..split]))
+    let mut body = &payload[HEADER_BYTES..split];
+    let deadline_micros = if flags & FLAG_DEADLINE != 0 {
+        if body.len() < 8 {
+            return Err(WireError::Truncated {
+                needed: 8,
+                remaining: body.len(),
+            });
+        }
+        let micros = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        body = &body[8..];
+        Some(micros)
+    } else {
+        None
+    };
+    Ok((kind, request_id, deadline_micros, body))
 }
 
 /// Encodes one request into a payload (frame it with [`write_frame`] or
 /// [`append_frame`]).
 pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
-    let (kind, body) = match request {
-        Request::Op { model, op } => {
+    let (kind, deadline_micros, body) = match request {
+        Request::Op {
+            model,
+            op,
+            deadline,
+        } => {
             let mut body = Vec::new();
             put_u16(&mut body, model.len() as u16);
             body.extend_from_slice(model.as_bytes());
             put_op_body(&mut body, op);
-            (op.kind().index() as u8, body)
+            // Saturate rather than wrap: a budget beyond ~584k years is
+            // indistinguishable from "no hurry".
+            let micros = deadline.map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+            (op.kind().index() as u8, micros, body)
         }
-        Request::Stats => (KIND_STATS, Vec::new()),
-        Request::Ping => (KIND_PING, Vec::new()),
-        Request::ListModels => (KIND_LIST_MODELS, Vec::new()),
+        Request::Stats => (KIND_STATS, None, Vec::new()),
+        Request::Ping => (KIND_PING, None, Vec::new()),
+        Request::ListModels => (KIND_LIST_MODELS, None, Vec::new()),
     };
-    seal(kind, request_id, &body)
+    seal_with(kind, request_id, deadline_micros, &body)
 }
 
 /// Decodes one request payload into `(request id, request)`.
 pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
-    let (kind, request_id, body) = open(payload)?;
+    let (kind, request_id, deadline_micros, body) = open(payload)?;
     let mut cursor = Cursor::new(body);
     let request = match kind {
-        KIND_STATS => Request::Stats,
-        KIND_PING => Request::Ping,
-        KIND_LIST_MODELS => Request::ListModels,
+        KIND_STATS | KIND_PING | KIND_LIST_MODELS => {
+            if deadline_micros.is_some() {
+                return Err(WireError::Corrupt(
+                    "deadline flag on a non-op request".into(),
+                ));
+            }
+            match kind {
+                KIND_STATS => Request::Stats,
+                KIND_PING => Request::Ping,
+                _ => Request::ListModels,
+            }
+        }
         byte => {
             let op_kind = op_kind_from_byte(byte).ok_or(WireError::UnknownKind(byte))?;
             let name_len = cursor.u16()? as usize;
@@ -781,7 +884,11 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
                 .map_err(|_| WireError::Corrupt("model name is not UTF-8".into()))?
                 .to_owned();
             let op = get_op_body(op_kind, &mut cursor)?;
-            Request::Op { model, op }
+            Request::Op {
+                model,
+                op,
+                deadline: deadline_micros.map(Duration::from_micros),
+            }
         }
     };
     cursor.done()?;
@@ -827,7 +934,10 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
 
 /// Decodes one response payload into `(request id, response)`.
 pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
-    let (kind, request_id, body) = open(payload)?;
+    let (kind, request_id, deadline_micros, body) = open(payload)?;
+    if deadline_micros.is_some() {
+        return Err(WireError::Corrupt("deadline flag on a response".into()));
+    }
     let mut cursor = Cursor::new(body);
     let response = match kind {
         KIND_STATS => Response::Stats(get_stats_body(&mut cursor)?),
@@ -1012,10 +1122,12 @@ mod tests {
                     example: example.clone(),
                     retain: true,
                 }),
+                deadline: None,
             },
             Request::Op {
                 model: "tenant-a".into(),
                 op: AnyOp::Retrain(Retrain { epochs: 9 }),
+                deadline: Some(Duration::from_millis(250)),
             },
             Request::Op {
                 model: "tenant-b".into(),
@@ -1023,6 +1135,7 @@ mod tests {
                     query: example,
                     top_k: 3,
                 }),
+                deadline: None,
             },
         ];
         for (id, request) in requests.into_iter().enumerate() {
@@ -1098,5 +1211,111 @@ mod tests {
         let payload = encode_request(0xDEAD_BEEF, &Request::Ping);
         assert_eq!(peek_request_id(&payload), Some(0xDEAD_BEEF));
         assert_eq!(peek_request_id(&payload[..12]), None);
+    }
+
+    fn op_request(deadline: Option<Duration>) -> Request {
+        Request::Op {
+            model: "m".into(),
+            op: AnyOp::Retrain(Retrain { epochs: 1 }),
+            deadline,
+        }
+    }
+
+    #[test]
+    fn deadline_round_trips_at_microsecond_granularity() {
+        let request = op_request(Some(Duration::from_micros(1_234_567)));
+        let payload = encode_request(3, &request);
+        assert_eq!(decode_request(&payload).unwrap(), (3, request));
+    }
+
+    /// A deadline-free frame must be byte-identical to the pre-deadline
+    /// encoding (flags byte zero, no extra field) — this is the whole
+    /// version-skew story for old servers.
+    #[test]
+    fn frames_without_deadline_are_byte_identical_to_v1() {
+        let payload = encode_request(3, &op_request(None));
+        assert_eq!(payload[7], 0, "flags byte must stay zero");
+        let with = encode_request(3, &op_request(Some(Duration::from_millis(5))));
+        assert_eq!(with[7], FLAG_DEADLINE);
+        assert_eq!(with.len(), payload.len() + 8);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected_as_corrupt() {
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[7] = 0x02; // a future flag this build does not know
+        let split = payload.len() - TRAILER_BYTES;
+        let checksum = fnv1a(&payload[..split]);
+        payload[split..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload).unwrap_err(),
+            WireError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn deadline_flag_on_non_op_request_or_response_is_corrupt() {
+        let payload = seal_with(KIND_PING, 1, Some(9), &[]);
+        assert!(matches!(
+            decode_request(&payload).unwrap_err(),
+            WireError::Corrupt(_)
+        ));
+        let payload = seal_with(KIND_PING, 1, Some(9), &[]);
+        assert!(matches!(
+            decode_response(&payload).unwrap_err(),
+            WireError::Corrupt(_)
+        ));
+    }
+
+    /// A stats body from a server that predates the robustness counters
+    /// (original 6 counters + 2 histograms, nothing appended) decodes
+    /// with the new counters at zero — never a decode failure.
+    #[test]
+    fn stats_from_an_old_server_decode_with_zero_robustness_counters() {
+        let stats = ServingStats {
+            requests_received: 11,
+            requests_shed: 0,
+            deadline_expired: 0,
+            ops_panicked: 0,
+            ..ServingStats::default()
+        };
+        let mut body = Vec::new();
+        // Re-encode only the pre-robustness fields, as an old server would.
+        put_u64(&mut body, stats.connections_accepted);
+        put_u64(&mut body, stats.connections_closed);
+        put_u64(&mut body, stats.requests_received);
+        put_u64(&mut body, stats.responses_sent);
+        put_u64(&mut body, stats.protocol_errors);
+        put_u64(&mut body, stats.batches_dispatched);
+        put_histogram_summary(&mut body, &stats.coalesced_batch);
+        put_histogram_summary(&mut body, &stats.e2e_latency_ns);
+        let payload = seal(KIND_STATS, 4, &body);
+        assert_eq!(
+            decode_response(&payload).unwrap(),
+            (4, Response::Stats(stats))
+        );
+    }
+
+    /// Simulates a pre-deadline decoder receiving a deadline-bearing
+    /// frame: it reads the deadline bytes as body and fails with a typed
+    /// error (here the op-kind/body misparse), never a panic — so an old
+    /// server answers with a typed protocol error and stays framed.
+    #[test]
+    fn old_decoder_fails_typed_on_a_deadline_frame() {
+        let payload = encode_request(6, &op_request(Some(Duration::from_millis(1))));
+        // An old decoder has no flags check and no deadline field: its
+        // body starts at HEADER_BYTES unconditionally.
+        let split = payload.len() - TRAILER_BYTES;
+        let body = &payload[HEADER_BYTES..split];
+        let mut cursor = Cursor::new(body);
+        let old_view = (|| -> Result<(), WireError> {
+            let name_len = cursor.u16()? as usize;
+            let name_bytes = cursor.take(name_len)?;
+            std::str::from_utf8(name_bytes)
+                .map_err(|_| WireError::Corrupt("model name is not UTF-8".into()))?;
+            get_op_body(OpKind::Retrain, &mut cursor)?;
+            cursor.done()
+        })();
+        assert!(old_view.is_err(), "misparse must surface as a typed error");
     }
 }

@@ -28,23 +28,45 @@
 //! every accepted op is answered, then join every thread. No accepted
 //! request is dropped; clients observe clean EOF after their last
 //! response.
+//!
+//! # Robustness
+//!
+//! (docs/ROBUSTNESS.md.) Admission refusals from the batcher become
+//! typed `Overloaded` responses; requests carrying a wire deadline are
+//! anchored at frame-decode time and expire typed-ly at dequeue. Reader
+//! threads enforce two read budgets against slowloris peers: an **idle
+//! timeout** between frames (expiry is a quiet close — the peer just
+//! had nothing to say) and a **frame timeout** once a frame's first
+//! byte arrives (expiry is an error close — the peer started a frame
+//! and stalled). Mutex poisoning is recovered everywhere (`into_inner`;
+//! the maps hold plain handles that stay structurally valid), and
+//! thread-spawn failures degrade a connection, never the process.
 
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use factorhd_engine::ModelRegistry;
 
-use crate::batcher::{Batcher, BatcherConfig, Outgoing, Pending};
-use crate::error::{ErrorCode, ServeError};
+use crate::batcher::{Batcher, BatcherConfig, Outgoing, Pending, SubmitOutcome};
+use crate::error::{ErrorCode, ServeError, WireError};
 use crate::metrics::{ServeMetrics, ServingStats};
 use crate::protocol::{
-    self, peek_request_id, read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+    self, peek_request_id, write_frame, Request, Response, DEFAULT_MAX_FRAME_BYTES,
 };
+
+/// Locks a mutex, recovering from poisoning: server maps hold plain
+/// handles/join-handles that stay structurally valid even if a thread
+/// panicked while holding the lock, and the server must keep serving.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Per-connection read/write buffer capacity — above a typical scene-op
 /// frame at the dimensions this repo runs, so pipelined traffic costs
@@ -58,13 +80,25 @@ pub struct ServerConfig {
     pub batcher: BatcherConfig,
     /// Per-frame payload cap; oversized frames close the connection.
     pub max_frame_bytes: usize,
+    /// How long a connection may sit with **no** frame in progress
+    /// before the server closes it (quietly — an idle peer is not an
+    /// error). `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// How long a frame may take from its first byte to its last once
+    /// started; a peer that drip-feeds past this is closed with an
+    /// error (slowloris defense). `None` disables the budget.
+    pub frame_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
+    /// Idle connections are kept for 60 s; a started frame has 10 s to
+    /// complete.
     fn default() -> Self {
         ServerConfig {
             batcher: BatcherConfig::default(),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            idle_timeout: Some(Duration::from_secs(60)),
+            frame_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -78,6 +112,8 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     shutting_down: AtomicBool,
     max_frame_bytes: usize,
+    idle_timeout: Option<Duration>,
+    frame_timeout: Option<Duration>,
     /// Read-half clones of live connections keyed by a token, so
     /// shutdown can unblock every reader thread; each entry is removed
     /// when its connection closes (no fd retention).
@@ -125,18 +161,19 @@ impl Server {
             registry: Arc::clone(&registry),
             shutting_down: AtomicBool::new(false),
             max_frame_bytes: config.max_frame_bytes,
+            idle_timeout: config.idle_timeout,
+            frame_timeout: config.frame_timeout,
             connections: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         });
-        let batcher = Arc::new(Batcher::new(registry, config.batcher, metrics));
+        let batcher = Arc::new(Batcher::new(registry, config.batcher, metrics)?);
         let accept_worker = {
             let shared = Arc::clone(&shared);
             let batcher = Arc::clone(&batcher);
             thread::Builder::new()
                 .name("factorhd-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &batcher))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(&listener, &shared, &batcher))?
         };
         Ok(Server {
             addr,
@@ -172,24 +209,13 @@ impl Server {
         // Unblock the accept loop with a wake-up connection; it checks
         // the flag before handing the connection to a reader.
         let _ = TcpStream::connect(self.addr);
-        if let Some(worker) = self
-            .accept_worker
-            .lock()
-            .expect("accept worker lock")
-            .take()
-        {
+        if let Some(worker) = lock_recovering(&self.accept_worker).take() {
             let _ = worker.join();
         }
         // Half-close every connection's read side: readers unblock with
         // EOF and stop feeding the batcher; queued responses can still
         // be written.
-        for connection in self
-            .shared
-            .connections
-            .lock()
-            .expect("connections lock")
-            .values()
-        {
+        for connection in lock_recovering(&self.shared.connections).values() {
             let _ = connection.shutdown(Shutdown::Read);
         }
         // Flush the batcher: every queued op executes and its response
@@ -197,7 +223,7 @@ impl Server {
         self.batcher.shutdown();
         // Readers have EOF'd and the batcher released its reply
         // senders, so writers drain and exit; join everything.
-        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("workers lock"));
+        let workers = std::mem::take(&mut *lock_recovering(&self.shared.workers));
         for worker in workers {
             let _ = worker.join();
         }
@@ -231,11 +257,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, batcher: &Arc<Batch
         shared.metrics.connection_accepted();
         let token = shared.next_token.fetch_add(1, Ordering::Relaxed);
         if let Ok(read_half) = stream.try_clone() {
-            shared
-                .connections
-                .lock()
-                .expect("connections lock")
-                .insert(token, read_half);
+            lock_recovering(&shared.connections).insert(token, read_half);
         }
         let worker = {
             let shared = Arc::clone(shared);
@@ -245,13 +267,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, batcher: &Arc<Batch
                 .spawn(move || serve_connection(stream, token, &shared, &batcher))
         };
         match worker {
-            Ok(handle) => shared.workers.lock().expect("workers lock").push(handle),
+            Ok(handle) => lock_recovering(&shared.workers).push(handle),
             Err(_) => {
-                shared
-                    .connections
-                    .lock()
-                    .expect("connections lock")
-                    .remove(&token);
+                // Thread exhaustion degrades this connection (dropped,
+                // peer sees EOF), never the whole server.
+                lock_recovering(&shared.connections).remove(&token);
                 shared.metrics.connection_closed();
             }
         }
@@ -269,40 +289,73 @@ fn serve_connection(stream: TcpStream, token: u64, shared: &Arc<Shared>, batcher
         }
     };
     let writer = {
-        let shared = Arc::clone(shared);
-        thread::Builder::new()
+        let writer_shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
             .name("factorhd-conn-writer".into())
-            .spawn(move || write_loop(writer_stream, &reply_rx, &shared))
-            .expect("spawn connection writer")
+            .spawn(move || write_loop(writer_stream, &reply_rx, &writer_shared));
+        match spawned {
+            Ok(handle) => handle,
+            Err(_) => {
+                // No writer means no way to answer; degrade this
+                // connection (peer sees EOF), never the process.
+                lock_recovering(&shared.connections).remove(&token);
+                shared.metrics.connection_closed();
+                return;
+            }
+        }
     };
 
+    // A second handle to the socket just for adjusting read timeouts
+    // (the timed reader flips between the idle and frame budgets).
+    let control = stream.try_clone().ok();
     // Sized above a typical scene-op frame so pipelined bursts coalesce
     // into few syscalls instead of one-plus per frame.
     let mut reader = BufReader::with_capacity(CONNECTION_BUFFER_BYTES, stream);
-    // Stop reading on clean EOF, I/O failure, or an oversized frame
-    // (the only wire error framing can't recover from — the stream
-    // offset is lost).
-    while let Ok(Some(payload)) = read_frame(&mut reader, shared.max_frame_bytes) {
+    // Stop reading on clean EOF, idle expiry, I/O failure, a stalled
+    // frame, or an oversized frame (the only wire error framing can't
+    // recover from — the stream offset is lost).
+    while let Ok(Some(payload)) = read_frame_timed(&mut reader, control.as_ref(), shared) {
         match protocol::decode_request(&payload) {
             Ok((request_id, request)) => {
                 shared.metrics.request_received();
                 let received_at = Instant::now();
                 match request {
-                    Request::Op { model, op } => {
-                        let accepted = batcher.submit(Pending {
+                    Request::Op {
+                        model,
+                        op,
+                        deadline,
+                    } => {
+                        let outcome = batcher.submit(Pending {
                             model,
                             op,
                             request_id,
                             received_at,
+                            // The wire budget is relative; anchor it at
+                            // frame-decode time so client and server
+                            // clocks never need to agree.
+                            deadline: deadline.map(|budget| received_at + budget),
                             reply: reply_tx.clone(),
                         });
-                        if !accepted {
+                        let refusal = match outcome {
+                            SubmitOutcome::Accepted => None,
+                            SubmitOutcome::Overloaded => {
+                                shared.metrics.request_shed();
+                                Some((
+                                    ErrorCode::Overloaded,
+                                    "server overloaded: admission queue full; op not executed",
+                                ))
+                            }
+                            SubmitOutcome::ShuttingDown => {
+                                Some((ErrorCode::Shutdown, "server is shutting down"))
+                            }
+                        };
+                        if let Some((code, message)) = refusal {
                             let _ = reply_tx.send(Outgoing {
                                 request_id,
                                 received_at,
                                 response: Response::Error {
-                                    code: ErrorCode::Shutdown,
-                                    message: "server is shutting down".into(),
+                                    code,
+                                    message: message.into(),
                                 },
                             });
                         }
@@ -350,12 +403,111 @@ fn serve_connection(stream: TcpStream, token: u64, shared: &Arc<Shared>, batcher
     // delivered (or dropped) every in-flight reply for this connection.
     drop(reply_tx);
     let _ = writer.join();
-    shared
-        .connections
-        .lock()
-        .expect("connections lock")
-        .remove(&token);
+    lock_recovering(&shared.connections).remove(&token);
     shared.metrics.connection_closed();
+}
+
+/// Whether an I/O error is a socket read-timeout expiry (Unix reports
+/// `WouldBlock`, Windows `TimedOut`).
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one length-prefixed frame under the server's two read budgets
+/// (module docs, "Robustness"): the **idle** budget while no frame has
+/// started (expiry → `Ok(None)`, a quiet close) and the **frame**
+/// budget from a frame's first byte to its last (expiry → error — the
+/// peer started a frame and stalled). With per-read socket timeouts a
+/// drip-feeding peer is bounded by `frame_timeout` of stall per read
+/// and `frame_timeout` overall via the elapsed check, so the worst case
+/// is ~2× the budget, not forever.
+fn read_frame_timed(
+    reader: &mut BufReader<TcpStream>,
+    control: Option<&TcpStream>,
+    shared: &Shared,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let set_timeout = |budget: Option<Duration>| {
+        if let Some(control) = control {
+            let _ = control.set_read_timeout(budget);
+        }
+    };
+    set_timeout(shared.idle_timeout);
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    let mut frame_started: Option<Instant> = None;
+    while filled < prefix.len() {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                )));
+            }
+            Ok(n) => {
+                if filled == 0 {
+                    frame_started = Some(Instant::now());
+                    set_timeout(shared.frame_timeout);
+                }
+                filled += n;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) if is_timeout(&err) => {
+                if filled == 0 {
+                    // Idle expiry between frames: not an error, the
+                    // peer just had nothing more to say.
+                    return Ok(None);
+                }
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame stalled inside length prefix",
+                )));
+            }
+            Err(err) => return Err(ServeError::Io(err)),
+        }
+    }
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > shared.max_frame_bytes {
+        return Err(ServeError::Wire(WireError::FrameTooLarge {
+            declared,
+            max: shared.max_frame_bytes,
+        }));
+    }
+    let mut payload = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        if let (Some(started), Some(budget)) = (frame_started, shared.frame_timeout) {
+            if started.elapsed() > budget {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame stalled past its read budget",
+                )));
+            }
+        }
+        match reader.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame payload",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) if is_timeout(&err) => {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame stalled inside payload",
+                )))
+            }
+            Err(err) => return Err(ServeError::Io(err)),
+        }
+    }
+    Ok(Some(payload))
 }
 
 /// Writer side of one connection: drain the reply queue greedily,
@@ -382,8 +534,20 @@ fn write_reply(writer: &mut impl Write, outgoing: &Outgoing, shared: &Arc<Shared
         return false;
     }
     shared.metrics.response_sent();
-    shared
-        .metrics
-        .e2e_latency(outgoing.received_at.elapsed().as_nanos() as u64);
+    // The latency histogram covers **admitted** requests only: sheds and
+    // deadline expiries are answered in microseconds without executing,
+    // and folding them in would make overload look like a latency win.
+    let excluded = matches!(
+        &outgoing.response,
+        Response::Error {
+            code: ErrorCode::Overloaded | ErrorCode::DeadlineExceeded,
+            ..
+        }
+    );
+    if !excluded {
+        shared
+            .metrics
+            .e2e_latency(outgoing.received_at.elapsed().as_nanos() as u64);
+    }
     true
 }

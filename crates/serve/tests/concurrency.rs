@@ -133,6 +133,7 @@ fn loopback_responses_match_direct_execute_batch() {
                 batcher: BatcherConfig {
                     max_batch: 16,
                     max_delay: Duration::from_millis(1),
+                    ..BatcherConfig::default()
                 },
                 ..ServerConfig::default()
             },
@@ -216,6 +217,7 @@ fn pipelined_burst_matches_direct_and_coalesces() {
             batcher: BatcherConfig {
                 max_batch: 16,
                 max_delay: Duration::from_millis(5),
+                ..BatcherConfig::default()
             },
             ..ServerConfig::default()
         },

@@ -9,8 +9,8 @@ use factorhd_core::{
     Scene,
 };
 use factorhd_engine::{
-    AnyOp, AnyOutput, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3, MembershipProbe,
-    PartialDecode,
+    AnyOp, AnyOutput, Classify, EncodeScene, FactorizeRep1, FactorizeRep2, FactorizeRep3,
+    MembershipProbe, PartialDecode, Retrain, Train,
 };
 use factorhd_serve::protocol::{
     self, decode_request, decode_response, encode_request, encode_response, Request, Response,
@@ -68,6 +68,18 @@ fn model_strategy() -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// Optional per-request deadline budget, in whole microseconds — the
+/// wire carries `u64` micros, so round-trip equality holds exactly for
+/// any `Duration` built from micros.
+fn deadline_strategy() -> BoxedStrategy<Option<std::time::Duration>> {
+    prop_oneof![
+        Just(None),
+        (0u64..u64::from(u32::MAX))
+            .prop_map(|micros| Some(std::time::Duration::from_micros(micros))),
+    ]
+    .boxed()
+}
+
 fn op_strategy() -> BoxedStrategy<AnyOp> {
     prop_oneof![
         accum_strategy().prop_map(|scene| AnyOp::Rep1(FactorizeRep1 { scene })),
@@ -89,13 +101,32 @@ fn op_strategy() -> BoxedStrategy<AnyOp> {
                 absent,
             })),
         scene_strategy().prop_map(|scene| AnyOp::Encode(EncodeScene { scene })),
+        (accum_strategy(), any::<u64>(), 0usize..64, any::<bool>()).prop_map(
+            |(example, sample, class, retain)| {
+                AnyOp::Train(Train {
+                    class,
+                    sample,
+                    example,
+                    retain,
+                })
+            }
+        ),
+        (0u32..1024).prop_map(|epochs| AnyOp::Retrain(Retrain { epochs })),
+        (accum_strategy(), 1usize..8)
+            .prop_map(|(query, top_k)| AnyOp::Classify(Classify { query, top_k })),
     ]
     .boxed()
 }
 
 fn request_strategy() -> BoxedStrategy<Request> {
     prop_oneof![
-        (model_strategy(), op_strategy()).prop_map(|(model, op)| Request::Op { model, op }),
+        (model_strategy(), op_strategy(), deadline_strategy()).prop_map(|(model, op, deadline)| {
+            Request::Op {
+                model,
+                op,
+                deadline,
+            }
+        }),
         Just(Request::Stats),
         Just(Request::Ping),
     ]
@@ -111,7 +142,13 @@ fn decoded_object_strategy() -> BoxedStrategy<DecodedObject> {
 fn stats_strategy() -> BoxedStrategy<ServingStats> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
@@ -122,6 +159,9 @@ fn stats_strategy() -> BoxedStrategy<ServingStats> {
             responses_sent: a.3,
             protocol_errors: b.0,
             batches_dispatched: b.1,
+            requests_shed: b.2,
+            deadline_expired: b.3,
+            ops_panicked: b.4,
             coalesced_batch: HistogramSummary {
                 count: c.0,
                 p50: c.1,
@@ -301,6 +341,75 @@ proptest! {
         // trailer) must be caught — by the magic/version checks or the
         // checksum — before the body is interpreted.
         assert_typed(decode_request(&payload));
+    }
+
+    #[test]
+    fn deadline_round_trips_on_every_op_variant(
+        id in any::<u64>(),
+        model in model_strategy(),
+        op in op_strategy(),
+        micros in 0u64..u64::from(u32::MAX),
+    ) {
+        // A deadline must survive the round trip regardless of which op
+        // body follows the header, and stripping it must shrink the
+        // payload by exactly the 8 optional bytes.
+        let deadline = Some(std::time::Duration::from_micros(micros));
+        let with = encode_request(id, &Request::Op {
+            model: model.clone(),
+            op: op.clone(),
+            deadline,
+        });
+        let without = encode_request(id, &Request::Op { model: model.clone(), op: op.clone(), deadline: None });
+        prop_assert_eq!(with.len(), without.len() + 8);
+        let (_, decoded) = decode_request(&with).expect("deadline frame decodes");
+        prop_assert_eq!(decoded, Request::Op { model, op, deadline });
+    }
+
+    #[test]
+    fn robustness_error_codes_round_trip(
+        id in any::<u64>(),
+        code in 0u16..16,
+        message in model_strategy(),
+    ) {
+        // Overloaded (5), DeadlineExceeded (6), and OpPanicked (7) must
+        // survive the wire like every other code — including codes this
+        // build has never heard of (Other passthrough).
+        let response = Response::Error { code: ErrorCode::from_u16(code), message };
+        let payload = encode_response(id, &response);
+        let (_, decoded) = decode_response(&payload).expect("error frame decodes");
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn version_skew_compat_no_deadline_frames_stay_v1(
+        id in any::<u64>(),
+        model in model_strategy(),
+        op in op_strategy(),
+    ) {
+        // Forward compat: a new client that sends no deadline emits a
+        // frame an old (v1) decoder accepts — flags byte is zero and the
+        // declared version is unchanged.
+        let payload = encode_request(id, &Request::Op { model, op, deadline: None });
+        prop_assert_eq!(&payload[4..6], &VERSION.to_le_bytes());
+        prop_assert_eq!(payload[7], 0);
+    }
+
+    #[test]
+    fn version_skew_compat_unknown_flags_fail_typed(
+        id in any::<u64>(),
+        request in request_strategy(),
+        extra_bit in 1u8..8,
+    ) {
+        // Backward compat: a frame from a *future* build that sets flag
+        // bits this decoder does not know must fail typed, never
+        // misparse the body.
+        let mut payload = encode_request(id, &request);
+        payload[7] |= 1 << extra_bit;
+        reseal(&mut payload);
+        match decode_request(&payload) {
+            Err(WireError::Corrupt(_)) => {}
+            other => prop_assert!(false, "expected Corrupt, got {:?}", other),
+        }
     }
 
     #[test]

@@ -439,6 +439,69 @@ fn online_trained_prototypes_are_thread_count_invariant() {
 }
 
 #[test]
+fn contained_op_panics_preserve_batch_determinism() {
+    // Panic containment must be invisible to every op it does not
+    // contain: with one op in the batch poisoned via the
+    // `engine/op_panic` failpoint, the poisoned slot comes back as a
+    // typed `OpPanicked` while every other slot stays bit-identical to
+    // the (uncontained, failpoint-free) sequential reference — at 1-,
+    // 2-, and 4-lane pools alike.
+    use factorhd::engine::failpoint::{self, FailMode};
+
+    // The poisoned op is an Encode of a 3-object scene (chaos tag 303)
+    // — no other test in this binary executes that shape, so the
+    // process-global failpoint cannot leak across tests.
+    let taxonomy = build_taxonomy(80);
+    let mut ops = mixed_ops(&taxonomy, 20, 81);
+    let mut rng = hdc::rng_from_seed(82);
+    let poisoned = AnyOp::Encode(EncodeScene {
+        scene: taxonomy.sample_scene(3, true, &mut rng),
+    });
+    assert!(
+        ops.iter().all(|op| op.chaos_tag() != poisoned.chaos_tag()),
+        "the poison tag must single out exactly one op"
+    );
+    ops.insert(7, poisoned);
+
+    let engine =
+        FactorEngine::new(build_taxonomy(80), EngineConfig::default()).expect("valid config");
+    // The sequential reference path has no failpoint site, so it
+    // yields the poisoned op's true output for free.
+    let sequential = engine.run_mixed_sequential(&ops);
+
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            failpoint::disarm("engine/op_panic");
+        }
+    }
+    failpoint::arm("engine/op_panic", FailMode::Tag(ops[7].chaos_tag()));
+    let _disarm = Disarm;
+
+    let initial = rayon::current_num_threads();
+    for threads in [1usize, 2, 4] {
+        rayon::configure_pool(threads);
+        let batched = engine.run_mixed(&ops);
+        assert_eq!(batched.len(), sequential.len());
+        for (slot, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            if slot == 7 {
+                assert!(
+                    matches!(b, Err(EngineError::OpPanicked { .. })),
+                    "poisoned slot must fail typed at {threads} lanes, got {b:?}"
+                );
+            } else {
+                assert_eq!(
+                    b.as_ref().expect("unpoisoned op succeeds"),
+                    s.as_ref().expect("reference op succeeds"),
+                    "slot {slot} drifted under containment at {threads} lanes"
+                );
+            }
+        }
+    }
+    rayon::configure_pool(initial);
+}
+
+#[test]
 fn registry_batch_is_bit_identical_to_sequential_loop() {
     // The multi-model planner must match its own sequential reference
     // while serving two different taxonomies from one batch.
